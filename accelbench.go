@@ -1,0 +1,52 @@
+package binopt
+
+import (
+	"fmt"
+
+	"binopt/internal/benchmark"
+)
+
+// AcceleratorBenchmarkResult carries the de Schryver-style qualification
+// of every Table II solution against the paper's use-case requirement.
+type AcceleratorBenchmarkResult struct {
+	Verdicts []benchmark.Verdict
+	Ranked   []benchmark.Solution
+	Text     string
+}
+
+// AcceleratorBenchmark applies the comparison methodology of [4] — a
+// solution must satisfy throughput, accuracy AND energy constraints at
+// once — to the reproduced Table II rows, under the paper's own use case
+// (2000 options/s, high accuracy, ~10 W). The expected outcome is the
+// paper's own conclusion: nothing qualifies; the FPGA kernel IV.B comes
+// closest, blocked by the Power-operator RMSE and the 7 W overshoot.
+func AcceleratorBenchmark(cfg Table2Config) (AcceleratorBenchmarkResult, error) {
+	t2, err := Table2(cfg)
+	if err != nil {
+		return AcceleratorBenchmarkResult{}, err
+	}
+	var sols []benchmark.Solution
+	for _, r := range t2.Rows {
+		sols = append(sols, benchmark.Solution{
+			Name:          fmt.Sprintf("%s (%s)", r.Kernel, r.Precision),
+			Platform:      r.Platform,
+			Problem:       "American option pricing",
+			Model:         "CRR binomial",
+			OptionsPerSec: r.Estimate.OptionsPerSec,
+			PowerWatts:    r.Estimate.PowerWatts,
+			RMSE:          r.RMSE,
+		})
+	}
+	req := benchmark.Requirement{MinOptionsPerSec: 2000, MaxRMSE: 1e-6, MaxWatts: 10}
+	verdicts := benchmark.Qualify(sols, req)
+	ranked := benchmark.RankByEnergy(sols)
+
+	text := "Accelerator benchmark ([4] methodology) under the paper's use case\n" +
+		benchmark.FormatVerdicts(verdicts, req) +
+		"\nenergy ranking (J/option ascending):\n"
+	for i, s := range ranked {
+		text += fmt.Sprintf("  %d. %-24s %-22s %.3g mJ/option\n",
+			i+1, s.Name, s.Platform, 1e3*s.JoulesPerOption())
+	}
+	return AcceleratorBenchmarkResult{Verdicts: verdicts, Ranked: ranked, Text: text}, nil
+}

@@ -1,0 +1,50 @@
+package binopt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAcceleratorBenchmark(t *testing.T) {
+	res, err := AcceleratorBenchmark(Table2Config{Steps: 1024, RMSEOptions: 12, RMSESteps: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Verdicts) != 7 || len(res.Ranked) != 7 {
+		t.Fatalf("got %d verdicts, %d ranked", len(res.Verdicts), len(res.Ranked))
+	}
+	// The paper's conclusion: under the strict use case nothing
+	// qualifies.
+	for _, v := range res.Verdicts {
+		if v.Passed {
+			t.Errorf("%s on %s should not pass the strict use case", v.Solution.Name, v.Solution.Platform)
+		}
+	}
+	// Energy ranking: the single-precision GPU build tops the raw table
+	// (as in the paper's own Table II: 340 vs 140 options/J) but fails
+	// the accuracy requirement; among double-precision solutions the
+	// FPGA IV.B build wins — the basis of the paper's "2x more energy
+	// efficient than the GPU" claim.
+	if !strings.Contains(res.Ranked[0].Name, "single") {
+		t.Errorf("raw energy winner = %s, expected the single-precision GPU build", res.Ranked[0].Name)
+	}
+	var doubleWinner string
+	for _, s := range res.Ranked {
+		if strings.Contains(s.Name, "double") {
+			doubleWinner = s.Name + "@" + s.Platform
+			break
+		}
+	}
+	if !strings.Contains(doubleWinner, "IV.B") || !strings.Contains(doubleWinner, "EP4SGX530") {
+		t.Errorf("double-precision energy winner = %s, want IV.B on the DE4", doubleWinner)
+	}
+	// The straightforward kernel and the single-precision reference prop
+	// up the bottom of the table.
+	last := res.Ranked[len(res.Ranked)-1]
+	if !strings.Contains(last.Name, "IV.A") && !strings.Contains(last.Name, "reference") {
+		t.Errorf("energy loser = %s, expected IV.A or the reference", last.Name)
+	}
+	if !strings.Contains(res.Text, "energy ranking") {
+		t.Errorf("text:\n%s", res.Text)
+	}
+}

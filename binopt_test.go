@@ -1,0 +1,274 @@
+package binopt
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPriceFacade(t *testing.T) {
+	v, err := Price(demoOption(), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 5 || v > 12 {
+		t.Errorf("american put price = %v, expected single digits above intrinsic", v)
+	}
+	if _, err := Price(demoOption(), 0); err == nil {
+		t.Error("zero steps should fail")
+	}
+}
+
+func TestPriceWithGreeksFacade(t *testing.T) {
+	v, g, err := PriceWithGreeks(demoOption(), 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 || g.Delta >= 0 || g.Vega <= 0 {
+		t.Errorf("price %v greeks %+v", v, g)
+	}
+}
+
+func TestPriceBatchFacade(t *testing.T) {
+	opts := []Option{demoOption(), demoOption()}
+	opts[1].Strike = 95
+	vs, err := PriceBatch(opts, 128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || vs[0] <= vs[1] {
+		t.Errorf("K=105 put should exceed K=95 put: %v", vs)
+	}
+}
+
+func TestImpliedVolRoundTrip(t *testing.T) {
+	o := demoOption()
+	o.Sigma = 0.31
+	quote, err := Price(o, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv, err := ImpliedVol(quote, o, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iv-0.31) > 1e-4 {
+		t.Errorf("implied vol = %v, want 0.31", iv)
+	}
+}
+
+func TestTable1Experiment(t *testing.T) {
+	res, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "Logic utilization") || !strings.Contains(res.Text, "Power consumption") {
+		t.Errorf("table 1 text:\n%s", res.Text)
+	}
+	if res.KernelIVA.NodeLanes != 6 || res.KernelIVB.NodeLanes != 8 {
+		t.Errorf("lanes: IVA %d IVB %d", res.KernelIVA.NodeLanes, res.KernelIVB.NodeLanes)
+	}
+}
+
+func TestTable2ExperimentFast(t *testing.T) {
+	// Full-depth throughput model with a reduced-depth accuracy batch to
+	// keep the test quick.
+	res, err := Table2(Table2Config{Steps: 1024, RMSEOptions: 12, RMSESteps: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, want := range []string{"Kernel IV.A", "Kernel IV.B", "Reference Software", "[9] Jin", "[10] Wynnyk"} {
+		if !strings.Contains(res.Text, want) {
+			t.Errorf("table 2 missing %q:\n%s", want, res.Text)
+		}
+	}
+	// The flawed-pow FPGA row must carry a nonzero RMSE; the double
+	// reference row zero.
+	var sawFlawed bool
+	for _, r := range res.Rows {
+		if r.Kernel == "IV.B" && strings.Contains(r.Platform, "EP4SGX530") {
+			if r.RMSE == 0 {
+				t.Error("FPGA IV.B row should show the Power-operator RMSE")
+			}
+			sawFlawed = true
+		}
+	}
+	if !sawFlawed {
+		t.Error("no FPGA IV.B row found")
+	}
+}
+
+func TestSaturationExperiment(t *testing.T) {
+	res, err := Saturation(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d platforms", len(res))
+	}
+	for _, r := range res {
+		if len(r.Points) == 0 || r.Text == "" {
+			t.Errorf("empty saturation result for %s", r.Label)
+		}
+	}
+	// FPGA saturates an order of magnitude earlier than the GPU: compare
+	// the workload at which each reaches 80% of its own peak.
+	reach80 := func(r SaturationResult) int64 {
+		peak := r.Points[len(r.Points)-1].OptionsPerSec
+		for _, p := range r.Points {
+			if p.OptionsPerSec >= 0.8*peak {
+				return p.Options
+			}
+		}
+		return math.MaxInt64
+	}
+	if reach80(res[0]) >= reach80(res[1]) {
+		t.Errorf("FPGA should saturate earlier: %d vs %d", reach80(res[0]), reach80(res[1]))
+	}
+}
+
+func TestVolCurveExperimentSmall(t *testing.T) {
+	res, err := VolCurve(VolCurveConfig{Quotes: 30, Steps: 96, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points)+res.Skipped != 30 {
+		t.Errorf("points %d + skipped %d != 30", len(res.Points), res.Skipped)
+	}
+	if res.FPGASeconds <= 0 || res.FPGAPowerWatts <= 0 {
+		t.Errorf("model outputs missing: %+v", res)
+	}
+	if !strings.Contains(res.Text, "implied vol") {
+		t.Errorf("text:\n%s", res.Text)
+	}
+}
+
+func TestKnobSweepExperiment(t *testing.T) {
+	rows, text, err := KnobSweep(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 24 {
+		t.Fatalf("got %d sweep rows", len(rows))
+	}
+	var fitCount, noFitCount int
+	var paperA, paperB *KnobSweepRow
+	for i := range rows {
+		r := &rows[i]
+		if r.Fits {
+			fitCount++
+		} else {
+			noFitCount++
+		}
+		if r.Kernel == "IV.A" && r.Knobs.Vectorize == 2 && r.Knobs.Replicate == 3 && r.Knobs.Unroll == 1 {
+			paperA = r
+		}
+		if r.Kernel == "IV.B" && r.Knobs.Vectorize == 4 && r.Knobs.Unroll == 2 {
+			paperB = r
+		}
+	}
+	if fitCount == 0 || noFitCount == 0 {
+		t.Errorf("sweep should contain both fitting and non-fitting points (%d/%d)", fitCount, noFitCount)
+	}
+	if paperA == nil || !paperA.Fits {
+		t.Error("the paper's IV.A knobs must fit")
+	}
+	if paperB == nil || !paperB.Fits {
+		t.Error("the paper's IV.B knobs must fit")
+	}
+	// The paper's IV.B choice should be near the best fitting IV.B point
+	// (it was chosen "after several compilation iterations"). The model's
+	// sweep finds vec2 x unroll4 — the same 8 lanes with less LSU area and
+	// hence a slightly higher clock — about 9% faster; anything beyond
+	// ~15% would mean the model disagrees with the paper's exploration.
+	for _, r := range rows {
+		if r.Kernel == "IV.B" && r.Fits && r.OptionsPerSec > paperB.OptionsPerSec*1.15 {
+			t.Errorf("sweep found a much faster fitting IV.B config than the paper's: %v at %.0f options/s",
+				r.Knobs, r.OptionsPerSec)
+		}
+	}
+	if !strings.Contains(text, "vec4") {
+		t.Errorf("sweep table:\n%s", text)
+	}
+}
+
+func TestPowAccuracyExperiment(t *testing.T) {
+	res, err := PowAccuracy(1024, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline: flawed pow gives RMSE ~1e-3, the fix removes
+	// it, host leaves are exact.
+	if om := orderOf(res.FlawedRMSE); om < -5 || om > -2 {
+		t.Errorf("flawed RMSE %g (order %d), want ~1e-3", res.FlawedRMSE, om)
+	}
+	if res.FixedRMSE > 1e-9 {
+		t.Errorf("fixed-core RMSE %g, want ~0", res.FixedRMSE)
+	}
+	if res.HostRMSE != 0 {
+		t.Errorf("host RMSE %g, want 0", res.HostRMSE)
+	}
+	if res.SingleRMSE == 0 {
+		t.Error("single-precision RMSE should be nonzero")
+	}
+	if !strings.Contains(res.Text, "Power-operator") {
+		t.Errorf("text:\n%s", res.Text)
+	}
+}
+
+func orderOf(x float64) int {
+	if x == 0 {
+		return math.MinInt
+	}
+	return int(math.Floor(math.Log10(math.Abs(x))))
+}
+
+func TestFigures(t *testing.T) {
+	f1, err := Figure1(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f1, "Binomial tree") {
+		t.Error("figure 1 broken")
+	}
+	if !strings.Contains(Figure2(), "DEVICE") {
+		t.Error("figure 2 broken")
+	}
+	f3, err := Figure3(0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f3, "ping-pong") {
+		t.Error("figure 3 broken")
+	}
+	f4, err := Figure4(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f4, "barrier") {
+		t.Error("figure 4 broken")
+	}
+}
+
+func TestNewEngineAndBoundaryFacade(t *testing.T) {
+	e, err := NewEngine(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Steps() != 128 {
+		t.Errorf("Steps = %d", e.Steps())
+	}
+	pts, err := ExerciseBoundary(demoOption(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Error("american put should have an exercise boundary")
+	}
+	if _, err := ExerciseBoundary(demoOption(), 0); err == nil {
+		t.Error("zero steps should fail")
+	}
+}

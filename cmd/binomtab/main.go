@@ -1,0 +1,182 @@
+// Command binomtab regenerates the paper's tables, figures and
+// experiments from the reproduction:
+//
+//	binomtab -table 1              Table I  (resource usage / Fmax / power)
+//	binomtab -table 2              Table II (options/s, RMSE, options/J, nodes/s)
+//	binomtab -figure 1|2|3|4       the explanatory figures as ASCII
+//	binomtab -experiment saturation|pow|powercap|methods|accelbench|futurework|convergence|mlmc
+//
+// Flags -steps, -rmse-options and -rmse-steps scale the measured parts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"binopt"
+	"binopt/internal/device"
+)
+
+func main() {
+	var (
+		table       = flag.Int("table", 0, "regenerate table 1 or 2")
+		figure      = flag.Int("figure", 0, "render figure 1, 2, 3 or 4")
+		experiment  = flag.String("experiment", "", "run experiment: saturation, pow, powercap, methods, accelbench, futurework, convergence, mlmc")
+		steps       = flag.Int("steps", 1024, "tree depth N")
+		rmseOptions = flag.Int("rmse-options", 40, "options in the accuracy batch")
+		rmseSteps   = flag.Int("rmse-steps", 0, "tree depth for accuracy measurement (0 = -steps)")
+		csv         = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	if err := run(*table, *figure, *experiment, *steps, *rmseOptions, *rmseSteps, *csv); err != nil {
+		fmt.Fprintln(os.Stderr, "binomtab:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table, figure int, experiment string, steps, rmseOptions, rmseSteps int, csv bool) error {
+	did := false
+	if table == 1 || table == 0 && figure == 0 && experiment == "" {
+		res, err := binopt.Table1()
+		if err != nil {
+			return err
+		}
+		fmt.Println("TABLE I — RESOURCE USAGE (Stratix IV EP4SGX530)")
+		if csv {
+			fmt.Println(res.CSV)
+		} else {
+			fmt.Println(res.Text)
+		}
+		did = true
+	}
+	if table == 2 || table == 0 && figure == 0 && experiment == "" {
+		res, err := binopt.Table2(binopt.Table2Config{
+			Steps: steps, RMSEOptions: rmseOptions, RMSESteps: rmseSteps,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println("TABLE II — PERFORMANCES (modelled throughput, measured RMSE)")
+		if csv {
+			fmt.Println(res.CSV)
+		} else {
+			fmt.Println(res.Text)
+		}
+		did = true
+	}
+	if table != 0 && table != 1 && table != 2 {
+		return fmt.Errorf("unknown table %d", table)
+	}
+
+	switch figure {
+	case 0:
+	case 1:
+		s, err := binopt.Figure1(0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+		did = true
+	case 2:
+		fmt.Println(binopt.Figure2())
+		did = true
+	case 3:
+		s, err := binopt.Figure3(0, 0, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+		did = true
+	case 4:
+		s, err := binopt.Figure4(0, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(s)
+		did = true
+	default:
+		return fmt.Errorf("unknown figure %d", figure)
+	}
+
+	switch experiment {
+	case "":
+	case "saturation":
+		results, err := binopt.Saturation(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println("SATURATION STUDY (§V-C)")
+		for _, r := range results {
+			fmt.Println(r.Text)
+		}
+		did = true
+	case "pow":
+		res, err := binopt.PowAccuracy(steps, rmseOptions, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Text)
+		did = true
+	case "methods":
+		_, text, err := binopt.MethodComparison(binopt.MethodComparisonConfig{})
+		if err != nil {
+			return err
+		}
+		fmt.Println("SOLVER COMPARISON (related work §II, survey [12])")
+		fmt.Println(text)
+		did = true
+	case "accelbench":
+		res, err := binopt.AcceleratorBenchmark(binopt.Table2Config{
+			Steps: steps, RMSEOptions: rmseOptions, RMSESteps: rmseSteps,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Text)
+		did = true
+	case "mlmc":
+		res, err := binopt.MLMCStudy(0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Text)
+		did = true
+	case "convergence":
+		res, err := binopt.Convergence(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Text)
+		did = true
+	case "futurework":
+		res, err := binopt.FutureWork(steps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Text)
+		did = true
+	case "powercap":
+		res, err := binopt.Table1()
+		if err != nil {
+			return err
+		}
+		chip := device.DE4().Chip
+		capped, err := res.KernelIVB.CapPower(chip, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Println("POWER CAP TO THE 10 W BUDGET (§V-C workaround)")
+		fmt.Printf("full speed: %.2f MHz at %.1f W\n", res.KernelIVB.FmaxMHz, res.KernelIVB.PowerWatts)
+		fmt.Printf("derated:    %.2f MHz at %.1f W\n", capped.FmaxMHz, capped.PowerWatts)
+		did = true
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+
+	if !did {
+		return fmt.Errorf("nothing to do")
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), ferr
+}
+
+func TestRunTable1(t *testing.T) {
+	out, err := capture(t, func() error { return run(1, 0, "", 1024, 8, 128, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "TABLE I") || !strings.Contains(out, "Logic utilization") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	out, err := capture(t, func() error { return run(2, 0, "", 1024, 8, 128, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "TABLE II") || !strings.Contains(out, "options/J") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	for fig, want := range map[int]string{
+		1: "Binomial tree",
+		2: "OpenCL platform",
+		3: "ping-pong",
+		4: "barrier",
+	} {
+		out, err := capture(t, func() error { return run(0, fig, "", 1024, 8, 128, false) })
+		if err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("figure %d missing %q", fig, want)
+		}
+	}
+}
+
+func TestRunExperiments(t *testing.T) {
+	for exp, want := range map[string]string{
+		"saturation": "SATURATION",
+		"pow":        "Power-operator",
+		"powercap":   "POWER CAP",
+		"futurework": "Future-work",
+	} {
+		out, err := capture(t, func() error { return run(0, 0, exp, 256, 8, 128, false) })
+		if err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(out, want) {
+			t.Errorf("%s missing %q in output", exp, want)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run(3, 0, "", 1024, 8, 128, false) }); err == nil {
+		t.Error("unknown table should fail")
+	}
+	if _, err := capture(t, func() error { return run(1, 9, "", 1024, 8, 128, false) }); err == nil {
+		t.Error("unknown figure should fail")
+	}
+	if _, err := capture(t, func() error { return run(1, 0, "nosuch", 1024, 8, 128, false) }); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	out, err := capture(t, func() error { return run(1, 0, "", 1024, 8, 128, true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Logic utilization,") {
+		t.Errorf("CSV output missing comma-separated rows:\n%s", out)
+	}
+}

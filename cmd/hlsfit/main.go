@@ -1,0 +1,73 @@
+// Command hlsfit drives the HLS compiler/fitter model directly: it
+// compiles a kernel profile with chosen parallelisation knobs and prints
+// the Quartus-style fit report, or sweeps the knob space the way the
+// paper's "several compilation iterations" did.
+//
+//	hlsfit -kernel ivb -vec 4 -unroll 2
+//	hlsfit -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"binopt"
+	"binopt/internal/device"
+	"binopt/internal/hls"
+	"binopt/internal/kernels"
+)
+
+func main() {
+	var (
+		kernel = flag.String("kernel", "ivb", "kernel profile: iva or ivb")
+		vec    = flag.Int("vec", 1, "vectorization (power of two)")
+		repl   = flag.Int("repl", 1, "compute-unit replication")
+		unroll = flag.Int("unroll", 1, "inner-loop unroll factor")
+		steps  = flag.Int("steps", 1024, "tree depth (sizes IV.B local memory)")
+		sweep  = flag.Bool("sweep", false, "sweep the knob space for both kernels")
+	)
+	flag.Parse()
+
+	if err := run(*kernel, *vec, *repl, *unroll, *steps, *sweep); err != nil {
+		fmt.Fprintln(os.Stderr, "hlsfit:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kernel string, vec, repl, unroll, steps int, sweep bool) error {
+	if sweep {
+		_, text, err := binopt.KnobSweep(steps)
+		if err != nil {
+			return err
+		}
+		fmt.Println("KNOB SWEEP (experiment E3) — DE4 / Stratix IV EP4SGX530")
+		fmt.Println(text)
+		return nil
+	}
+
+	var prof hls.KernelProfile
+	switch kernel {
+	case "iva":
+		prof = kernels.ProfileIVA()
+	case "ivb":
+		prof = kernels.ProfileIVB(steps)
+	default:
+		return fmt.Errorf("unknown kernel %q (want iva or ivb)", kernel)
+	}
+	rep, err := hls.Fit(device.DE4(), prof, hls.Knobs{Vectorize: vec, Replicate: repl, Unroll: unroll})
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep.String())
+	fmt.Printf("ALUTs %d, registers %d, memory bits %d, M9K %d, DSP %d\n",
+		rep.ALUTs, rep.Registers, rep.MemoryBits, rep.M9K, rep.DSP18)
+	fmt.Printf("Fmax %.2f MHz, power %.2f W, %d node lanes, pipeline depth %d cycles\n",
+		rep.FmaxMHz, rep.PowerWatts, rep.NodeLanes, rep.PipelineDepthCyc)
+	fmt.Println("area breakdown:")
+	for _, c := range rep.Breakdown {
+		fmt.Printf("  %-22s ALUTs %7d  regs %7d  M9K %5d  DSP %4d\n",
+			c.Name, c.ALUTs, c.Registers, c.M9K, c.DSP18)
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), ferr
+}
+
+func TestRunSingleFit(t *testing.T) {
+	out, err := capture(t, func() error { return run("ivb", 4, 1, 2, 1024, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"kernel-IV.B", "Fmax", "node lanes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	out, err = capture(t, func() error { return run("iva", 2, 3, 1, 1024, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "kernel-IV.A") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	out, err := capture(t, func() error { return run("ivb", 1, 1, 1, 1024, true) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "KNOB SWEEP") || !strings.Contains(out, "vec4") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return run("nope", 1, 1, 1, 1024, false) }); err == nil {
+		t.Error("unknown kernel should fail")
+	}
+	if _, err := capture(t, func() error { return run("ivb", 3, 1, 1, 1024, false) }); err == nil {
+		t.Error("non-power-of-two vectorization should fail")
+	}
+	if _, err := capture(t, func() error { return run("ivb", 16, 8, 8, 1024, false) }); err == nil {
+		t.Error("absurd knobs should fail the fitter")
+	}
+}

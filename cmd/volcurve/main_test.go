@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), ferr
+}
+
+func TestRunSmallCurve(t *testing.T) {
+	out, err := capture(t, func() error { return run(24, 64, 3, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Implied volatility curve", "modelled DE4", "use-case target"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := capture(t, func() error { return run(10, -5, 1, 0) }); err == nil {
+		t.Error("negative steps should fail")
+	}
+}

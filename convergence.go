@@ -1,0 +1,134 @@
+package binopt
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"binopt/internal/bs"
+	"binopt/internal/device"
+	"binopt/internal/hls"
+	"binopt/internal/kernels"
+	"binopt/internal/lattice"
+	"binopt/internal/option"
+	"binopt/internal/perf"
+	"binopt/internal/report"
+)
+
+// ConvergencePoint is one row of the discretisation study.
+type ConvergencePoint struct {
+	Steps        int
+	EuropeanErr  float64 // |CRR - Black-Scholes| on the European twin
+	AmericanErr  float64 // |CRR - deep reference| on the American contract
+	LRErr        float64 // |Leisen-Reimer - deep reference| (odd N)
+	HostSeconds  float64 // measured pricing time on this machine
+	FPGAOptSec   float64 // modelled DE4 kernel IV.B throughput at this N
+	FPGALocalM9K bool    // whether the N-sized local buffer still fits the knobs
+}
+
+// ConvergenceResult carries the study and its rendering.
+type ConvergenceResult struct {
+	Points []ConvergencePoint
+	Text   string
+}
+
+// Convergence reproduces the design decision behind the paper's
+// discretisation choice (§V-B: "a discretization step of T = 1024 ...
+// provides a good compromise between speed, precision and hardware
+// restrictions"): accuracy versus step count for the CRR tree (against
+// the closed form on the European twin and a deep lattice on the
+// American contract), the Leisen-Reimer alternative, measured host time,
+// and the modelled FPGA throughput at each depth.
+func Convergence(stepsList []int) (ConvergenceResult, error) {
+	if len(stepsList) == 0 {
+		stepsList = []int{64, 128, 256, 512, 1024, 2048}
+	}
+	o := demoOption()
+	euro := o
+	euro.Style = European
+
+	bsRef, err := bs.Price(euro)
+	if err != nil {
+		return ConvergenceResult{}, err
+	}
+	deep, err := lattice.NewEngine(8192)
+	if err != nil {
+		return ConvergenceResult{}, err
+	}
+	amRef, err := deep.PriceRichardson(o)
+	if err != nil {
+		return ConvergenceResult{}, err
+	}
+
+	board := device.DE4()
+	var pts []ConvergencePoint
+	for _, n := range stepsList {
+		if n < 2 {
+			return ConvergenceResult{}, fmt.Errorf("binopt: convergence needs steps >= 2, got %d", n)
+		}
+		eng, err := lattice.NewEngine(n)
+		if err != nil {
+			return ConvergenceResult{}, err
+		}
+		start := time.Now()
+		ve, err := eng.Price(euro)
+		if err != nil {
+			return ConvergenceResult{}, err
+		}
+		va, err := eng.Price(o)
+		if err != nil {
+			return ConvergenceResult{}, err
+		}
+		hostSec := time.Since(start).Seconds() / 2
+
+		lrSteps := n + 1 - n%2 // nearest odd
+		lrEng, err := lattice.NewEngine(lrSteps)
+		if err != nil {
+			return ConvergenceResult{}, err
+		}
+		vl, err := lrEng.WithParameterisation(option.LeisenReimer).Price(o)
+		if err != nil {
+			return ConvergenceResult{}, err
+		}
+
+		p := ConvergencePoint{
+			Steps:       n,
+			EuropeanErr: math.Abs(ve - bsRef),
+			AmericanErr: math.Abs(va - amRef),
+			LRErr:       math.Abs(vl - amRef),
+			HostSeconds: hostSec,
+		}
+		// Modelled FPGA throughput: the local value buffer grows with N,
+		// so very deep trees stop fitting the paper's knobs.
+		fit, err := hls.Fit(board, kernels.ProfileIVB(n), kernels.PaperKnobsIVB())
+		if err == nil {
+			est, eerr := perf.FPGAIVB(board, fit, n, false, false)
+			if eerr != nil {
+				return ConvergenceResult{}, eerr
+			}
+			p.FPGAOptSec = est.OptionsPerSec
+			p.FPGALocalM9K = true
+		}
+		pts = append(pts, p)
+	}
+
+	tbl := report.NewTable("N", "|CRR-BS| (euro)", "|CRR-ref| (amer)", "|LR-ref| (amer)",
+		"host s/option", "FPGA options/s", "fits DE4")
+	for _, p := range pts {
+		fpga := "-"
+		fits := "no"
+		if p.FPGALocalM9K {
+			fpga = report.Sci(p.FPGAOptSec)
+			fits = "yes"
+		}
+		tbl.AddRow(fmt.Sprintf("%d", p.Steps),
+			fmt.Sprintf("%.2e", p.EuropeanErr),
+			fmt.Sprintf("%.2e", p.AmericanErr),
+			fmt.Sprintf("%.2e", p.LRErr),
+			fmt.Sprintf("%.5f", p.HostSeconds),
+			fpga, fits)
+	}
+	text := fmt.Sprintf("Discretisation study on %s\n(european reference: Black-Scholes %.6f; american reference: N=8192 Richardson %.6f)\n%s",
+		o.String(), bsRef, amRef, tbl.String())
+	return ConvergenceResult{Points: pts, Text: text}, nil
+}

@@ -1,0 +1,60 @@
+package binopt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConvergenceStudy(t *testing.T) {
+	res, err := Convergence([]int{64, 256, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("got %d points", len(res.Points))
+	}
+	// Errors must shrink with depth (CRR is O(1/N) up to kink wobble;
+	// compare the extremes, which are far enough apart to be monotone).
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.EuropeanErr >= first.EuropeanErr {
+		t.Errorf("european error did not shrink: %g -> %g", first.EuropeanErr, last.EuropeanErr)
+	}
+	if last.AmericanErr >= first.AmericanErr {
+		t.Errorf("american error did not shrink: %g -> %g", first.AmericanErr, last.AmericanErr)
+	}
+	for _, p := range res.Points {
+		// The Leisen-Reimer tree beats CRR at every depth.
+		if p.LRErr >= p.AmericanErr {
+			t.Errorf("N=%d: LR error %g not below CRR %g", p.Steps, p.LRErr, p.AmericanErr)
+		}
+		if p.HostSeconds <= 0 {
+			t.Errorf("N=%d: no host timing", p.Steps)
+		}
+		if !p.FPGALocalM9K || p.FPGAOptSec <= 0 {
+			t.Errorf("N=%d: expected the DE4 to fit at the paper's knobs", p.Steps)
+		}
+	}
+	// Throughput falls with depth (more nodes per option).
+	if last.FPGAOptSec >= first.FPGAOptSec {
+		t.Errorf("FPGA throughput should fall with N: %g -> %g", first.FPGAOptSec, last.FPGAOptSec)
+	}
+	if !strings.Contains(res.Text, "Discretisation study") {
+		t.Errorf("text:\n%s", res.Text)
+	}
+}
+
+func TestConvergenceValidation(t *testing.T) {
+	if _, err := Convergence([]int{1}); err == nil {
+		t.Error("steps < 2 should fail")
+	}
+}
+
+func TestConvergenceDefaultList(t *testing.T) {
+	res, err := Convergence(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("default list should have 6 depths, got %d", len(res.Points))
+	}
+}

@@ -1,0 +1,105 @@
+package binopt
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSolversAgreeAcrossContractMatrix cross-validates every solver on a
+// grid of contracts: all rights, styles and moneyness bands. The lattice
+// at N=2048 is the arbiter; deterministic solvers must agree within a
+// cent or two, BAW within ~1.5%, Monte Carlo within statistical bounds.
+func TestSolversAgreeAcrossContractMatrix(t *testing.T) {
+	base := demoOption()
+	var contracts []Option
+	for _, right := range []Right{Call, Put} {
+		for _, style := range []Style{European, American} {
+			for _, strike := range []float64{85, 100, 115} {
+				o := base
+				o.Right = right
+				o.Style = style
+				o.Strike = strike
+				contracts = append(contracts, o)
+			}
+		}
+	}
+
+	for _, o := range contracts {
+		o := o
+		ref, err := Price(o, 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scale := math.Max(ref, 1)
+
+		if v, err := PriceFDM(o, FDMConfig{}); err != nil {
+			t.Errorf("%s: fdm: %v", o, err)
+		} else if math.Abs(v-ref) > 0.02*scale {
+			t.Errorf("%s: fdm %v vs lattice %v", o, v, ref)
+		}
+
+		if v, err := PriceQUAD(o, QUADConfig{}); err != nil {
+			t.Errorf("%s: quad: %v", o, err)
+		} else if math.Abs(v-ref) > 0.03*scale {
+			t.Errorf("%s: quad %v vs lattice %v", o, v, ref)
+		}
+
+		if v, err := PriceTrinomial(o, 1024); err != nil {
+			t.Errorf("%s: trinomial: %v", o, err)
+		} else if math.Abs(v-ref) > 0.01*scale {
+			t.Errorf("%s: trinomial %v vs lattice %v", o, v, ref)
+		}
+
+		if v, err := PriceBAW(o); err != nil {
+			t.Errorf("%s: baw: %v", o, err)
+		} else if math.Abs(v-ref) > 0.02*scale {
+			t.Errorf("%s: baw %v vs lattice %v", o, v, ref)
+		}
+
+		if res, err := PriceMC(o, MCConfig{Paths: 30000, Seed: 77, Antithetic: true}); err != nil {
+			t.Errorf("%s: mc: %v", o, err)
+		} else if math.Abs(res.Price-ref) > 5*res.StdErr+0.05*scale {
+			t.Errorf("%s: mc %v ± %v vs lattice %v", o, res.Price, res.StdErr, ref)
+		}
+	}
+}
+
+// TestSensitivitiesAgreeAcrossSolvers: the generic finite-difference
+// Greeks over the FDM solver must match the lattice's native Greeks.
+func TestSensitivitiesAgreeAcrossSolvers(t *testing.T) {
+	o := demoOption()
+	_, native, err := PriceWithGreeks(o, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fdmGreeks, err := Sensitivities(func(oo Option) (float64, error) {
+		return PriceFDM(oo, FDMConfig{SpaceNodes: 300, TimeSteps: 300})
+	}, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+		tol       float64
+	}{
+		{"delta", fdmGreeks.Delta, native.Delta, 0.02},
+		{"gamma", fdmGreeks.Gamma, native.Gamma, 0.01},
+		{"vega", fdmGreeks.Vega, native.Vega, 0.6},
+		{"rho", fdmGreeks.Rho, native.Rho, 0.6},
+		{"theta", fdmGreeks.Theta, native.Theta, 0.2},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s: fdm %v vs lattice %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestSensitivitiesValidate(t *testing.T) {
+	bad := demoOption()
+	bad.Sigma = -1
+	if _, err := Sensitivities(func(o Option) (float64, error) { return Price(o, 64) }, bad); err == nil {
+		t.Error("invalid option should fail")
+	}
+}

@@ -1,0 +1,76 @@
+package binopt_test
+
+import (
+	"fmt"
+
+	"binopt"
+)
+
+// ExamplePrice prices the paper's canonical contract shape: an American
+// put on a 1024-step tree.
+func ExamplePrice() {
+	contract := binopt.Option{
+		Right: binopt.Put, Style: binopt.American,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.20, T: 0.5,
+	}
+	price, err := binopt.Price(contract, 1024)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.4f\n", price)
+	// Output: 7.8525
+}
+
+// ExampleImpliedVol inverts a quote back to its volatility.
+func ExampleImpliedVol() {
+	contract := binopt.Option{
+		Right: binopt.Put, Style: binopt.American,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.20, T: 0.5,
+	}
+	quote, err := binopt.Price(contract, 256)
+	if err != nil {
+		panic(err)
+	}
+	iv, err := binopt.ImpliedVol(quote, contract, 256)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.4f\n", iv)
+	// Output: 0.2000
+}
+
+// ExamplePriceWithDividends values a call across a discrete dividend.
+func ExamplePriceWithDividends() {
+	contract := binopt.Option{
+		Right: binopt.Call, Style: binopt.American,
+		Spot: 100, Strike: 95, Rate: 0.03, Sigma: 0.20, T: 0.5,
+	}
+	with, err := binopt.PriceWithDividends(contract, []binopt.Dividend{{T: 0.25, Amount: 3}}, 512)
+	if err != nil {
+		panic(err)
+	}
+	without, err := binopt.Price(contract, 512)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dividend lowers the call: %v\n", with < without)
+	// Output: dividend lowers the call: true
+}
+
+// ExamplePriceBAW shows the closed-form-speed American approximation.
+func ExamplePriceBAW() {
+	contract := binopt.Option{
+		Right: binopt.Put, Style: binopt.American,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.20, T: 0.5,
+	}
+	baw, err := binopt.PriceBAW(contract)
+	if err != nil {
+		panic(err)
+	}
+	lattice, err := binopt.Price(contract, 2048)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("agree to a dime: %v\n", baw-lattice < 0.1 && lattice-baw < 0.1)
+	// Output: agree to a dime: true
+}

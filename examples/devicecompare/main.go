@@ -1,0 +1,68 @@
+// Devicecompare: regenerate the paper's evaluation — Table I (resource
+// usage on the Stratix IV), Table II (throughput, accuracy and energy on
+// FPGA, GPU and CPU), and the saturation study — and print the headline
+// conclusions the paper draws from them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"binopt"
+)
+
+func main() {
+	t1, err := binopt.Table1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("TABLE I — RESOURCE USAGE")
+	fmt.Println(t1.Text)
+
+	t2, err := binopt.Table2(binopt.Table2Config{
+		Steps:       1024,
+		RMSEOptions: 24,
+		RMSESteps:   512, // keep the host-side accuracy batch quick
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("TABLE II — PERFORMANCES")
+	fmt.Println(t2.Text)
+
+	// The paper's headline comparisons, recomputed from the rows.
+	var fpgaB, gpuB, ref *rowView
+	for i := range t2.Rows {
+		r := &t2.Rows[i]
+		switch {
+		case r.Kernel == "IV.B" && r.Precision == "double" && r.Platform == "EP4SGX530":
+			fpgaB = &rowView{r.Estimate.OptionsPerSec, r.Estimate.OptionsPerJoule}
+		case r.Kernel == "IV.B" && r.Precision == "double" && r.Platform != "EP4SGX530":
+			gpuB = &rowView{r.Estimate.OptionsPerSec, r.Estimate.OptionsPerJoule}
+		case r.Kernel == "reference" && r.Precision == "double":
+			ref = &rowView{r.Estimate.OptionsPerSec, r.Estimate.OptionsPerJoule}
+		}
+	}
+	if fpgaB == nil || gpuB == nil || ref == nil {
+		log.Fatal("missing headline rows")
+	}
+	fmt.Printf("headlines:\n")
+	fmt.Printf("  FPGA IV.B prices %.0f options/s — above the 2000/s use-case target\n", fpgaB.optSec)
+	fmt.Printf("  FPGA is %.1fx more energy-efficient than the GPU (%.0f vs %.0f options/J)\n",
+		fpgaB.optJ/gpuB.optJ, fpgaB.optJ, gpuB.optJ)
+	fmt.Printf("  FPGA is %.0fx more energy-efficient than the software reference\n", fpgaB.optJ/ref.optJ)
+	fmt.Printf("  GPU is %.1fx faster in raw throughput (within the paper's 'factor 5')\n", gpuB.optSec/fpgaB.optSec)
+
+	sat, err := binopt.Saturation([]int64{1000, 10_000, 100_000, 1_000_000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSATURATION (throughput vs workload)")
+	for _, s := range sat {
+		fmt.Println(s.Text)
+	}
+}
+
+type rowView struct {
+	optSec, optJ float64
+}

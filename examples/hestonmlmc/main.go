@@ -1,0 +1,25 @@
+// Hestonmlmc: rebuild the design-space result of the paper's reference
+// [4] — de Schryver et al.'s energy-efficiency benchmark application —
+// from this repository's substrates: a down-and-out barrier call under
+// the Heston stochastic-volatility model, priced by plain Monte Carlo
+// and by the Multi-Level Monte Carlo estimator that [4] selected as the
+// best accuracy/energy compromise.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"binopt"
+)
+
+func main() {
+	res, err := binopt.MLMCStudy(120000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Text)
+	fmt.Printf("takeaway: at matched statistical error, MLMC does %.1fx less work than\n", res.Speedup)
+	fmt.Println("single-level Monte Carlo — on an accelerator this translates directly into")
+	fmt.Println("joules per option, the criterion [4] adds to raw throughput comparisons.")
+}

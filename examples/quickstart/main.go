@@ -1,0 +1,49 @@
+// Quickstart: price an American put on a binomial tree, inspect its
+// Greeks, and recover the implied volatility from the quote — the
+// essential loop every downstream user of the library runs first.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"binopt"
+)
+
+func main() {
+	contract := binopt.Option{
+		Right:  binopt.Put,
+		Style:  binopt.American,
+		Spot:   100,  // underlying trades at $100
+		Strike: 105,  // right to sell at $105
+		Rate:   0.03, // 3% risk-free rate
+		Sigma:  0.20, // 20% volatility
+		T:      0.5,  // six months to expiry
+	}
+	const steps = 1024 // the paper's discretisation
+
+	price, greeks, err := binopt.PriceWithGreeks(contract, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("contract: %s\n", contract)
+	fmt.Printf("binomial price (N=%d): %.6f\n", steps, price)
+	fmt.Printf("delta %+.4f  gamma %+.4f  theta %+.4f  vega %+.4f  rho %+.4f\n",
+		greeks.Delta, greeks.Gamma, greeks.Theta, greeks.Vega, greeks.Rho)
+
+	// Treat the computed price as a market quote and invert it.
+	iv, err := binopt.ImpliedVol(price, contract, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("implied volatility recovered from the quote: %.4f (true 0.2000)\n", iv)
+
+	// European comparison: the early-exercise premium of the put.
+	euro := contract
+	euro.Style = binopt.European
+	euroPrice, err := binopt.Price(euro, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("european price %.6f -> early-exercise premium %.6f\n", euroPrice, price-euroPrice)
+}

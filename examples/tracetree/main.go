@@ -1,0 +1,34 @@
+// Tracetree: render the paper's explanatory figures as ASCII — the
+// binomial tree (Figure 1), the OpenCL platform model (Figure 2), and
+// the dataflow of both kernel architectures (Figures 3 and 4). Useful
+// for understanding how the two kernels schedule the same recurrence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"binopt"
+)
+
+func main() {
+	f1, err := binopt.Figure1(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f1)
+
+	fmt.Println(binopt.Figure2())
+
+	f3, err := binopt.Figure3(2, 3, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f3)
+
+	f4, err := binopt.Figure4(4, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f4)
+}

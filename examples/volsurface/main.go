@@ -1,0 +1,67 @@
+// Volsurface: the multi-maturity extension of the paper's use case.
+// Synthesize a quote tape across three expiries, save and reload it as
+// CSV (the interchange point for real market data), build the implied-
+// volatility surface, and query it at arbitrary (strike, expiry) points.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"binopt"
+	"binopt/internal/workload"
+)
+
+func main() {
+	const steps = 128
+
+	// A tape of quotes at three maturities from the same smile.
+	var quotes []binopt.Quote
+	for i, mat := range []float64{0.25, 0.5, 1.0} {
+		spec := workload.DefaultVolCurveSpec(int64(7 + i))
+		spec.N = 50
+		spec.T = mat
+		spec.MinMny = 0.85
+		spec.MaxMny = 1.15
+		opts, err := workload.Chain(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qs, err := workload.ReferenceQuotes(opts, steps, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		quotes = append(quotes, qs...)
+	}
+
+	// Round-trip through CSV, the format a desk would feed in.
+	var tape bytes.Buffer
+	if err := binopt.SaveQuotes(&tape, quotes); err != nil {
+		log.Fatal(err)
+	}
+	tapeBytes := tape.Len() // LoadQuotes drains the buffer
+	loaded, err := binopt.LoadQuotes(&tape)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("quote tape: %d quotes, %d bytes of CSV\n", len(loaded), tapeBytes)
+
+	surf, skipped, err := binopt.BuildVolSurface(loaded, steps, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("surface built from %d maturities (%d pinned quotes skipped)\n\n",
+		len(surf.Maturities()), skipped)
+
+	fmt.Println("implied vol at (strike, expiry):")
+	for _, k := range []float64{90, 100, 110} {
+		for _, t := range []float64{0.3, 0.5, 0.8} {
+			v, err := surf.Vol(k, t)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  K=%-4.0f T=%.2fy -> %.4f\n", k, t, v)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package binopt
+
+import (
+	"binopt/internal/device"
+	"binopt/internal/opencl"
+	"binopt/internal/trace"
+)
+
+// demoOption is the contract the figure renderers draw by default.
+func demoOption() Option {
+	return Option{
+		Right: Put, Style: American,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5,
+	}
+}
+
+// Figure1 renders the paper's Figure 1: a small binomial tree with leaf
+// initialisation and backward iteration (the paper draws two steps).
+func Figure1(steps int) (string, error) {
+	if steps == 0 {
+		steps = 2
+	}
+	return trace.Figure1(demoOption(), steps)
+}
+
+// Figure2 renders the paper's Figure 2: the OpenCL platform model, using
+// the actual device descriptors of the test environment.
+func Figure2() string {
+	p := opencl.NewPlatform("Altera SDK for OpenCL + NVIDIA OpenCL", "multi-vendor", "OpenCL 1.1",
+		device.DE4().OpenCLInfo(),
+		device.GTX660().OpenCLInfo(),
+		device.XeonX5450().OpenCLInfo(),
+	)
+	return trace.Figure2(p)
+}
+
+// Figure3 renders the paper's Figure 3: the straightforward kernel's
+// flattened dataflow with ping-pong buffers (the paper draws N=2 with
+// four options in flight at batch 3).
+func Figure3(steps, batch, options int) (string, error) {
+	if steps == 0 {
+		steps = 2
+	}
+	if options == 0 {
+		options = 4
+	}
+	if batch == 0 {
+		batch = 3
+	}
+	return trace.Figure3(steps, batch, options)
+}
+
+// Figure4 renders the paper's Figure 4: the optimized kernel's
+// local-memory dataflow over one backward step with its two barriers.
+func Figure4(steps, t int) (string, error) {
+	if steps == 0 {
+		steps = 4
+	}
+	return trace.Figure4(steps, t)
+}

@@ -1,0 +1,81 @@
+package binopt
+
+import (
+	"fmt"
+
+	"binopt/internal/device"
+	"binopt/internal/hls"
+	"binopt/internal/kernels"
+	"binopt/internal/perf"
+	"binopt/internal/report"
+)
+
+// FutureWorkResult carries the §VI portability study: kernel IV.B
+// projected onto the OpenCL targets the paper names for future work.
+type FutureWorkResult struct {
+	Estimates []perf.Estimate
+	Text      string
+}
+
+// FutureWork projects the optimized kernel onto the embedded OpenCL
+// targets of the paper's conclusion ("future work will focus on other
+// hardware architectures supporting the OpenCL standard [16], [17]") and
+// compares them with the three evaluated platforms on the throughput and
+// energy axes. The interesting outcome: the embedded parts approach the
+// FPGA's energy efficiency inside the 10 W budget, but miss the 2000
+// options/s target in double precision.
+func FutureWork(steps int) (FutureWorkResult, error) {
+	if steps <= 0 {
+		steps = 1024
+	}
+	board := device.DE4()
+	fitB, err := hls.Fit(board, kernels.ProfileIVB(steps), kernels.PaperKnobsIVB())
+	if err != nil {
+		return FutureWorkResult{}, err
+	}
+
+	var ests []perf.Estimate
+	fpga, err := perf.FPGAIVB(board, fitB, steps, false, false)
+	if err != nil {
+		return FutureWorkResult{}, err
+	}
+	ests = append(ests, fpga)
+	gpu, err := perf.GPUIVB(device.GTX660(), steps, false)
+	if err != nil {
+		return FutureWorkResult{}, err
+	}
+	ests = append(ests, gpu)
+	cpu, err := perf.CPUReference(device.XeonX5450(), steps, false)
+	if err != nil {
+		return FutureWorkResult{}, err
+	}
+	ests = append(ests, cpu)
+	for _, spec := range []device.EmbeddedSpec{device.TIKeystone(), device.ARMMali()} {
+		for _, single := range []bool{false, true} {
+			e, err := perf.EmbeddedIVB(spec, steps, single)
+			if err != nil {
+				return FutureWorkResult{}, err
+			}
+			ests = append(ests, e)
+		}
+	}
+
+	tbl := report.NewTable("platform", "precision", "options/s", "watts", "options/J", "meets 2000/s", "meets 10 W")
+	for _, e := range ests {
+		tbl.AddRow(e.Platform, e.Precision,
+			report.Sci(e.OptionsPerSec),
+			fmt.Sprintf("%.1f", e.PowerWatts),
+			report.Sci(e.OptionsPerJoule),
+			yesNo(e.OptionsPerSec >= 2000),
+			yesNo(e.PowerWatts <= 10))
+	}
+	text := fmt.Sprintf("Future-work portability study (§VI), kernel IV.B at N=%d\n%s", steps, tbl.String())
+	return FutureWorkResult{Estimates: ests, Text: text}, nil
+}
+
+func yesNo(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}

@@ -1,0 +1,65 @@
+package binopt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFutureWork(t *testing.T) {
+	res, err := FutureWork(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != 7 {
+		t.Fatalf("got %d estimates", len(res.Estimates))
+	}
+	byPlatform := map[string]bool{}
+	for _, e := range res.Estimates {
+		byPlatform[e.Platform] = true
+		if e.OptionsPerSec <= 0 || e.OptionsPerJoule <= 0 {
+			t.Errorf("%s: degenerate estimate %+v", e.Platform, e)
+		}
+	}
+	for _, want := range []string{"TI KeyStone C6678", "ARM Mali-T604", "EP4SGX530"} {
+		if !byPlatform[want] {
+			t.Errorf("missing platform %q", want)
+		}
+	}
+	// The structural findings: embedded parts fit the 10 W budget but
+	// miss 2000 options/s in double precision, and every embedded
+	// double-precision build is more energy-efficient than the Xeon.
+	var xeonJ float64
+	for _, e := range res.Estimates {
+		if strings.Contains(e.Platform, "Xeon") {
+			xeonJ = e.OptionsPerJoule
+		}
+	}
+	for _, e := range res.Estimates {
+		embedded := strings.Contains(e.Platform, "KeyStone") || strings.Contains(e.Platform, "Mali")
+		if !embedded {
+			continue
+		}
+		if e.PowerWatts > 10 {
+			t.Errorf("%s exceeds the 10 W budget", e.Platform)
+		}
+		if e.Precision == "double" && e.OptionsPerSec >= 2000 {
+			t.Errorf("%s double at %.0f options/s: model expected a miss", e.Platform, e.OptionsPerSec)
+		}
+		if e.OptionsPerJoule <= xeonJ {
+			t.Errorf("%s (%s) less efficient than the Xeon", e.Platform, e.Precision)
+		}
+	}
+	if !strings.Contains(res.Text, "Future-work") || !strings.Contains(res.Text, "meets 10 W") {
+		t.Errorf("text:\n%s", res.Text)
+	}
+}
+
+func TestFutureWorkDefaultSteps(t *testing.T) {
+	res, err := FutureWork(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "N=1024") {
+		t.Error("default steps should be 1024")
+	}
+}

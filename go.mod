@@ -1,0 +1,3 @@
+module binopt
+
+go 1.22

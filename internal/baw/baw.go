@@ -1,0 +1,139 @@
+// Package baw implements the Barone-Adesi–Whaley (1987) quadratic
+// approximation for American options: a closed-form-speed estimate of the
+// early-exercise premium, the standard "fast but approximate" point in
+// the solver landscape the binomial accelerator competes against. A
+// full lattice run costs ~500k node updates at N=1024; BAW costs a dozen
+// Newton iterations — at roughly 1e-2 relative accuracy.
+package baw
+
+import (
+	"fmt"
+	"math"
+
+	"binopt/internal/bs"
+	"binopt/internal/mathx"
+	"binopt/internal/option"
+)
+
+// maxIter bounds the critical-price Newton iteration.
+const maxIter = 200
+
+// Price returns the BAW approximation of an American option value.
+// European contracts are delegated to the exact closed form.
+func Price(o option.Option) (float64, error) {
+	if err := o.Validate(); err != nil {
+		return 0, err
+	}
+	if o.Style == option.European {
+		return bs.Price(o)
+	}
+	euro := o
+	euro.Style = option.European
+	euroPrice, err := bs.Price(euro)
+	if err != nil {
+		return 0, err
+	}
+	// Without dividends an American call is the European call.
+	if o.Right == option.Call && o.Div == 0 {
+		return euroPrice, nil
+	}
+
+	sigma2 := o.Sigma * o.Sigma
+	m := 2 * o.Rate / sigma2
+	n := 2 * (o.Rate - o.Div) / sigma2
+	k := 1 - math.Exp(-o.Rate*o.T)
+	if k == 0 {
+		// Zero rates: no time value of waiting for the strike leg; the
+		// quadratic approximation degenerates. The American put equals
+		// the European one when r = 0 (no early-exercise incentive), the
+		// call likewise when additionally q = 0 (handled above).
+		return euroPrice, nil
+	}
+
+	if o.Right == option.Call {
+		q2 := (-(n - 1) + math.Sqrt((n-1)*(n-1)+4*m/k)) / 2
+		sStar, err := criticalPrice(o, q2, true)
+		if err != nil {
+			return 0, err
+		}
+		if o.Spot >= sStar {
+			return o.Spot - o.Strike, nil
+		}
+		a2 := (sStar / q2) * (1 - math.Exp(-o.Div*o.T)*mathx.NormCDF(d1(o, sStar)))
+		return euroPrice + a2*math.Pow(o.Spot/sStar, q2), nil
+	}
+
+	q1 := (-(n - 1) - math.Sqrt((n-1)*(n-1)+4*m/k)) / 2
+	sStar, err := criticalPrice(o, q1, false)
+	if err != nil {
+		return 0, err
+	}
+	if o.Spot <= sStar {
+		return o.Strike - o.Spot, nil
+	}
+	a1 := -(sStar / q1) * (1 - math.Exp(-o.Div*o.T)*mathx.NormCDF(-d1(o, sStar)))
+	return euroPrice + a1*math.Pow(o.Spot/sStar, q1), nil
+}
+
+// d1 is the Black-Scholes d1 evaluated at spot s.
+func d1(o option.Option, s float64) float64 {
+	return (math.Log(s/o.Strike) + (o.Rate-o.Div+0.5*o.Sigma*o.Sigma)*o.T) /
+		(o.Sigma * math.Sqrt(o.T))
+}
+
+// criticalPrice solves the BAW smooth-pasting condition for the
+// early-exercise boundary by damped Newton iteration.
+func criticalPrice(o option.Option, q float64, call bool) (float64, error) {
+	// Seed at the perpetual boundary blended toward the strike.
+	s := o.Strike
+	if call {
+		s = o.Strike * 1.2
+	} else {
+		s = o.Strike * 0.8
+	}
+	dfDiv := math.Exp(-o.Div * o.T)
+	volSqrtT := o.Sigma * math.Sqrt(o.T)
+
+	for i := 0; i < maxIter; i++ {
+		eo := o
+		eo.Style = option.European
+		eo.Spot = s
+		euro, err := bs.Price(eo)
+		if err != nil {
+			return 0, err
+		}
+		nd1 := mathx.NormCDF(d1(o, s))
+		var f, fp float64
+		if call {
+			// f(S) = euro + (1 - dfDiv*N(d1)) S/q - (S - K) = 0
+			f = euro + (1-dfDiv*nd1)*s/q - (s - o.Strike)
+			// f'(S) ~ delta + (1 - dfDiv*N(d1))/q - 1 (the N' term is
+			// second order; damped Newton tolerates the approximation)
+			fp = dfDiv*nd1 + (1-dfDiv*nd1)/q - 1 - dfDiv*mathx.NormPDF(d1(o, s))/(q*volSqrtT)
+		} else {
+			nmd1 := mathx.NormCDF(-d1(o, s))
+			f = euro - (1-dfDiv*nmd1)*s/q - (o.Strike - s)
+			fp = -dfDiv*nmd1 - (1-dfDiv*nmd1)/q + 1 - dfDiv*mathx.NormPDF(d1(o, s))/(q*volSqrtT)
+		}
+		if math.Abs(f) < 1e-10*o.Strike {
+			return s, nil
+		}
+		if fp == 0 || math.IsNaN(fp) {
+			break
+		}
+		step := f / fp
+		// Damping keeps the iterate positive and inside a sane band.
+		next := s - step
+		if next <= 0.05*o.Strike {
+			next = 0.5 * (s + 0.05*o.Strike)
+		}
+		if next >= 20*o.Strike {
+			next = 0.5 * (s + 20*o.Strike)
+		}
+		if math.Abs(next-s) < 1e-12*o.Strike {
+			return next, nil
+		}
+		s = next
+	}
+	return 0, fmt.Errorf("baw: critical price iteration did not converge for %s", o.String())
+}

@@ -1,0 +1,152 @@
+package baw
+
+import (
+	"math"
+	"testing"
+
+	"binopt/internal/bs"
+	"binopt/internal/lattice"
+	"binopt/internal/option"
+)
+
+func amPut() option.Option {
+	return option.Option{
+		Right: option.Put, Style: option.American,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5,
+	}
+}
+
+func latticeRef(t *testing.T, o option.Option) float64 {
+	t.Helper()
+	e, err := lattice.NewEngine(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestPutApproximationAccuracy(t *testing.T) {
+	// BAW is a ~1% approximation across ordinary parameter ranges.
+	for _, k := range []float64{85, 95, 105, 115} {
+		o := amPut()
+		o.Strike = k
+		got, err := Price(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := latticeRef(t, o)
+		if rel := math.Abs(got-ref) / math.Max(ref, 0.5); rel > 0.02 {
+			t.Errorf("K=%v: BAW %v vs lattice %v (rel %g)", k, got, ref, rel)
+		}
+	}
+}
+
+func TestCallWithDividends(t *testing.T) {
+	o := amPut()
+	o.Right = option.Call
+	o.Strike = 95
+	o.Div = 0.06
+	got, err := Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := latticeRef(t, o)
+	if rel := math.Abs(got-ref) / ref; rel > 0.02 {
+		t.Errorf("BAW call %v vs lattice %v (rel %g)", got, ref, rel)
+	}
+}
+
+func TestCallNoDividendsIsEuropean(t *testing.T) {
+	o := amPut()
+	o.Right = option.Call
+	got, err := Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	euro := o
+	euro.Style = option.European
+	want, err := bs.Price(euro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("no-dividend american call %v != european %v", got, want)
+	}
+}
+
+func TestEuropeanDelegates(t *testing.T) {
+	o := amPut()
+	o.Style = option.European
+	got, err := Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bs.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("european delegation broken: %v vs %v", got, want)
+	}
+}
+
+func TestDeepITMPutIsIntrinsic(t *testing.T) {
+	o := amPut()
+	o.Spot = 40
+	o.Strike = 100
+	o.Rate = 0.08
+	got, err := Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 60 {
+		t.Errorf("deep ITM put = %v, want intrinsic 60", got)
+	}
+}
+
+func TestAmericanAboveEuropean(t *testing.T) {
+	o := amPut()
+	am, err := Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	euro := o
+	euro.Style = option.European
+	eu, err := bs.Price(euro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am < eu {
+		t.Errorf("BAW american %v below european %v", am, eu)
+	}
+}
+
+func TestZeroRatePutEqualsEuropean(t *testing.T) {
+	o := amPut()
+	o.Rate = 0
+	got, err := Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	euro := o
+	euro.Style = option.European
+	want, err := bs.Price(euro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("r=0 put: %v vs european %v", got, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := amPut()
+	bad.Sigma = -1
+	if _, err := Price(bad); err == nil {
+		t.Error("invalid option should fail")
+	}
+}

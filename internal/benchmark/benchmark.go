@@ -1,0 +1,98 @@
+// Package benchmark implements the accelerator-comparison methodology of
+// de Schryver et al. ([4] in the paper), which the related-work section
+// adopts: an option pricing accelerator is a (problem, mathematical
+// model, solution) triple, and solutions are compared not only on
+// acceleration but on accuracy and energy per option (J/option).
+// Qualification against a requirement set reproduces the paper's own
+// use-case verdict — which solutions actually satisfy "2000 options/s,
+// high accuracy, about 10 W" simultaneously.
+package benchmark
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Solution is one accelerator implementation measured under the
+// methodology.
+type Solution struct {
+	Name     string
+	Platform string
+	Problem  string // e.g. "American put pricing"
+	Model    string // e.g. "CRR binomial, N=1024"
+
+	OptionsPerSec float64
+	PowerWatts    float64
+	RMSE          float64
+}
+
+// JoulesPerOption is the energy criterion of [4].
+func (s Solution) JoulesPerOption() float64 {
+	if s.OptionsPerSec <= 0 {
+		return math.Inf(1)
+	}
+	return s.PowerWatts / s.OptionsPerSec
+}
+
+// Requirement is a set of constraints a deployment imposes, like the
+// paper's trader workstation scenario.
+type Requirement struct {
+	MinOptionsPerSec float64
+	MaxRMSE          float64
+	MaxWatts         float64
+}
+
+// Verdict records one solution's qualification outcome.
+type Verdict struct {
+	Solution Solution
+	Passed   bool
+	Failures []string
+}
+
+// Qualify checks every solution against the requirement and returns the
+// verdicts in the input order.
+func Qualify(sols []Solution, req Requirement) []Verdict {
+	out := make([]Verdict, 0, len(sols))
+	for _, s := range sols {
+		var fails []string
+		if req.MinOptionsPerSec > 0 && s.OptionsPerSec < req.MinOptionsPerSec {
+			fails = append(fails, fmt.Sprintf("throughput %.0f < %.0f options/s", s.OptionsPerSec, req.MinOptionsPerSec))
+		}
+		if req.MaxRMSE > 0 && s.RMSE > req.MaxRMSE {
+			fails = append(fails, fmt.Sprintf("RMSE %.1e > %.1e", s.RMSE, req.MaxRMSE))
+		}
+		if req.MaxWatts > 0 && s.PowerWatts > req.MaxWatts {
+			fails = append(fails, fmt.Sprintf("power %.1f W > %.1f W", s.PowerWatts, req.MaxWatts))
+		}
+		out = append(out, Verdict{Solution: s, Passed: len(fails) == 0, Failures: fails})
+	}
+	return out
+}
+
+// RankByEnergy sorts solutions by J/option ascending — the discrimination
+// criterion [4] adds over raw acceleration factors.
+func RankByEnergy(sols []Solution) []Solution {
+	out := append([]Solution(nil), sols...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].JoulesPerOption() < out[j].JoulesPerOption()
+	})
+	return out
+}
+
+// FormatVerdicts renders the qualification matrix.
+func FormatVerdicts(vs []Verdict, req Requirement) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requirement: >= %.0f options/s, RMSE <= %.0e, <= %.1f W\n",
+		req.MinOptionsPerSec, req.MaxRMSE, req.MaxWatts)
+	for _, v := range vs {
+		status := "PASS"
+		if !v.Passed {
+			status = "fail: " + strings.Join(v.Failures, "; ")
+		}
+		fmt.Fprintf(&b, "  %-28s %-22s %8.3g mJ/option  %s\n",
+			v.Solution.Name, v.Solution.Platform, 1e3*v.Solution.JoulesPerOption(), status)
+	}
+	return b.String()
+}

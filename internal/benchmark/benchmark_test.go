@@ -1,0 +1,98 @@
+package benchmark
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sample() []Solution {
+	return []Solution{
+		{Name: "IV.B FPGA", Platform: "DE4", OptionsPerSec: 2552, PowerWatts: 17.6, RMSE: 5.6e-4},
+		{Name: "IV.B GPU", Platform: "GTX660", OptionsPerSec: 8889, PowerWatts: 140, RMSE: 0},
+		{Name: "reference", Platform: "Xeon", OptionsPerSec: 222, PowerWatts: 120, RMSE: 0},
+	}
+}
+
+func TestJoulesPerOption(t *testing.T) {
+	s := Solution{OptionsPerSec: 2000, PowerWatts: 20}
+	if got := s.JoulesPerOption(); got != 0.01 {
+		t.Errorf("J/option = %v, want 0.01", got)
+	}
+	dead := Solution{OptionsPerSec: 0, PowerWatts: 10}
+	if !math.IsInf(dead.JoulesPerOption(), 1) {
+		t.Error("zero throughput should give +Inf J/option")
+	}
+}
+
+func TestRankByEnergy(t *testing.T) {
+	ranked := RankByEnergy(sample())
+	if ranked[0].Name != "IV.B FPGA" {
+		t.Errorf("energy winner = %s, want IV.B FPGA", ranked[0].Name)
+	}
+	if ranked[len(ranked)-1].Name != "reference" {
+		t.Errorf("energy loser = %s, want reference", ranked[len(ranked)-1].Name)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].JoulesPerOption() < ranked[i-1].JoulesPerOption() {
+			t.Fatal("ranking not sorted")
+		}
+	}
+}
+
+func TestQualifyPaperUseCase(t *testing.T) {
+	// The paper's constraints: 2000 options/s, high accuracy, ~10 W. No
+	// published solution satisfies all three — the paper's own verdict.
+	req := Requirement{MinOptionsPerSec: 2000, MaxRMSE: 1e-6, MaxWatts: 10}
+	vs := Qualify(sample(), req)
+	for _, v := range vs {
+		if v.Passed {
+			t.Errorf("%s should not qualify under the strict use case", v.Solution.Name)
+		}
+	}
+	// Specific failure reasons.
+	if !strings.Contains(strings.Join(vs[0].Failures, ";"), "RMSE") {
+		t.Errorf("FPGA should fail on RMSE: %v", vs[0].Failures)
+	}
+	if !strings.Contains(strings.Join(vs[1].Failures, ";"), "power") {
+		t.Errorf("GPU should fail on power: %v", vs[1].Failures)
+	}
+	if !strings.Contains(strings.Join(vs[2].Failures, ";"), "throughput") {
+		t.Errorf("reference should fail on throughput: %v", vs[2].Failures)
+	}
+}
+
+func TestQualifyRelaxedBudget(t *testing.T) {
+	// With the fixed Power operator and a 20 W budget, the FPGA solution
+	// qualifies — the outcome the paper projects for the 13.0 SP1
+	// compiler.
+	sols := sample()
+	sols[0].RMSE = 0
+	req := Requirement{MinOptionsPerSec: 2000, MaxRMSE: 1e-6, MaxWatts: 20}
+	vs := Qualify(sols, req)
+	if !vs[0].Passed {
+		t.Errorf("fixed-pow FPGA should qualify at 20 W: %v", vs[0].Failures)
+	}
+	if vs[1].Passed {
+		t.Error("GPU should still fail on power")
+	}
+}
+
+func TestQualifyZeroRequirementsPassAll(t *testing.T) {
+	vs := Qualify(sample(), Requirement{})
+	for _, v := range vs {
+		if !v.Passed {
+			t.Errorf("%s should pass an empty requirement", v.Solution.Name)
+		}
+	}
+}
+
+func TestFormatVerdicts(t *testing.T) {
+	req := Requirement{MinOptionsPerSec: 2000, MaxRMSE: 1e-6, MaxWatts: 10}
+	s := FormatVerdicts(Qualify(sample(), req), req)
+	for _, want := range []string{"requirement:", "IV.B FPGA", "mJ/option", "fail:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}

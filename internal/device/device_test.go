@@ -1,0 +1,133 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"binopt/internal/opencl"
+)
+
+func TestDE4Inventory(t *testing.T) {
+	b := DE4()
+	// Table I denominators: 415K registers (base-2 K), 20,736K memory
+	// bits, 1,280 M9K blocks, 1K DSP elements.
+	if got := b.Chip.Registers / 1024; got != 415 {
+		t.Errorf("registers = %dK, want 415K", got)
+	}
+	if got := b.Chip.MemoryBits / 1024; got != 20736 {
+		t.Errorf("memory bits = %dK, want 20736K", got)
+	}
+	if b.Chip.M9K != 1280 {
+		t.Errorf("M9K = %d, want 1280", b.Chip.M9K)
+	}
+	if b.Chip.DSP18 != 1024 {
+		t.Errorf("DSP18 = %d, want 1024", b.Chip.DSP18)
+	}
+	if b.DDRBytesPerSec != 12.75e9 {
+		t.Errorf("DDR bandwidth = %v", b.DDRBytesPerSec)
+	}
+	if b.PCIe.Gen != 2 || b.PCIe.Lanes != 4 || b.PCIe.TheoreticalB != 2.0e9 {
+		t.Errorf("PCIe: %+v", b.PCIe)
+	}
+	if b.PCIe.EffectiveB > b.PCIe.TheoreticalB {
+		t.Error("effective PCIe bandwidth above theoretical")
+	}
+}
+
+func TestDE4FmaxCalibration(t *testing.T) {
+	// The congestion model must reproduce the two published design
+	// points: 99% utilisation -> 98.27 MHz, 66% -> 162.62 MHz.
+	c := DE4().Chip
+	fmax := func(util float64) float64 {
+		return c.FmaxPeakMHz * (1 - c.CongestionK*util*util)
+	}
+	if got := fmax(0.99); math.Abs(got-98.27) > 1.5 {
+		t.Errorf("Fmax(99%%) = %.2f MHz, want ~98.27", got)
+	}
+	if got := fmax(0.66); math.Abs(got-162.62) > 1.5 {
+		t.Errorf("Fmax(66%%) = %.2f MHz, want ~162.62", got)
+	}
+}
+
+func TestDE4PowerCalibration(t *testing.T) {
+	// The power model must reproduce the published kernel estimates:
+	// IV.A (411K regs, 586 DSP, 1250 M9K at 98.27 MHz) -> ~15 W,
+	// IV.B (245K regs, 760 DSP, 1118 M9K at 162.62 MHz) -> ~17 W.
+	c := DE4().Chip
+	power := func(regs, dsp, m9k int, fMHz float64) float64 {
+		weight := float64(regs) + 40*float64(dsp) + 200*float64(m9k)
+		return c.StaticWatts + c.DynWattsPerWeightHz*weight*fMHz*1e6
+	}
+	if got := power(411*1024, 586, 1250, 98.27); math.Abs(got-15) > 0.8 {
+		t.Errorf("kernel IV.A power = %.2f W, want ~15", got)
+	}
+	if got := power(245*1024, 760, 1118, 162.62); math.Abs(got-17) > 0.8 {
+		t.Errorf("kernel IV.B power = %.2f W, want ~17", got)
+	}
+}
+
+func TestGTX660Spec(t *testing.T) {
+	g := GTX660()
+	if got := g.ComputeUnits * g.CoresPerCU; got != 960 {
+		t.Errorf("stream processors = %d, want 960 (paper)", got)
+	}
+	if got := g.ComputeUnits * g.CoresPerCU / g.DPRatio; got != 120 {
+		t.Errorf("DP ALUs = %d, want 120 (paper)", got)
+	}
+	if g.TDPWatts != 140 {
+		t.Errorf("TDP = %v, want 140 W", g.TDPWatts)
+	}
+	// Peak DP: 120 ALUs * 980 MHz * 2 = 235 GFLOPS.
+	if got := g.PeakDPFlops(); math.Abs(got-235.2e9) > 1e9 {
+		t.Errorf("peak DP = %g", got)
+	}
+	if g.PeakSPFlops() != 8*g.PeakDPFlops() {
+		t.Error("SP:DP ratio should be 8")
+	}
+}
+
+func TestXeonSpec(t *testing.T) {
+	c := XeonX5450()
+	if c.ClockHz != 3.0e9 || c.Cores != 4 || c.TDPWatts != 120 {
+		t.Errorf("xeon: %+v", c)
+	}
+	// Calibration check: 3 GHz / 25.7 cycles per node over a 1024-step
+	// tree is ~222 options/s, the published double-precision reference.
+	nodes := 1024.0 * 1025.0 / 2.0
+	optPerSec := c.ClockHz / c.CyclesPerNode / nodes
+	if math.Abs(optPerSec-222) > 5 {
+		t.Errorf("modelled reference throughput %.1f options/s, want ~222", optPerSec)
+	}
+	if c.SingleSpeedup >= 1 {
+		t.Error("published single-precision reference is slower than double; ratio must be < 1")
+	}
+}
+
+func TestOpenCLInfoConversions(t *testing.T) {
+	if info := DE4().OpenCLInfo(); info.Type != opencl.Accelerator || info.LocalMemBytes <= 0 {
+		t.Errorf("DE4 info: %+v", info)
+	}
+	if info := GTX660().OpenCLInfo(); info.Type != opencl.GPU || info.ComputeUnits != 5 {
+		t.Errorf("GTX660 info: %+v", info)
+	}
+	if info := XeonX5450().OpenCLInfo(); info.Type != opencl.CPU || info.ComputeUnits != 4 {
+		t.Errorf("Xeon info: %+v", info)
+	}
+}
+
+func TestEmbeddedSpecs(t *testing.T) {
+	ti := TIKeystone()
+	if ti.PeakDPFlops != 8*1.25e9*4 || ti.TDPWatts != 10 {
+		t.Errorf("keystone: %+v", ti)
+	}
+	if ti.PeakSPFlops != 4*ti.PeakDPFlops {
+		t.Error("keystone SP:DP should be 4")
+	}
+	mali := ARMMali()
+	if mali.PeakSPFlops != 68e9 || mali.TDPWatts != 4 {
+		t.Errorf("mali: %+v", mali)
+	}
+	if mali.PeakSPFlops != 4*mali.PeakDPFlops {
+		t.Error("mali SP:DP should be 4")
+	}
+}

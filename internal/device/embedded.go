@@ -1,0 +1,39 @@
+package device
+
+// EmbeddedSpec describes the low-power OpenCL targets the paper's future
+// work points at ([16] TI KeyStone multicore DSPs, [17] ARM Mali OpenCL):
+// peak arithmetic throughput, power, and a sustained-efficiency factor
+// for the barrier-synchronised binomial kernel (set conservatively to the
+// GPU's measured double-precision efficiency, since no published binomial
+// figures exist for these parts).
+type EmbeddedSpec struct {
+	Name        string
+	PeakDPFlops float64
+	PeakSPFlops float64
+	TDPWatts    float64
+	Efficiency  float64
+}
+
+// TIKeystone returns a TI TMS320C6678 KeyStone descriptor: eight C66x
+// cores at 1.25 GHz, 4 DP flops/cycle/core (16 SP), ~10 W typical.
+func TIKeystone() EmbeddedSpec {
+	return EmbeddedSpec{
+		Name:        "TI KeyStone C6678",
+		PeakDPFlops: 8 * 1.25e9 * 4,
+		PeakSPFlops: 8 * 1.25e9 * 16,
+		TDPWatts:    10,
+		Efficiency:  0.119,
+	}
+}
+
+// ARMMali returns an ARM Mali-T604 descriptor: four shader cores, ~68
+// SP GFLOPS, DP at a quarter rate, ~4 W.
+func ARMMali() EmbeddedSpec {
+	return EmbeddedSpec{
+		Name:        "ARM Mali-T604",
+		PeakDPFlops: 17e9,
+		PeakSPFlops: 68e9,
+		TDPWatts:    4,
+		Efficiency:  0.119,
+	}
+}

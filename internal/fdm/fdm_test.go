@@ -1,0 +1,182 @@
+package fdm
+
+import (
+	"math"
+	"testing"
+
+	"binopt/internal/bs"
+	"binopt/internal/lattice"
+	"binopt/internal/option"
+)
+
+func contract(right option.Right, style option.Style) option.Option {
+	return option.Option{
+		Right: right, Style: style,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5,
+	}
+}
+
+func TestEuropeanMatchesBlackScholes(t *testing.T) {
+	for _, right := range []option.Right{option.Call, option.Put} {
+		o := contract(right, option.European)
+		ref, err := bs.Price(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Price(o, Config{SpaceNodes: 400, TimeSteps: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(got - ref); diff > 2e-3 {
+			t.Errorf("%v: FDM %v vs BS %v (diff %g)", right, got, ref, diff)
+		}
+	}
+}
+
+func TestAmericanMatchesLattice(t *testing.T) {
+	o := contract(option.Put, option.American)
+	eng, err := lattice.NewEngine(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := eng.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Price(o, Config{SpaceNodes: 400, TimeSteps: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := math.Abs(got - ref); diff > 5e-3 {
+		t.Errorf("FDM american %v vs lattice %v (diff %g)", got, ref, diff)
+	}
+}
+
+func TestAmericanCallNoDivEqualsEuropean(t *testing.T) {
+	am := contract(option.Call, option.American)
+	eu := contract(option.Call, option.European)
+	va, err := Price(am, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ve, err := Price(eu, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(va-ve) > 2e-3 {
+		t.Errorf("american call %v should equal european %v when q=0", va, ve)
+	}
+}
+
+func TestAmericanDominatesIntrinsicEverywhere(t *testing.T) {
+	o := contract(option.Put, option.American)
+	for _, spot := range []float64{60, 80, 100, 120, 150} {
+		oo := o
+		oo.Spot = spot
+		v, err := Price(oo, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < oo.Intrinsic()-1e-8 {
+			t.Errorf("S=%v: value %v below intrinsic %v", spot, v, oo.Intrinsic())
+		}
+	}
+}
+
+func TestConvergenceUnderRefinement(t *testing.T) {
+	o := contract(option.Put, option.European)
+	ref, err := bs.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Price(o, Config{SpaceNodes: 50, TimeSteps: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Price(o, Config{SpaceNodes: 400, TimeSteps: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fine-ref) > math.Abs(coarse-ref) {
+		t.Errorf("refinement did not reduce error: coarse %g, fine %g",
+			math.Abs(coarse-ref), math.Abs(fine-ref))
+	}
+}
+
+func TestDeepITMAmericanPutPinnedAtIntrinsic(t *testing.T) {
+	o := option.Option{
+		Right: option.Put, Style: option.American,
+		Spot: 40, Strike: 100, Rate: 0.08, Sigma: 0.2, T: 1,
+	}
+	v, err := Price(o, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-60) > 5e-3 {
+		t.Errorf("deep ITM put = %v, want 60", v)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	o := contract(option.Put, option.American)
+	bad := o
+	bad.Sigma = -1
+	if _, err := Price(bad, Config{}); err == nil {
+		t.Error("invalid option should fail")
+	}
+	for _, cfg := range []Config{
+		{SpaceNodes: 2},
+		{TimeSteps: -1},
+		{WidthSigmas: -2},
+		{Omega: 2.5},
+		{Tol: -1},
+		{MaxIter: -3},
+	} {
+		if _, err := Price(o, cfg); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+}
+
+func TestPSORNonConvergenceSurfaces(t *testing.T) {
+	// Failure injection: starving PSOR of iterations must produce a
+	// clean error, not a silent wrong price.
+	o := contract(option.Put, option.American)
+	_, err := Price(o, Config{MaxIter: 1, Tol: 1e-14})
+	if err == nil {
+		t.Error("PSOR with 1 iteration should report non-convergence")
+	}
+}
+
+func TestThomasSolvesKnownSystem(t *testing.T) {
+	// [2 1; 1 2 1; 1 2] x = b with known x.
+	x := []float64{1, 2, 3}
+	b := []float64{2*1 + 1*2, 1*1 + 2*2 + 1*3, 1*2 + 2*3}
+	out := make([]float64, 3)
+	thomas(1, 2, 1, b, out)
+	for i := range x {
+		if math.Abs(out[i]-x[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, out[i], x[i])
+		}
+	}
+}
+
+func TestPSORAgreesWithThomasWhenUnconstrained(t *testing.T) {
+	// With a payoff floor of -inf, PSOR must reproduce the linear solve.
+	rhs := []float64{1, 2, 3, 4}
+	floor := []float64{-1e18, -1e18, -1e18, -1e18}
+	prev := make([]float64, 4)
+	direct := make([]float64, 4)
+	thomas(-0.1, 1.3, -0.1, rhs, direct)
+	iter := make([]float64, 4)
+	cfg := Config{}
+	cfg.defaults()
+	if err := psor(-0.1, 1.3, -0.1, rhs, floor, prev, iter, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if math.Abs(iter[i]-direct[i]) > 1e-6 {
+			t.Errorf("x[%d]: psor %v vs thomas %v", i, iter[i], direct[i])
+		}
+	}
+}

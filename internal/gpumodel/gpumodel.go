@@ -1,0 +1,95 @@
+// Package gpumodel estimates kernel run times on the paper's GPU target
+// (GTX660). Kernel IV.B is modelled as arithmetic-throughput bound at a
+// calibrated sustained efficiency (the barrier-heavy binomial loop runs
+// far below peak); kernel IV.A is bound by the blocking per-batch
+// ping-pong readback over PCIe, exactly the bottleneck §V-C diagnoses.
+package gpumodel
+
+import (
+	"fmt"
+
+	"binopt/internal/device"
+)
+
+// flopsPerNode is the arithmetic work of one backward-induction node
+// update: three multiplies, one add, one subtract, one compare-select.
+const flopsPerNode = 6
+
+// Model estimates GPU kernel performance.
+type Model struct {
+	Spec device.GPUSpec
+}
+
+// New returns a model over the given GPU.
+func New(spec device.GPUSpec) Model { return Model{Spec: spec} }
+
+// nodesPerOption returns the tree-node count the paper's "tree nodes/s"
+// metric uses.
+func nodesPerOption(steps int) float64 {
+	return float64(steps) * float64(steps+1) / 2
+}
+
+// IVBOptionsPerSec returns the post-saturation throughput of the
+// optimized kernel.
+func (m Model) IVBOptionsPerSec(steps int, single bool) (float64, error) {
+	if steps < 1 {
+		return 0, fmt.Errorf("gpumodel: steps must be positive, got %d", steps)
+	}
+	peak := m.Spec.PeakDPFlops() * m.Spec.EffDP
+	if single {
+		peak = m.Spec.PeakSPFlops() * m.Spec.EffSP
+	}
+	return peak / (nodesPerOption(steps) * flopsPerNode), nil
+}
+
+// IVABatchSeconds returns the duration of one batch of the
+// straightforward kernel: the device-side sweep over all tree nodes plus
+// the blocking host readback of the ping-pong state.
+func (m Model) IVABatchSeconds(steps int, single bool, fullReadback bool) (float64, error) {
+	if steps < 1 {
+		return 0, fmt.Errorf("gpumodel: steps must be positive, got %d", steps)
+	}
+	elem := 8.0
+	if single {
+		elem = 4.0
+	}
+	nodes := nodesPerOption(steps)
+
+	// Device sweep: bound by arithmetic (generously parallel) and global
+	// memory traffic (~12 values per node).
+	compute := nodes * flopsPerNode / (m.Spec.PeakDPFlops() * 0.5)
+	if single {
+		compute = nodes * flopsPerNode / (m.Spec.PeakSPFlops() * 0.5)
+	}
+	traffic := nodes * 12 * elem / m.Spec.MemBytesPerSec
+	kernel := compute
+	if traffic > kernel {
+		kernel = traffic
+	}
+
+	// Host interaction: leaf upload, launch, result readback — three
+	// blocking commands, each paying the driver latency. The published
+	// kernel additionally drains both ping-pong buffers' node state.
+	bufLen := float64((steps + 1) * (steps + 2) / 2)
+	write := float64(steps+1) * 2 * elem / m.Spec.PCIe.EffectiveB
+	read := 1 * elem / m.Spec.PCIe.EffectiveB
+	if fullReadback {
+		read = 2 * bufLen * elem / m.Spec.PCIe.EffectiveB
+	}
+	overhead := 3 * m.Spec.PCIe.CommandLatencySec
+	return kernel + write + read + overhead, nil
+}
+
+// IVAOptionsPerSec returns the steady-state throughput of the
+// straightforward kernel: one option completes per batch.
+func (m Model) IVAOptionsPerSec(steps int, single bool, fullReadback bool) (float64, error) {
+	batch, err := m.IVABatchSeconds(steps, single, fullReadback)
+	if err != nil {
+		return 0, err
+	}
+	return 1 / batch, nil
+}
+
+// PowerWatts returns the dissipation attributed to a GPU run (the board
+// TDP, as the paper uses for its options/J comparison).
+func (m Model) PowerWatts() float64 { return m.Spec.TDPWatts }

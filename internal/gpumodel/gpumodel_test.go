@@ -1,0 +1,95 @@
+package gpumodel
+
+import (
+	"math"
+	"testing"
+
+	"binopt/internal/device"
+)
+
+func TestIVBCalibration(t *testing.T) {
+	m := New(device.GTX660())
+	// Paper Table II at N=1024: 8900 options/s double, 47000 single.
+	d, err := m.IVBOptionsPerSec(1024, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-8900)/8900 > 0.03 {
+		t.Errorf("double = %.0f options/s, want ~8900", d)
+	}
+	s, err := m.IVBOptionsPerSec(1024, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-47000)/47000 > 0.03 {
+		t.Errorf("single = %.0f options/s, want ~47000", s)
+	}
+	// Single precision wins by ~5x, not the naive 8x (shared-memory
+	// bound), matching the published ratio.
+	if ratio := s / d; ratio < 4.5 || ratio > 6.5 {
+		t.Errorf("single/double ratio = %.1f, want ~5.3", ratio)
+	}
+}
+
+func TestIVACalibration(t *testing.T) {
+	m := New(device.GTX660())
+	// Paper Table II: 53 options/s for the published kernel on GPU.
+	got, err := m.IVAOptionsPerSec(1024, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-53)/53 > 0.10 {
+		t.Errorf("IV.A GPU = %.1f options/s, want ~53", got)
+	}
+}
+
+func TestIVAReducedReadsSpeedup(t *testing.T) {
+	// §V-C: the modified kernel with reduced reads ran 14x faster on the
+	// same hardware (840 vs 58.4 options/s).
+	m := New(device.GTX660())
+	full, err := m.IVAOptionsPerSec(1024, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := m.IVAOptionsPerSec(1024, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := reduced / full
+	if speedup < 8 || speedup > 40 {
+		t.Errorf("reduced-reads speedup = %.1fx, paper reports ~14x", speedup)
+	}
+}
+
+func TestIVAKernelTimeNotBinding(t *testing.T) {
+	// The batch must be transfer-dominated: with readback suppressed the
+	// batch collapses by an order of magnitude.
+	m := New(device.GTX660())
+	full, err := m.IVABatchSeconds(1024, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := m.IVABatchSeconds(1024, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full < 10*reduced {
+		t.Errorf("batch %.4fs vs reduced %.4fs: readback should dominate", full, reduced)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m := New(device.GTX660())
+	if _, err := m.IVBOptionsPerSec(0, false); err == nil {
+		t.Error("zero steps should fail")
+	}
+	if _, err := m.IVABatchSeconds(-1, false, true); err == nil {
+		t.Error("negative steps should fail")
+	}
+}
+
+func TestPowerIsTDP(t *testing.T) {
+	if New(device.GTX660()).PowerWatts() != 140 {
+		t.Error("GPU power should be the 140 W TDP")
+	}
+}

@@ -1,0 +1,104 @@
+package heston
+
+import (
+	"math"
+	"testing"
+)
+
+func mlmcConfig() MLMCConfig {
+	return MLMCConfig{
+		Levels:      4,
+		BaseSteps:   4,
+		Refine:      4,
+		PathsLevel0: 120000,
+		Seed:        17,
+	}
+}
+
+func TestMLMCMatchesPlainMC(t *testing.T) {
+	p := testParams()
+	const k, barrier, T = 100.0, 80.0, 0.5
+	cfg := mlmcConfig()
+	ml, err := DownAndOutCallMLMC(p, k, barrier, T, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plain MC at the finest level.
+	fineSteps := cfg.BaseSteps * ipow(cfg.Refine, cfg.Levels-1)
+	plain, err := DownAndOutCallMC(p, k, barrier, T, SimConfig{
+		Paths: 120000, Steps: fineSteps, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 4*(ml.StdErr+plain.StdErr) + 0.02
+	if diff := math.Abs(ml.Price - plain.Price); diff > tol {
+		t.Errorf("MLMC %v ± %v vs plain %v ± %v (diff %g > tol %g)",
+			ml.Price, ml.StdErr, plain.Price, plain.StdErr, diff, tol)
+	}
+}
+
+func TestMLMCVarianceDecaysAcrossLevels(t *testing.T) {
+	// The Giles coupling must make the correction variance fall with
+	// level — the property that gives MLMC its complexity advantage.
+	p := testParams()
+	ml, err := DownAndOutCallMLMC(p, 100, 80, 0.5, mlmcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ml.Levels) != 4 {
+		t.Fatalf("got %d levels", len(ml.Levels))
+	}
+	base := ml.Levels[0].Variance
+	last := ml.Levels[len(ml.Levels)-1].Variance
+	if last >= base/4 {
+		t.Errorf("correction variance at top level %g not well below base %g", last, base)
+	}
+	for i := 2; i < len(ml.Levels); i++ {
+		if ml.Levels[i].Variance > ml.Levels[i-1].Variance*1.5 {
+			t.Errorf("level %d variance %g grew from %g", i, ml.Levels[i].Variance, ml.Levels[i-1].Variance)
+		}
+	}
+}
+
+func TestMLMCCheaperThanStandardMC(t *testing.T) {
+	// The headline of [4]'s design-space exploration: MLMC reaches the
+	// same statistical error for less work than single-level MC at the
+	// finest grid.
+	p := testParams()
+	ml, err := DownAndOutCallMLMC(p, 100, 80, 0.5, mlmcConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.CostStandardMC <= ml.TotalCost {
+		t.Errorf("MLMC cost %g not below standard-MC cost %g", ml.TotalCost, ml.CostStandardMC)
+	}
+	speedup := ml.CostStandardMC / ml.TotalCost
+	if speedup < 2 {
+		t.Errorf("MLMC speedup %gx implausibly small", speedup)
+	}
+}
+
+func TestMLMCValidation(t *testing.T) {
+	p := testParams()
+	bad := []MLMCConfig{
+		{Levels: 0, BaseSteps: 4, Refine: 2, PathsLevel0: 100},
+		{Levels: 2, BaseSteps: 0, Refine: 2, PathsLevel0: 100},
+		{Levels: 2, BaseSteps: 4, Refine: 1, PathsLevel0: 100},
+		{Levels: 2, BaseSteps: 4, Refine: 2, PathsLevel0: 4},
+	}
+	for _, cfg := range bad {
+		if _, err := DownAndOutCallMLMC(p, 100, 80, 0.5, cfg); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+	if _, err := DownAndOutCallMLMC(p, 100, 120, 0.5, mlmcConfig()); err == nil {
+		t.Error("barrier above spot should fail")
+	}
+}
+
+func TestIPow(t *testing.T) {
+	if ipow(4, 0) != 1 || ipow(4, 1) != 4 || ipow(2, 10) != 1024 {
+		t.Error("ipow broken")
+	}
+}

@@ -1,0 +1,56 @@
+package heston
+
+import (
+	"math"
+	"testing"
+)
+
+func TestImpliedSmileSkewsWithNegativeRho(t *testing.T) {
+	p := testParams() // rho = -0.7
+	strikes := []float64{80, 90, 100, 110, 120}
+	smile, err := ImpliedSmile(p, strikes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(smile) != 5 {
+		t.Fatalf("got %d points", len(smile))
+	}
+	// Downward skew: low strikes carry more implied volatility.
+	if smile[0].Implied <= smile[4].Implied {
+		t.Errorf("negative rho should skew the smile down: vol(80)=%v vol(120)=%v",
+			smile[0].Implied, smile[4].Implied)
+	}
+	// All implied vols near the variance scale sqrt(theta)=0.2.
+	for _, pt := range smile {
+		if pt.Implied < 0.1 || pt.Implied > 0.35 {
+			t.Errorf("vol(%v) = %v implausible", pt.Strike, pt.Implied)
+		}
+	}
+}
+
+func TestImpliedSmileFlatWhenDeterministic(t *testing.T) {
+	p := testParams()
+	p.Xi = 1e-4
+	p.V0 = p.Theta
+	smile, err := ImpliedSmile(p, []float64{85, 100, 115}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range smile {
+		if math.Abs(pt.Implied-math.Sqrt(p.Theta)) > 2e-3 {
+			t.Errorf("deterministic-variance smile should be flat at 0.2: vol(%v)=%v",
+				pt.Strike, pt.Implied)
+		}
+	}
+}
+
+func TestImpliedSmileValidation(t *testing.T) {
+	if _, err := ImpliedSmile(testParams(), nil, 1); err == nil {
+		t.Error("no strikes should fail")
+	}
+	bad := testParams()
+	bad.Kappa = 0
+	if _, err := ImpliedSmile(bad, []float64{100}, 1); err == nil {
+		t.Error("invalid params should fail")
+	}
+}

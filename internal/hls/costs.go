@@ -1,0 +1,120 @@
+// Package hls models the FPGA tool flow the paper drives through Altera's
+// OpenCL compiler: it takes a kernel's datapath profile and the three
+// parallelisation knobs of §V-B (vectorization, pipeline replication, loop
+// unrolling), and produces the figures the Quartus II Fitter Summary and
+// quartus_pow report in Table I — ALUT/register usage, block-memory bits,
+// M9K/DSP counts, the achievable kernel clock, and the power estimate.
+//
+// The per-operator cost database is a calibrated simulacrum of the
+// Stratix IV floating-point datapath library; the structural model (LSUs
+// per access site widened by vectorization, local-memory banking, barrier
+// live-state buffering) follows how the Altera OpenCL compiler actually
+// builds kernels. The two published design points of Table I anchor the
+// calibration; everything else (the knob sweeps of experiment E3)
+// extrapolates from the same constants.
+package hls
+
+// OpKind enumerates datapath operators with distinct hardware costs.
+type OpKind int
+
+const (
+	// DPMul is a double-precision multiply.
+	DPMul OpKind = iota
+	// DPAddSub is a double-precision add or subtract.
+	DPAddSub
+	// DPMax is a double-precision compare-select.
+	DPMax
+	// DPDiv is a double-precision divide.
+	DPDiv
+	// DPPow is the Power operator core (log2/multiply/exp2 datapath).
+	DPPow
+	// DPExp is the exponential core.
+	DPExp
+	// IntALU is a 32-bit integer add/compare (indexing, addressing).
+	IntALU
+	numOpKinds int = iota
+)
+
+// String names the operator.
+func (k OpKind) String() string {
+	switch k {
+	case DPMul:
+		return "dp-mul"
+	case DPAddSub:
+		return "dp-addsub"
+	case DPMax:
+		return "dp-max"
+	case DPDiv:
+		return "dp-div"
+	case DPPow:
+		return "dp-pow"
+	case DPExp:
+		return "dp-exp"
+	case IntALU:
+		return "int-alu"
+	default:
+		return "op-unknown"
+	}
+}
+
+// OpCost is the area and latency of one operator instance on Stratix IV.
+type OpCost struct {
+	ALUTs      int
+	Registers  int
+	DSP18      int
+	M9K        int
+	LatencyCyc int
+}
+
+// stratixIVOps is the double-precision operator library. ALUT counts for
+// adders are dominated by the alignment/normalisation shifters (no
+// hard-FP blocks on Stratix IV); multipliers burn 18-bit DSP elements.
+var stratixIVOps = [numOpKinds]OpCost{
+	DPMul:    {ALUTs: 1000, Registers: 900, DSP18: 16, LatencyCyc: 11},
+	DPAddSub: {ALUTs: 2500, Registers: 1800, LatencyCyc: 10},
+	DPMax:    {ALUTs: 300, Registers: 250, LatencyCyc: 3},
+	DPDiv:    {ALUTs: 3200, Registers: 6400, DSP18: 14, LatencyCyc: 33},
+	DPPow:    {ALUTs: 4000, Registers: 5000, DSP18: 30, M9K: 15, LatencyCyc: 21},
+	DPExp:    {ALUTs: 4200, Registers: 5200, DSP18: 12, M9K: 8, LatencyCyc: 17},
+	IntALU:   {ALUTs: 64, Registers: 48, LatencyCyc: 1},
+}
+
+// Structural cost constants of the compiler-generated plumbing.
+const (
+	// Board infrastructure: PCIe endpoint, DDR2 controllers, kernel
+	// dispatch — present in every design.
+	infraALUTs = 26000
+	infraRegs  = 30000
+	infraM9K   = 140
+	infraBits  = int64(1200) * 1024
+
+	// Per global load/store unit (one per access site, before widening):
+	// burst coalescing FIFOs and alignment networks.
+	lsuALUTs = 12000
+	lsuRegs  = 12000
+	lsuM9K   = 38
+	lsuDSP   = 10
+
+	// Per-lane control overhead: handshaking, occupancy counters, live
+	// value pipelining between operators.
+	laneCtrlALUTs = 2600
+	laneCtrlRegs  = 3200
+	laneCtrlM9K   = 14
+
+	// Local-memory banking: each concurrent accessor port gets a bank
+	// replica plus an arbitration/mux slice.
+	localPortALUTs = 1200
+	localPortRegs  = 1100
+
+	// Barrier: live-state spill storage per declared barrier site, sized
+	// by the maximum work-group size, plus its controller.
+	barrierCtrlALUTs = 4000
+	barrierCtrlRegs  = 4500
+	barrierWGDepth   = 2048 // compiler default max work-group size
+
+	// M9K geometry.
+	m9kBits = 9 * 1024
+	// Average fill of instantiated block RAM (FIFO depths are rounded up
+	// to M9K geometry, so reported "memory bits" sit below capacity).
+	m9kFill = 0.85
+)

@@ -1,0 +1,187 @@
+package hls
+
+import (
+	"fmt"
+	"math"
+
+	"binopt/internal/device"
+)
+
+// FitReport is the compiler model's analogue of the Quartus II Fitter
+// Summary plus quartus_pow, i.e. one column of the paper's Table I,
+// extended with the throughput figures the performance models need.
+type FitReport struct {
+	Kernel string
+	Knobs  Knobs
+
+	// Breakdown attributes the area to the compiler's structural
+	// categories (datapath, LSUs, local memory, barriers, control,
+	// infrastructure); entries sum to the report totals.
+	Breakdown []CategoryUsage
+
+	ALUTs      int
+	Registers  int
+	MemoryBits int64
+	M9K        int
+	M144K      int
+	DSP18      int
+
+	LogicUtilPct float64 // ALUT-based logic utilisation, percent
+	FmaxMHz      float64
+	PowerWatts   float64
+
+	// NodeLanes is the number of loop-body results produced per clock at
+	// steady state (vectorize * replicate * unroll at II=1).
+	NodeLanes int
+	// PipelineDepthCyc is the latency of one trip through the datapath,
+	// which sets the fill/drain cost the saturation study measures.
+	PipelineDepthCyc int
+}
+
+// CategoryUsage is one structural category's share of the fitted area.
+type CategoryUsage struct {
+	Name      string
+	ALUTs     int
+	Registers int
+	M9K       int
+	DSP18     int
+}
+
+// Fit runs the compiler model: area aggregation, fitter utilisation,
+// Fmax estimation and the power estimate, for the given kernel profile
+// and parallelisation knobs on the given board. It returns an error if
+// the design does not fit the chip.
+func Fit(board device.FPGABoard, p KernelProfile, k Knobs) (FitReport, error) {
+	if err := p.Validate(); err != nil {
+		return FitReport{}, err
+	}
+	if err := k.Validate(); err != nil {
+		return FitReport{}, err
+	}
+	chip := board.Chip
+
+	bodyCopies := k.Lanes()                  // loop body instances
+	setupCopies := k.Vectorize * k.Replicate // prologue is not unrolled
+	widthF := 1 + 0.5*float64(k.Vectorize-1) // LSU widening with SIMD
+
+	r := FitReport{
+		Kernel:    p.Name,
+		Knobs:     k,
+		NodeLanes: bodyCopies,
+	}
+	add := func(name string, aluts, regs, m9k, dsp int) {
+		r.ALUTs += aluts
+		r.Registers += regs
+		r.M9K += m9k
+		r.DSP18 += dsp
+		r.Breakdown = append(r.Breakdown, CategoryUsage{
+			Name: name, ALUTs: aluts, Registers: regs, M9K: m9k, DSP18: dsp,
+		})
+	}
+
+	// Fixed board infrastructure.
+	add("infrastructure", infraALUTs, infraRegs, infraM9K, 0)
+	r.MemoryBits = infraBits
+
+	// Datapath operators.
+	sumOps := func(ops map[OpKind]int, copies int) (aluts, regs, m9k, dsp int) {
+		for kind, n := range ops {
+			c := stratixIVOps[kind]
+			aluts += c.ALUTs * n * copies
+			regs += c.Registers * n * copies
+			dsp += c.DSP18 * n * copies
+			m9k += c.M9K * n * copies
+		}
+		return aluts, regs, m9k, dsp
+	}
+	ba, brg, bm, bd := sumOps(p.BodyOps, bodyCopies)
+	add("datapath (loop body)", ba, brg, bm, bd)
+	sa, srg, sm, sd := sumOps(p.SetupOps, setupCopies)
+	if sa+srg+sm+sd > 0 {
+		add("datapath (setup)", sa, srg, sm, sd)
+	}
+
+	// Load/store units: one per access site per compute unit, widened by
+	// vectorization.
+	sites := p.GlobalLoadSites + p.GlobalStoreSites
+	lsuScale := float64(sites*k.Replicate) * widthF
+	add("load/store units",
+		int(float64(lsuALUTs)*lsuScale),
+		int(float64(lsuRegs)*lsuScale),
+		int(float64(lsuM9K)*lsuScale),
+		int(float64(lsuDSP)*lsuScale))
+
+	// Per-lane control plumbing.
+	add("lane control", laneCtrlALUTs*bodyCopies, laneCtrlRegs*bodyCopies,
+		laneCtrlM9K*bodyCopies, laneCtrlDSP*bodyCopies)
+
+	// Local memory banking: every concurrent accessor (read and write
+	// ports across the SIMD/unroll lanes) gets a bank replica.
+	if p.LocalBytes > 0 {
+		banks := (p.LocalReadPorts + p.LocalWritePorts) * k.Vectorize * k.Unroll * k.Replicate
+		m9kPerBank := int(math.Ceil(float64(p.LocalBytes*8) / float64(m9kBits)))
+		add("local memory", localPortALUTs*banks, localPortRegs*banks, banks*m9kPerBank, 0)
+	}
+
+	// Barriers: live-state spill buffers sized by the maximum work-group
+	// size, one set per barrier site per compute unit.
+	if p.Barriers > 0 {
+		stateBits := int64(barrierWGDepth) * int64(p.PrivateBytes) * 8
+		m9kPerBarrier := int(math.Ceil(float64(stateBits) / float64(m9kBits)))
+		add("barrier state", barrierCtrlALUTs*p.Barriers*k.Replicate,
+			barrierCtrlRegs*p.Barriers*k.Replicate,
+			p.Barriers*k.Replicate*m9kPerBarrier, 0)
+	}
+
+	// Memory bits: instantiated block RAM at its average fill.
+	r.MemoryBits = int64(float64(r.M9K) * float64(m9kBits) * m9kFill)
+
+	// Fitter feasibility.
+	switch {
+	case r.ALUTs > chip.ALUTs:
+		return r, fmt.Errorf("hls: %s %v does not fit: %d ALUTs > %d", p.Name, k, r.ALUTs, chip.ALUTs)
+	case r.Registers > chip.Registers:
+		return r, fmt.Errorf("hls: %s %v does not fit: %d registers > %d", p.Name, k, r.Registers, chip.Registers)
+	case r.M9K > chip.M9K:
+		return r, fmt.Errorf("hls: %s %v does not fit: %d M9K > %d", p.Name, k, r.M9K, chip.M9K)
+	case r.DSP18 > chip.DSP18:
+		return r, fmt.Errorf("hls: %s %v does not fit: %d DSP > %d", p.Name, k, r.DSP18, chip.DSP18)
+	}
+
+	// Logic utilisation drives routability and therefore Fmax.
+	util := float64(r.ALUTs) / float64(chip.ALUTs)
+	r.LogicUtilPct = 100 * util
+	r.FmaxMHz = chip.FmaxPeakMHz * (1 - chip.CongestionK*util*util)
+
+	// quartus_pow analogue.
+	weight := float64(r.Registers) + 40*float64(r.DSP18) + 200*float64(r.M9K)
+	r.PowerWatts = chip.StaticWatts + chip.DynWattsPerWeightHz*weight*r.FmaxMHz*1e6
+
+	// Pipeline depth: one trip through setup + body + memory system.
+	depth := 0
+	for kind, n := range p.BodyOps {
+		depth += stratixIVOps[kind].LatencyCyc * n
+	}
+	for kind, n := range p.SetupOps {
+		depth += stratixIVOps[kind].LatencyCyc * n
+	}
+	depth += sites * lsuLatencyCyc
+	if p.Barriers > 0 {
+		depth += p.Barriers * barrierWGDepth / bodyCopies
+	}
+	r.PipelineDepthCyc = depth
+	return r, nil
+}
+
+const (
+	laneCtrlDSP   = 4
+	lsuLatencyCyc = 60
+)
+
+// String renders the report as one Table I style column.
+func (r FitReport) String() string {
+	return fmt.Sprintf(
+		"%s [%v]: logic %.0f%%, %dK/%dK regs proxy, mem %dK bits, M9K %d, DSP %d, Fmax %.2f MHz, %.1f W, %d lanes",
+		r.Kernel, r.Knobs, r.LogicUtilPct, r.Registers/1024, 415, r.MemoryBits/1024, r.M9K, r.DSP18,
+		r.FmaxMHz, r.PowerWatts, r.NodeLanes)
+}

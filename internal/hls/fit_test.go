@@ -1,0 +1,282 @@
+package hls
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"binopt/internal/device"
+)
+
+// simpleProfile is a small synthetic kernel for structural tests.
+func simpleProfile() KernelProfile {
+	return KernelProfile{
+		Name: "synthetic",
+		BodyOps: map[OpKind]int{
+			DPMul:    2,
+			DPAddSub: 1,
+			DPMax:    1,
+			IntALU:   2,
+		},
+		LoopTrips:        64,
+		GlobalLoadSites:  2,
+		GlobalStoreSites: 1,
+		PrivateBytes:     32,
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	board := device.DE4()
+	good := simpleProfile()
+	if _, err := Fit(board, good, Knobs{Vectorize: 1, Replicate: 1, Unroll: 1}); err != nil {
+		t.Fatalf("baseline fit failed: %v", err)
+	}
+
+	bad := good
+	bad.Name = ""
+	if _, err := Fit(board, bad, Knobs{Vectorize: 1, Replicate: 1, Unroll: 1}); err == nil {
+		t.Error("unnamed profile should fail")
+	}
+	bad = good
+	bad.LoopTrips = 0
+	if _, err := Fit(board, bad, Knobs{Vectorize: 1, Replicate: 1, Unroll: 1}); err == nil {
+		t.Error("zero trips should fail")
+	}
+	bad = good
+	bad.Barriers = 1 // barriers without local memory
+	if _, err := Fit(board, bad, Knobs{Vectorize: 1, Replicate: 1, Unroll: 1}); err == nil {
+		t.Error("barriers without local memory should fail")
+	}
+	bad = good
+	bad.BodyOps = map[OpKind]int{DPMul: -1}
+	if _, err := Fit(board, bad, Knobs{Vectorize: 1, Replicate: 1, Unroll: 1}); err == nil {
+		t.Error("negative op count should fail")
+	}
+}
+
+func TestKnobValidation(t *testing.T) {
+	for _, k := range []Knobs{
+		{Vectorize: 3, Replicate: 1, Unroll: 1},
+		{Vectorize: 0, Replicate: 1, Unroll: 1},
+		{Vectorize: 1, Replicate: 0, Unroll: 1},
+		{Vectorize: 1, Replicate: 1, Unroll: 0},
+	} {
+		if err := k.Validate(); err == nil {
+			t.Errorf("knobs %+v should be invalid", k)
+		}
+	}
+	for _, v := range []int{1, 2, 4, 8, 16} {
+		k := Knobs{Vectorize: v, Replicate: 1, Unroll: 1}
+		if err := k.Validate(); err != nil {
+			t.Errorf("vectorize %d should be valid: %v", v, err)
+		}
+	}
+	k := Knobs{Vectorize: 4, Replicate: 3, Unroll: 2}
+	if k.Lanes() != 24 {
+		t.Errorf("Lanes = %d", k.Lanes())
+	}
+	if s := k.String(); !strings.Contains(s, "vec4") || !strings.Contains(s, "repl3") {
+		t.Errorf("String: %q", s)
+	}
+}
+
+func TestAreaMonotoneInKnobs(t *testing.T) {
+	// More parallelism must never shrink the design (the fitter
+	// monotonicity property driving the paper's "several compilation
+	// iterations" search).
+	board := device.DE4()
+	prof := simpleProfile()
+	base, err := Fit(board, prof, Knobs{Vectorize: 1, Replicate: 1, Unroll: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(rawV, rawR, rawU uint8) bool {
+		k := Knobs{
+			Vectorize: 1 << (rawV % 3),
+			Replicate: 1 + int(rawR%3),
+			Unroll:    1 + int(rawU%3),
+		}
+		rep, err := Fit(board, prof, k)
+		if err != nil {
+			return true // not fitting is acceptable for large knob values
+		}
+		return rep.ALUTs >= base.ALUTs &&
+			rep.Registers >= base.Registers &&
+			rep.DSP18 >= base.DSP18 &&
+			rep.M9K >= base.M9K &&
+			rep.NodeLanes >= base.NodeLanes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFmaxDegradesWithUtilisation(t *testing.T) {
+	board := device.DE4()
+	prof := simpleProfile()
+	small, err := Fit(board, prof, Knobs{Vectorize: 1, Replicate: 1, Unroll: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Fit(board, prof, Knobs{Vectorize: 2, Replicate: 4, Unroll: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.FmaxMHz >= small.FmaxMHz {
+		t.Errorf("Fmax should fall with utilisation: %.1f -> %.1f", small.FmaxMHz, big.FmaxMHz)
+	}
+	if big.PowerWatts <= small.PowerWatts {
+		t.Errorf("power should rise with utilisation: %.1f -> %.1f", small.PowerWatts, big.PowerWatts)
+	}
+}
+
+func TestOverfitRejected(t *testing.T) {
+	board := device.DE4()
+	prof := simpleProfile()
+	// Huge replication must eventually fail the fitter.
+	_, err := Fit(board, prof, Knobs{Vectorize: 16, Replicate: 64, Unroll: 8})
+	if err == nil {
+		t.Fatal("absurd design should not fit")
+	}
+	if !strings.Contains(err.Error(), "does not fit") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestDSPBoundDesign(t *testing.T) {
+	// A multiply-heavy kernel should hit the DSP wall first.
+	prof := KernelProfile{
+		Name:             "mul-heavy",
+		BodyOps:          map[OpKind]int{DPMul: 20},
+		LoopTrips:        1,
+		GlobalLoadSites:  1,
+		GlobalStoreSites: 1,
+	}
+	_, err := Fit(device.DE4(), prof, Knobs{Vectorize: 4, Replicate: 1, Unroll: 1})
+	if err == nil || !strings.Contains(err.Error(), "DSP") {
+		t.Errorf("expected DSP overflow, got %v", err)
+	}
+}
+
+func TestLocalMemoryScalesM9K(t *testing.T) {
+	prof := simpleProfile()
+	prof.LocalBytes = 8 << 10
+	prof.LocalReadPorts = 2
+	prof.LocalWritePorts = 1
+	noLocal := simpleProfile()
+	k := Knobs{Vectorize: 2, Replicate: 1, Unroll: 2}
+	withRep, err := Fit(device.DE4(), prof, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutRep, err := Fit(device.DE4(), noLocal, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withRep.M9K <= withoutRep.M9K {
+		t.Error("local memory should consume M9K blocks")
+	}
+}
+
+func TestPipelineDepthPositive(t *testing.T) {
+	rep, err := Fit(device.DE4(), simpleProfile(), Knobs{Vectorize: 1, Replicate: 1, Unroll: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PipelineDepthCyc <= 0 {
+		t.Errorf("pipeline depth = %d", rep.PipelineDepthCyc)
+	}
+}
+
+func TestFitReportString(t *testing.T) {
+	rep, err := Fit(device.DE4(), simpleProfile(), Knobs{Vectorize: 2, Replicate: 1, Unroll: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if !strings.Contains(s, "synthetic") || !strings.Contains(s, "MHz") {
+		t.Errorf("String: %q", s)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k := OpKind(0); int(k) < numOpKinds; k++ {
+		if s := k.String(); s == "" || s == "op-unknown" {
+			t.Errorf("OpKind(%d).String() = %q", int(k), s)
+		}
+	}
+	if OpKind(99).String() != "op-unknown" {
+		t.Error("unknown op kind should say so")
+	}
+}
+
+func TestBreakdownSumsToTotals(t *testing.T) {
+	rep, err := Fit(device.DE4(), simpleProfile(), Knobs{Vectorize: 2, Replicate: 2, Unroll: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Breakdown) < 3 {
+		t.Fatalf("breakdown too coarse: %d categories", len(rep.Breakdown))
+	}
+	var aluts, regs, m9k, dsp int
+	for _, c := range rep.Breakdown {
+		aluts += c.ALUTs
+		regs += c.Registers
+		m9k += c.M9K
+		dsp += c.DSP18
+	}
+	if aluts != rep.ALUTs || regs != rep.Registers || m9k != rep.M9K || dsp != rep.DSP18 {
+		t.Errorf("breakdown sums (%d,%d,%d,%d) != totals (%d,%d,%d,%d)",
+			aluts, regs, m9k, dsp, rep.ALUTs, rep.Registers, rep.M9K, rep.DSP18)
+	}
+	// The first category is always the board infrastructure.
+	if rep.Breakdown[0].Name != "infrastructure" {
+		t.Errorf("first category = %q", rep.Breakdown[0].Name)
+	}
+}
+
+func TestCapPowerInPackage(t *testing.T) {
+	chip := device.DE4().Chip
+	rep, err := Fit(device.DE4(), simpleProfile(), Knobs{Vectorize: 2, Replicate: 3, Unroll: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := rep.CapPower(chip, rep.PowerWatts-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.PowerWatts > rep.PowerWatts-2+1e-9 || capped.FmaxMHz >= rep.FmaxMHz {
+		t.Errorf("capping ineffective: %+v", capped)
+	}
+	if _, err := rep.CapPower(chip, chip.StaticWatts/2); err == nil {
+		t.Error("sub-static budget should fail")
+	}
+	same, err := rep.CapPower(chip, 1e6)
+	if err != nil || same.FmaxMHz != rep.FmaxMHz {
+		t.Error("generous budget must be a no-op")
+	}
+}
+
+func TestProfileValidateBranches(t *testing.T) {
+	good := simpleProfile()
+	bad := good
+	bad.GlobalLoadSites = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative load sites should fail")
+	}
+	bad = good
+	bad.LocalBytes = -5
+	if err := bad.Validate(); err == nil {
+		t.Error("negative local bytes should fail")
+	}
+	bad = good
+	bad.SetupOps = map[OpKind]int{OpKind(99): 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown setup op should fail")
+	}
+	bad = good
+	bad.BodyOps = map[OpKind]int{OpKind(99): 1}
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown body op should fail")
+	}
+}

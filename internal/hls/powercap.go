@@ -1,0 +1,30 @@
+package hls
+
+import (
+	"fmt"
+
+	"binopt/internal/device"
+)
+
+// CapPower derates the kernel clock until the power estimate meets the
+// given budget, returning the adjusted report. This is the workaround the
+// paper proposes for its 7 W overshoot: "the best kernel implemented
+// shows faster computation times than necessary; either clock frequency
+// or parallelism levels can be lowered to reduce energy consumption"
+// (§V-C). It fails if the budget is below the chip's static power — no
+// clock can fix leakage.
+func (r FitReport) CapPower(chip device.FPGAChip, watts float64) (FitReport, error) {
+	if watts <= chip.StaticWatts {
+		return r, fmt.Errorf("hls: %.1f W budget below the %.1f W static floor of %s",
+			watts, chip.StaticWatts, chip.Name)
+	}
+	if r.PowerWatts <= watts {
+		return r, nil // already inside the budget
+	}
+	weight := float64(r.Registers) + 40*float64(r.DSP18) + 200*float64(r.M9K)
+	fHz := (watts - chip.StaticWatts) / (chip.DynWattsPerWeightHz * weight)
+	capped := r
+	capped.FmaxMHz = fHz / 1e6
+	capped.PowerWatts = watts
+	return capped, nil
+}

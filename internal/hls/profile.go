@@ -1,0 +1,98 @@
+package hls
+
+import "fmt"
+
+// KernelProfile is the datapath description of one OpenCL kernel, the
+// input the compiler model works from. Counts are per work-item; for
+// kernels with an inner loop, BodyOps counts one loop iteration and
+// SetupOps the one-time prologue (leaf initialisation in kernel IV.B).
+type KernelProfile struct {
+	Name string
+
+	// BodyOps are the operators of the pipelined region executed
+	// LoopTrips times per work-item (LoopTrips = 1 for straight-line
+	// kernels such as IV.A).
+	BodyOps map[OpKind]int
+	// SetupOps are executed once per work-item before the loop.
+	SetupOps map[OpKind]int
+	// LoopTrips is the nominal inner-loop trip count (the tree depth N
+	// for kernel IV.B).
+	LoopTrips int
+
+	// GlobalLoadSites and GlobalStoreSites count the distinct global
+	// memory access sites; each becomes a load/store unit.
+	GlobalLoadSites  int
+	GlobalStoreSites int
+
+	// LocalBytes is the per-work-group local-memory footprint;
+	// LocalReadPorts/LocalWritePorts the per-lane concurrent accesses.
+	LocalBytes      int64
+	LocalReadPorts  int
+	LocalWritePorts int
+
+	// Barriers is the number of barrier sites in the kernel body.
+	Barriers int
+	// PrivateBytes is the live private state per work-item that a
+	// barrier must spill (sizes the barrier buffers).
+	PrivateBytes int
+}
+
+// Validate rejects structurally impossible profiles.
+func (p KernelProfile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("hls: profile needs a name")
+	case p.LoopTrips < 1:
+		return fmt.Errorf("hls: profile %q: LoopTrips must be >= 1, got %d", p.Name, p.LoopTrips)
+	case p.GlobalLoadSites < 0 || p.GlobalStoreSites < 0:
+		return fmt.Errorf("hls: profile %q: negative access sites", p.Name)
+	case p.LocalBytes < 0 || p.PrivateBytes < 0:
+		return fmt.Errorf("hls: profile %q: negative memory sizes", p.Name)
+	case p.Barriers > 0 && p.LocalBytes == 0:
+		return fmt.Errorf("hls: profile %q: barriers without local memory", p.Name)
+	}
+	for k, n := range p.BodyOps {
+		if k < 0 || int(k) >= numOpKinds || n < 0 {
+			return fmt.Errorf("hls: profile %q: bad body op %v x%d", p.Name, k, n)
+		}
+	}
+	for k, n := range p.SetupOps {
+		if k < 0 || int(k) >= numOpKinds || n < 0 {
+			return fmt.Errorf("hls: profile %q: bad setup op %v x%d", p.Name, k, n)
+		}
+	}
+	return nil
+}
+
+// Knobs are the three parallelisation options of §V-B. Vectorize is the
+// SIMD width pragma (num_simd_work_items), Replicate the compute-unit
+// replication (num_compute_units), Unroll the inner-loop unroll factor.
+type Knobs struct {
+	Vectorize int
+	Replicate int
+	Unroll    int
+}
+
+// Validate enforces the compiler's constraints: vectorization "can only
+// be done by powers of two" (§V-B); all knobs at least 1.
+func (k Knobs) Validate() error {
+	if k.Vectorize < 1 || k.Vectorize&(k.Vectorize-1) != 0 {
+		return fmt.Errorf("hls: vectorize must be a power of two >= 1, got %d", k.Vectorize)
+	}
+	if k.Replicate < 1 {
+		return fmt.Errorf("hls: replicate must be >= 1, got %d", k.Replicate)
+	}
+	if k.Unroll < 1 {
+		return fmt.Errorf("hls: unroll must be >= 1, got %d", k.Unroll)
+	}
+	return nil
+}
+
+// Lanes returns the number of loop-body datapath copies the knobs
+// instantiate — the steady-state node updates per clock at II=1.
+func (k Knobs) Lanes() int { return k.Vectorize * k.Replicate * k.Unroll }
+
+// String renders the knobs the way the paper describes them.
+func (k Knobs) String() string {
+	return fmt.Sprintf("vec%d repl%d unroll%d", k.Vectorize, k.Replicate, k.Unroll)
+}

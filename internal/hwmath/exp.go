@@ -1,0 +1,59 @@
+package hwmath
+
+import (
+	"math"
+
+	"binopt/internal/mathx"
+)
+
+// ExpCore models a hardware e^x operator: a range-reduced exp2 evaluation
+// with limited fractional precision. The binomial kernels use it for the
+// per-option factors exp(-sigma*sqrt(dt)) and exp(-r*dt); with the default
+// widths it is faithful to double precision well beyond the needs of the
+// application, matching the paper's finding that only the Power operator
+// was problematic.
+type ExpCore struct {
+	Name        string
+	FracBits    uint // fractional bits of the exp2 argument after reduction
+	LatencyCyc  int
+	singleRound bool // round the result to float32 (single-precision builds)
+}
+
+// Exp64 is the double-precision exponential core.
+var Exp64 = ExpCore{Name: "exp-dp", FracBits: 52, LatencyCyc: 17}
+
+// Exp32 is the single-precision exponential core used by the float32
+// kernel variants.
+var Exp32 = ExpCore{Name: "exp-sp", FracBits: 23, LatencyCyc: 12, singleRound: true}
+
+// Exp computes e^x through the emulated datapath.
+func (c ExpCore) Exp(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return math.Exp(x)
+	}
+	w := x * math.Log2E
+	ip, fp := math.Modf(w)
+	if c.FracBits < 52 {
+		scale := math.Ldexp(1, int(c.FracBits))
+		fp = math.Round(fp*scale) / scale
+	}
+	r := math.Ldexp(math.Exp2(fp), int(ip))
+	if c.singleRound {
+		r = mathx.RoundTo32(r)
+	}
+	return r
+}
+
+// SqrtCore models the hardware square root, which vendor FPGA libraries
+// implement correctly rounded; it exists so the HLS resource model can
+// account for its area and latency explicitly.
+type SqrtCore struct {
+	Name       string
+	LatencyCyc int
+}
+
+// Sqrt64 is the double-precision square-root core.
+var Sqrt64 = SqrtCore{Name: "sqrt-dp", LatencyCyc: 28}
+
+// Sqrt computes the square root (correctly rounded).
+func (SqrtCore) Sqrt(x float64) float64 { return math.Sqrt(x) }

@@ -1,0 +1,249 @@
+package kernels
+
+import (
+	"fmt"
+
+	"binopt/internal/lattice"
+	"binopt/internal/opencl"
+	"binopt/internal/option"
+)
+
+// IVAConfig configures a build of the straightforward kernel.
+type IVAConfig struct {
+	// Steps is the tree depth N.
+	Steps int
+	// Precision selects double or single arithmetic.
+	Precision Precision
+	// FullReadback reproduces the measured behaviour of the published
+	// kernel: one complete ping-pong buffer is read back between batches
+	// ("approximately 19 MB for N = 1024, effectively stalling the
+	// kernel"). Setting it false models the paper's "modified version of
+	// this kernel ... with a reduced number of read operations" that ran
+	// 14x faster on the GPU.
+	FullReadback bool
+	// LocalSize is the work-group size used to tile the NDRange; it has
+	// no numerical effect (the kernel is barrier-free) and defaults to
+	// 256.
+	LocalSize int
+}
+
+// Validate checks the configuration.
+func (c IVAConfig) Validate() error {
+	if c.Steps < 1 {
+		return fmt.Errorf("kernels: IV.A needs at least 1 step, got %d", c.Steps)
+	}
+	if c.LocalSize < 0 {
+		return fmt.Errorf("kernels: negative local size %d", c.LocalSize)
+	}
+	return nil
+}
+
+// nodeBase returns the flattened offset of tree level t: levels 0..t-1
+// occupy t*(t+1)/2 slots. Level t's node k lives at nodeBase(t)+k; the
+// leaf level N doubles as the host-written entry region.
+func nodeBase(t int) int { return t * (t + 1) / 2 }
+
+// RunIVA prices the batch through the straightforward kernel: one
+// work-item per tree node, the whole NDRange advancing a pipeline of N+1
+// in-flight options by one time step per batch, with ping-pong global
+// buffers swapped between batches (Figure 3). The host executes the four
+// per-batch commands of §IV-A: initialise input data, write it to global
+// memory, enqueue the kernels, read a result back.
+func RunIVA(ctx *opencl.Context, opts []option.Option, cfg IVAConfig) (RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if len(opts) == 0 {
+		return RunResult{}, fmt.Errorf("kernels: empty option batch")
+	}
+	n := cfg.Steps
+	rows := n + 1
+	totalNodes := nodeBase(n) // work-items: N(N+1)/2
+	bufLen := nodeBase(n + 1) // node slots + leaf region
+	rnd := cfg.Precision.rounder()
+	elem := cfg.Precision.elemBytes()
+	local := cfg.LocalSize
+	if local == 0 {
+		local = 256
+	}
+	q := ctx.NewQueue()
+
+	// Ping-pong value and asset-price buffers plus the constant tables.
+	var bufs [2]struct{ s, v *opencl.Buffer }
+	for i := range bufs {
+		s, err := ctx.CreateBuffer(fmt.Sprintf("iva-s%d", i), bufLen, elem)
+		if err != nil {
+			return RunResult{}, err
+		}
+		defer s.Release()
+		v, err := ctx.CreateBuffer(fmt.Sprintf("iva-v%d", i), bufLen, elem)
+		if err != nil {
+			return RunResult{}, err
+		}
+		defer v.Release()
+		bufs[i].s, bufs[i].v = s, v
+	}
+	params, err := ctx.CreateBuffer("iva-params", len(opts)*paramStride, elem)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer params.Release()
+	tTable, err := ctx.CreateBuffer("iva-ttable", totalNodes, 4)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer tTable.Release()
+
+	// Host-side setup: option constants and the work-item time-step
+	// table ("stored in a constant buffer, allowing work-items to
+	// determine their read addresses", §IV-A).
+	host := make([]float64, len(opts)*paramStride)
+	if err := packParams(host, opts, n, rnd); err != nil {
+		return RunResult{}, err
+	}
+	if _, err := q.EnqueueWriteBuffer(params, 0, host); err != nil {
+		return RunResult{}, err
+	}
+	tt := make([]float64, totalNodes)
+	for t := 0; t < n; t++ {
+		for k := 0; k <= t; k++ {
+			tt[nodeBase(t)+k] = float64(t)
+		}
+	}
+	if _, err := q.EnqueueWriteBuffer(tTable, 0, tt); err != nil {
+		return RunResult{}, err
+	}
+
+	kern := buildIVAKernel(rnd)
+	globalSize := ((totalNodes + local - 1) / local) * local // pad to a multiple
+
+	prices := make([]float64, len(opts))
+	readback := make([]float64, bufLen)
+	leafS := make([]float64, rows)
+	leafV := make([]float64, rows)
+
+	batches := len(opts) + n - 1
+	cur := 0
+	for b := 0; b < batches; b++ {
+		old, next := bufs[cur], bufs[1-cur]
+
+		// (1)+(2) Initialise and write the entering option's leaves.
+		if b < len(opts) {
+			o := opts[b]
+			lp, err := option.NewLatticeParams(o, n, option.CRR)
+			if err != nil {
+				return RunResult{}, fmt.Errorf("kernels: option %d: %w", b, err)
+			}
+			copy(leafS, lattice.HostLeafPrices(o.Spot, lp, option.CRR, cfg.Precision == Single))
+			strike := rnd(o.Strike)
+			for k := range leafV {
+				leafV[k] = rnd(payoffHost(o.Right, leafS[k], strike))
+			}
+			if _, err := q.EnqueueWriteBuffer(old.s, nodeBase(n), leafS); err != nil {
+				return RunResult{}, err
+			}
+			if _, err := q.EnqueueWriteBuffer(old.v, nodeBase(n), leafV); err != nil {
+				return RunResult{}, err
+			}
+		}
+
+		// (3) Enqueue the kernel batch.
+		if err := kern.SetArgs(old.s, old.v, next.s, next.v, tTable, params,
+			b, len(opts), n, totalNodes); err != nil {
+			return RunResult{}, err
+		}
+		if _, err := q.EnqueueNDRange(kern, globalSize, local); err != nil {
+			return RunResult{}, err
+		}
+
+		// (4) Read a result from global memory. The published kernel
+		// reads the full buffer; the reduced-reads variant fetches only
+		// the root slot.
+		if cfg.FullReadback {
+			if _, err := q.EnqueueReadBuffer(next.v, 0, readback); err != nil {
+				return RunResult{}, err
+			}
+		} else {
+			if _, err := q.EnqueueReadBuffer(next.v, 0, readback[:1]); err != nil {
+				return RunResult{}, err
+			}
+		}
+		if done := b - (n - 1); done >= 0 && done < len(opts) {
+			prices[done] = readback[0]
+		}
+		q.Finish()    // batch boundary: all commands drained before the swap
+		cur = 1 - cur // swap ping-pong
+	}
+	return RunResult{Prices: prices, Counters: q.Counters()}, nil
+}
+
+// buildIVAKernel constructs the per-node kernel body. Arguments:
+// 0 sOld, 1 vOld, 2 sNew, 3 vNew, 4 tTable, 5 params, 6 batch,
+// 7 numOptions, 8 steps, 9 totalNodes.
+func buildIVAKernel(rnd func(float64) float64) *opencl.Kernel {
+	return opencl.NewKernel("binomial-iva", false, func(wi *opencl.WorkItem) {
+		id := wi.GlobalID()
+		if id >= wi.Int(9) { // NDRange padding
+			return
+		}
+		n := wi.Int(8)
+		t := int(wi.Load(wi.Buffer(4), id)) // time step of this node
+		k := id - nodeBase(t)
+
+		// The option currently flowing through stage t.
+		opID := wi.Int(6) - (n - 1 - t)
+		if opID < 0 || opID >= wi.Int(7) {
+			// Pipeline fill/drain: no live option at this stage yet.
+			wi.Store(wi.Buffer(2), id, 0)
+			wi.Store(wi.Buffer(3), id, 0)
+			return
+		}
+
+		params := wi.Buffer(5)
+		base := opID * paramStride
+		strike := wi.Load(params, base+1)
+		invD := wi.Load(params, base+2)
+		pu := wi.Load(params, base+3)
+		pd := wi.Load(params, base+4)
+		isCall := wi.Load(params, base+5) != 0
+		isAmerican := wi.Load(params, base+6) != 0
+
+		child := nodeBase(t+1) + k
+		sDn := wi.Load(wi.Buffer(0), child)
+		vDn := wi.Load(wi.Buffer(1), child)
+		vUp := wi.Load(wi.Buffer(1), child+1)
+
+		s := rnd(sDn * invD)
+		cont := rnd(rnd(pu*vUp) + rnd(pd*vDn))
+		wi.AddFlops(4)
+		if isAmerican {
+			var ex float64
+			if isCall {
+				ex = rnd(maxf(s-strike, 0))
+			} else {
+				ex = rnd(maxf(strike-s, 0))
+			}
+			if ex > cont {
+				cont = ex
+			}
+			wi.AddFlops(2)
+		}
+		wi.Store(wi.Buffer(2), id, s)
+		wi.Store(wi.Buffer(3), id, cont)
+	})
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// payoffHost is the host-side exercise value in the working precision.
+func payoffHost(r option.Right, s, strike float64) float64 {
+	if r == option.Call {
+		return maxf(s-strike, 0)
+	}
+	return maxf(strike-s, 0)
+}

@@ -1,0 +1,259 @@
+package kernels
+
+import (
+	"fmt"
+
+	"binopt/internal/hwmath"
+	"binopt/internal/lattice"
+	"binopt/internal/opencl"
+	"binopt/internal/option"
+)
+
+// Precision selects the floating-point width of a kernel build, the
+// distinction between Table II's "Double" and "Single" columns.
+type Precision int
+
+const (
+	// Double is IEEE binary64 throughout.
+	Double Precision = iota
+	// Single rounds every operation to IEEE binary32 and halves all
+	// buffer traffic.
+	Single
+)
+
+// String names the precision the way Table II does.
+func (p Precision) String() string {
+	if p == Single {
+		return "single"
+	}
+	return "double"
+}
+
+func (p Precision) elemBytes() int {
+	if p == Single {
+		return 4
+	}
+	return 8
+}
+
+func (p Precision) rounder() func(float64) float64 {
+	if p == Single {
+		return func(x float64) float64 { return float64(float32(x)) }
+	}
+	return func(x float64) float64 { return x }
+}
+
+// paramStride is the per-option layout of the option-constant global
+// buffer: S0, K, invD, Pu, Pd, callFlag, americanFlag, spare.
+const paramStride = 8
+
+// packParams fills dst with the per-option constants the kernels read,
+// computed on the host exactly as the paper describes ("copying all
+// option parameters in global memory").
+func packParams(dst []float64, opts []option.Option, steps int, rnd func(float64) float64) error {
+	for i, o := range opts {
+		lp, err := option.NewLatticeParams(o, steps, option.CRR)
+		if err != nil {
+			return fmt.Errorf("kernels: option %d: %w", i, err)
+		}
+		base := i * paramStride
+		dst[base+0] = rnd(o.Spot)
+		dst[base+1] = rnd(o.Strike)
+		dst[base+2] = rnd(1 / rnd(lp.D)) // invD, matching the reference engine
+		dst[base+3] = rnd(lp.Pu)
+		dst[base+4] = rnd(lp.Pd)
+		if o.Right == option.Call {
+			dst[base+5] = 1
+		}
+		if o.Style == option.American {
+			dst[base+6] = 1
+		}
+		dst[base+7] = rnd(lp.U)
+	}
+	return nil
+}
+
+// IVBConfig configures a build of the optimized kernel.
+type IVBConfig struct {
+	// Steps is the tree depth N (1024 in the paper's evaluation).
+	Steps int
+	// Precision selects double or single arithmetic.
+	Precision Precision
+	// Pow is the Power-operator core used for device-side leaf
+	// initialisation (hwmath.Flawed13 reproduces the paper's RMSE issue,
+	// hwmath.Accurate13SP1 the hoped-for fix).
+	Pow hwmath.PowCore
+	// LeavesOnHost switches to the paper's fallback plan: "the values at
+	// the leaves will have to be computed on the host and sent to global
+	// memory, to be then copied in local memory, to the detriment of
+	// speed".
+	LeavesOnHost bool
+}
+
+// Validate checks the configuration against the runtime's constraints.
+func (c IVBConfig) Validate() error {
+	if c.Steps < 1 {
+		return fmt.Errorf("kernels: IV.B needs at least 1 step, got %d", c.Steps)
+	}
+	return nil
+}
+
+// RunResult carries the prices and the metered activity of one kernel
+// run.
+type RunResult struct {
+	Prices   []float64
+	Counters opencl.Counters
+}
+
+// RunIVB prices the batch through the optimized kernel on the given
+// context: one work-group per option, one work-item per tree row,
+// values in local memory, two barriers per backward step (Figure 4).
+// Host interaction is exactly the paper's three commands: write
+// parameters, enqueue, read results.
+func RunIVB(ctx *opencl.Context, opts []option.Option, cfg IVBConfig) (RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return RunResult{}, err
+	}
+	if len(opts) == 0 {
+		return RunResult{}, fmt.Errorf("kernels: empty option batch")
+	}
+	n := cfg.Steps
+	rows := n + 1
+	rnd := cfg.Precision.rounder()
+	elem := cfg.Precision.elemBytes()
+	q := ctx.NewQueue()
+
+	params, err := ctx.CreateBuffer("ivb-params", len(opts)*paramStride, elem)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer params.Release()
+	results, err := ctx.CreateBuffer("ivb-results", len(opts), elem)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer results.Release()
+
+	host := make([]float64, len(opts)*paramStride)
+	if err := packParams(host, opts, n, rnd); err != nil {
+		return RunResult{}, err
+	}
+	// Command 1: option parameters to global memory.
+	if _, err := q.EnqueueWriteBuffer(params, 0, host); err != nil {
+		return RunResult{}, err
+	}
+
+	var leaves *opencl.Buffer
+	if cfg.LeavesOnHost {
+		leaves, err = ctx.CreateBuffer("ivb-leaves", len(opts)*rows, elem)
+		if err != nil {
+			return RunResult{}, err
+		}
+		defer leaves.Release()
+		leafHost := make([]float64, len(opts)*rows)
+		for i, o := range opts {
+			lp, err := option.NewLatticeParams(o, n, option.CRR)
+			if err != nil {
+				return RunResult{}, err
+			}
+			copy(leafHost[i*rows:], lattice.HostLeafPrices(o.Spot, lp, option.CRR, cfg.Precision == Single))
+		}
+		if _, err := q.EnqueueWriteBuffer(leaves, 0, leafHost); err != nil {
+			return RunResult{}, err
+		}
+	}
+
+	kern := buildIVBKernel(cfg, rnd)
+	args := []any{params, results, opencl.LocalAlloc{N: rows, ElemBytes: elem}, n}
+	if cfg.LeavesOnHost {
+		args = append(args, leaves)
+	}
+	if err := kern.SetArgs(args...); err != nil {
+		return RunResult{}, err
+	}
+	// Command 2: enqueue enough kernels to process all the data.
+	if _, err := q.EnqueueNDRange(kern, len(opts)*rows, rows); err != nil {
+		return RunResult{}, err
+	}
+
+	// Command 3: read back the final results.
+	prices := make([]float64, len(opts))
+	if _, err := q.EnqueueReadBuffer(results, 0, prices); err != nil {
+		return RunResult{}, err
+	}
+	q.Finish()
+	return RunResult{Prices: prices, Counters: q.Counters()}, nil
+}
+
+// buildIVBKernel constructs the kernel body. Arguments: 0 params,
+// 1 results, 2 local value array, 3 steps, [4 leaves when host-side].
+func buildIVBKernel(cfg IVBConfig, rnd func(float64) float64) *opencl.Kernel {
+	return opencl.NewKernel("binomial-ivb", true, func(wi *opencl.WorkItem) {
+		k := wi.LocalID()   // tree row owned by this work-item
+		opt := wi.GroupID() // one work-group per option
+		n := wi.Int(3)
+
+		params := wi.Buffer(0)
+		base := opt * paramStride
+		s0 := wi.Load(params, base+0)
+		strike := wi.Load(params, base+1)
+		invD := wi.Load(params, base+2)
+		pu := wi.Load(params, base+3)
+		pd := wi.Load(params, base+4)
+		isCall := wi.Load(params, base+5) != 0
+		isAmerican := wi.Load(params, base+6) != 0
+		u := wi.Load(params, base+7)
+
+		payoff := func(s float64) float64 {
+			if isCall {
+				if s > strike {
+					return s - strike
+				}
+				return 0
+			}
+			if strike > s {
+				return strike - s
+			}
+			return 0
+		}
+
+		// Leaf initialisation: Power operator on the device (the paper's
+		// fast-but-inaccurate path) or precomputed values from the host.
+		var s float64
+		if cfg.LeavesOnHost {
+			s = wi.Load(wi.Buffer(4), opt*(n+1)+k)
+		} else {
+			s = rnd(rnd(s0) * rnd(cfg.Pow.Pow(u, float64(2*k-n))))
+			wi.AddFlops(2)
+		}
+		wi.StoreLocal(2, k, rnd(payoff(s)))
+		wi.AddFlops(1)
+		wi.Barrier()
+
+		for t := n - 1; t >= 0; t-- {
+			var vUp, vDn float64
+			active := k <= t
+			if active {
+				vDn = wi.LoadLocal(2, k)
+				vUp = wi.LoadLocal(2, k+1)
+			}
+			wi.Barrier() // reads of level t+1 complete
+			if active {
+				s = rnd(s * invD)
+				cont := rnd(rnd(pu*vUp) + rnd(pd*vDn))
+				wi.AddFlops(4)
+				if isAmerican {
+					if ex := rnd(payoff(s)); ex > cont {
+						cont = ex
+					}
+					wi.AddFlops(2)
+				}
+				wi.StoreLocal(2, k, cont)
+			}
+			wi.Barrier() // writes of level t complete
+		}
+		if k == 0 {
+			wi.Store(wi.Buffer(1), opt, wi.LoadLocal(2, 0))
+		}
+	})
+}

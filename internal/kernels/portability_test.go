@@ -1,0 +1,71 @@
+package kernels
+
+import (
+	"testing"
+
+	"binopt/internal/device"
+	"binopt/internal/hwmath"
+	"binopt/internal/opencl"
+)
+
+// The OpenCL promise the paper leans on (§III-C: "An OpenCL program can
+// be executed on any of those devices with only a handful of
+// modifications") holds for this runtime too: both kernels produce
+// identical numerics on the FPGA, GPU and CPU device descriptors.
+func TestKernelsPortableAcrossDevices(t *testing.T) {
+	opts := testChain(5)
+	const steps = 24
+
+	contexts := map[string]*opencl.Context{}
+	for name, info := range map[string]opencl.DeviceInfo{
+		"fpga": device.DE4().OpenCLInfo(),
+		"gpu":  device.GTX660().OpenCLInfo(),
+		"cpu":  device.XeonX5450().OpenCLInfo(),
+	} {
+		p := opencl.NewPlatform(name, name, "OpenCL 1.1", info)
+		ctx, err := opencl.NewContext(p.Devices(-1)[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		contexts[name] = ctx
+	}
+
+	var refB, refA []float64
+	for name, ctx := range contexts {
+		b, err := RunIVB(ctx, opts, IVBConfig{Steps: steps, Pow: hwmath.Flawed13})
+		if err != nil {
+			t.Fatalf("%s IVB: %v", name, err)
+		}
+		a, err := RunIVA(ctx, opts, IVAConfig{Steps: steps})
+		if err != nil {
+			t.Fatalf("%s IVA: %v", name, err)
+		}
+		if refB == nil {
+			refB, refA = b.Prices, a.Prices
+			continue
+		}
+		for i := range opts {
+			if b.Prices[i] != refB[i] {
+				t.Errorf("%s IVB option %d: %v != %v", name, i, b.Prices[i], refB[i])
+			}
+			if a.Prices[i] != refA[i] {
+				t.Errorf("%s IVA option %d: %v != %v", name, i, a.Prices[i], refA[i])
+			}
+		}
+	}
+}
+
+// The GPU device allows work-groups up to 1024 work-items; IV.B needs
+// steps+1, so trees deeper than 1023 must be rejected cleanly there
+// while the FPGA descriptor (2048) accepts them.
+func TestIVBWorkGroupLimitPerDevice(t *testing.T) {
+	opts := testChain(1)
+	gpuPlat := opencl.NewPlatform("gpu", "g", "1.1", device.GTX660().OpenCLInfo())
+	gpuCtx, err := opencl.NewContext(gpuPlat.Devices(-1)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunIVB(gpuCtx, opts, IVBConfig{Steps: 1500, Pow: hwmath.Accurate13SP1}); err == nil {
+		t.Error("IV.B at N=1500 should exceed the GPU work-group limit")
+	}
+}

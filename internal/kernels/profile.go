@@ -1,0 +1,72 @@
+// Package kernels implements the paper's two OpenCL kernel architectures
+// for binomial option pricing — the "straightforward" dataflow kernel of
+// §IV-A and the "optimized" work-group kernel of §IV-B — together with
+// their host drivers and the datapath profiles the HLS compiler model
+// consumes.
+package kernels
+
+import "binopt/internal/hls"
+
+// ProfileIVA is the datapath of the straightforward kernel: one
+// work-item computes one tree node (Equation 1) per batch, reading from
+// one ping-pong buffer and writing the other. All traffic is global:
+// asset price, two option-value addresses (Id+N-t and Id+N-t+1), the
+// option-constant buffer and the time-step constant buffer on the way in;
+// updated price and value on the way out.
+func ProfileIVA() hls.KernelProfile {
+	return hls.KernelProfile{
+		Name: "kernel-IV.A",
+		BodyOps: map[hls.OpKind]int{
+			hls.DPMul:    3, // S*d, rp*V1, rq*V0
+			hls.DPAddSub: 2, // continuation sum, intrinsic S-K
+			hls.DPMax:    1, // early-exercise select
+			hls.IntALU:   6, // global id, read/write address arithmetic
+		},
+		LoopTrips:        1,
+		GlobalLoadSites:  4, // S ping, V ping (x2 addresses), constants
+		GlobalStoreSites: 2, // S pong, V pong
+		PrivateBytes:     40,
+	}
+}
+
+// ProfileIVB returns the datapath of the optimized kernel for an n-step
+// tree: one work-group prices one option; work-item k owns tree row k,
+// initialises its leaf through the Power operator, then loops n times
+// over Equation 1 against the local-memory value array, synchronising
+// with barriers (Figure 4: copy barrier + compute barrier per step).
+func ProfileIVB(n int) hls.KernelProfile {
+	return hls.KernelProfile{
+		Name: "kernel-IV.B",
+		SetupOps: map[hls.OpKind]int{
+			hls.DPPow:  1, // leaf factor u^(2k-n)
+			hls.DPMul:  2, // scale by S0, step adjustment
+			hls.IntALU: 4,
+		},
+		BodyOps: map[hls.OpKind]int{
+			hls.DPMul:    3, // S*d, rp*V[k], rq*V[k-1]
+			hls.DPAddSub: 2,
+			hls.DPMax:    1,
+			hls.IntALU:   4,
+		},
+		LoopTrips:        n,
+		GlobalLoadSites:  2, // option constants, leaf parameters
+		GlobalStoreSites: 1, // final result
+		LocalBytes:       int64(n+1) * 8,
+		LocalReadPorts:   2,
+		LocalWritePorts:  1,
+		Barriers:         2,
+		// Live state across barriers: private S, the four option
+		// constants, loop indices and temporaries.
+		PrivateBytes: 80,
+	}
+}
+
+// PaperKnobsIVA returns the parallelisation the paper settled on for
+// kernel IV.A: "vectorized twice and replicated 3 times to use the
+// maximum possible resources on the FPGA" (§V-B).
+func PaperKnobsIVA() hls.Knobs { return hls.Knobs{Vectorize: 2, Replicate: 3, Unroll: 1} }
+
+// PaperKnobsIVB returns the parallelisation for kernel IV.B: "an internal
+// loop, which has been unrolled twice, coupled with a 4 times
+// vectorization of the kernel" (§V-B).
+func PaperKnobsIVB() hls.Knobs { return hls.Knobs{Vectorize: 4, Replicate: 1, Unroll: 2} }

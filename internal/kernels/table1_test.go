@@ -1,0 +1,100 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"binopt/internal/device"
+	"binopt/internal/hls"
+)
+
+// Table I targets from the paper (Stratix IV EP4SGX530).
+type table1Target struct {
+	logicPct   float64
+	registersK float64 // base-2 K
+	memBitsK   float64
+	m9k        float64
+	dsp        float64
+	fmaxMHz    float64
+	powerW     float64
+}
+
+func checkWithin(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero target", name)
+	}
+	rel := math.Abs(got-want) / math.Abs(want)
+	if rel > relTol {
+		t.Errorf("%s = %.4g, paper reports %.4g (off by %.1f%%, tolerance %.0f%%)",
+			name, got, want, 100*rel, 100*relTol)
+	} else {
+		t.Logf("%s = %.4g vs paper %.4g (%.1f%%)", name, got, want, 100*rel)
+	}
+}
+
+func fitTable1(t *testing.T, prof hls.KernelProfile, knobs hls.Knobs, want table1Target) hls.FitReport {
+	t.Helper()
+	rep, err := hls.Fit(device.DE4(), prof, knobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWithin(t, prof.Name+" logic util %", rep.LogicUtilPct, want.logicPct, 0.08)
+	checkWithin(t, prof.Name+" registers", float64(rep.Registers)/1024, want.registersK, 0.08)
+	checkWithin(t, prof.Name+" memory bits", float64(rep.MemoryBits)/1024, want.memBitsK, 0.15)
+	checkWithin(t, prof.Name+" M9K", float64(rep.M9K), want.m9k, 0.08)
+	checkWithin(t, prof.Name+" DSP", float64(rep.DSP18), want.dsp, 0.08)
+	checkWithin(t, prof.Name+" Fmax", rep.FmaxMHz, want.fmaxMHz, 0.06)
+	checkWithin(t, prof.Name+" power", rep.PowerWatts, want.powerW, 0.08)
+	return rep
+}
+
+func TestTable1KernelIVA(t *testing.T) {
+	rep := fitTable1(t, ProfileIVA(), PaperKnobsIVA(), table1Target{
+		logicPct:   99,
+		registersK: 411,
+		memBitsK:   10843,
+		m9k:        1250,
+		dsp:        586,
+		fmaxMHz:    98.27,
+		powerW:     15,
+	})
+	if rep.NodeLanes != 6 {
+		t.Errorf("IV.A lanes = %d, want 6 (vec2 x repl3)", rep.NodeLanes)
+	}
+}
+
+func TestTable1KernelIVB(t *testing.T) {
+	rep := fitTable1(t, ProfileIVB(1024), PaperKnobsIVB(), table1Target{
+		logicPct:   66,
+		registersK: 245,
+		memBitsK:   7990,
+		m9k:        1118,
+		dsp:        760,
+		fmaxMHz:    162.62,
+		powerW:     17,
+	})
+	if rep.NodeLanes != 8 {
+		t.Errorf("IV.B lanes = %d, want 8 (vec4 x unroll2)", rep.NodeLanes)
+	}
+}
+
+func TestTable1KernelIVBUsesMostM9K(t *testing.T) {
+	// §V-B: "when optimized, both kernels use most of the M9K Block RAMs
+	// available".
+	for _, cfg := range []struct {
+		prof  hls.KernelProfile
+		knobs hls.Knobs
+	}{
+		{ProfileIVA(), PaperKnobsIVA()},
+		{ProfileIVB(1024), PaperKnobsIVB()},
+	} {
+		rep, err := hls.Fit(device.DE4(), cfg.prof, cfg.knobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frac := float64(rep.M9K) / 1280; frac < 0.8 {
+			t.Errorf("%s uses only %.0f%% of M9K blocks", cfg.prof.Name, 100*frac)
+		}
+	}
+}

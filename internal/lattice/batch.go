@@ -1,0 +1,61 @@
+package lattice
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"binopt/internal/option"
+)
+
+// PriceBatch prices every option in opts and returns the values in the
+// same order. workers limits the number of goroutines; workers <= 0 uses
+// GOMAXPROCS. A single worker reproduces the paper's single-core software
+// reference exactly (the engines are deterministic, so parallelism never
+// changes the results, only the wall clock).
+func (e *Engine) PriceBatch(opts []option.Option, workers int) ([]float64, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(opts) {
+		workers = len(opts)
+	}
+	out := make([]float64, len(opts))
+	if len(opts) == 0 {
+		return out, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := e.Price(opts[i])
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("lattice: option %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	for i := range opts {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

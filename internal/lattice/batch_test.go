@@ -1,0 +1,74 @@
+package lattice
+
+import (
+	"testing"
+
+	"binopt/internal/option"
+)
+
+func chainOf(n int) []option.Option {
+	opts := make([]option.Option, n)
+	for i := range opts {
+		o := amPut()
+		o.Strike = 80 + float64(i%50)
+		o.Sigma = 0.15 + 0.001*float64(i%100)
+		opts[i] = o
+	}
+	return opts
+}
+
+func TestPriceBatchMatchesSequential(t *testing.T) {
+	e := mustEngine(t, 64)
+	opts := chainOf(101)
+
+	seq := make([]float64, len(opts))
+	for i, o := range opts {
+		v, err := e.Price(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq[i] = v
+	}
+	for _, workers := range []int{1, 4, 16} {
+		par, err := e.PriceBatch(opts, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d option %d: %v != %v", workers, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestPriceBatchEmpty(t *testing.T) {
+	e := mustEngine(t, 16)
+	out, err := e.PriceBatch(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("got %d results", len(out))
+	}
+}
+
+func TestPriceBatchPropagatesError(t *testing.T) {
+	e := mustEngine(t, 16)
+	opts := chainOf(10)
+	opts[7].Sigma = -1
+	if _, err := e.PriceBatch(opts, 4); err == nil {
+		t.Error("invalid option in batch should surface an error")
+	}
+}
+
+func TestPriceBatchMoreWorkersThanWork(t *testing.T) {
+	e := mustEngine(t, 16)
+	out, err := e.PriceBatch(chainOf(3), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Errorf("got %d results", len(out))
+	}
+}

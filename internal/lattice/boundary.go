@@ -1,0 +1,82 @@
+package lattice
+
+import (
+	"fmt"
+
+	"binopt/internal/option"
+)
+
+// BoundaryPoint is one sample of the early-exercise boundary: at time t
+// (in years from now), exercising is optimal exactly when the underlying
+// crosses Critical (from above for puts, from below for calls).
+type BoundaryPoint struct {
+	T        float64
+	Critical float64
+}
+
+// ExerciseBoundary extracts the early-exercise boundary of an American
+// option from the lattice: at each time level, the outermost node where
+// the exercise value equals the option value. For a put this is the
+// highest asset price at which immediate exercise is optimal; for a call
+// (with dividends) the lowest. Times with no exercise region yield no
+// sample. The boundary is what a desk actually monitors once the option
+// is on the book, and a natural by-product of the backward induction the
+// accelerator already performs.
+func (e *Engine) ExerciseBoundary(o option.Option) ([]BoundaryPoint, error) {
+	if o.Style != option.American {
+		return nil, fmt.Errorf("lattice: exercise boundary requires an American option, got %v", o.Style)
+	}
+	lp, err := option.NewLatticeParams(o, e.steps, e.param)
+	if err != nil {
+		return nil, err
+	}
+	n := lp.Steps
+
+	rnd := func(x float64) float64 { return x }
+	if e.single {
+		rnd = func(x float64) float64 { return float64(float32(x)) }
+	}
+	d := rnd(lp.D)
+	pu, pd := rnd(lp.Pu), rnd(lp.Pd)
+	strike := rnd(o.Strike)
+	invD := rnd(1 / d)
+
+	s := HostLeafPrices(o.Spot, lp, e.param, e.single)
+	v := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		v[k] = rnd(payoff(o.Right, s[k], strike))
+	}
+
+	var pts []BoundaryPoint
+	// exercised tracks the per-level exercise decision to locate the
+	// boundary node.
+	for t := n - 1; t >= 0; t-- {
+		critical := -1.0
+		for k := 0; k <= t; k++ {
+			s[k] = rnd(s[k] * invD)
+			cont := rnd(rnd(pu*v[k+1]) + rnd(pd*v[k]))
+			ex := rnd(payoff(o.Right, s[k], strike))
+			if ex > cont {
+				cont = ex
+				// Puts exercise below the boundary: track the highest
+				// exercised node. Calls exercise above: track the lowest.
+				if o.Right == option.Put {
+					if s[k] > critical {
+						critical = s[k]
+					}
+				} else if critical < 0 || s[k] < critical {
+					critical = s[k]
+				}
+			}
+			v[k] = cont
+		}
+		if critical >= 0 {
+			pts = append(pts, BoundaryPoint{T: float64(t) * lp.Dt, Critical: critical})
+		}
+	}
+	// Reverse into increasing time order.
+	for i, j := 0, len(pts)-1; i < j; i, j = i+1, j-1 {
+		pts[i], pts[j] = pts[j], pts[i]
+	}
+	return pts, nil
+}

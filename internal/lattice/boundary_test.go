@@ -1,0 +1,92 @@
+package lattice
+
+import (
+	"testing"
+
+	"binopt/internal/option"
+)
+
+func TestExerciseBoundaryPutShape(t *testing.T) {
+	o := amPut()
+	e := mustEngine(t, 512)
+	pts, err := e.ExerciseBoundary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 100 {
+		t.Fatalf("boundary too sparse: %d points", len(pts))
+	}
+	// Boundary lies below the strike and is non-decreasing toward expiry
+	// (the put's critical price rises to K as time runs out).
+	for i, p := range pts {
+		if p.Critical >= o.Strike {
+			t.Fatalf("point %d: critical %v above strike", i, p.Critical)
+		}
+		if p.Critical <= 0 {
+			t.Fatalf("point %d: critical %v not positive", i, p.Critical)
+		}
+	}
+	// Compare early vs late thirds to tolerate lattice wobble.
+	early := pts[len(pts)/6].Critical
+	late := pts[len(pts)-2].Critical
+	if late <= early {
+		t.Errorf("put boundary should rise toward expiry: early %v late %v", early, late)
+	}
+	// Time axis increasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T <= pts[i-1].T {
+			t.Fatal("boundary times not increasing")
+		}
+	}
+}
+
+func TestExerciseBoundaryCallWithDividends(t *testing.T) {
+	o := amPut()
+	o.Right = option.Call
+	o.Strike = 95
+	o.Div = 0.06 // dividends make early call exercise optimal
+	e := mustEngine(t, 512)
+	pts, err := e.ExerciseBoundary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("dividend-paying call should have an exercise region")
+	}
+	for _, p := range pts {
+		if p.Critical <= o.Strike {
+			t.Fatalf("call boundary %v must lie above the strike", p.Critical)
+		}
+	}
+}
+
+func TestExerciseBoundaryCallNoDividendsEmpty(t *testing.T) {
+	o := amPut()
+	o.Right = option.Call // no dividends: never exercise early
+	e := mustEngine(t, 256)
+	pts, err := e.ExerciseBoundary(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 0 {
+		t.Errorf("no-dividend call should have no exercise region, got %d points", len(pts))
+	}
+}
+
+func TestExerciseBoundaryRejectsEuropean(t *testing.T) {
+	o := amPut()
+	o.Style = option.European
+	e := mustEngine(t, 64)
+	if _, err := e.ExerciseBoundary(o); err == nil {
+		t.Error("European option should be rejected")
+	}
+}
+
+func TestExerciseBoundaryValidates(t *testing.T) {
+	o := amPut()
+	o.Sigma = -1
+	e := mustEngine(t, 64)
+	if _, err := e.ExerciseBoundary(o); err == nil {
+		t.Error("invalid option should be rejected")
+	}
+}

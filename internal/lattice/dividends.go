@@ -1,0 +1,110 @@
+package lattice
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"binopt/internal/option"
+)
+
+// Dividend is one discrete cash payment: Amount paid at time T (years
+// from now).
+type Dividend struct {
+	T      float64
+	Amount float64
+}
+
+// PriceWithDividends values the option with a discrete dividend schedule
+// under the escrowed-dividend model: the lattice evolves the spot net of
+// the present value of all dividends paid during the option's life, and
+// the exercise value at each node adds back the present value of the
+// dividends not yet paid at that time. The model keeps the tree
+// recombining (exact discrete-dividend trees do not recombine) and is
+// the standard production approximation for American equity options.
+func (e *Engine) PriceWithDividends(o option.Option, divs []Dividend) (float64, error) {
+	if err := o.Validate(); err != nil {
+		return 0, err
+	}
+	schedule, pv0, err := normalizeDividends(o, divs)
+	if err != nil {
+		return 0, err
+	}
+	if len(schedule) == 0 {
+		return e.Price(o)
+	}
+	if pv0 >= o.Spot {
+		return 0, fmt.Errorf("lattice: dividend present value %v exceeds the spot %v", pv0, o.Spot)
+	}
+
+	// The escrowed process prices the net spot.
+	net := o
+	net.Spot = o.Spot - pv0
+	lp, err := option.NewLatticeParams(net, e.steps, e.param)
+	if err != nil {
+		return 0, err
+	}
+	n := lp.Steps
+
+	// remainingPV[t] is the present value, as seen at time t*dt, of the
+	// dividends still unpaid.
+	remainingPV := make([]float64, n+1)
+	for t := 0; t <= n; t++ {
+		tt := float64(t) * lp.Dt
+		var pv float64
+		for _, d := range schedule {
+			if d.T > tt {
+				pv += d.Amount * math.Exp(-o.Rate*(d.T-tt))
+			}
+		}
+		remainingPV[t] = pv
+	}
+
+	s := HostLeafPrices(net.Spot, lp, e.param, e.single)
+	v := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		// At expiry all scheduled dividends have been paid (dividends at
+		// or after expiry are excluded by normalizeDividends).
+		v[k] = o.Payoff(s[k])
+	}
+
+	american := o.Style == option.American
+	invD := 1 / lp.D
+	for t := n - 1; t >= 0; t-- {
+		for k := 0; k <= t; k++ {
+			s[k] *= invD
+			cont := lp.Pu*v[k+1] + lp.Pd*v[k]
+			if american {
+				// The exercisable (cum-dividend) spot re-adds the escrow.
+				if ex := o.Payoff(s[k] + remainingPV[t]); ex > cont {
+					cont = ex
+				}
+			}
+			v[k] = cont
+		}
+	}
+	return v[0], nil
+}
+
+// normalizeDividends validates and sorts the schedule, dropping payments
+// outside (0, T), and returns it with the total present value at t=0.
+func normalizeDividends(o option.Option, divs []Dividend) ([]Dividend, float64, error) {
+	var out []Dividend
+	for i, d := range divs {
+		switch {
+		case math.IsNaN(d.Amount) || d.Amount < 0:
+			return nil, 0, fmt.Errorf("lattice: dividend %d has invalid amount %v", i, d.Amount)
+		case math.IsNaN(d.T):
+			return nil, 0, fmt.Errorf("lattice: dividend %d has invalid time %v", i, d.T)
+		case d.Amount == 0 || d.T <= 0 || d.T >= o.T:
+			continue // outside the option's life: no effect on the tree
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	var pv float64
+	for _, d := range out {
+		pv += d.Amount * math.Exp(-o.Rate*d.T)
+	}
+	return out, pv, nil
+}

@@ -1,0 +1,143 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+
+	"binopt/internal/bs"
+	"binopt/internal/option"
+)
+
+func TestNoDividendsMatchesPlainPrice(t *testing.T) {
+	o := amPut()
+	e := mustEngine(t, 256)
+	plain, err := e.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, divs := range [][]Dividend{nil, {}, {{T: 2.0, Amount: 5}}, {{T: 0.1, Amount: 0}}} {
+		withDivs, err := e.PriceWithDividends(o, divs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withDivs != plain {
+			t.Errorf("schedule %v should not change the price: %v vs %v", divs, withDivs, plain)
+		}
+	}
+}
+
+func TestEuropeanEscrowedMatchesBlackScholes(t *testing.T) {
+	// Under the escrowed model a European option prices exactly like
+	// Black-Scholes on the net spot.
+	o := amPut()
+	o.Style = option.European
+	divs := []Dividend{{T: 0.2, Amount: 2}, {T: 0.4, Amount: 1.5}}
+	e := mustEngine(t, 2048)
+	got, err := e.PriceWithDividends(o, divs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv := 2*math.Exp(-o.Rate*0.2) + 1.5*math.Exp(-o.Rate*0.4)
+	net := o
+	net.Spot = o.Spot - pv
+	ref, err := bs.Price(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-ref) > 0.02 {
+		t.Errorf("escrowed european %v vs BS on net spot %v", got, ref)
+	}
+}
+
+func TestDividendMakesAmericanCallEarlyExercise(t *testing.T) {
+	// Without dividends an American call equals the European; a large
+	// dividend late in the life makes early exercise valuable.
+	call := amPut()
+	call.Right = option.Call
+	call.Strike = 95
+	divs := []Dividend{{T: 0.45, Amount: 6}}
+	e := mustEngine(t, 512)
+
+	am, err := e.PriceWithDividends(call, divs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	euro := call
+	euro.Style = option.European
+	eu, err := e.PriceWithDividends(euro, divs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am <= eu+1e-6 {
+		t.Errorf("american call %v should exceed european %v with a large dividend", am, eu)
+	}
+}
+
+func TestDividendLowersCallRaisesPut(t *testing.T) {
+	e := mustEngine(t, 256)
+	divs := []Dividend{{T: 0.25, Amount: 3}}
+
+	put := amPut()
+	basePut, err := e.Price(put)
+	if err != nil {
+		t.Fatal(err)
+	}
+	divPut, err := e.PriceWithDividends(put, divs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if divPut <= basePut {
+		t.Errorf("dividend should raise the put: %v vs %v", divPut, basePut)
+	}
+
+	call := amPut()
+	call.Right = option.Call
+	baseCall, err := e.Price(call)
+	if err != nil {
+		t.Fatal(err)
+	}
+	divCall, err := e.PriceWithDividends(call, divs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if divCall >= baseCall {
+		t.Errorf("dividend should lower the call: %v vs %v", divCall, baseCall)
+	}
+}
+
+func TestDividendValidation(t *testing.T) {
+	e := mustEngine(t, 64)
+	o := amPut()
+	if _, err := e.PriceWithDividends(o, []Dividend{{T: 0.2, Amount: -1}}); err == nil {
+		t.Error("negative dividend should fail")
+	}
+	if _, err := e.PriceWithDividends(o, []Dividend{{T: math.NaN(), Amount: 1}}); err == nil {
+		t.Error("NaN time should fail")
+	}
+	if _, err := e.PriceWithDividends(o, []Dividend{{T: 0.2, Amount: 500}}); err == nil {
+		t.Error("dividend PV above spot should fail")
+	}
+	bad := o
+	bad.Sigma = -1
+	if _, err := e.PriceWithDividends(bad, nil); err == nil {
+		t.Error("invalid option should fail")
+	}
+}
+
+func TestDividendScheduleOrderIrrelevant(t *testing.T) {
+	e := mustEngine(t, 128)
+	o := amPut()
+	a := []Dividend{{T: 0.1, Amount: 1}, {T: 0.3, Amount: 2}}
+	b := []Dividend{{T: 0.3, Amount: 2}, {T: 0.1, Amount: 1}}
+	va, err := e.PriceWithDividends(o, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb, err := e.PriceWithDividends(o, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if va != vb {
+		t.Errorf("schedule order changed the price: %v vs %v", va, vb)
+	}
+}

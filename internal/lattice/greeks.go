@@ -1,0 +1,91 @@
+package lattice
+
+import (
+	"fmt"
+
+	"binopt/internal/option"
+)
+
+// Greeks are the sensitivities extracted from a single lattice run plus
+// two bump-and-reprice evaluations (vega, rho). Delta, gamma and theta
+// come directly from the first tree levels, the standard technique for
+// lattice pricers.
+type Greeks struct {
+	Delta float64
+	Gamma float64
+	Theta float64
+	Vega  float64
+	Rho   float64
+}
+
+// PriceAndGreeks returns the option value and its sensitivities. Theta
+// from the tree requires the CRR parameterisation (it relies on the level-2
+// middle node recombining to the spot); other parameterisations get theta
+// via repricing.
+func (e *Engine) PriceAndGreeks(o option.Option) (float64, Greeks, error) {
+	if e.steps < 2 {
+		return 0, Greeks{}, fmt.Errorf("lattice: greeks need at least 2 steps, got %d", e.steps)
+	}
+	lp, err := option.NewLatticeParams(o, e.steps, e.param)
+	if err != nil {
+		return 0, Greeks{}, err
+	}
+	price, kept, err := e.priceRetain(o, 3)
+	if err != nil {
+		return 0, Greeks{}, err
+	}
+	v0, v1, v2 := kept[0], kept[1], kept[2]
+
+	s10 := o.Spot * lp.D
+	s11 := o.Spot * lp.U
+	s20 := o.Spot * lp.D * lp.D
+	s21 := o.Spot * lp.U * lp.D
+	s22 := o.Spot * lp.U * lp.U
+
+	var g Greeks
+	g.Delta = (v1[1] - v1[0]) / (s11 - s10)
+	dUp := (v2[2] - v2[1]) / (s22 - s21)
+	dDn := (v2[1] - v2[0]) / (s21 - s20)
+	g.Gamma = (dUp - dDn) / (0.5 * (s22 - s20))
+
+	if e.param == option.CRR {
+		// S(2,1) == S0 exactly under CRR, so V(2,1) is the option value
+		// two steps later at the same spot.
+		g.Theta = (v2[1] - v0[0]) / (2 * lp.Dt)
+	} else {
+		bumped := o
+		bumped.T -= 2 * lp.Dt
+		vb, berr := e.Price(bumped)
+		if berr != nil {
+			return 0, Greeks{}, berr
+		}
+		g.Theta = (vb - price) / (2 * lp.Dt)
+	}
+
+	// Vega and rho by central bump-and-reprice.
+	const hSigma, hRate = 1e-3, 1e-4
+	g.Vega, err = e.centralDiff(o, hSigma, func(x *option.Option, d float64) { x.Sigma += d })
+	if err != nil {
+		return 0, Greeks{}, err
+	}
+	g.Rho, err = e.centralDiff(o, hRate, func(x *option.Option, d float64) { x.Rate += d })
+	if err != nil {
+		return 0, Greeks{}, err
+	}
+	return price, g, nil
+}
+
+func (e *Engine) centralDiff(o option.Option, h float64, mutate func(*option.Option, float64)) (float64, error) {
+	up, dn := o, o
+	mutate(&up, h)
+	mutate(&dn, -h)
+	vu, err := e.Price(up)
+	if err != nil {
+		return 0, err
+	}
+	vd, err := e.Price(dn)
+	if err != nil {
+		return 0, err
+	}
+	return (vu - vd) / (2 * h), nil
+}

@@ -1,0 +1,97 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+
+	"binopt/internal/bs"
+	"binopt/internal/mathx"
+	"binopt/internal/option"
+)
+
+func TestGreeksAgainstBlackScholes(t *testing.T) {
+	// European tree Greeks must approach the analytic ones.
+	o := amPut()
+	o.Style = option.European
+	e := mustEngine(t, 2048)
+	price, g, err := e.PriceAndGreeks(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPrice, refG, err := bs.PriceAndGreeks(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mathx.AlmostEqual(price, refPrice, 0.01, 0.01) {
+		t.Errorf("price %v vs bs %v", price, refPrice)
+	}
+	checks := []struct {
+		name      string
+		got, want float64
+		tol       float64
+	}{
+		{"delta", g.Delta, refG.Delta, 0.01},
+		{"gamma", g.Gamma, refG.Gamma, 0.01},
+		{"theta", g.Theta, refG.Theta, 0.05},
+		{"vega", g.Vega, refG.Vega, 0.5},
+		{"rho", g.Rho, refG.Rho, 0.5},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > c.tol {
+			t.Errorf("%s = %v, bs = %v (tol %v)", c.name, c.got, c.want, c.tol)
+		}
+	}
+}
+
+func TestAmericanPutGreeksSigns(t *testing.T) {
+	e := mustEngine(t, 512)
+	_, g, err := e.PriceAndGreeks(amPut())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Delta >= 0 {
+		t.Errorf("put delta = %v, want negative", g.Delta)
+	}
+	if g.Gamma <= 0 {
+		t.Errorf("gamma = %v, want positive", g.Gamma)
+	}
+	if g.Vega <= 0 {
+		t.Errorf("vega = %v, want positive", g.Vega)
+	}
+	if g.Theta >= 0 {
+		t.Errorf("theta = %v, want negative for this contract", g.Theta)
+	}
+}
+
+func TestGreeksNeedTwoSteps(t *testing.T) {
+	e := mustEngine(t, 1)
+	if _, _, err := e.PriceAndGreeks(amPut()); err == nil {
+		t.Error("1-step greeks should fail")
+	}
+}
+
+func TestGreeksNonCRRTheta(t *testing.T) {
+	// The Jarrow-Rudd path exercises the reprice-based theta.
+	e := mustEngine(t, 512).WithParameterisation(option.JarrowRudd)
+	_, g, err := e.PriceAndGreeks(amPut())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eCRR := mustEngine(t, 512)
+	_, gCRR, err := eCRR.PriceAndGreeks(amPut())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Theta-gCRR.Theta) > 0.5 {
+		t.Errorf("JR theta %v too far from CRR theta %v", g.Theta, gCRR.Theta)
+	}
+}
+
+func TestGreeksValidate(t *testing.T) {
+	e := mustEngine(t, 64)
+	bad := amPut()
+	bad.Spot = 0
+	if _, _, err := e.PriceAndGreeks(bad); err == nil {
+		t.Error("invalid option should be rejected")
+	}
+}

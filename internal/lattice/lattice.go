@@ -1,0 +1,165 @@
+// Package lattice implements binomial-tree option pricing by backward
+// induction — the algorithm both OpenCL kernels in the paper accelerate —
+// in three arithmetic flavours: the double-precision software reference
+// (the paper's single-core C program), a single-precision variant, and a
+// double-precision variant whose device-side leaf initialisation goes
+// through an emulated FPGA Power operator (the source of the published
+// RMSE ~1e-3).
+package lattice
+
+import (
+	"fmt"
+	"math"
+
+	"binopt/internal/hwmath"
+	"binopt/internal/option"
+)
+
+// LeafInit selects where and how the tree leaves S(T,k) are produced,
+// mirroring the paper's two kernel designs.
+type LeafInit int
+
+const (
+	// LeafHost computes the leaves on the host with full-precision
+	// iterated multiplication — kernel IV.A's approach ("the tree leaves
+	// are computed by the host and then transferred to the device").
+	LeafHost LeafInit = iota
+	// LeafDevicePow computes each leaf on the device as
+	// S0 * u^k * d^(N-k) through the engine's Power core — kernel IV.B's
+	// approach ("the tree leaves are initialized in the device, a
+	// work-item for each tree leaf").
+	LeafDevicePow
+)
+
+// Engine prices options on a recombining binomial lattice. The zero value
+// is not usable; construct with NewEngine.
+type Engine struct {
+	steps  int
+	param  option.Parameterisation
+	single bool
+	leaf   LeafInit
+	pow    hwmath.PowCore
+}
+
+// NewEngine returns a double-precision reference engine with host-side
+// leaves — the configuration of the paper's reference software.
+func NewEngine(steps int) (*Engine, error) {
+	if steps < 1 {
+		return nil, fmt.Errorf("lattice: need at least 1 step, got %d", steps)
+	}
+	return &Engine{
+		steps: steps,
+		param: option.CRR,
+		leaf:  LeafHost,
+		pow:   hwmath.Accurate13SP1,
+	}, nil
+}
+
+// WithParameterisation switches the lattice parameterisation (CRR by
+// default).
+func (e *Engine) WithParameterisation(p option.Parameterisation) *Engine {
+	c := *e
+	c.param = p
+	return &c
+}
+
+// WithSinglePrecision makes every arithmetic operation round to float32,
+// modelling the single-precision kernel builds in Table II.
+func (e *Engine) WithSinglePrecision() *Engine {
+	c := *e
+	c.single = true
+	return &c
+}
+
+// WithDeviceLeaves makes the engine initialise leaves through the given
+// Power core, as kernel IV.B does on the FPGA.
+func (e *Engine) WithDeviceLeaves(pow hwmath.PowCore) *Engine {
+	c := *e
+	c.leaf = LeafDevicePow
+	c.pow = pow
+	return &c
+}
+
+// Steps returns the number of time discretisation steps N.
+func (e *Engine) Steps() int { return e.steps }
+
+// Price returns the lattice value of the option.
+func (e *Engine) Price(o option.Option) (float64, error) {
+	v, _, err := e.priceRetain(o, 0)
+	return v, err
+}
+
+// priceRetain runs backward induction and additionally returns the node
+// values of the first `retain` time levels (levels 0..retain-1, each level
+// t holding t+1 values). The Greeks computation needs levels 0..2.
+func (e *Engine) priceRetain(o option.Option, retain int) (float64, [][]float64, error) {
+	lp, err := option.NewLatticeParams(o, e.steps, e.param)
+	if err != nil {
+		return 0, nil, err
+	}
+	n := lp.Steps
+
+	rnd := func(x float64) float64 { return x }
+	if e.single {
+		rnd = func(x float64) float64 { return float64(float32(x)) }
+	}
+
+	d := rnd(lp.D)
+	pu, pd := rnd(lp.Pu), rnd(lp.Pd)
+	strike := rnd(o.Strike)
+
+	// Leaf asset prices.
+	var s []float64
+	switch e.leaf {
+	case LeafDevicePow:
+		// One Power-core evaluation per leaf, like kernel IV.B's
+		// per-work-item initialisation.
+		s = DeviceLeafPrices(o.Spot, lp, e.pow, e.single)
+	default:
+		// Host-side leaves, like kernel IV.A.
+		s = HostLeafPrices(o.Spot, lp, e.param, e.single)
+	}
+
+	// Leaf option values.
+	v := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		v[k] = rnd(payoff(o.Right, s[k], strike))
+	}
+
+	var kept [][]float64
+	if retain > 0 {
+		kept = make([][]float64, retain)
+	}
+
+	american := o.Style == option.American
+	invD := rnd(1 / d)
+	for t := n - 1; t >= 0; t-- {
+		// Asset prices at level t from level t+1: S(t,k) = S(t+1,k)/d.
+		// Continuation and early exercise per node.
+		for k := 0; k <= t; k++ {
+			s[k] = rnd(s[k] * invD)
+			cont := rnd(rnd(pu*v[k+1]) + rnd(pd*v[k]))
+			if american {
+				if ex := rnd(payoff(o.Right, s[k], strike)); ex > cont {
+					cont = ex
+				}
+			}
+			v[k] = cont
+		}
+		if t < retain {
+			level := make([]float64, t+1)
+			copy(level, v[:t+1])
+			kept[t] = level
+		}
+	}
+	return v[0], kept, nil
+}
+
+// payoff is the exercise value in the engine's working precision; the
+// caller pre-rounds s and k.
+func payoff(r option.Right, s, k float64) float64 {
+	if r == option.Call {
+		return math.Max(s-k, 0)
+	}
+	return math.Max(k-s, 0)
+}

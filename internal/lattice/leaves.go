@@ -1,0 +1,53 @@
+package lattice
+
+import (
+	"binopt/internal/hwmath"
+	"binopt/internal/option"
+)
+
+// HostLeafPrices returns the leaf asset prices S(N,k) computed the way
+// the paper's host code does for kernel IV.A: iterated multiplication
+// from the bottom node, in double or single precision. Kernel drivers
+// and the native engines share this helper so their numerics agree
+// bit-for-bit.
+func HostLeafPrices(spot float64, lp option.LatticeParams, param option.Parameterisation, single bool) []float64 {
+	rnd := rounder(single)
+	n := lp.Steps
+	u, d := rnd(lp.U), rnd(lp.D)
+	s := make([]float64, n+1)
+	s[0] = rnd(spot)
+	for i := 0; i < n; i++ {
+		s[0] = rnd(s[0] * d)
+	}
+	ud := rnd(u * u) // CRR: u/d = u*u since d = 1/u
+	if param != option.CRR {
+		ud = rnd(u / d)
+	}
+	for k := 1; k <= n; k++ {
+		s[k] = rnd(s[k-1] * ud)
+	}
+	return s
+}
+
+// DeviceLeafPrices returns the leaf asset prices computed the way kernel
+// IV.B initialises them on the device: one Power-operator evaluation per
+// leaf, S(N,k) = S0 * u^(2k-N) (the CRR telescoped form; d = 1/u). The
+// pow core carries the accuracy of the emulated hardware operator.
+func DeviceLeafPrices(spot float64, lp option.LatticeParams, pow hwmath.PowCore, single bool) []float64 {
+	rnd := rounder(single)
+	n := lp.Steps
+	u := rnd(lp.U) // the device reads u from the params buffer in its precision
+	s := make([]float64, n+1)
+	for k := 0; k <= n; k++ {
+		s[k] = rnd(rnd(spot) * rnd(pow.Pow(u, float64(2*k-n))))
+	}
+	return s
+}
+
+// rounder returns the per-operation rounding of the chosen precision.
+func rounder(single bool) func(float64) float64 {
+	if single {
+		return func(x float64) float64 { return float64(float32(x)) }
+	}
+	return func(x float64) float64 { return x }
+}

@@ -1,0 +1,68 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+
+	"binopt/internal/bs"
+	"binopt/internal/option"
+)
+
+func TestLeisenReimerBeatsCRROnEuropean(t *testing.T) {
+	// LR's O(1/N^2) convergence should crush CRR at equal step counts
+	// across a strike sweep.
+	o := amPut()
+	o.Style = option.European
+	var crrErr, lrErr float64
+	for i := 0; i < 7; i++ {
+		oo := o
+		oo.Strike = 85 + 5*float64(i)
+		ref, err := bs.Price(oo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crr := mustEngine(t, 101)
+		vc, err := crr.Price(oo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lr := mustEngine(t, 101).WithParameterisation(option.LeisenReimer)
+		vl, err := lr.Price(oo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crrErr += math.Abs(vc - ref)
+		lrErr += math.Abs(vl - ref)
+	}
+	if lrErr*5 > crrErr {
+		t.Errorf("LR mean error %g not clearly below CRR %g", lrErr/7, crrErr/7)
+	}
+	if lrErr/7 > 1e-3 {
+		t.Errorf("LR mean error %g too large at N=101", lrErr/7)
+	}
+}
+
+func TestLeisenReimerAmericanMatchesDeepCRR(t *testing.T) {
+	o := amPut()
+	lr := mustEngine(t, 255).WithParameterisation(option.LeisenReimer)
+	vl, err := lr.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crr := mustEngine(t, 8191)
+	vc, err := crr.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vl-vc) > 2e-3 {
+		t.Errorf("LR(255) %v vs CRR(8191) %v", vl, vc)
+	}
+}
+
+func TestLeisenReimerEvenStepsRejected(t *testing.T) {
+	o := amPut()
+	lr := mustEngine(t, 100).WithParameterisation(option.LeisenReimer)
+	if _, err := lr.Price(o); err == nil {
+		t.Error("even steps should be rejected for LR")
+	}
+}

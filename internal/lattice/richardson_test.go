@@ -1,0 +1,114 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+
+	"binopt/internal/bs"
+	"binopt/internal/option"
+)
+
+func TestRichardsonImprovesEuropean(t *testing.T) {
+	o := amPut()
+	o.Style = option.European
+	ref, err := bs.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average the error over a strike sweep: pointwise, the CRR payoff
+	// kink oscillation can flatter the plain tree at individual strikes.
+	var plainErr, richErr float64
+	for i := 0; i < 9; i++ {
+		oo := o
+		oo.Strike = 85 + 5*float64(i)
+		refV, err := bs.Price(oo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := mustEngine(t, 512)
+		plain, err := e.Price(oo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rich, err := e.PriceRichardson(oo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainErr += math.Abs(plain - refV)
+		richErr += math.Abs(rich - refV)
+	}
+	_ = ref
+	if richErr > plainErr {
+		t.Errorf("richardson mean error %g worse than plain %g", richErr/9, plainErr/9)
+	}
+}
+
+func TestRichardsonNeedsTwoSteps(t *testing.T) {
+	e := mustEngine(t, 1)
+	if _, err := e.PriceRichardson(amPut()); err == nil {
+		t.Error("richardson with 1 step should fail")
+	}
+}
+
+func TestBBSBeatsPlainTreeOnEuropean(t *testing.T) {
+	o := amPut()
+	o.Style = option.European
+	ref, err := bs.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEngine(t, 128)
+	plain, err := e.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smooth, err := e.PriceBBS(o, bs.Price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(smooth-ref) > math.Abs(plain-ref)+1e-9 {
+		t.Errorf("BBS error %g worse than plain %g", math.Abs(smooth-ref), math.Abs(plain-ref))
+	}
+}
+
+func TestBBSAmericanAboveEuropean(t *testing.T) {
+	e := mustEngine(t, 128)
+	am, err := e.PriceBBS(amPut(), bs.Price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := amPut()
+	o.Style = option.European
+	eu, err := e.PriceBBS(o, bs.Price)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am < eu {
+		t.Errorf("BBS american %v below european %v", am, eu)
+	}
+}
+
+func TestBBSErrors(t *testing.T) {
+	e := mustEngine(t, 1)
+	if _, err := e.PriceBBS(amPut(), bs.Price); err == nil {
+		t.Error("BBS with 1 step should fail")
+	}
+	e = mustEngine(t, 64)
+	bad := amPut()
+	bad.T = -1
+	if _, err := e.PriceBBS(bad, bs.Price); err == nil {
+		t.Error("invalid option should fail")
+	}
+}
+
+func TestIntPow(t *testing.T) {
+	if got := pow(2, 10); got != 1024 {
+		t.Errorf("pow(2,10) = %v", got)
+	}
+	if got := pow(2, -2); got != 0.25 {
+		t.Errorf("pow(2,-2) = %v", got)
+	}
+	if got := pow(3, 0); got != 1 {
+		t.Errorf("pow(3,0) = %v", got)
+	}
+}

@@ -1,0 +1,125 @@
+// Package linalg provides the small dense linear-algebra kernels the
+// Longstaff–Schwartz regression needs: normal-equations assembly and a
+// Cholesky solve with ridge fallback for rank-deficient designs. Sizes
+// are tiny (basis dimension <= ~6), so clarity beats blocking.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky factors the symmetric positive-definite matrix a (given as
+// row-major n x n) in place into L with a*x: a = L L^T, returning an error
+// when the matrix is not positive definite. Only the lower triangle is
+// referenced and written.
+func Cholesky(a [][]float64) error {
+	n := len(a)
+	for i := 0; i < n; i++ {
+		if len(a[i]) != n {
+			return fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		for j := 0; j <= i; j++ {
+			sum := a[i][j]
+			for k := 0; k < j; k++ {
+				sum -= a[i][k] * a[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return fmt.Errorf("linalg: matrix not positive definite at pivot %d (%g)", i, sum)
+				}
+				a[i][i] = math.Sqrt(sum)
+			} else {
+				a[i][j] = sum / a[j][j]
+			}
+		}
+	}
+	return nil
+}
+
+// CholeskySolve solves L L^T x = b given the Cholesky factor L (as
+// produced by Cholesky, lower triangle), writing the solution over b.
+func CholeskySolve(l [][]float64, b []float64) error {
+	n := len(l)
+	if len(b) != n {
+		return fmt.Errorf("linalg: rhs has %d entries, want %d", len(b), n)
+	}
+	// Forward substitution L y = b.
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l[i][k] * b[k]
+		}
+		b[i] = sum / l[i][i]
+	}
+	// Back substitution L^T x = y.
+	for i := n - 1; i >= 0; i-- {
+		sum := b[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l[k][i] * b[k]
+		}
+		b[i] = sum / l[i][i]
+	}
+	return nil
+}
+
+// LeastSquares solves min ||X beta - y||_2 by normal equations with
+// Cholesky, retrying with a small ridge term when the Gram matrix is
+// numerically singular (collinear basis columns happen when few paths
+// are in the money). X is row-major with one row per observation.
+func LeastSquares(x [][]float64, y []float64) ([]float64, error) {
+	m := len(x)
+	if m == 0 {
+		return nil, fmt.Errorf("linalg: no observations")
+	}
+	if len(y) != m {
+		return nil, fmt.Errorf("linalg: %d observations but %d targets", m, len(y))
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, fmt.Errorf("linalg: empty design row")
+	}
+	for i, row := range x {
+		if len(row) != p {
+			return nil, fmt.Errorf("linalg: ragged design matrix at row %d", i)
+		}
+	}
+
+	gram := make([][]float64, p)
+	for i := range gram {
+		gram[i] = make([]float64, p)
+	}
+	rhs := make([]float64, p)
+	for r := 0; r < m; r++ {
+		row := x[r]
+		for i := 0; i < p; i++ {
+			for j := 0; j <= i; j++ {
+				gram[i][j] += row[i] * row[j]
+			}
+			rhs[i] += row[i] * y[r]
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			gram[i][j] = gram[j][i]
+		}
+	}
+
+	// Try plain Cholesky, then escalating ridge regularisation.
+	for _, ridge := range []float64{0, 1e-10, 1e-6, 1e-2} {
+		g := make([][]float64, p)
+		for i := range g {
+			g[i] = append([]float64(nil), gram[i]...)
+			g[i][i] += ridge * (1 + gram[i][i])
+		}
+		b := append([]float64(nil), rhs...)
+		if err := Cholesky(g); err != nil {
+			continue
+		}
+		if err := CholeskySolve(g, b); err != nil {
+			continue
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("linalg: normal equations unsolvable even with ridge")
+}

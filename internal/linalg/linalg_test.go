@@ -1,0 +1,149 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4,2],[2,3]] has L = [[2,0],[1,sqrt(2)]].
+	a := [][]float64{{4, 2}, {2, 3}}
+	if err := Cholesky(a); err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0] != 2 || a[1][0] != 1 || math.Abs(a[1][1]-math.Sqrt2) > 1e-15 {
+		t.Errorf("factor: %v", a)
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 1}} // eigenvalues 3, -1
+	if err := Cholesky(a); err == nil {
+		t.Error("indefinite matrix should fail")
+	}
+	ragged := [][]float64{{1, 2}, {2}}
+	if err := Cholesky(ragged); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+}
+
+func TestCholeskySolveRoundTrip(t *testing.T) {
+	a := [][]float64{{6, 2, 1}, {2, 5, 2}, {1, 2, 4}}
+	orig := [][]float64{{6, 2, 1}, {2, 5, 2}, {1, 2, 4}}
+	xTrue := []float64{1, -2, 3}
+	b := make([]float64, 3)
+	for i := range b {
+		for j := range xTrue {
+			b[i] += orig[i][j] * xTrue[j]
+		}
+	}
+	if err := Cholesky(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := CholeskySolve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xTrue {
+		if math.Abs(b[i]-xTrue[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, b[i], xTrue[i])
+		}
+	}
+}
+
+func TestCholeskySolveSizeMismatch(t *testing.T) {
+	a := [][]float64{{4, 0}, {0, 4}}
+	if err := Cholesky(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := CholeskySolve(a, []float64{1}); err == nil {
+		t.Error("rhs size mismatch should fail")
+	}
+}
+
+func TestLeastSquaresExactFit(t *testing.T) {
+	// y = 2 + 3x fitted through noiseless points.
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 20; i++ {
+		xi := float64(i)
+		x = append(x, []float64{1, xi})
+		y = append(y, 2+3*xi)
+	}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-2) > 1e-10 || math.Abs(beta[1]-3) > 1e-10 {
+		t.Errorf("beta = %v", beta)
+	}
+}
+
+func TestLeastSquaresOverdeterminedResidual(t *testing.T) {
+	// Fitting a constant to {0, 1} must return the mean 0.5.
+	x := [][]float64{{1}, {1}}
+	y := []float64{0, 1}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(beta[0]-0.5) > 1e-12 {
+		t.Errorf("beta = %v, want [0.5]", beta)
+	}
+}
+
+func TestLeastSquaresCollinearFallsBackToRidge(t *testing.T) {
+	// Duplicate columns: singular Gram matrix, ridge must save it.
+	x := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	y := []float64{2, 4, 6}
+	beta, err := LeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any beta with beta0+beta1 ~ 2 fits; check the prediction.
+	pred := beta[0] + beta[1]
+	if math.Abs(pred-2) > 1e-3 {
+		t.Errorf("prediction per unit = %v, want ~2 (beta %v)", pred, beta)
+	}
+}
+
+func TestLeastSquaresValidation(t *testing.T) {
+	if _, err := LeastSquares(nil, nil); err == nil {
+		t.Error("empty design should fail")
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("mismatched sizes should fail")
+	}
+	if _, err := LeastSquares([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("empty rows should fail")
+	}
+	if _, err := LeastSquares([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("ragged design should fail")
+	}
+}
+
+func TestLeastSquaresRecoversRandomLinearModel(t *testing.T) {
+	f := func(rawA, rawB float64) bool {
+		a := math.Mod(rawA, 50)
+		b := math.Mod(rawB, 50)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		var x [][]float64
+		var y []float64
+		for i := -5; i <= 5; i++ {
+			xi := float64(i)
+			x = append(x, []float64{1, xi})
+			y = append(y, a+b*xi)
+		}
+		beta, err := LeastSquares(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(beta[0]-a) < 1e-8*(1+math.Abs(a)) &&
+			math.Abs(beta[1]-b) < 1e-8*(1+math.Abs(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestULP64Adjacent(t *testing.T) {
+	x := 1.0
+	y := math.Nextafter(x, 2)
+	if got := ULP64(x, y); got != 1 {
+		t.Errorf("ULP64(1, next(1)) = %d, want 1", got)
+	}
+	if got := ULP64(x, x); got != 0 {
+		t.Errorf("ULP64(x, x) = %d, want 0", got)
+	}
+}
+
+func TestULP64AcrossZero(t *testing.T) {
+	a := math.Nextafter(0, -1)
+	b := math.Nextafter(0, 1)
+	if got := ULP64(a, b); got != 2 {
+		t.Errorf("ULP64(-denorm, +denorm) = %d, want 2", got)
+	}
+}
+
+func TestULP64NaN(t *testing.T) {
+	if got := ULP64(math.NaN(), 1); got != math.MaxInt64 {
+		t.Errorf("ULP64(NaN, 1) = %d, want MaxInt64", got)
+	}
+}
+
+func TestULP64Symmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return ULP64(a, b) == ULP64(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTo32(t *testing.T) {
+	x := 0.1
+	got := RoundTo32(x)
+	if got == x {
+		t.Error("RoundTo32(0.1) should differ from the double value")
+	}
+	if float32(got) != float32(x) {
+		t.Error("RoundTo32 must be exactly the float32 rounding")
+	}
+}
+
+func TestTruncateMantissaExactness(t *testing.T) {
+	// 1.5 has a single mantissa bit: any precision >= 1 keeps it exact.
+	for bits := uint(1); bits <= 52; bits++ {
+		if got := TruncateMantissa(1.5, bits); got != 1.5 {
+			t.Fatalf("TruncateMantissa(1.5, %d) = %v", bits, got)
+		}
+	}
+}
+
+func TestTruncateMantissaReducesPrecision(t *testing.T) {
+	x := math.Pi
+	prev := math.Inf(1)
+	for _, bits := range []uint{8, 16, 24, 32, 52} {
+		got := TruncateMantissa(x, bits)
+		err := math.Abs(got - x)
+		if err > prev {
+			t.Errorf("error grew when adding precision: bits=%d err=%g prev=%g", bits, err, prev)
+		}
+		// Rounding error must be bounded by half an ulp at that precision.
+		bound := math.Ldexp(1, -int(bits)) * x
+		if err > bound {
+			t.Errorf("bits=%d: |err|=%g exceeds bound %g", bits, err, bound)
+		}
+		prev = err
+	}
+	if got := TruncateMantissa(x, 52); got != x {
+		t.Errorf("52-bit truncation must be identity, got %v", got)
+	}
+}
+
+func TestTruncateMantissaSpecials(t *testing.T) {
+	if got := TruncateMantissa(0, 8); got != 0 {
+		t.Errorf("TruncateMantissa(0) = %v", got)
+	}
+	if got := TruncateMantissa(math.Inf(1), 8); !math.IsInf(got, 1) {
+		t.Errorf("TruncateMantissa(+Inf) = %v", got)
+	}
+	if got := TruncateMantissa(math.NaN(), 8); !math.IsNaN(got) {
+		t.Errorf("TruncateMantissa(NaN) = %v", got)
+	}
+	// Negative values round like positives (sign-magnitude mantissa).
+	if got, want := TruncateMantissa(-math.Pi, 10), -TruncateMantissa(math.Pi, 10); got != want {
+		t.Errorf("negative truncation asymmetric: %v vs %v", got, want)
+	}
+}
+
+func TestTruncateMantissaCarry(t *testing.T) {
+	// A value just below 2.0 must round up across the exponent boundary.
+	x := math.Nextafter(2, 0)
+	if got := TruncateMantissa(x, 4); got != 2.0 {
+		t.Errorf("TruncateMantissa(just-below-2, 4) = %v, want 2", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v", got)
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1.0, 1.0+1e-13, 0, 1e-12) {
+		t.Error("relative tolerance should accept")
+	}
+	if AlmostEqual(1.0, 1.1, 1e-3, 1e-3) {
+		t.Error("should reject 10% difference at 0.1% tolerance")
+	}
+	if !AlmostEqual(1e-20, 0, 1e-12, 0) {
+		t.Error("absolute tolerance should accept near-zero")
+	}
+}

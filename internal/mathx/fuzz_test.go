@@ -1,0 +1,79 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzTruncateMantissaInvariants(f *testing.F) {
+	f.Add(math.Pi, uint(12))
+	f.Add(-1.5e300, uint(1))
+	f.Add(4.9e-324, uint(52))
+	f.Add(0.0, uint(8))
+	f.Fuzz(func(t *testing.T, x float64, bits uint) {
+		bits = bits%52 + 1
+		got := TruncateMantissa(x, bits)
+		switch {
+		case math.IsNaN(x):
+			if !math.IsNaN(got) {
+				t.Fatalf("NaN must stay NaN, got %v", got)
+			}
+			return
+		case math.IsInf(x, 0):
+			if got != x {
+				t.Fatalf("Inf must stay Inf, got %v", got)
+			}
+			return
+		}
+		// Sign preserved; relative error bounded by one ulp at the
+		// retained precision (carry across the exponent is still within
+		// this bound).
+		if x != 0 && math.Signbit(got) != math.Signbit(x) && got != 0 {
+			t.Fatalf("sign flipped: %v -> %v", x, got)
+		}
+		if x != 0 && !math.IsInf(got, 0) {
+			rel := math.Abs(got-x) / math.Abs(x)
+			if rel > math.Ldexp(1, -int(bits)) {
+				t.Fatalf("TruncateMantissa(%v, %d) = %v: rel err %g too large", x, bits, got, rel)
+			}
+		}
+		// Idempotent.
+		if again := TruncateMantissa(got, bits); again != got && !math.IsInf(got, 0) {
+			t.Fatalf("not idempotent: %v -> %v -> %v", x, got, again)
+		}
+	})
+}
+
+func FuzzNormCDFInvariants(f *testing.F) {
+	f.Add(0.0)
+	f.Add(5.0)
+	f.Add(-37.5)
+	f.Add(1e308)
+	f.Fuzz(func(t *testing.T, x float64) {
+		if math.IsNaN(x) {
+			return
+		}
+		p := NormCDF(x)
+		if p < 0 || p > 1 {
+			t.Fatalf("NormCDF(%v) = %v out of [0,1]", x, p)
+		}
+		q := NormCDFComplement(x)
+		if s := p + q; math.Abs(s-1) > 1e-12 {
+			t.Fatalf("CDF + complement = %v at x=%v", s, x)
+		}
+	})
+}
+
+func FuzzCompareSeriesNeverPanics(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0)
+	f.Add(0.0, 0.0, math.Inf(1), math.Inf(-1))
+	f.Fuzz(func(t *testing.T, a, b, c, d float64) {
+		st, err := CompareSeries([]float64{a, b}, []float64{c, d})
+		if err != nil {
+			t.Fatalf("two-element compare errored: %v", err)
+		}
+		if st.N != 2 {
+			t.Fatalf("N = %d", st.N)
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormPDFKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0.39894228040143268},
+		{1, 0.24197072451914337},
+		{-1, 0.24197072451914337},
+		{2, 0.053990966513188063},
+		{5, 1.4867195147342979e-06},
+	}
+	for _, c := range cases {
+		if got := NormPDF(c.x); !AlmostEqual(got, c.want, 0, 1e-14) {
+			t.Errorf("NormPDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1, 0.84134474606854293},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{-6, 9.8658764503770093e-10},
+	}
+	for _, c := range cases {
+		if got := NormCDF(c.x); !AlmostEqual(got, c.want, 1e-300, 1e-12) {
+			t.Errorf("NormCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormCDFComplementSymmetry(t *testing.T) {
+	for _, x := range []float64{-8, -3, -0.5, 0, 0.5, 3, 8} {
+		if got, want := NormCDFComplement(x), NormCDF(-x); !AlmostEqual(got, want, 1e-300, 1e-13) {
+			t.Errorf("NormCDFComplement(%v) = %v, want NormCDF(-x) = %v", x, got, want)
+		}
+	}
+}
+
+func TestNormCDFMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, 20)
+		b = math.Mod(b, 20)
+		if a > b {
+			a, b = b, a
+		}
+		return NormCDF(a) <= NormCDF(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormInvCDFRoundTrip(t *testing.T) {
+	for p := 1e-12; p < 1; p += 0.000937 {
+		x := NormInvCDF(p)
+		back := NormCDF(x)
+		if !AlmostEqual(back, p, 1e-14, 1e-10) {
+			t.Fatalf("round trip failed: p=%v x=%v back=%v", p, x, back)
+		}
+	}
+}
+
+func TestNormInvCDFTails(t *testing.T) {
+	for _, p := range []float64{1e-300, 1e-100, 1e-16, 1 - 1e-16} {
+		x := NormInvCDF(p)
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Fatalf("NormInvCDF(%g) = %v", p, x)
+		}
+		if back := NormCDF(x); !AlmostEqual(back, p, 1e-305, 1e-6) {
+			t.Errorf("tail round trip: p=%g x=%v back=%g", p, x, back)
+		}
+	}
+}
+
+func TestNormInvCDFEdgeCases(t *testing.T) {
+	if !math.IsInf(NormInvCDF(0), -1) {
+		t.Error("NormInvCDF(0) should be -Inf")
+	}
+	if !math.IsInf(NormInvCDF(1), 1) {
+		t.Error("NormInvCDF(1) should be +Inf")
+	}
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(NormInvCDF(p)) {
+			t.Errorf("NormInvCDF(%v) should be NaN", p)
+		}
+	}
+	if got := NormInvCDF(0.5); math.Abs(got) > 1e-15 {
+		t.Errorf("NormInvCDF(0.5) = %v, want 0", got)
+	}
+}
+
+func TestNormInvCDFSymmetry(t *testing.T) {
+	f := func(raw float64) bool {
+		p := math.Abs(math.Mod(raw, 0.499))
+		if p == 0 {
+			p = 0.1
+		}
+		lo := NormInvCDF(0.5 - p)
+		hi := NormInvCDF(0.5 + p)
+		return AlmostEqual(lo, -hi, 1e-12, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package mathx
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCompareSeriesBasics(t *testing.T) {
+	got := []float64{1.0, 2.0, 3.0}
+	want := []float64{1.1, 1.9, 3.0}
+	st, err := CompareSeries(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.N != 3 {
+		t.Errorf("N = %d, want 3", st.N)
+	}
+	wantRMSE := math.Sqrt((0.01 + 0.01 + 0) / 3)
+	if !AlmostEqual(st.RMSE, wantRMSE, 1e-12, 1e-12) {
+		t.Errorf("RMSE = %v, want %v", st.RMSE, wantRMSE)
+	}
+	if !AlmostEqual(st.MaxAbs, 0.1, 1e-12, 1e-12) {
+		t.Errorf("MaxAbs = %v, want 0.1", st.MaxAbs)
+	}
+	if !AlmostEqual(st.Bias, (-0.1+0.1+0)/3, 1e-12, 1e-9) {
+		t.Errorf("Bias = %v, want ~0", st.Bias)
+	}
+}
+
+func TestCompareSeriesErrors(t *testing.T) {
+	if _, err := CompareSeries([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := CompareSeries(nil, nil); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestCompareSeriesIdentical(t *testing.T) {
+	xs := []float64{1, -2, 3.5, 0}
+	st, err := CompareSeries(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RMSE != 0 || st.MaxAbs != 0 || st.MaxRel != 0 || st.Bias != 0 {
+		t.Errorf("identical series should have zero errors, got %+v", st)
+	}
+}
+
+func TestCompareSeriesRelSkipsZeroReference(t *testing.T) {
+	st, err := CompareSeries([]float64{0.5, 2}, []float64{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxRel != 0 {
+		t.Errorf("MaxRel = %v, want 0 (zero reference excluded)", st.MaxRel)
+	}
+}
+
+func TestRMSEPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("RMSE should panic on length mismatch")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestErrorStatsString(t *testing.T) {
+	st := ErrorStats{N: 2, RMSE: 1e-3}
+	s := st.String()
+	if !strings.Contains(s, "n=2") || !strings.Contains(s, "1.000e-03") {
+		t.Errorf("unexpected String(): %q", s)
+	}
+}
+
+func TestOrderOfMagnitude(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{1e-3, -3}, {2.4e-3, -3}, {9.99e-3, -3},
+		{1, 0}, {10, 1}, {0.099, -2}, {-5e4, 4},
+	}
+	for _, c := range cases {
+		if got := OrderOfMagnitude(c.x); got != c.want {
+			t.Errorf("OrderOfMagnitude(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+	if got := OrderOfMagnitude(0); got != math.MinInt {
+		t.Errorf("OrderOfMagnitude(0) = %d, want MinInt", got)
+	}
+}

@@ -1,0 +1,66 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKahanSumCancellation(t *testing.T) {
+	// Classic case where naive summation loses the small terms entirely.
+	var k KahanSum
+	k.Add(1.0)
+	for i := 0; i < 1e6; i++ {
+		k.Add(1e-16)
+	}
+	want := 1.0 + 1e-10
+	if got := k.Sum(); !AlmostEqual(got, want, 1e-14, 1e-12) {
+		t.Errorf("compensated sum = %.17g, want %.17g", got, want)
+	}
+}
+
+func TestKahanSumNeumaierOrder(t *testing.T) {
+	// Neumaier's variant must survive a large term arriving after small
+	// ones; plain Kahan fails this pattern.
+	var k KahanSum
+	k.Add(1.0)
+	k.Add(1e100)
+	k.Add(1.0)
+	k.Add(-1e100)
+	if got := k.Sum(); got != 2.0 {
+		t.Errorf("sum = %v, want 2.0", got)
+	}
+}
+
+func TestKahanSumReset(t *testing.T) {
+	var k KahanSum
+	k.Add(42)
+	k.Reset()
+	if got := k.Sum(); got != 0 {
+		t.Errorf("after Reset, Sum = %v, want 0", got)
+	}
+}
+
+func TestSumSliceMatchesExact(t *testing.T) {
+	xs := make([]float64, 10001)
+	for i := range xs {
+		xs[i] = 0.1
+	}
+	if got, want := SumSlice(xs), 1000.1; !AlmostEqual(got, want, 1e-10, 1e-12) {
+		t.Errorf("SumSlice = %.17g, want %.17g", got, want)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %v, want 4", got)
+	}
+	if got := Mean([]float64{-1, 1}); got != 0 {
+		t.Errorf("Mean = %v, want 0", got)
+	}
+	if got := Mean([]float64{math.Pi}); got != math.Pi {
+		t.Errorf("Mean = %v, want pi", got)
+	}
+}

@@ -1,0 +1,282 @@
+// Package montecarlo implements the Monte Carlo pricing substrate the
+// paper's related work revolves around (§II: GPU and FPGA Monte Carlo
+// accelerators [4]-[8]): geometric Brownian motion path generation over
+// the deterministic xoshiro streams, European pricing by exact terminal
+// sampling with antithetic and control-variate variance reduction, and
+// American pricing by Longstaff–Schwartz least-squares regression. It
+// exists to reproduce the paper's framing argument — Monte Carlo
+// parallelises beautifully but converges at O(1/sqrt(n)), which is why a
+// binomial accelerator wins on this problem class.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"binopt/internal/linalg"
+	"binopt/internal/option"
+	"binopt/internal/rng"
+)
+
+// Config parameterises a Monte Carlo run.
+type Config struct {
+	// Paths is the number of simulated paths (antithetic pairs count as
+	// two paths).
+	Paths int
+	// Steps is the number of exercise dates for American contracts
+	// (ignored for European, which samples the terminal law exactly).
+	Steps int
+	// Seed drives the deterministic random streams.
+	Seed uint64
+	// Antithetic enables antithetic pairing.
+	Antithetic bool
+	// ControlVariate enables the discounted-underlying control variate
+	// for European pricing (its expectation is known in closed form).
+	ControlVariate bool
+	// Workers bounds concurrency (<= 0: GOMAXPROCS). Each worker gets a
+	// 2^128-jumped substream, so results are independent of scheduling.
+	Workers int
+}
+
+func (c Config) validate() error {
+	if c.Paths < 2 {
+		return fmt.Errorf("montecarlo: need at least 2 paths, got %d", c.Paths)
+	}
+	return nil
+}
+
+// Result carries a Monte Carlo estimate and its standard error.
+type Result struct {
+	Price    float64
+	StdErr   float64
+	Paths    int
+	Variance float64
+}
+
+// String renders the estimate with its confidence half-width.
+func (r Result) String() string {
+	return fmt.Sprintf("%.6f ± %.6f (1σ, %d paths)", r.Price, r.StdErr, r.Paths)
+}
+
+// PriceEuropean estimates a European option by sampling the exact
+// lognormal terminal distribution.
+func PriceEuropean(o option.Option, cfg Config) (Result, error) {
+	if err := o.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if o.Style != option.European {
+		return Result{}, fmt.Errorf("montecarlo: PriceEuropean got %v exercise", o.Style)
+	}
+
+	drift := (o.Rate - o.Div - 0.5*o.Sigma*o.Sigma) * o.T
+	vol := o.Sigma * math.Sqrt(o.T)
+	disc := math.Exp(-o.Rate * o.T)
+	// Control variate: discounted terminal spot, E = S0*exp(-q*T).
+	cvMean := o.Spot * math.Exp(-o.Div*o.T)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Paths {
+		workers = cfg.Paths
+	}
+	type acc struct {
+		n                        int
+		sumY, sumY2              float64
+		sumX, sumX2, sumXY       float64
+		_pad0, _pad1, _pad2, _p3 float64 // avoid false sharing between workers
+	}
+	accs := make([]acc, workers)
+	var wg sync.WaitGroup
+	base := rng.New(cfg.Seed)
+	for w := 0; w < workers; w++ {
+		gen := rng.New(cfg.Seed)
+		*gen = *base
+		base.Jump()
+		count := cfg.Paths / workers
+		if w < cfg.Paths%workers {
+			count++
+		}
+		wg.Add(1)
+		go func(w, count int, gen *rng.Xoshiro256) {
+			defer wg.Done()
+			norm := rng.NewNorm(gen)
+			a := &accs[w]
+			record := func(y, x float64) {
+				a.n++
+				a.sumY += y
+				a.sumY2 += y * y
+				a.sumX += x
+				a.sumX2 += x * x
+				a.sumXY += x * y
+			}
+			if cfg.Antithetic {
+				// One observation per antithetic pair: the pair average.
+				// Statistics over pair means account for the negative
+				// within-pair covariance that drives the variance
+				// reduction.
+				for i := 0; i < (count+1)/2; i++ {
+					z := norm.Next()
+					up := o.Spot * math.Exp(drift+vol*z)
+					dn := o.Spot * math.Exp(drift-vol*z)
+					record(0.5*disc*(o.Payoff(up)+o.Payoff(dn)), 0.5*disc*(up+dn))
+				}
+				return
+			}
+			for i := 0; i < count; i++ {
+				st := o.Spot * math.Exp(drift+vol*norm.Next())
+				record(disc*o.Payoff(st), disc*st)
+			}
+		}(w, count, gen)
+	}
+	wg.Wait()
+
+	var tot acc
+	for i := range accs {
+		tot.n += accs[i].n
+		tot.sumY += accs[i].sumY
+		tot.sumY2 += accs[i].sumY2
+		tot.sumX += accs[i].sumX
+		tot.sumX2 += accs[i].sumX2
+		tot.sumXY += accs[i].sumXY
+	}
+	n := float64(tot.n)
+	meanY := tot.sumY / n
+	varY := tot.sumY2/n - meanY*meanY
+
+	price := meanY
+	variance := varY
+	if cfg.ControlVariate {
+		meanX := tot.sumX / n
+		varX := tot.sumX2/n - meanX*meanX
+		if varX > 0 {
+			cov := tot.sumXY/n - meanX*meanY
+			beta := cov / varX
+			price = meanY - beta*(meanX-cvMean)
+			variance = varY - cov*cov/varX
+			if variance < 0 {
+				variance = 0
+			}
+		}
+	}
+	return Result{
+		Price:    price,
+		StdErr:   math.Sqrt(variance / n),
+		Paths:    tot.n,
+		Variance: variance,
+	}, nil
+}
+
+// PriceAmerican estimates an American option with the Longstaff–Schwartz
+// least-squares method: simulate full paths over cfg.Steps exercise
+// dates, then regress continuation values on in-the-money paths at each
+// date, backward from expiry. The polynomial basis is {1, m, m^2, m^3}
+// in moneyness m = S/K.
+func PriceAmerican(o option.Option, cfg Config) (Result, error) {
+	if err := o.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Steps < 1 {
+		return Result{}, fmt.Errorf("montecarlo: LSM needs at least 1 step, got %d", cfg.Steps)
+	}
+
+	n := cfg.Paths
+	steps := cfg.Steps
+	dt := o.T / float64(steps)
+	drift := (o.Rate - o.Div - 0.5*o.Sigma*o.Sigma) * dt
+	vol := o.Sigma * math.Sqrt(dt)
+	disc := math.Exp(-o.Rate * dt)
+
+	// Simulate all paths (row-major: path-major keeps generation simple
+	// and deterministic; the regression walks columns). Antithetic
+	// pairing operates on whole paths — path 2k+1 negates every increment
+	// of path 2k — so each path keeps iid increments.
+	paths := make([][]float64, n)
+	norm := rng.NewNorm(rng.New(cfg.Seed))
+	zs := make([]float64, steps)
+	for p := 0; p < n; p++ {
+		row := make([]float64, steps+1)
+		row[0] = o.Spot
+		if cfg.Antithetic && p%2 == 1 {
+			for t := 1; t <= steps; t++ {
+				row[t] = row[t-1] * math.Exp(drift-vol*zs[t-1])
+			}
+		} else {
+			for t := 1; t <= steps; t++ {
+				zs[t-1] = norm.Next()
+				row[t] = row[t-1] * math.Exp(drift+vol*zs[t-1])
+			}
+		}
+		paths[p] = row
+	}
+
+	// Cashflow state: value and time of the currently-optimal exercise
+	// along each path, initialised at expiry.
+	cash := make([]float64, n)
+	when := make([]int, n)
+	for p := 0; p < n; p++ {
+		cash[p] = o.Payoff(paths[p][steps])
+		when[p] = steps
+	}
+
+	const basisDim = 4
+	for t := steps - 1; t >= 1; t-- {
+		// In-the-money paths participate in the regression.
+		var x [][]float64
+		var y []float64
+		var idx []int
+		for p := 0; p < n; p++ {
+			s := paths[p][t]
+			if o.Payoff(s) <= 0 {
+				continue
+			}
+			m := s / o.Strike
+			x = append(x, []float64{1, m, m * m, m * m * m})
+			y = append(y, cash[p]*math.Pow(disc, float64(when[p]-t)))
+			idx = append(idx, p)
+		}
+		if len(x) < basisDim {
+			continue // too few ITM paths for a stable fit at this date
+		}
+		beta, err := linalg.LeastSquares(x, y)
+		if err != nil {
+			return Result{}, fmt.Errorf("montecarlo: regression at step %d: %w", t, err)
+		}
+		for i, p := range idx {
+			m := x[i][1]
+			cont := beta[0] + beta[1]*m + beta[2]*m*m + beta[3]*m*m*m
+			if ex := o.Payoff(paths[p][t]); ex > cont {
+				cash[p] = ex
+				when[p] = t
+			}
+		}
+	}
+
+	var sum, sumSq float64
+	for p := 0; p < n; p++ {
+		v := cash[p] * math.Pow(disc, float64(when[p]))
+		sum += v
+		sumSq += v * v
+	}
+	nf := float64(n)
+	mean := sum / nf
+	variance := sumSq/nf - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	// Immediate exercise at t=0 dominates if intrinsic beats the
+	// estimate (deep ITM).
+	if intr := o.Intrinsic(); intr > mean {
+		mean = intr
+	}
+	return Result{Price: mean, StdErr: math.Sqrt(variance / nf), Paths: n, Variance: variance}, nil
+}

@@ -1,0 +1,192 @@
+package montecarlo
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"binopt/internal/bs"
+	"binopt/internal/lattice"
+	"binopt/internal/option"
+)
+
+func euro(right option.Right) option.Option {
+	return option.Option{
+		Right: right, Style: option.European,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5,
+	}
+}
+
+func TestEuropeanConvergesToBlackScholes(t *testing.T) {
+	for _, right := range []option.Right{option.Call, option.Put} {
+		o := euro(right)
+		ref, err := bs.Price(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := PriceEuropean(o, Config{Paths: 400000, Seed: 1, Antithetic: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(res.Price - ref); diff > 4*res.StdErr+1e-3 {
+			t.Errorf("%v: MC %v vs BS %v (diff %g, 4σ %g)", right, res.Price, ref, diff, 4*res.StdErr)
+		}
+	}
+}
+
+func TestControlVariateReducesVariance(t *testing.T) {
+	o := euro(option.Call)
+	plain, err := PriceEuropean(o, Config{Paths: 100000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := PriceEuropean(o, Config{Paths: 100000, Seed: 3, ControlVariate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.Variance >= plain.Variance {
+		t.Errorf("control variate variance %g not below plain %g", cv.Variance, plain.Variance)
+	}
+	ref, _ := bs.Price(o)
+	if diff := math.Abs(cv.Price - ref); diff > 5*cv.StdErr+1e-3 {
+		t.Errorf("CV price %v too far from BS %v", cv.Price, ref)
+	}
+}
+
+func TestAntitheticReducesVariance(t *testing.T) {
+	o := euro(option.Put)
+	plain, err := PriceEuropean(o, Config{Paths: 100000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anti, err := PriceEuropean(o, Config{Paths: 100000, Seed: 5, Antithetic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anti.StdErr >= plain.StdErr {
+		t.Errorf("antithetic stderr %g not below plain %g", anti.StdErr, plain.StdErr)
+	}
+}
+
+func TestEuropeanDeterministicAcrossWorkerCounts(t *testing.T) {
+	// Per-worker jumped substreams make the estimate independent of
+	// scheduling but dependent on the worker count; the same worker
+	// count must reproduce exactly.
+	o := euro(option.Call)
+	a, err := PriceEuropean(o, Config{Paths: 50000, Seed: 9, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PriceEuropean(o, Config{Paths: 50000, Seed: 9, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Price != b.Price {
+		t.Errorf("same config not reproducible: %v vs %v", a.Price, b.Price)
+	}
+}
+
+func TestEuropeanValidation(t *testing.T) {
+	o := euro(option.Call)
+	if _, err := PriceEuropean(o, Config{Paths: 1}); err == nil {
+		t.Error("1 path should fail")
+	}
+	am := o
+	am.Style = option.American
+	if _, err := PriceEuropean(am, Config{Paths: 100}); err == nil {
+		t.Error("American contract should be rejected")
+	}
+	bad := o
+	bad.Sigma = -1
+	if _, err := PriceEuropean(bad, Config{Paths: 100}); err == nil {
+		t.Error("invalid option should fail")
+	}
+}
+
+func TestLSMMatchesLatticeAmericanPut(t *testing.T) {
+	// The reproduction's framing experiment: LSM converges to the
+	// binomial value, slowly. 60k paths x 50 dates should land within
+	// ~1% of the lattice reference (LSM is slightly low-biased).
+	o := euro(option.Put)
+	o.Style = option.American
+	eng, err := lattice.NewEngine(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := eng.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PriceAmerican(o, Config{Paths: 60000, Steps: 50, Seed: 7, Antithetic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(res.Price-ref) / ref
+	if rel > 0.015 {
+		t.Errorf("LSM %v vs lattice %v (rel %g)", res.Price, ref, rel)
+	}
+	// American >= European for the same contract.
+	oe := euro(option.Put)
+	eres, err := PriceEuropean(oe, Config{Paths: 60000, Seed: 7, Antithetic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Price < eres.Price-3*eres.StdErr {
+		t.Errorf("american %v below european %v", res.Price, eres.Price)
+	}
+}
+
+func TestLSMDeepITMReturnsAtLeastIntrinsic(t *testing.T) {
+	o := option.Option{
+		Right: option.Put, Style: option.American,
+		Spot: 50, Strike: 100, Rate: 0.08, Sigma: 0.2, T: 1,
+	}
+	res, err := PriceAmerican(o, Config{Paths: 20000, Steps: 25, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Price < 50 {
+		t.Errorf("deep ITM american put %v below intrinsic 50", res.Price)
+	}
+}
+
+func TestLSMValidation(t *testing.T) {
+	o := euro(option.Put)
+	o.Style = option.American
+	if _, err := PriceAmerican(o, Config{Paths: 1000, Steps: 0}); err == nil {
+		t.Error("0 steps should fail")
+	}
+	if _, err := PriceAmerican(o, Config{Paths: 1, Steps: 10}); err == nil {
+		t.Error("1 path should fail")
+	}
+	bad := o
+	bad.Spot = -1
+	if _, err := PriceAmerican(bad, Config{Paths: 100, Steps: 10}); err == nil {
+		t.Error("invalid option should fail")
+	}
+}
+
+func TestConvergenceRateIsSqrtN(t *testing.T) {
+	// The related-work argument: quadrupling the paths should roughly
+	// halve the standard error.
+	o := euro(option.Call)
+	small, err := PriceEuropean(o, Config{Paths: 20000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := PriceEuropean(o, Config{Paths: 80000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := small.StdErr / big.StdErr
+	if ratio < 1.7 || ratio > 2.4 {
+		t.Errorf("stderr ratio for 4x paths = %v, want ~2 (O(1/sqrt n))", ratio)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Price: 1.23, StdErr: 0.01, Paths: 1000}
+	if s := r.String(); !strings.Contains(s, "1.23") || !strings.Contains(s, "1000") {
+		t.Errorf("String: %q", s)
+	}
+}

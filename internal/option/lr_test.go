@@ -1,0 +1,71 @@
+package option
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLeisenReimerRequiresOddSteps(t *testing.T) {
+	o := sample()
+	if _, err := NewLatticeParams(o, 100, LeisenReimer); err == nil {
+		t.Error("even steps should fail")
+	}
+	if _, err := NewLatticeParams(o, 101, LeisenReimer); err != nil {
+		t.Errorf("odd steps should work: %v", err)
+	}
+}
+
+func TestLeisenReimerParamsSane(t *testing.T) {
+	o := sample()
+	lp, err := NewLatticeParams(o, 255, LeisenReimer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lp.P > 0 && lp.P < 1) {
+		t.Errorf("p = %v", lp.P)
+	}
+	if lp.D >= lp.U {
+		t.Errorf("d %v >= u %v", lp.D, lp.U)
+	}
+	// Martingale: p*u + (1-p)*d = growth.
+	growth := math.Exp((o.Rate - o.Div) * lp.Dt)
+	if got := lp.P*lp.U + (1-lp.P)*lp.D; math.Abs(got-growth) > 1e-12 {
+		t.Errorf("martingale violated: %v vs %v", got, growth)
+	}
+}
+
+func TestPeizerPrattProperties(t *testing.T) {
+	// Antisymmetric around 1/2, bounded in (0,1), monotone in z.
+	for _, n := range []int{11, 101, 1001} {
+		if got := peizerPratt(0, n); got != 0.5 {
+			t.Errorf("h(0) = %v, want 0.5", got)
+		}
+		prev := 0.0
+		for z := -5.0; z <= 5.0; z += 0.25 {
+			h := peizerPratt(z, n)
+			if h <= 0 || h >= 1 {
+				t.Fatalf("h(%v) = %v out of (0,1)", z, h)
+			}
+			if z > -5 && h < prev {
+				t.Fatalf("h not monotone at z=%v", z)
+			}
+			if sym := peizerPratt(-z, n); math.Abs(h+sym-1) > 1e-12 {
+				t.Fatalf("h(%v)+h(%v) = %v, want 1", z, -z, h+sym)
+			}
+			prev = h
+		}
+	}
+}
+
+func TestPeizerPrattAsymptotics(t *testing.T) {
+	// The inversion returns a per-step probability whose deviation from
+	// 1/2 shrinks like z/(2*sqrt(n)) — that scaling is what makes the
+	// n-step binomial tail match the normal CDF at z.
+	for _, n := range []int{101, 1001, 10001} {
+		got := peizerPratt(1, n) - 0.5
+		want := 1 / (2 * math.Sqrt(float64(n)))
+		if math.Abs(got-want) > 0.05*want {
+			t.Errorf("n=%d: h(1)-0.5 = %g, want ~%g", n, got, want)
+		}
+	}
+}

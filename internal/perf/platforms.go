@@ -1,0 +1,86 @@
+package perf
+
+import (
+	"fmt"
+
+	"binopt/internal/cpumodel"
+	"binopt/internal/device"
+	"binopt/internal/gpumodel"
+)
+
+// GPUIVB estimates the optimized kernel on the GPU.
+func GPUIVB(spec device.GPUSpec, steps int, single bool) (Estimate, error) {
+	m := gpumodel.New(spec)
+	ps, err := m.IVBOptionsPerSec(steps, single)
+	if err != nil {
+		return Estimate{}, err
+	}
+	e := Estimate{
+		Platform:          spec.Name,
+		Kernel:            "IV.B",
+		Precision:         precisionName(single),
+		OptionsPerSec:     ps,
+		PowerWatts:        m.PowerWatts(),
+		SaturationOptions: spec.SaturationOptions,
+	}
+	return finalize(e, steps), nil
+}
+
+// GPUIVA estimates the straightforward kernel on the GPU.
+func GPUIVA(spec device.GPUSpec, steps int, single, fullReadback bool) (Estimate, error) {
+	m := gpumodel.New(spec)
+	ps, err := m.IVAOptionsPerSec(steps, single, fullReadback)
+	if err != nil {
+		return Estimate{}, err
+	}
+	e := Estimate{
+		Platform:          spec.Name,
+		Kernel:            "IV.A",
+		Precision:         precisionName(single),
+		OptionsPerSec:     ps,
+		PowerWatts:        m.PowerWatts(),
+		SaturationOptions: spec.SaturationOptions,
+	}
+	return finalize(e, steps), nil
+}
+
+// EmbeddedIVB estimates the optimized kernel on one of the paper's
+// future-work targets (§VI: "other hardware architectures supporting the
+// OpenCL standard [16], [17]"): arithmetic-throughput bound at the
+// spec's sustained efficiency, like the GPU model.
+func EmbeddedIVB(spec device.EmbeddedSpec, steps int, single bool) (Estimate, error) {
+	if steps < 1 {
+		return Estimate{}, fmt.Errorf("perf: steps must be positive, got %d", steps)
+	}
+	peak := spec.PeakDPFlops
+	if single {
+		peak = spec.PeakSPFlops
+	}
+	nodes := float64(steps) * float64(steps+1) / 2
+	const flopsPerNode = 6
+	e := Estimate{
+		Platform:      spec.Name,
+		Kernel:        "IV.B",
+		Precision:     precisionName(single),
+		OptionsPerSec: peak * spec.Efficiency / (nodes * flopsPerNode),
+		PowerWatts:    spec.TDPWatts,
+	}
+	return finalize(e, steps), nil
+}
+
+// CPUReference estimates the single-core software reference.
+func CPUReference(spec device.CPUSpec, steps int, single bool) (Estimate, error) {
+	m := cpumodel.New(spec)
+	ps, err := m.OptionsPerSec(steps, single)
+	if err != nil {
+		return Estimate{}, err
+	}
+	e := Estimate{
+		Platform:      spec.Name,
+		Kernel:        "reference",
+		Precision:     precisionName(single),
+		OptionsPerSec: ps,
+		PowerWatts:    m.PowerWatts(),
+	}
+	return finalize(e, steps), nil
+}

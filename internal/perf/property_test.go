@@ -1,0 +1,123 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"binopt/internal/device"
+)
+
+// TestThroughputMonotoneInDepth: deeper trees mean more nodes per option,
+// so options/s must fall monotonically with N on every platform model.
+func TestThroughputMonotoneInDepth(t *testing.T) {
+	board := device.DE4()
+	fitA, fitB := fits(t)
+	gpu := device.GTX660()
+	cpu := device.XeonX5450()
+
+	prev := map[string]float64{}
+	for _, n := range []int{128, 256, 512, 1024, 2048} {
+		cases := map[string]func() (Estimate, error){
+			"fpga-ivb": func() (Estimate, error) { return FPGAIVB(board, fitB, n, false, false) },
+			"fpga-iva": func() (Estimate, error) { return FPGAIVA(board, fitA, n, false, true) },
+			"gpu-ivb":  func() (Estimate, error) { return GPUIVB(gpu, n, false) },
+			"gpu-iva":  func() (Estimate, error) { return GPUIVA(gpu, n, false, true) },
+			"cpu":      func() (Estimate, error) { return CPUReference(cpu, n, false) },
+		}
+		for name, f := range cases {
+			e, err := f()
+			if err != nil {
+				t.Fatalf("%s N=%d: %v", name, n, err)
+			}
+			if p, ok := prev[name]; ok && e.OptionsPerSec >= p {
+				t.Errorf("%s: throughput rose with depth at N=%d (%g -> %g)", name, n, p, e.OptionsPerSec)
+			}
+			prev[name] = e.OptionsPerSec
+		}
+	}
+}
+
+// TestFPGAThroughputScalesWithLanesAndClock: the IV.B estimate must be
+// proportional to lanes * Fmax.
+func TestFPGAThroughputScalesWithLanesAndClock(t *testing.T) {
+	board := device.DE4()
+	_, fitB := fits(t)
+	base, err := FPGAIVB(board, fitB, 1024, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled := fitB
+	doubled.NodeLanes *= 2
+	est, err := FPGAIVB(board, doubled, 1024, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := est.OptionsPerSec / base.OptionsPerSec; ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("doubling lanes gave %.3fx", ratio)
+	}
+	slower := fitB
+	slower.FmaxMHz /= 2
+	est, err = FPGAIVB(board, slower, 1024, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := est.OptionsPerSec / base.OptionsPerSec; ratio < 0.49 || ratio > 0.51 {
+		t.Errorf("halving the clock gave %.3fx", ratio)
+	}
+}
+
+// TestSaturationThroughputProperties: the ramp is monotone in workload
+// and bounded by the peak for any parameters.
+func TestSaturationThroughputProperties(t *testing.T) {
+	f := func(rawPeak float64, rawSat uint32, rawN uint32) bool {
+		peak := 1 + float64(uint32(rawPeak))/1e3
+		sat := int64(rawSat%1_000_000) + 10
+		n := int64(rawN % 10_000_000)
+		tput := SaturationThroughput(peak, sat, n)
+		if tput < 0 || tput > peak {
+			return false
+		}
+		return SaturationThroughput(peak, sat, n+1) >= tput
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSinglePrecisionNeverSlower: halving element size can only help the
+// transfer-bound IV.A models.
+func TestSinglePrecisionNeverSlower(t *testing.T) {
+	board := device.DE4()
+	fitA, _ := fits(t)
+	d, err := FPGAIVA(board, fitA, 1024, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FPGAIVA(board, fitA, 1024, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OptionsPerSec < d.OptionsPerSec {
+		t.Errorf("single %g slower than double %g on the transfer-bound path", s.OptionsPerSec, d.OptionsPerSec)
+	}
+}
+
+// TestEmbeddedEstimates sanity-checks the future-work models directly.
+func TestEmbeddedEstimates(t *testing.T) {
+	for _, spec := range []device.EmbeddedSpec{device.TIKeystone(), device.ARMMali()} {
+		d, err := EmbeddedIVB(spec, 1024, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := EmbeddedIVB(spec, 1024, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.OptionsPerSec <= d.OptionsPerSec {
+			t.Errorf("%s: single %g not above double %g", spec.Name, s.OptionsPerSec, d.OptionsPerSec)
+		}
+		if _, err := EmbeddedIVB(spec, 0, false); err == nil {
+			t.Error("zero steps should fail")
+		}
+	}
+}

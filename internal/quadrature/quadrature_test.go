@@ -1,0 +1,137 @@
+package quadrature
+
+import (
+	"math"
+	"testing"
+
+	"binopt/internal/bs"
+	"binopt/internal/lattice"
+	"binopt/internal/option"
+)
+
+func contract(right option.Right, style option.Style) option.Option {
+	return option.Option{
+		Right: right, Style: style,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5,
+	}
+}
+
+func TestEuropeanMatchesBlackScholes(t *testing.T) {
+	for _, right := range []option.Right{option.Call, option.Put} {
+		o := contract(right, option.European)
+		ref, err := bs.Price(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Price(o, Config{SpaceNodes: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := math.Abs(got - ref); diff > 2e-3 {
+			t.Errorf("%v: QUAD %v vs BS %v (diff %g)", right, got, ref, diff)
+		}
+	}
+}
+
+func TestAmericanMatchesLattice(t *testing.T) {
+	o := contract(option.Put, option.American)
+	eng, err := lattice.NewEngine(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := eng.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Price(o, Config{SpaceNodes: 512, Dates: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bermudan with 64 dates under-approximates American slightly.
+	if diff := math.Abs(got - ref); diff > 2e-2 {
+		t.Errorf("QUAD american %v vs lattice %v (diff %g)", got, ref, diff)
+	}
+	if got > ref+2e-3 {
+		t.Errorf("Bermudan approximation %v should not exceed American %v", got, ref)
+	}
+}
+
+func TestMoreDatesApproachAmerican(t *testing.T) {
+	o := contract(option.Put, option.American)
+	eng, err := lattice.NewEngine(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := eng.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	few, err := Price(o, Config{SpaceNodes: 512, Dates: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Price(o, Config{SpaceNodes: 512, Dates: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(many-ref) > math.Abs(few-ref) {
+		t.Errorf("more exercise dates should improve: 4 dates err %g, 64 dates err %g",
+			math.Abs(few-ref), math.Abs(many-ref))
+	}
+	if many < few-1e-9 {
+		t.Errorf("Bermudan value must increase with dates: %v -> %v", few, many)
+	}
+}
+
+func TestAmericanAboveEuropean(t *testing.T) {
+	am, err := Price(contract(option.Put, option.American), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eu, err := Price(contract(option.Put, option.European), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am < eu {
+		t.Errorf("american %v below european %v", am, eu)
+	}
+}
+
+func TestCallTailContribution(t *testing.T) {
+	// A far OTM grid forces the upper tail correction to carry real
+	// weight: deep ITM call must still price near S - K*disc.
+	o := option.Option{
+		Right: option.Call, Style: option.European,
+		Spot: 200, Strike: 100, Rate: 0.05, Sigma: 0.2, T: 1,
+	}
+	ref, err := bs.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Price(o, Config{SpaceNodes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-ref) > 5e-3 {
+		t.Errorf("deep ITM call %v vs BS %v", got, ref)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	o := contract(option.Put, option.American)
+	bad := o
+	bad.T = -1
+	if _, err := Price(bad, Config{}); err == nil {
+		t.Error("invalid option should fail")
+	}
+	for _, cfg := range []Config{
+		{SpaceNodes: 3}, // odd
+		{SpaceNodes: 2}, // too small
+		{Dates: -1},     // negative
+		{WidthSigmas: -1},
+	} {
+		if _, err := Price(o, cfg); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministicStream(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds nearly identical: %d matches", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	g := New(7)
+	for i := 0; i < 100000; i++ {
+		f := g.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	g := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		f := g.Float64()
+		sum += f
+		sumSq += f * f
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("uniform variance = %v, want %v", variance, 1.0/12)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	n := NewNorm(New(13))
+	const count = 200000
+	var sum, sumSq, sumCube, sumQuad float64
+	for i := 0; i < count; i++ {
+		z := n.Next()
+		sum += z
+		sumSq += z * z
+		sumCube += z * z * z
+		sumQuad += z * z * z * z
+	}
+	mean := sum / count
+	variance := sumSq / count
+	skew := sumCube / count
+	kurt := sumQuad / count
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v", variance)
+	}
+	if math.Abs(skew) > 0.05 {
+		t.Errorf("normal skew = %v", skew)
+	}
+	if math.Abs(kurt-3) > 0.15 {
+		t.Errorf("normal kurtosis = %v, want 3", kurt)
+	}
+}
+
+func TestAntitheticPairs(t *testing.T) {
+	a := NewAntithetic(NewNorm(New(5)))
+	for i := 0; i < 1000; i++ {
+		z1 := a.Next()
+		z2 := a.Next()
+		if z1 != -z2 {
+			t.Fatalf("pair %d not antithetic: %v, %v", i, z1, z2)
+		}
+	}
+}
+
+func TestAntitheticMeanExactlyZero(t *testing.T) {
+	a := NewAntithetic(NewNorm(New(5)))
+	var sum float64
+	for i := 0; i < 10000; i++ {
+		sum += a.Next()
+	}
+	if sum != 0 {
+		t.Errorf("antithetic pair sum = %v, want exactly 0", sum)
+	}
+}
+
+func TestJumpProducesDisjointStreams(t *testing.T) {
+	a := New(99)
+	b := New(99)
+	b.Jump()
+	// The jumped stream must differ from the original's early output.
+	matches := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			matches++
+		}
+	}
+	if matches > 2 {
+		t.Errorf("jumped stream overlaps: %d matches", matches)
+	}
+}
+
+func TestJumpEquivalenceProperty(t *testing.T) {
+	// Two generators with the same seed, each jumped once, stay identical.
+	f := func(seed uint64) bool {
+		a, b := New(seed), New(seed)
+		a.Jump()
+		b.Jump()
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroSeedNotAbsorbing(t *testing.T) {
+	g := New(0)
+	var any uint64
+	for i := 0; i < 10; i++ {
+		any |= g.Uint64()
+	}
+	if any == 0 {
+		t.Error("zero seed produced an all-zero stream")
+	}
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// nodeBase mirrors the flattening used by kernel IV.A: level t starts at
+// offset t*(t+1)/2.
+func nodeBase(t int) int { return t * (t + 1) / 2 }
+
+// Figure3 renders the straightforward implementation's dataflow for an
+// n-step tree at a given batch: the flattened tree with global work-item
+// ids, the option each pipeline stage is processing, the ping-pong read
+// and write addresses, and the host operations of the batch (the paper
+// draws N=2, batch 3).
+func Figure3(n int, batch, numOptions int) (string, error) {
+	if n < 1 || n > 6 {
+		return "", fmt.Errorf("trace: figure 3 wants 1 <= steps <= 6, got %d", n)
+	}
+	if batch < 0 || numOptions < 1 {
+		return "", fmt.Errorf("trace: figure 3 wants batch >= 0 and options >= 1")
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Kernel IV.A dataflow, N=%d, batch %d (Figure 3)\n", n, batch)
+	fmt.Fprintf(&b, "work-items: %d per batch; ping-pong buffers swap between batches\n\n", nodeBase(n))
+	b.WriteString("stage  node(t,k)  global-id  reads(old)      writes(new)  option-in-stage\n")
+	for t := n - 1; t >= 0; t-- {
+		for k := t; k >= 0; k-- {
+			id := nodeBase(t) + k
+			child := nodeBase(t+1) + k
+			op := batch - (n - 1 - t)
+			opLabel := fmt.Sprintf("option %d", op)
+			if op < 0 {
+				opLabel = "(pipeline filling)"
+			} else if op >= numOptions {
+				opLabel = "(pipeline draining)"
+			}
+			fmt.Fprintf(&b, "t=%-4d (%d,%d)      id=%-6d  V[%d],V[%d],S[%d]  V[%d],S[%d]     %s\n",
+				t, t, k, id, child, child+1, child, id, id, opLabel)
+		}
+	}
+	fmt.Fprintf(&b, "\nhost per batch: init leaves -> write S[%d..%d],V[same] -> enqueue %d kernels -> read result V[0]\n",
+		nodeBase(n), nodeBase(n+1)-1, nodeBase(n))
+	if done := batch - (n - 1); done >= 0 && done < numOptions {
+		fmt.Fprintf(&b, "result available this batch: option %d\n", done)
+	}
+	b.WriteString("buffers switch (ping <-> pong) before the next batch\n")
+	return b.String(), nil
+}
+
+// Figure4 renders the optimized kernel's dataflow for one backward step:
+// per-row work-items, the local-memory copy/compute/store phases and the
+// barrier points (the paper draws three work-items).
+func Figure4(n int, t int) (string, error) {
+	if n < 2 || n > 8 {
+		return "", fmt.Errorf("trace: figure 4 wants 2 <= steps <= 8, got %d", n)
+	}
+	if t < 0 || t >= n {
+		return "", fmt.Errorf("trace: figure 4 wants 0 <= t < steps, got t=%d", t)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Kernel IV.B dataflow, N=%d, backward step t=%d (Figure 4)\n", n, t)
+	fmt.Fprintf(&b, "one work-group per option; work-item k owns tree row k; V[] lives in local memory\n\n")
+
+	b.WriteString("local ids:     ")
+	for k := 0; k <= n; k++ {
+		fmt.Fprintf(&b, "wi%-5d", k)
+	}
+	b.WriteString("\nprivate S:     ")
+	for k := 0; k <= n; k++ {
+		if k <= t {
+			b.WriteString("S(t,k) ")
+		} else {
+			b.WriteString("idle   ")
+		}
+	}
+	b.WriteString("\n\nphase 1 (copy):    active k<=t read  vDn=V[k], vUp=V[k+1]   from local memory\n")
+	b.WriteString("--- barrier ---------------------------------------------------------------\n")
+	b.WriteString("phase 2 (compute): S *= 1/d; cont = rp*vUp + rq*vDn; max(payoff(S), cont)\n")
+	b.WriteString("phase 2 (store):   V[k] = result                     to local memory\n")
+	b.WriteString("--- barrier ---------------------------------------------------------------\n")
+	fmt.Fprintf(&b, "\nwork-items with k > t stay idle (\"hardware resources are unlikely to be reused\")\n")
+	fmt.Fprintf(&b, "after t=0: wi0 stores V[0] to global memory; host reads all results once\n")
+	return b.String(), nil
+}

@@ -1,0 +1,66 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders an ASCII scatter/line chart of y against x — enough to
+// eyeball a volatility smile or a saturation ramp in a terminal, which
+// is how the paper's trader-side tooling would surface them.
+func Plot(title, xLabel, yLabel string, xs, ys []float64, width, height int) (string, error) {
+	if len(xs) != len(ys) {
+		return "", fmt.Errorf("trace: plot needs matching series, got %d x and %d y", len(xs), len(ys))
+	}
+	if len(xs) < 2 {
+		return "", fmt.Errorf("trace: plot needs at least 2 points, got %d", len(xs))
+	}
+	if width < 16 || height < 4 {
+		return "", fmt.Errorf("trace: plot needs width >= 16 and height >= 4, got %dx%d", width, height)
+	}
+	xMin, xMax := xs[0], xs[0]
+	yMin, yMax := ys[0], ys[0]
+	for i := range xs {
+		if math.IsNaN(xs[i]) || math.IsNaN(ys[i]) || math.IsInf(xs[i], 0) || math.IsInf(ys[i], 0) {
+			return "", fmt.Errorf("trace: plot point %d is not finite", i)
+		}
+		xMin = math.Min(xMin, xs[i])
+		xMax = math.Max(xMax, xs[i])
+		yMin = math.Min(yMin, ys[i])
+		yMax = math.Max(yMax, ys[i])
+	}
+	if xMax == xMin {
+		return "", fmt.Errorf("trace: plot x range is degenerate")
+	}
+	if yMax == yMin {
+		// Flat series: pad the range so the line sits mid-chart.
+		yMax += 1
+		yMin -= 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		c := int(math.Round((xs[i] - xMin) / (xMax - xMin) * float64(width-1)))
+		r := int(math.Round((ys[i] - yMin) / (yMax - yMin) * float64(height-1)))
+		row := height - 1 - r
+		grid[row][c] = '*'
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%s (max %.4g)\n", yLabel, yMax)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("\n")
+	fmt.Fprintf(&b, " %s: %.4g .. %.4g (%s min %.4g)\n", xLabel, xMin, xMax, yLabel, yMin)
+	return b.String(), nil
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPlotRendersSmileShape(t *testing.T) {
+	var xs, ys []float64
+	for m := 0.7; m <= 1.3; m += 0.05 {
+		xs = append(xs, m)
+		ys = append(ys, 0.18+0.12*(1.05-m)*(1.05-m))
+	}
+	s, err := Plot("smile", "moneyness", "vol", xs, ys, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "smile") || strings.Count(s, "*") < 10 {
+		t.Errorf("plot:\n%s", s)
+	}
+	lines := strings.Split(s, "\n")
+	// Header, y-label, height rows, axis, x-label.
+	if len(lines) < 14 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestPlotFlatSeries(t *testing.T) {
+	s, err := Plot("flat", "x", "y", []float64{0, 1, 2}, []float64{5, 5, 5}, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(s, "*") < 2 {
+		t.Errorf("flat plot lost points:\n%s", s)
+	}
+}
+
+func TestPlotValidation(t *testing.T) {
+	if _, err := Plot("t", "x", "y", []float64{1}, []float64{1}, 20, 5); err == nil {
+		t.Error("single point should fail")
+	}
+	if _, err := Plot("t", "x", "y", []float64{1, 2}, []float64{1}, 20, 5); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Plot("t", "x", "y", []float64{1, 2}, []float64{1, 2}, 5, 5); err == nil {
+		t.Error("tiny width should fail")
+	}
+	if _, err := Plot("t", "x", "y", []float64{1, 1}, []float64{1, 2}, 20, 5); err == nil {
+		t.Error("degenerate x range should fail")
+	}
+	if _, err := Plot("t", "x", "y", []float64{1, math.NaN()}, []float64{1, 2}, 20, 5); err == nil {
+		t.Error("NaN point should fail")
+	}
+}

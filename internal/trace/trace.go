@@ -1,0 +1,84 @@
+// Package trace renders ASCII equivalents of the paper's explanatory
+// figures from live data structures: the binomial tree of Figure 1, the
+// OpenCL platform model of Figure 2, the flattened dataflow of the
+// straightforward kernel (Figure 3) and the local-memory dataflow of the
+// optimized kernel (Figure 4). Each renderer is driven by the same
+// parameterisation code the pricing engines use, so the figures stay
+// truthful to the implementation.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"binopt/internal/opencl"
+	"binopt/internal/option"
+)
+
+// Figure1 renders the binomial tree for the option at the given depth
+// (the paper draws T=2): asset prices per node, leaf initialisation and
+// the backward iteration direction.
+func Figure1(o option.Option, n int) (string, error) {
+	if n < 1 || n > 8 {
+		return "", fmt.Errorf("trace: figure 1 wants 1 <= steps <= 8, got %d", n)
+	}
+	lp, err := option.NewLatticeParams(o, n, option.CRR)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Binomial tree, N=%d (Figure 1): %s\n", n, o.String())
+	fmt.Fprintf(&b, "u=%.6f d=%.6f p=%.4f rp=%.6f rq=%.6f\n\n", lp.U, lp.D, lp.P, lp.Pu, lp.Pd)
+	b.WriteString("t:   ")
+	for t := 0; t <= n; t++ {
+		fmt.Fprintf(&b, "%-12d", t)
+	}
+	b.WriteString("\n")
+	for k := n; k >= 0; k-- {
+		fmt.Fprintf(&b, "k=%-2d ", k)
+		for t := 0; t <= n; t++ {
+			if k <= t {
+				fmt.Fprintf(&b, "%-12.4f", nodePrice(o.Spot, lp, t, k))
+			} else {
+				b.WriteString(strings.Repeat(" ", 12))
+			}
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("\nleaves: V(N,k) = payoff(S(N,k))          <- initialisation\n")
+	b.WriteString("inner:  V(t,k) = max(payoff(S), rp*V(t+1,k+1) + rq*V(t+1,k))\n")
+	b.WriteString("<=== backward iteration: option price is V(0,0)\n")
+	return b.String(), nil
+}
+
+// nodePrice is the asset price at node (t, k): S0 * u^k * d^(t-k).
+func nodePrice(spot float64, lp option.LatticeParams, t, k int) float64 {
+	return spot * pow(lp.U, k) * pow(lp.D, t-k)
+}
+
+func pow(x float64, n int) float64 {
+	r := 1.0
+	for i := 0; i < n; i++ {
+		r *= x
+	}
+	return r
+}
+
+// Figure2 renders the OpenCL platform model: host, device, compute
+// units, the three memory levels.
+func Figure2(p *opencl.Platform) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OpenCL platform model (Figure 2)\n")
+	fmt.Fprintf(&b, "HOST -- command queues --> platform %q (%s, %s)\n", p.Name, p.Vendor, p.Version)
+	for _, d := range p.Devices(-1) {
+		i := d.Info
+		fmt.Fprintf(&b, "  DEVICE %q [%s]\n", i.Name, i.Type)
+		fmt.Fprintf(&b, "    GLOBAL MEMORY: %d bytes (host-visible)\n", i.GlobalMemBytes)
+		for cu := 0; cu < i.ComputeUnits; cu++ {
+			fmt.Fprintf(&b, "    Compute Unit %d\n", cu)
+			fmt.Fprintf(&b, "      LOCAL MEMORY: %d bytes (work-group shared)\n", i.LocalMemBytes)
+			fmt.Fprintf(&b, "      work-items x%d max, PRIVATE memory each\n", i.MaxWorkGroupSize)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"binopt/internal/opencl"
+	"binopt/internal/option"
+)
+
+func sampleOpt() option.Option {
+	return option.Option{
+		Right: option.Put, Style: option.American,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5,
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	s, err := Figure1(sampleOpt(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The N=2 CRR tree around spot 100: root 100, middle leaf back at
+	// 100, corners u^2 and d^2 scaled.
+	for _, want := range []string{"N=2", "backward iteration", "V(0,0)", "100.0000", "initialisation"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure 1 missing %q:\n%s", want, s)
+		}
+	}
+	// Recombination: the middle leaf (2,1) equals the spot at (0,0) for CRR.
+	if strings.Count(s, "100.0000") < 2 {
+		t.Errorf("CRR recombination not visible (want spot at (0,0) and (2,1)):\n%s", s)
+	}
+}
+
+func TestFigure1Validation(t *testing.T) {
+	if _, err := Figure1(sampleOpt(), 0); err == nil {
+		t.Error("0 steps should fail")
+	}
+	if _, err := Figure1(sampleOpt(), 9); err == nil {
+		t.Error("9 steps should fail (unreadable)")
+	}
+	bad := sampleOpt()
+	bad.Sigma = -1
+	if _, err := Figure1(bad, 2); err == nil {
+		t.Error("invalid option should fail")
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	p := opencl.NewPlatform("Altera SDK", "Altera", "OpenCL 1.0", opencl.DeviceInfo{
+		Name: "DE4", Type: opencl.Accelerator, ComputeUnits: 1,
+		GlobalMemBytes: 2 << 30, LocalMemBytes: 1 << 20, MaxWorkGroupSize: 2048,
+	})
+	s := Figure2(p)
+	for _, want := range []string{"HOST", "DEVICE", "GLOBAL MEMORY", "LOCAL MEMORY", "PRIVATE", "Compute Unit 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure 2 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	s, err := Figure3(2, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"batch 3", "ping-pong", "id=0", "option 2", "result available this batch: option 2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure 3 missing %q:\n%s", want, s)
+		}
+	}
+	// Pipeline fill annotation for early batches.
+	early, err := Figure3(3, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(early, "pipeline filling") {
+		t.Errorf("early batch should show pipeline fill:\n%s", early)
+	}
+	// Drain annotation past the last option.
+	late, err := Figure3(2, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(late, "pipeline draining") {
+		t.Errorf("late batch should show drain:\n%s", late)
+	}
+}
+
+func TestFigure3Validation(t *testing.T) {
+	if _, err := Figure3(0, 0, 1); err == nil {
+		t.Error("0 steps should fail")
+	}
+	if _, err := Figure3(2, -1, 1); err == nil {
+		t.Error("negative batch should fail")
+	}
+	if _, err := Figure3(7, 0, 1); err == nil {
+		t.Error("7 steps should fail (unreadable)")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	s, err := Figure4(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"barrier", "local memory", "wi0", "idle", "rp*vUp + rq*vDn", "global memory"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("figure 4 missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Count(s, "barrier") < 2 {
+		t.Error("figure 4 must show both barriers")
+	}
+}
+
+func TestFigure4Validation(t *testing.T) {
+	if _, err := Figure4(1, 0); err == nil {
+		t.Error("1 step should fail")
+	}
+	if _, err := Figure4(4, 4); err == nil {
+		t.Error("t out of range should fail")
+	}
+	if _, err := Figure4(4, -1); err == nil {
+		t.Error("negative t should fail")
+	}
+}

@@ -1,0 +1,125 @@
+package volatility
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"binopt/internal/workload"
+)
+
+// Method selects the root finder used per quote.
+type Method int
+
+const (
+	// MethodBrent is the default (fewest pricings per quote).
+	MethodBrent Method = iota
+	// MethodNewton uses BS-vega Newton with bisection fallback.
+	MethodNewton
+	// MethodBisect is the fully robust baseline.
+	MethodBisect
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case MethodBrent:
+		return "brent"
+	case MethodNewton:
+		return "newton"
+	case MethodBisect:
+		return "bisect"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// CurvePoint is one recovered point of the implied-volatility curve.
+type CurvePoint struct {
+	Strike  float64
+	Mny     float64 // strike / spot
+	Implied float64
+}
+
+// Curve inverts every quote and returns the volatility curve sorted by
+// strike — the artefact the trader reads off the accelerator — plus the
+// number of quotes skipped because they carry no volatility information
+// (deep in-the-money American options pinned at intrinsic). workers
+// limits concurrency (<= 0 uses GOMAXPROCS); each quote costs the solver
+// a dozen or more full tree pricings, which is precisely why the paper
+// needs 2000+ options/s.
+func Curve(quotes []workload.Quote, pf PriceFunc, method Method, workers int) ([]CurvePoint, int, error) {
+	if len(quotes) == 0 {
+		return nil, 0, fmt.Errorf("volatility: no quotes")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(quotes) {
+		workers = len(quotes)
+	}
+	solve := Brent
+	switch method {
+	case MethodNewton:
+		solve = Newton
+	case MethodBisect:
+		solve = Bisect
+	}
+
+	pts := make([]CurvePoint, len(quotes))
+	keep := make([]bool, len(quotes))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		skipped  int
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				q := quotes[i]
+				iv, err := solve(q.Price, q.Option, pf, DefaultTol, DefaultMaxIter)
+				switch {
+				case errors.Is(err, ErrNoVolInfo):
+					mu.Lock()
+					skipped++
+					mu.Unlock()
+				case err != nil:
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("volatility: quote %d (K=%v): %w", i, q.Option.Strike, err)
+					}
+					mu.Unlock()
+				default:
+					pts[i] = CurvePoint{
+						Strike:  q.Option.Strike,
+						Mny:     q.Option.Strike / q.Option.Spot,
+						Implied: iv,
+					}
+					keep[i] = true
+				}
+			}
+		}()
+	}
+	for i := range quotes {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, skipped, firstErr
+	}
+	out := pts[:0]
+	for i, k := range keep {
+		if k {
+			out = append(out, pts[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Strike < out[j].Strike })
+	return out, skipped, nil
+}

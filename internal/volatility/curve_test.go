@@ -1,0 +1,147 @@
+package volatility
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"binopt/internal/lattice"
+	"binopt/internal/option"
+	"binopt/internal/workload"
+)
+
+// buildQuotes generates a small chain and its binomial reference prices.
+func buildQuotes(t *testing.T, n, steps int) ([]workload.Quote, *lattice.Engine) {
+	t.Helper()
+	spec := workload.DefaultVolCurveSpec(99)
+	spec.N = n
+	opts, err := workload.Chain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quotes, err := workload.ReferenceQuotes(opts, steps, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := lattice.NewEngine(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return quotes, eng
+}
+
+func TestCurveRecoversSmile(t *testing.T) {
+	// End-to-end use case (experiment E2 at test scale): generate quotes
+	// from a known smile, invert them, and compare curve to truth. Deep
+	// in-the-money puts pinned at intrinsic carry no volatility
+	// information and are skipped, as on a real desk.
+	quotes, eng := buildQuotes(t, 40, 96)
+	pts, skipped, err := Curve(quotes, eng.Price, MethodBrent, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts)+skipped != 40 {
+		t.Fatalf("points %d + skipped %d != 40", len(pts), skipped)
+	}
+	if len(pts) < 25 {
+		t.Fatalf("too few informative quotes: %d", len(pts))
+	}
+	var worst float64
+	for _, p := range pts {
+		truth := workload.DefaultSmile(p.Mny)
+		if e := math.Abs(p.Implied - truth); e > worst {
+			worst = e
+		}
+	}
+	if worst > 5e-4 {
+		t.Errorf("worst smile recovery error %g, want < 5e-4", worst)
+	}
+	// Sorted by strike.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Strike < pts[i-1].Strike {
+			t.Fatal("curve not sorted by strike")
+		}
+	}
+}
+
+func TestCurveMethodsAgree(t *testing.T) {
+	quotes, eng := buildQuotes(t, 12, 64)
+	var ref []CurvePoint
+	for _, m := range []Method{MethodBrent, MethodNewton, MethodBisect} {
+		pts, _, err := Curve(quotes, eng.Price, m, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if ref == nil {
+			ref = pts
+			continue
+		}
+		if len(pts) != len(ref) {
+			t.Fatalf("%v kept %d points, reference %d", m, len(pts), len(ref))
+		}
+		for i := range pts {
+			if math.Abs(pts[i].Implied-ref[i].Implied) > 1e-4 {
+				t.Errorf("%v point %d: %v vs %v", m, i, pts[i].Implied, ref[i].Implied)
+			}
+		}
+	}
+}
+
+func TestCurveEmptyQuotes(t *testing.T) {
+	_, eng := buildQuotes(t, 1, 16)
+	if _, _, err := Curve(nil, eng.Price, MethodBrent, 0); err == nil {
+		t.Error("empty quotes should fail")
+	}
+}
+
+func TestCurvePropagatesSolverErrors(t *testing.T) {
+	quotes, eng := buildQuotes(t, 5, 32)
+	quotes[3].Price = -1
+	if _, _, err := Curve(quotes, eng.Price, MethodBisect, 2); err == nil {
+		t.Error("bad quote should surface an error")
+	}
+}
+
+func TestPinnedQuoteReturnsNoVolInfo(t *testing.T) {
+	// A deep ITM American put pinned at intrinsic must be classified as
+	// carrying no volatility information by every solver.
+	eng, err := lattice.NewEngine(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := quotes130()
+	price, err := eng.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if price != o.Intrinsic() {
+		t.Skipf("contract not pinned at intrinsic (%v vs %v)", price, o.Intrinsic())
+	}
+	for name, solve := range map[string]func(float64, option.Option, PriceFunc, float64, int) (float64, error){
+		"bisect": Bisect, "newton": Newton, "brent": Brent,
+	} {
+		_, err := solve(price, o, eng.Price, 0, 0)
+		if !errors.Is(err, ErrNoVolInfo) {
+			t.Errorf("%s: err = %v, want ErrNoVolInfo", name, err)
+		}
+	}
+}
+
+func quotes130() option.Option {
+	return option.Option{
+		Right: option.Put, Style: option.American,
+		Spot: 100, Strike: 140, Rate: 0.05, Sigma: 0.10, T: 0.5,
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for _, m := range []Method{MethodBrent, MethodNewton, MethodBisect} {
+		if m.String() == "" || strings.HasPrefix(m.String(), "Method(") {
+			t.Errorf("Method(%d).String() = %q", int(m), m.String())
+		}
+	}
+	if !strings.Contains(Method(9).String(), "9") {
+		t.Error("unknown method should print its number")
+	}
+}

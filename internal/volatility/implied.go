@@ -1,0 +1,254 @@
+// Package volatility recovers implied volatilities from option quotes —
+// the decision-aid use case that motivates the paper's accelerator: "a
+// trader can use our work to estimate the implied volatility curve of an
+// option ... A second per volatility curve (2000 option values per
+// volatility curve for accuracy considerations)" (§I). The solvers are
+// generic over the pricing engine, so the same curve can be produced by
+// the reference software or by either OpenCL kernel.
+package volatility
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"binopt/internal/bs"
+	"binopt/internal/option"
+)
+
+// ErrNoVolInfo marks a quote sitting on the zero-volatility price floor —
+// typically a deep in-the-money American option pinned at intrinsic
+// value, whose price is flat in sigma. No implied volatility is defined
+// there; curve construction skips such quotes, as trading desks do.
+var ErrNoVolInfo = errors.New("volatility: quote at the zero-volatility floor carries no volatility information")
+
+// PriceFunc prices a contract; the sigma to invert is carried inside the
+// option. The lattice engines and the Black–Scholes closed form both
+// satisfy it directly.
+type PriceFunc func(option.Option) (float64, error)
+
+// Solver bounds and defaults.
+const (
+	// VolMin and VolMax bracket every realistic implied volatility.
+	// VolMin stays above the CRR feasibility bound sigma > |r-q|*sqrt(dt)
+	// (below it the risk-neutral probability leaves (0,1) and lattice
+	// pricers reject the contract).
+	VolMin = 5e-3
+	VolMax = 4.0
+	// DefaultTol is the price-space convergence tolerance.
+	DefaultTol = 1e-8
+	// DefaultMaxIter bounds all iterative solvers.
+	DefaultMaxIter = 100
+)
+
+// evalAt prices the contract at volatility sigma.
+func evalAt(pf PriceFunc, o option.Option, sigma float64) (float64, error) {
+	o.Sigma = sigma
+	return pf(o)
+}
+
+// checkQuote rejects prices that no volatility can explain: below the
+// zero-volatility floor or above the spot bound.
+func checkQuote(price float64, o option.Option) error {
+	if math.IsNaN(price) || price <= 0 {
+		return fmt.Errorf("volatility: quote %v is not a positive price", price)
+	}
+	if o.Right == option.Call && price > o.Spot {
+		return fmt.Errorf("volatility: call quote %v above spot %v has no implied volatility", price, o.Spot)
+	}
+	if o.Right == option.Put && price > o.Strike {
+		return fmt.Errorf("volatility: put quote %v above strike %v has no implied volatility", price, o.Strike)
+	}
+	return nil
+}
+
+// floorCheck prices the contract at the volatility floor and classifies
+// the quote: below the floor it is unattainable, on the floor it carries
+// no volatility information, above it inversion can proceed.
+func floorCheck(price float64, o option.Option, pf PriceFunc, tol float64) (float64, error) {
+	floor, err := evalAt(pf, o, VolMin)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case price < floor-tol:
+		return floor, fmt.Errorf("volatility: quote %v below the zero-volatility floor %v", price, floor)
+	case price <= floor+tol:
+		return floor, ErrNoVolInfo
+	default:
+		return floor, nil
+	}
+}
+
+// Bisect recovers the implied volatility by bisection on [VolMin,
+// VolMax]. Robust and derivative-free; about 30-45 pricings per quote.
+func Bisect(price float64, o option.Option, pf PriceFunc, tol float64, maxIter int) (float64, error) {
+	if err := checkQuote(price, o); err != nil {
+		return 0, err
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	if _, err := floorCheck(price, o, pf, tol); err != nil {
+		return 0, err
+	}
+	lo, hi := VolMin, VolMax
+	fHi, err := evalAt(pf, o, hi)
+	if err != nil {
+		return 0, err
+	}
+	if price > fHi+tol {
+		return 0, fmt.Errorf("volatility: quote %v above the maximum attainable price %v", price, fHi)
+	}
+	var mid float64
+	for i := 0; i < maxIter; i++ {
+		mid = 0.5 * (lo + hi)
+		v, err := evalAt(pf, o, mid)
+		if err != nil {
+			return 0, err
+		}
+		if math.Abs(v-price) < tol || hi-lo < 1e-12 {
+			return mid, nil
+		}
+		if v < price {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return mid, nil
+}
+
+// Newton recovers the implied volatility by Newton–Raphson using the
+// Black–Scholes vega as the slope (the standard quasi-Newton for lattice
+// pricers, whose own vega is not analytic). Falls back to bisection when
+// the iteration leaves the bracket or stalls.
+func Newton(price float64, o option.Option, pf PriceFunc, tol float64, maxIter int) (float64, error) {
+	if err := checkQuote(price, o); err != nil {
+		return 0, err
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	if _, err := floorCheck(price, o, pf, tol); err != nil {
+		return 0, err
+	}
+	sigma := 0.3 // standard starting point
+	for i := 0; i < maxIter; i++ {
+		v, err := evalAt(pf, o, sigma)
+		if err != nil {
+			return 0, err
+		}
+		diff := v - price
+		if math.Abs(diff) < tol {
+			return sigma, nil
+		}
+		vegaOpt := o
+		vegaOpt.Sigma = sigma
+		vega, err := bs.Vega(vegaOpt)
+		if err != nil || vega < 1e-10 {
+			break // flat slope: bisection territory
+		}
+		next := sigma - diff/vega
+		if next <= VolMin || next >= VolMax || math.IsNaN(next) {
+			break
+		}
+		if math.Abs(next-sigma) < 1e-12 {
+			return next, nil
+		}
+		sigma = next
+	}
+	return Bisect(price, o, pf, tol, maxIter)
+}
+
+// Brent recovers the implied volatility with Brent's method: bracketing
+// with inverse quadratic interpolation, the best of both worlds at ~10-15
+// pricings per quote.
+func Brent(price float64, o option.Option, pf PriceFunc, tol float64, maxIter int) (float64, error) {
+	if err := checkQuote(price, o); err != nil {
+		return 0, err
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIter
+	}
+	floor, err := floorCheck(price, o, pf, tol)
+	if err != nil {
+		return 0, err
+	}
+	f := func(sigma float64) (float64, error) {
+		v, err := evalAt(pf, o, sigma)
+		return v - price, err
+	}
+	a, b := VolMin, VolMax
+	fa := floor - price
+	fb, err := f(b)
+	if err != nil {
+		return 0, err
+	}
+	if fa*fb > 0 {
+		return 0, fmt.Errorf("volatility: quote %v not bracketed by [%v, %v]", price, VolMin, VolMax)
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b, fa, fb = b, a, fb, fa
+	}
+	c, fc := a, fa
+	d := b - a
+	mflag := true
+	for i := 0; i < maxIter; i++ {
+		if math.Abs(fb) < tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < 1e-14) ||
+			(!mflag && math.Abs(c-d) < 1e-14)
+		if cond {
+			s = 0.5 * (a + b)
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs, err := f(s)
+		if err != nil {
+			return 0, err
+		}
+		d = c
+		c, fc = b, fb
+		if fa*fs < 0 {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b, fa, fb = b, a, fb, fa
+		}
+		if math.Abs(b-a) < 1e-12 {
+			return b, nil
+		}
+	}
+	return b, nil
+}

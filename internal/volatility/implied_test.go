@@ -1,0 +1,175 @@
+package volatility
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"binopt/internal/bs"
+	"binopt/internal/lattice"
+	"binopt/internal/option"
+)
+
+func euro() option.Option {
+	return option.Option{
+		Right: option.Put, Style: option.European,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5,
+	}
+}
+
+// solvers under test, by name.
+var solvers = map[string]func(float64, option.Option, PriceFunc, float64, int) (float64, error){
+	"bisect": Bisect,
+	"newton": Newton,
+	"brent":  Brent,
+}
+
+func TestRoundTripBlackScholes(t *testing.T) {
+	// Price at a known sigma with the closed form, then recover it.
+	for name, solve := range solvers {
+		for _, trueSigma := range []float64{0.08, 0.2, 0.45, 0.9} {
+			o := euro()
+			o.Sigma = trueSigma
+			price, err := bs.Price(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := solve(price, o, bs.Price, 0, 0)
+			if err != nil {
+				t.Fatalf("%s sigma=%v: %v", name, trueSigma, err)
+			}
+			if math.Abs(got-trueSigma) > 1e-5 {
+				t.Errorf("%s: recovered %v, want %v", name, got, trueSigma)
+			}
+		}
+	}
+}
+
+func TestRoundTripLatticeAmerican(t *testing.T) {
+	// The real use case: invert an American binomial price.
+	eng, err := lattice.NewEngine(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := PriceFunc(eng.Price)
+	o := euro()
+	o.Style = option.American
+	o.Sigma = 0.27
+	price, err := eng.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, solve := range solvers {
+		got, err := solve(price, o, pf, 0, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(got-0.27) > 1e-4 {
+			t.Errorf("%s: recovered %v, want 0.27", name, got)
+		}
+	}
+}
+
+func TestQuoteValidation(t *testing.T) {
+	o := euro()
+	for name, solve := range solvers {
+		if _, err := solve(-1, o, bs.Price, 0, 0); err == nil {
+			t.Errorf("%s: negative price should fail", name)
+		}
+		if _, err := solve(0, o, bs.Price, 0, 0); err == nil {
+			t.Errorf("%s: zero price should fail", name)
+		}
+		// Put priced above strike is impossible.
+		if _, err := solve(200, o, bs.Price, 0, 0); err == nil {
+			t.Errorf("%s: impossible put quote should fail", name)
+		}
+		call := o
+		call.Right = option.Call
+		if _, err := solve(150, call, bs.Price, 0, 0); err == nil {
+			t.Errorf("%s: call above spot should fail", name)
+		}
+	}
+}
+
+func TestUnattainableQuote(t *testing.T) {
+	// A price below the zero-volatility floor of an ITM European put is
+	// valid-looking but unattainable.
+	o := euro()
+	o.Strike = 150
+	floor, err := bs.Price(func() option.Option { oo := o; oo.Sigma = VolMin; return oo }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := floor * 0.5
+	if _, err := Bisect(bad, o, bs.Price, 0, 0); err == nil {
+		t.Error("bisect: below-floor quote should fail")
+	}
+	if _, err := Brent(bad, o, bs.Price, 0, 0); err == nil {
+		t.Error("brent: below-floor quote should fail")
+	}
+}
+
+func TestNewtonFallsBackNearZeroVega(t *testing.T) {
+	// Moderately ITM short-dated options have small vega: Newton must
+	// not explode, just fall back and still converge.
+	o := euro()
+	o.Strike = 125
+	o.T = 0.15
+	o.Sigma = 0.35
+	price, err := bs.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Newton(price, o, bs.Price, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back, _ := bs.Price(func() option.Option { oo := o; oo.Sigma = got; return oo }()); math.Abs(back-price) > 1e-6 {
+		t.Errorf("recovered sigma reprices to %v, want %v", back, price)
+	}
+}
+
+func TestExtremeITMQuoteHasNoVolInfo(t *testing.T) {
+	// So deep in the money that the price is flat in sigma to within the
+	// tolerance: the solvers must classify it rather than return an
+	// arbitrary sigma.
+	o := euro()
+	o.Strike = 180
+	o.T = 0.05
+	o.Sigma = 0.3
+	price, err := bs.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, solve := range solvers {
+		if _, err := solve(price, o, bs.Price, 0, 0); !errors.Is(err, ErrNoVolInfo) {
+			t.Errorf("%s: err = %v, want ErrNoVolInfo", name, err)
+		}
+	}
+}
+
+func TestSolverEfficiencyOrdering(t *testing.T) {
+	// Brent should need far fewer pricings than bisection.
+	count := func(solve func(float64, option.Option, PriceFunc, float64, int) (float64, error)) int {
+		n := 0
+		pf := func(o option.Option) (float64, error) {
+			n++
+			return bs.Price(o)
+		}
+		o := euro()
+		o.Sigma = 0.33
+		price, err := bs.Price(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := solve(price, o, pf, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	nBisect := count(Bisect)
+	nBrent := count(Brent)
+	if nBrent >= nBisect {
+		t.Errorf("brent used %d pricings vs bisect %d; expected fewer", nBrent, nBisect)
+	}
+}

@@ -1,0 +1,102 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"binopt/internal/option"
+)
+
+// quoteHeader is the CSV column layout for quote tapes.
+var quoteHeader = []string{"right", "style", "spot", "strike", "rate", "div", "sigma", "expiry_years", "price"}
+
+// SaveQuotes writes a quote tape as CSV, one row per quote, with a
+// header. The format is the interchange point between the generator and
+// a desk's real market data.
+func SaveQuotes(w io.Writer, quotes []Quote) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(quoteHeader); err != nil {
+		return fmt.Errorf("workload: writing header: %w", err)
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', 17, 64) }
+	for i, q := range quotes {
+		o := q.Option
+		row := []string{
+			o.Right.String(), o.Style.String(),
+			f(o.Spot), f(o.Strike), f(o.Rate), f(o.Div), f(o.Sigma), f(o.T),
+			f(q.Price),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("workload: writing quote %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadQuotes reads a quote tape written by SaveQuotes (or hand-authored
+// in the same layout). Every contract is validated.
+func LoadQuotes(r io.Reader) ([]Quote, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading quotes: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: empty quote file")
+	}
+	if !equalRow(rows[0], quoteHeader) {
+		return nil, fmt.Errorf("workload: unexpected header %v", rows[0])
+	}
+	quotes := make([]Quote, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != len(quoteHeader) {
+			return nil, fmt.Errorf("workload: row %d has %d fields, want %d", i+1, len(row), len(quoteHeader))
+		}
+		var o option.Option
+		switch row[0] {
+		case "call":
+			o.Right = option.Call
+		case "put":
+			o.Right = option.Put
+		default:
+			return nil, fmt.Errorf("workload: row %d: unknown right %q", i+1, row[0])
+		}
+		switch row[1] {
+		case "european":
+			o.Style = option.European
+		case "american":
+			o.Style = option.American
+		default:
+			return nil, fmt.Errorf("workload: row %d: unknown style %q", i+1, row[1])
+		}
+		vals := make([]float64, 7)
+		for j := 0; j < 7; j++ {
+			v, err := strconv.ParseFloat(row[2+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: row %d field %q: %w", i+1, quoteHeader[2+j], err)
+			}
+			vals[j] = v
+		}
+		o.Spot, o.Strike, o.Rate, o.Div, o.Sigma, o.T = vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]
+		if err := o.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: row %d: %w", i+1, err)
+		}
+		quotes = append(quotes, Quote{Option: o, Price: vals[6]})
+	}
+	return quotes, nil
+}
+
+func equalRow(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestQuoteRoundTrip(t *testing.T) {
+	opts, err := MixedBatch(8, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quotes, err := ReferenceQuotes(opts, 48, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveQuotes(&buf, quotes); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadQuotes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(quotes) {
+		t.Fatalf("got %d quotes back", len(back))
+	}
+	for i := range quotes {
+		if back[i] != quotes[i] {
+			t.Fatalf("quote %d changed in round trip:\n%+v\n%+v", i, back[i], quotes[i])
+		}
+	}
+}
+
+func TestLoadQuotesErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad header":   "a,b,c\n",
+		"bad right":    "right,style,spot,strike,rate,div,sigma,expiry_years,price\nfoo,american,100,100,0.03,0,0.2,1,5\n",
+		"bad style":    "right,style,spot,strike,rate,div,sigma,expiry_years,price\nput,foo,100,100,0.03,0,0.2,1,5\n",
+		"bad number":   "right,style,spot,strike,rate,div,sigma,expiry_years,price\nput,american,xx,100,0.03,0,0.2,1,5\n",
+		"invalid opt":  "right,style,spot,strike,rate,div,sigma,expiry_years,price\nput,american,-5,100,0.03,0,0.2,1,5\n",
+		"short fields": "right,style,spot,strike,rate,div,sigma,expiry_years,price\nput,american,100\n",
+	}
+	for name, data := range cases {
+		if _, err := LoadQuotes(strings.NewReader(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestSaveQuotesHeaderStable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveQuotes(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != strings.Join(quoteHeader, ",") {
+		t.Errorf("header = %q", got)
+	}
+}

@@ -1,0 +1,154 @@
+// Package workload generates the synthetic market data the experiments
+// price. The paper's inputs are "generated from a binomial
+// representation" (§I): an option chain around the money whose reference
+// prices come from the double-precision binomial model itself, so the
+// implied-volatility use case can recover a known smile. Generation is
+// deterministic under a caller-provided seed.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"binopt/internal/lattice"
+	"binopt/internal/option"
+)
+
+// ChainSpec parameterises an option chain.
+type ChainSpec struct {
+	Seed   int64
+	N      int // number of contracts
+	Spot   float64
+	Rate   float64
+	T      float64 // years to expiry
+	Style  option.Style
+	Right  option.Right
+	MinMny float64 // lowest strike as a fraction of spot
+	MaxMny float64 // highest strike as a fraction of spot
+	// Smile describes the true volatility as a function of moneyness
+	// (strike/spot); nil uses DefaultSmile.
+	Smile func(m float64) float64
+}
+
+// DefaultSmile is a gentle equity-style skew: higher implied volatility
+// for low strikes, a minimum slightly above the money.
+func DefaultSmile(m float64) float64 {
+	return 0.18 + 0.12*(1.05-m)*(1.05-m)
+}
+
+// DefaultVolCurveSpec is the paper's use case: one volatility curve of
+// 2000 American puts around the money (§I: "2000 option values per
+// volatility curve for accuracy considerations").
+func DefaultVolCurveSpec(seed int64) ChainSpec {
+	return ChainSpec{
+		Seed:   seed,
+		N:      2000,
+		Spot:   100,
+		Rate:   0.03,
+		T:      0.5,
+		Style:  option.American,
+		Right:  option.Put,
+		MinMny: 0.70,
+		MaxMny: 1.30,
+	}
+}
+
+// Chain generates the contracts: strikes swept uniformly across the
+// moneyness range with a small seeded jitter, volatilities from the
+// smile.
+func Chain(spec ChainSpec) ([]option.Option, error) {
+	if spec.N < 1 {
+		return nil, fmt.Errorf("workload: chain needs at least 1 option, got %d", spec.N)
+	}
+	if spec.MinMny <= 0 || spec.MaxMny <= spec.MinMny {
+		return nil, fmt.Errorf("workload: bad moneyness range [%v, %v]", spec.MinMny, spec.MaxMny)
+	}
+	smile := spec.Smile
+	if smile == nil {
+		smile = DefaultSmile
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	span := spec.MaxMny - spec.MinMny
+	opts := make([]option.Option, spec.N)
+	for i := range opts {
+		frac := float64(i) / float64(spec.N)
+		if spec.N > 1 {
+			frac = float64(i) / float64(spec.N-1)
+		}
+		m := spec.MinMny + span*frac
+		// Jitter within the local grid spacing keeps strikes distinct and
+		// irregular, like a real quote tape.
+		m += (rng.Float64() - 0.5) * span / float64(spec.N)
+		m = math.Max(m, spec.MinMny/2)
+		o := option.Option{
+			Right:  spec.Right,
+			Style:  spec.Style,
+			Spot:   spec.Spot,
+			Strike: spec.Spot * m,
+			Rate:   spec.Rate,
+			Sigma:  smile(m),
+			T:      spec.T,
+		}
+		if err := o.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: generated invalid option %d: %w", i, err)
+		}
+		opts[i] = o
+	}
+	return opts, nil
+}
+
+// MixedBatch generates a deterministic batch that exercises every
+// contract shape: calls and puts, American and European, spread strikes,
+// volatilities and maturities. Used by correctness and RMSE experiments.
+func MixedBatch(seed int64, n int) ([]option.Option, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: batch needs at least 1 option, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	opts := make([]option.Option, n)
+	for i := range opts {
+		o := option.Option{
+			Right:  option.Put,
+			Style:  option.American,
+			Spot:   100,
+			Strike: 70 + 60*rng.Float64(),
+			Rate:   0.01 + 0.05*rng.Float64(),
+			Sigma:  0.10 + 0.40*rng.Float64(),
+			T:      0.25 + 1.5*rng.Float64(),
+		}
+		if i%2 == 1 {
+			o.Right = option.Call
+		}
+		if i%3 == 2 {
+			o.Style = option.European
+		}
+		opts[i] = o
+	}
+	return opts, nil
+}
+
+// Quote pairs a contract with its observed market price.
+type Quote struct {
+	Option option.Option
+	Price  float64
+}
+
+// ReferenceQuotes prices the chain with the double-precision binomial
+// reference at the given depth, producing the "market data ... based on a
+// binomial representation" the implied-volatility solver consumes.
+func ReferenceQuotes(opts []option.Option, steps, workers int) ([]Quote, error) {
+	eng, err := lattice.NewEngine(steps)
+	if err != nil {
+		return nil, err
+	}
+	prices, err := eng.PriceBatch(opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	quotes := make([]Quote, len(opts))
+	for i := range opts {
+		quotes[i] = Quote{Option: opts[i], Price: prices[i]}
+	}
+	return quotes, nil
+}

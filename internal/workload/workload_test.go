@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+
+	"binopt/internal/option"
+)
+
+func TestChainDeterministic(t *testing.T) {
+	spec := DefaultVolCurveSpec(42)
+	spec.N = 50
+	a, err := Chain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Chain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chain not deterministic at %d", i)
+		}
+	}
+}
+
+func TestChainShape(t *testing.T) {
+	spec := DefaultVolCurveSpec(7)
+	opts, err := Chain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 2000 {
+		t.Fatalf("use case needs 2000 options, got %d", len(opts))
+	}
+	for i, o := range opts {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("option %d invalid: %v", i, err)
+		}
+		if o.Style != option.American || o.Right != option.Put {
+			t.Fatalf("option %d: wrong contract shape", i)
+		}
+		m := o.Strike / o.Spot
+		if m < 0.65 || m > 1.35 {
+			t.Errorf("option %d moneyness %v outside the configured band", i, m)
+		}
+	}
+	// Strikes must span the range, roughly increasing.
+	if opts[0].Strike > 75 || opts[len(opts)-1].Strike < 125 {
+		t.Errorf("strike span [%v, %v] too narrow", opts[0].Strike, opts[len(opts)-1].Strike)
+	}
+}
+
+func TestChainErrors(t *testing.T) {
+	spec := DefaultVolCurveSpec(1)
+	spec.N = 0
+	if _, err := Chain(spec); err == nil {
+		t.Error("zero options should fail")
+	}
+	spec = DefaultVolCurveSpec(1)
+	spec.MinMny = 1.5
+	spec.MaxMny = 0.5
+	if _, err := Chain(spec); err == nil {
+		t.Error("inverted moneyness range should fail")
+	}
+}
+
+func TestDefaultSmileShape(t *testing.T) {
+	// Equity skew: deep OTM puts (low moneyness) carry more vol.
+	if DefaultSmile(0.7) <= DefaultSmile(1.0) {
+		t.Error("smile should be higher at low strikes")
+	}
+	for _, m := range []float64{0.5, 0.8, 1.0, 1.2, 1.5} {
+		v := DefaultSmile(m)
+		if v < 0.05 || v > 1.0 {
+			t.Errorf("smile(%v) = %v outside sane band", m, v)
+		}
+	}
+}
+
+func TestMixedBatch(t *testing.T) {
+	opts, err := MixedBatch(3, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls, americans int
+	for i, o := range opts {
+		if err := o.Validate(); err != nil {
+			t.Fatalf("option %d invalid: %v", i, err)
+		}
+		if o.Right == option.Call {
+			calls++
+		}
+		if o.Style == option.American {
+			americans++
+		}
+	}
+	if calls == 0 || calls == 60 {
+		t.Error("batch should mix calls and puts")
+	}
+	if americans == 0 || americans == 60 {
+		t.Error("batch should mix exercise styles")
+	}
+	if _, err := MixedBatch(3, 0); err == nil {
+		t.Error("empty batch should fail")
+	}
+}
+
+func TestReferenceQuotes(t *testing.T) {
+	opts, err := MixedBatch(11, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quotes, err := ReferenceQuotes(opts, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quotes) != 20 {
+		t.Fatalf("got %d quotes", len(quotes))
+	}
+	for i, q := range quotes {
+		if q.Price < 0 {
+			t.Errorf("quote %d negative: %v", i, q.Price)
+		}
+		if q.Option != opts[i] {
+			t.Errorf("quote %d lost its contract", i)
+		}
+	}
+	if _, err := ReferenceQuotes(opts, 0, 1); err == nil {
+		t.Error("zero steps should fail")
+	}
+}

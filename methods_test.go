@@ -1,0 +1,71 @@
+package binopt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMethodComparison(t *testing.T) {
+	results, text, err := MethodComparison(MethodComparisonConfig{
+		MCPaths:  20000,
+		RefSteps: 8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 8 {
+		t.Fatalf("got %d methods", len(results))
+	}
+	byName := map[string]MethodResult{}
+	for _, r := range results {
+		byName[r.Method] = r
+		if r.Seconds <= 0 {
+			t.Errorf("%s: no wall time recorded", r.Method)
+		}
+		if r.Price <= 0 {
+			t.Errorf("%s: price %v", r.Method, r.Price)
+		}
+	}
+	// Deterministic grid methods must be within a cent or two of the
+	// reference; the BAW quadratic approximation within ~1%.
+	for _, name := range []string{"binomial", "binomial+richardson", "binomial BBS",
+		"trinomial", "crank-nicolson PSOR", "QUAD"} {
+		if byName[name].AbsError > 0.02 {
+			t.Errorf("%s error %g too large", name, byName[name].AbsError)
+		}
+	}
+	if byName["barone-adesi whaley"].AbsError > 0.1 {
+		t.Errorf("BAW error %g too large", byName["barone-adesi whaley"].AbsError)
+	}
+	// The §II argument: Monte Carlo trails the deterministic solvers in
+	// accuracy at these budgets.
+	mc := byName["monte carlo LSM"]
+	if mc.AbsError < byName["binomial+richardson"].AbsError {
+		t.Logf("note: MC happened to beat richardson this seed (%g vs %g)",
+			mc.AbsError, byName["binomial+richardson"].AbsError)
+	}
+	if mc.AbsError > 0.15 {
+		t.Errorf("LSM error %g implausibly large", mc.AbsError)
+	}
+	if !strings.Contains(text, "Solver comparison") || !strings.Contains(text, "QUAD") {
+		t.Errorf("text:\n%s", text)
+	}
+}
+
+func TestMethodComparisonEuropean(t *testing.T) {
+	o := demoOption()
+	o.Style = European
+	results, _, err := MethodComparison(MethodComparisonConfig{
+		Contract: &o,
+		MCPaths:  20000,
+		RefSteps: 8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.AbsError > 0.2 {
+			t.Errorf("%s european error %g", r.Method, r.AbsError)
+		}
+	}
+}

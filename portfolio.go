@@ -1,0 +1,101 @@
+package binopt
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"binopt/internal/lattice"
+)
+
+// Position is a signed holding of one contract (negative quantity =
+// short).
+type Position struct {
+	Option   Option
+	Quantity float64
+}
+
+// Portfolio is a book of option positions.
+type Portfolio []Position
+
+// PositionReport is one position's valuation.
+type PositionReport struct {
+	Position Position
+	Price    float64
+	Greeks   Greeks
+}
+
+// PortfolioReport aggregates a book: total value and net Greeks, with
+// the per-position breakdown.
+type PortfolioReport struct {
+	Value     float64
+	Greeks    Greeks
+	Positions []PositionReport
+}
+
+// ValuePortfolio prices every position on lattices of the given depth
+// (concurrently) and aggregates value and Greeks, quantity-weighted.
+// This is the desk-side loop the accelerator's throughput target exists
+// to serve: a book revaluation is just a batch of tree pricings.
+func ValuePortfolio(book Portfolio, steps, workers int) (PortfolioReport, error) {
+	if len(book) == 0 {
+		return PortfolioReport{}, fmt.Errorf("binopt: empty portfolio")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(book) {
+		workers = len(book)
+	}
+	eng, err := lattice.NewEngine(steps)
+	if err != nil {
+		return PortfolioReport{}, err
+	}
+
+	reports := make([]PositionReport, len(book))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				price, greeks, err := eng.PriceAndGreeks(book[i].Option)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("binopt: position %d: %w", i, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				reports[i] = PositionReport{Position: book[i], Price: price, Greeks: greeks}
+			}
+		}()
+	}
+	for i := range book {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return PortfolioReport{}, firstErr
+	}
+
+	var out PortfolioReport
+	out.Positions = reports
+	for _, r := range reports {
+		q := r.Position.Quantity
+		out.Value += q * r.Price
+		out.Greeks.Delta += q * r.Greeks.Delta
+		out.Greeks.Gamma += q * r.Greeks.Gamma
+		out.Greeks.Theta += q * r.Greeks.Theta
+		out.Greeks.Vega += q * r.Greeks.Vega
+		out.Greeks.Rho += q * r.Greeks.Rho
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package binopt
+
+import (
+	"math"
+	"testing"
+)
+
+func testBook() Portfolio {
+	long := demoOption()
+	short := demoOption()
+	short.Right = Call
+	short.Strike = 110
+	return Portfolio{
+		{Option: long, Quantity: 10},
+		{Option: short, Quantity: -5},
+	}
+}
+
+func TestValuePortfolioAggregates(t *testing.T) {
+	book := testBook()
+	rep, err := ValuePortfolio(book, 256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Positions) != 2 {
+		t.Fatalf("got %d position reports", len(rep.Positions))
+	}
+	// Recompute the aggregate by hand.
+	var value, delta float64
+	for _, pr := range rep.Positions {
+		value += pr.Position.Quantity * pr.Price
+		delta += pr.Position.Quantity * pr.Greeks.Delta
+	}
+	if math.Abs(rep.Value-value) > 1e-12 || math.Abs(rep.Greeks.Delta-delta) > 1e-12 {
+		t.Errorf("aggregation mismatch: %v/%v vs %v/%v", rep.Value, rep.Greeks.Delta, value, delta)
+	}
+	// Long puts + short calls: both legs have negative delta exposure.
+	if rep.Greeks.Delta >= 0 {
+		t.Errorf("book delta = %v, want negative", rep.Greeks.Delta)
+	}
+	if rep.Value <= 0 {
+		t.Errorf("book value = %v (long puts dominate)", rep.Value)
+	}
+}
+
+func TestValuePortfolioDeterministicAcrossWorkers(t *testing.T) {
+	book := testBook()
+	a, err := ValuePortfolio(book, 128, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ValuePortfolio(book, 128, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Value != b.Value || a.Greeks != b.Greeks {
+		t.Error("worker count changed the result")
+	}
+}
+
+func TestValuePortfolioErrors(t *testing.T) {
+	if _, err := ValuePortfolio(nil, 128, 1); err == nil {
+		t.Error("empty book should fail")
+	}
+	bad := testBook()
+	bad[1].Option.Sigma = -1
+	if _, err := ValuePortfolio(bad, 128, 2); err == nil {
+		t.Error("invalid position should fail")
+	}
+	if _, err := ValuePortfolio(testBook(), 0, 1); err == nil {
+		t.Error("zero steps should fail")
+	}
+}

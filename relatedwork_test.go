@@ -1,0 +1,27 @@
+package binopt
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMLMCStudy(t *testing.T) {
+	res, err := MLMCStudy(60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 2 {
+		t.Errorf("MLMC speedup %gx, expected well above 1 (the [4] finding)", res.Speedup)
+	}
+	// MLMC and plain MC agree within combined uncertainty plus bias room.
+	if diff := math.Abs(res.MLMC.Price - res.PlainPrice); diff > 4*(res.MLMC.StdErr+res.PlainErr)+0.05 {
+		t.Errorf("MLMC %v vs plain %v differ by %g", res.MLMC.Price, res.PlainPrice, diff)
+	}
+	if len(res.MLMC.Levels) != 4 {
+		t.Errorf("got %d levels", len(res.MLMC.Levels))
+	}
+	if !strings.Contains(res.Text, "MLMC study") || !strings.Contains(res.Text, "cheaper") {
+		t.Errorf("text:\n%s", res.Text)
+	}
+}

@@ -1,0 +1,91 @@
+package binopt
+
+import (
+	"binopt/internal/baw"
+	"binopt/internal/fdm"
+	"binopt/internal/lattice"
+	"binopt/internal/montecarlo"
+	"binopt/internal/option"
+	"binopt/internal/quadrature"
+)
+
+// The alternative solvers of the related-work survey ([12], §II) are part
+// of the public surface so downstream users can rerun the method
+// comparison on their own contracts.
+
+// MCResult is a Monte Carlo estimate with its standard error.
+type MCResult = montecarlo.Result
+
+// MCConfig configures the Monte Carlo solvers.
+type MCConfig = montecarlo.Config
+
+// PriceMC estimates the option by Monte Carlo: exact terminal sampling
+// for European contracts, Longstaff-Schwartz regression for American
+// ones.
+func PriceMC(o Option, cfg MCConfig) (MCResult, error) {
+	if o.Style == option.European {
+		return montecarlo.PriceEuropean(o, cfg)
+	}
+	if cfg.Steps == 0 {
+		cfg.Steps = 50
+	}
+	return montecarlo.PriceAmerican(o, cfg)
+}
+
+// FDMConfig configures the finite-difference solver.
+type FDMConfig = fdm.Config
+
+// PriceFDM values the option by Crank-Nicolson finite differences with
+// projected SOR for early exercise.
+func PriceFDM(o Option, cfg FDMConfig) (float64, error) {
+	return fdm.Price(o, cfg)
+}
+
+// QUADConfig configures the quadrature solver.
+type QUADConfig = quadrature.Config
+
+// PriceQUAD values the option by repeated lognormal-kernel integration
+// (the QUAD method).
+func PriceQUAD(o Option, cfg QUADConfig) (float64, error) {
+	return quadrature.Price(o, cfg)
+}
+
+// PriceBAW returns the Barone-Adesi-Whaley quadratic approximation of an
+// American option — closed-form speed at ~1% accuracy.
+func PriceBAW(o Option) (float64, error) { return baw.Price(o) }
+
+// PriceTrinomial values the option on a Boyle trinomial lattice.
+func PriceTrinomial(o Option, steps int) (float64, error) {
+	e, err := lattice.NewTrinomialEngine(steps)
+	if err != nil {
+		return 0, err
+	}
+	return e.Price(o)
+}
+
+// Dividend is one discrete cash dividend payment.
+type Dividend = lattice.Dividend
+
+// PriceWithDividends values the option under a discrete dividend
+// schedule (escrowed-dividend model) on a lattice of the given depth.
+func PriceWithDividends(o Option, divs []Dividend, steps int) (float64, error) {
+	e, err := lattice.NewEngine(steps)
+	if err != nil {
+		return 0, err
+	}
+	return e.PriceWithDividends(o, divs)
+}
+
+// BoundaryPoint is one sample of an American option's early-exercise
+// boundary.
+type BoundaryPoint = lattice.BoundaryPoint
+
+// ExerciseBoundary extracts the early-exercise boundary of an American
+// option from a lattice of the given depth.
+func ExerciseBoundary(o Option, steps int) ([]BoundaryPoint, error) {
+	e, err := lattice.NewEngine(steps)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExerciseBoundary(o)
+}

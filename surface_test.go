@@ -1,0 +1,58 @@
+package binopt
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"binopt/internal/workload"
+)
+
+func TestBuildVolSurfaceFacade(t *testing.T) {
+	var quotes []Quote
+	for i, mat := range []float64{0.25, 0.75} {
+		spec := workload.DefaultVolCurveSpec(int64(40 + i))
+		spec.N = 12
+		spec.T = mat
+		spec.MinMny = 0.9
+		spec.MaxMny = 1.1
+		opts, err := workload.Chain(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := workload.ReferenceQuotes(opts, 64, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		quotes = append(quotes, qs...)
+	}
+
+	// Round-trip the tape through the CSV layer first, as a user would.
+	var buf bytes.Buffer
+	if err := SaveQuotes(&buf, quotes); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadQuotes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	surf, skipped, err := BuildVolSurface(loaded, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped > len(loaded)/2 {
+		t.Errorf("too many skipped: %d of %d", skipped, len(loaded))
+	}
+	v, err := surf.Vol(100, 0.5) // interpolated between the two maturities
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := workload.DefaultSmile(1.0)
+	if math.Abs(v-truth) > 0.01 {
+		t.Errorf("vol(100, 0.5) = %v, generating smile %v", v, truth)
+	}
+	if _, _, err := BuildVolSurface(loaded, 0, 0); err == nil {
+		t.Error("zero steps should fail")
+	}
+}
