@@ -1,0 +1,78 @@
+// Command loadgen drives a pricesrvd instance with the paper's workload —
+// the 2000-American-put volatility-curve chain — at configurable
+// concurrency and request rate, and reports sustained throughput, latency
+// quantiles and the server's modelled energy bill. It is the measurement
+// half of the serving tier: the paper's 2000 options/s target becomes a
+// number this tool either prints or doesn't.
+//
+//	pricesrvd -addr :8080 -steps 1024 &
+//	loadgen -addr http://127.0.0.1:8080 -n 2000 -warmup 1 -passes 5
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"binopt/internal/serve"
+	"binopt/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "base URL of the pricing server")
+		n           = flag.Int("n", 2000, "options per volatility-curve pass (the paper's chain size)")
+		seed        = flag.Int64("seed", 7, "chain generation seed")
+		concurrency = flag.Int("concurrency", 4, "in-flight requests")
+		batch       = flag.Int("batch", 250, "contracts per request")
+		warmup      = flag.Int("warmup", 1, "unmeasured warmup passes (cold pricing, cache fill)")
+		passes      = flag.Int("passes", 5, "measured passes over the chain")
+		rps         = flag.Float64("rps", 0, "request-rate limit during measurement (0 = unlimited)")
+		target      = flag.Float64("target", 2000, "options/s target to check the run against (0 = skip)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *n, *seed, *concurrency, *batch, *warmup, *passes, *rps, *target); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, n int, seed int64, concurrency, batch, warmup, passes int, rps, target float64) error {
+	spec := workload.DefaultVolCurveSpec(seed)
+	spec.N = n
+	chain, err := workload.Chain(spec)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("loadgen: %d-put chain (seed %d), %d warmup + %d measured passes, batch %d, concurrency %d\n",
+		n, seed, warmup, passes, batch, concurrency)
+	rep, err := serve.RunLoad(ctx, serve.LoadConfig{
+		BaseURL:      addr,
+		Options:      chain,
+		Concurrency:  concurrency,
+		BatchSize:    batch,
+		WarmupPasses: warmup,
+		Passes:       passes,
+		RPS:          rps,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Text())
+	if target > 0 {
+		if rep.OptionsPerSec >= target {
+			fmt.Printf("target met: %.0f options/s sustained >= %.0f (paper §I use-case budget)\n", rep.OptionsPerSec, target)
+		} else {
+			fmt.Printf("target missed: %.0f options/s sustained < %.0f\n", rep.OptionsPerSec, target)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+// Command pricesrvd serves binomial option pricing over HTTP: the
+// data-centre front end the paper's use case implies. Requests are
+// micro-batched, scheduled across the modelled accelerator shards (FPGA
+// kernel IV.B, GTX660, Xeon reference), answered from an LRU result
+// cache when the tape repeats, and metered on /metrics.
+//
+//	pricesrvd -addr :8080 -steps 1024
+//	curl -s localhost:8080/v1/price -d '{"right":"put","style":"american","spot":100,"strike":105,"rate":0.03,"sigma":0.2,"t":0.5}'
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, the batching
+// queue flushes, and every admitted option completes before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"binopt/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		steps     = flag.Int("steps", 1024, "binomial tree depth (the paper evaluates at 1024)")
+		maxBatch  = flag.Int("max-batch", 64, "micro-batch size trigger (options per flush)")
+		flushMs   = flag.Duration("flush", 2*time.Millisecond, "micro-batch deadline trigger")
+		queue     = flag.Int("queue-depth", 8192, "max admitted options before 429")
+		cacheSize = flag.Int("cache", 65536, "LRU result cache capacity (negative disables)")
+		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *steps, *maxBatch, *flushMs, *queue, *cacheSize, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "pricesrvd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, steps, maxBatch int, flush time.Duration, queue, cacheSize int, drain time.Duration) error {
+	srv, err := serve.New(serve.Config{
+		Steps:         steps,
+		MaxBatch:      maxBatch,
+		FlushInterval: flush,
+		QueueDepth:    queue,
+		CacheSize:     cacheSize,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("pricesrvd: listening on %s (steps=%d, max-batch=%d, flush=%s, queue=%d, cache=%d)",
+			addr, steps, maxBatch, flush, queue, cacheSize)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("pricesrvd: draining (%d options in flight, budget %s)", srv.QueueDepth(), drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := srv.Close(dctx); err != nil {
+		return err
+	}
+	log.Printf("pricesrvd: drained cleanly")
+	return <-errc
+}

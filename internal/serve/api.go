@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"binopt/internal/option"
+	"binopt/internal/volatility"
+	"binopt/internal/workload"
+)
+
+// maxBodyBytes bounds request bodies (a 2000-contract batch is ~300 KB).
+const maxBodyBytes = 8 << 20
+
+// Contract is the wire form of an option contract.
+type Contract struct {
+	Right  string  `json:"right"` // "call" or "put"
+	Style  string  `json:"style"` // "european" or "american"
+	Spot   float64 `json:"spot"`
+	Strike float64 `json:"strike"`
+	Rate   float64 `json:"rate"`
+	Div    float64 `json:"div,omitempty"`
+	Sigma  float64 `json:"sigma"`
+	T      float64 `json:"t"`
+}
+
+// ToOption converts the wire form, validating the enumerations.
+func (c Contract) ToOption() (option.Option, error) {
+	o := option.Option{
+		Spot: c.Spot, Strike: c.Strike, Rate: c.Rate,
+		Div: c.Div, Sigma: c.Sigma, T: c.T,
+	}
+	switch strings.ToLower(c.Right) {
+	case "call":
+		o.Right = option.Call
+	case "put":
+		o.Right = option.Put
+	default:
+		return o, fmt.Errorf("right must be \"call\" or \"put\", got %q", c.Right)
+	}
+	switch strings.ToLower(c.Style) {
+	case "european":
+		o.Style = option.European
+	case "american":
+		o.Style = option.American
+	default:
+		return o, fmt.Errorf("style must be \"european\" or \"american\", got %q", c.Style)
+	}
+	return o, o.Validate()
+}
+
+// FromOption converts a contract to its wire form.
+func FromOption(o option.Option) Contract {
+	return Contract{
+		Right: o.Right.String(), Style: o.Style.String(),
+		Spot: o.Spot, Strike: o.Strike, Rate: o.Rate,
+		Div: o.Div, Sigma: o.Sigma, T: o.T,
+	}
+}
+
+// PriceRequest is the body of POST /v1/price. A bare Contract object is
+// also accepted as a single-option shorthand.
+type PriceRequest struct {
+	Contracts []Contract `json:"contracts"`
+}
+
+// PriceResponse is the body of a successful POST /v1/price.
+type PriceResponse struct {
+	Steps   int      `json:"steps"`
+	Results []Result `json:"results"`
+}
+
+// QuoteJSON pairs a contract with its observed price for /v1/volcurve.
+type QuoteJSON struct {
+	Contract Contract `json:"contract"`
+	Price    float64  `json:"price"`
+}
+
+// VolCurveRequest is the body of POST /v1/volcurve. Either supply quotes
+// explicitly, or set N (and optionally Seed) to run the paper's use case:
+// the server generates the 2000-put chain, prices it on the reference
+// lattice, and recovers the smile.
+type VolCurveRequest struct {
+	Quotes []QuoteJSON `json:"quotes,omitempty"`
+	N      int         `json:"n,omitempty"`
+	Seed   int64       `json:"seed,omitempty"`
+}
+
+// VolCurvePoint is one recovered point of the smile.
+type VolCurvePoint struct {
+	Strike    float64 `json:"strike"`
+	Moneyness float64 `json:"moneyness"`
+	Implied   float64 `json:"implied"`
+}
+
+// VolCurveResponse is the body of a successful POST /v1/volcurve.
+type VolCurveResponse struct {
+	Steps   int             `json:"steps"`
+	Points  []VolCurvePoint `json:"points"`
+	Skipped int             `json:"skipped"` // quotes with no vol information
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/price     price one contract or a batch
+//	POST /v1/volcurve  recover an implied-volatility curve
+//	GET  /healthz      liveness and pool summary
+//	GET  /metrics      counters, histograms, energy model
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/price", s.handlePrice)
+	mux.HandleFunc("/v1/volcurve", s.handleVolCurve)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	if status >= 400 && status != http.StatusTooManyRequests {
+		s.metrics.badRequests.Add(1)
+	}
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.metrics.requests.Add(1)
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+
+	var req PriceRequest
+	if err := json.Unmarshal(body, &req); err != nil || len(req.Contracts) == 0 {
+		// Single-contract shorthand: the body is one bare Contract.
+		var single Contract
+		if err2 := json.Unmarshal(body, &single); err2 == nil && single.Right != "" {
+			req.Contracts = []Contract{single}
+		} else if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+	}
+	if len(req.Contracts) == 0 {
+		s.writeError(w, http.StatusBadRequest, "no contracts in request")
+		return
+	}
+
+	opts := make([]option.Option, len(req.Contracts))
+	for i, c := range req.Contracts {
+		o, err := c.ToOption()
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "contract %d: %v", i, err)
+			return
+		}
+		opts[i] = o
+	}
+
+	results, err := s.PriceOptions(r.Context(), opts)
+	switch {
+	case errors.Is(err, ErrSaturated):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.RetryAfter()/time.Second)))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		return
+	case errors.Is(err, ErrBatchTooLarge):
+		s.writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		return
+	case errors.Is(err, ErrClosed):
+		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PriceResponse{Steps: s.cfg.Steps, Results: results})
+}
+
+func (s *Server) handleVolCurve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.closed.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "%v", ErrClosed)
+		return
+	}
+	s.metrics.volcurveReqs.Add(1)
+
+	var req VolCurveRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+
+	var quotes []workload.Quote
+	switch {
+	case len(req.Quotes) > 0:
+		quotes = make([]workload.Quote, len(req.Quotes))
+		for i, q := range req.Quotes {
+			o, err := q.Contract.ToOption()
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, "quote %d: %v", i, err)
+				return
+			}
+			if q.Price <= 0 {
+				s.writeError(w, http.StatusBadRequest, "quote %d: price must be positive, got %v", i, q.Price)
+				return
+			}
+			quotes[i] = workload.Quote{Option: o, Price: q.Price}
+		}
+	case req.N > 0:
+		spec := workload.DefaultVolCurveSpec(req.Seed)
+		spec.N = req.N
+		chain, err := workload.Chain(spec)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		quotes, err = workload.ReferenceQuotes(chain, s.cfg.Steps, s.cfg.SolverWorkers)
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	default:
+		s.writeError(w, http.StatusBadRequest, "supply quotes or n > 0")
+		return
+	}
+
+	// The solver's repeated pricings carry fresh sigmas every iteration,
+	// so they bypass the cache; we still meter them.
+	pf := func(o option.Option) (float64, error) {
+		s.metrics.solverPricings.Add(1)
+		return s.priceFn(o)
+	}
+	points, skipped, err := volatility.Curve(quotes, pf, volatility.MethodBrent, s.cfg.SolverWorkers)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	out := make([]VolCurvePoint, len(points))
+	for i, p := range points {
+		out[i] = VolCurvePoint{Strike: p.Strike, Moneyness: p.Mny, Implied: p.Implied}
+	}
+	writeJSON(w, http.StatusOK, VolCurveResponse{Steps: s.cfg.Steps, Points: out, Skipped: skipped})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.closed.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	type backendHealth struct {
+		Name          string  `json:"name"`
+		OptionsPerSec float64 `json:"modelled_options_per_sec"`
+		PowerWatts    float64 `json:"modelled_power_watts"`
+		Pending       int64   `json:"pending_options"`
+	}
+	bs := make([]backendHealth, len(s.backends))
+	for i, be := range s.backends {
+		bs[i] = backendHealth{
+			Name:          be.cfg.Name,
+			OptionsPerSec: be.cfg.Estimate.OptionsPerSec,
+			PowerWatts:    be.cfg.Estimate.PowerWatts,
+			Pending:       be.pending.Load(),
+		}
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      status,
+		"steps":       s.cfg.Steps,
+		"queue_depth": s.queued.Load(),
+		"backends":    bs,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, s.metrics.render(s.queued.Load(), s.cache.len()))
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"binopt/internal/device"
+	"binopt/internal/hls"
+	"binopt/internal/kernels"
+	"binopt/internal/perf"
+)
+
+// BackendConfig describes one pricing shard: a modelled accelerator from
+// the paper's test environment. The estimate drives admission (faster
+// shards are offered work first) and the energy accounting (modelled
+// joules per option = power / throughput); the arithmetic itself runs on
+// the host reference engine so results are exact and identical across
+// shards.
+type BackendConfig struct {
+	// Name labels the shard in responses and metrics.
+	Name string
+	// Estimate is the modelled throughput/power row for this device.
+	Estimate perf.Estimate
+	// Workers is the number of concurrent batch executors (default 1).
+	Workers int
+	// QueueDepth bounds the shard's batch queue (default 32 batches).
+	QueueDepth int
+}
+
+// DefaultBackends models the paper's three platforms at the given tree
+// depth: the DE4's kernel IV.B (the energy-efficiency winner), the
+// GTX660's kernel IV.B (the throughput winner) and the Xeon software
+// reference — the heterogeneous pool a data-centre deployment of the
+// paper's design would schedule across.
+func DefaultBackends(steps int) ([]BackendConfig, error) {
+	board := device.DE4()
+	fit, err := hls.Fit(board, kernels.ProfileIVB(steps), kernels.PaperKnobsIVB())
+	if err != nil {
+		return nil, fmt.Errorf("serve: fitting kernel IV.B: %w", err)
+	}
+	fpga, err := perf.FPGAIVB(board, fit, steps, false, false)
+	if err != nil {
+		return nil, fmt.Errorf("serve: FPGA estimate: %w", err)
+	}
+	gpu, err := perf.GPUIVB(device.GTX660(), steps, false)
+	if err != nil {
+		return nil, fmt.Errorf("serve: GPU estimate: %w", err)
+	}
+	cpu, err := perf.CPUReference(device.XeonX5450(), steps, false)
+	if err != nil {
+		return nil, fmt.Errorf("serve: CPU estimate: %w", err)
+	}
+	return []BackendConfig{
+		{Name: "fpga-ivb", Estimate: fpga, Workers: 2},
+		{Name: "gpu-ivb", Estimate: gpu, Workers: 2},
+		{Name: "cpu-ref", Estimate: cpu, Workers: 1},
+	}, nil
+}
+
+// backend is a running shard: a bounded batch queue drained by Workers
+// goroutines.
+type backend struct {
+	cfg    BackendConfig
+	jobs   chan []*job
+	joules float64 // modelled joules per option on this device
+	// pending counts options dispatched to this shard and not yet
+	// completed; admission reads it to estimate drain time.
+	pending atomic.Int64
+	priced  *atomic.Int64 // metrics counter
+}
+
+func newBackend(cfg BackendConfig, m *metrics) *backend {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 32
+	}
+	var joules float64
+	if cfg.Estimate.OptionsPerSec > 0 {
+		joules = cfg.Estimate.PowerWatts / cfg.Estimate.OptionsPerSec
+	}
+	return &backend{
+		cfg:    cfg,
+		jobs:   make(chan []*job, cfg.QueueDepth),
+		joules: joules,
+		priced: m.backendCounter(cfg.Name),
+	}
+}
+
+// drainScore estimates how long this shard's backlog takes to clear under
+// its modelled throughput — the admission signal. Lower is better.
+func (be *backend) drainScore() float64 {
+	rate := be.cfg.Estimate.OptionsPerSec
+	if rate <= 0 {
+		rate = 1
+	}
+	return float64(be.pending.Load()+1) / rate
+}
+
+// dispatchBatch routes one flushed batch to the shard with the shortest
+// modelled drain time that has queue space, falling back to a blocking
+// send on the best shard when every queue is full (admission control has
+// already bounded the total backlog, so the block is bounded too).
+func (s *Server) dispatchBatch(batch []*job) {
+	if len(batch) == 0 {
+		return
+	}
+	s.metrics.batchSize.observe(float64(len(batch)))
+
+	order := make([]*backend, len(s.backends))
+	copy(order, s.backends)
+	sort.Slice(order, func(i, j int) bool { return order[i].drainScore() < order[j].drainScore() })
+
+	for _, be := range order {
+		select {
+		case be.jobs <- batch:
+			be.pending.Add(int64(len(batch)))
+			return
+		default:
+		}
+	}
+	be := order[0]
+	be.pending.Add(int64(len(batch)))
+	be.jobs <- batch
+}
+
+// worker drains batches from one shard until its queue closes. Results
+// are cached, metered, and delivered on each job's buffered channel.
+func (s *Server) worker(be *backend) {
+	defer s.wg.Done()
+	for batch := range be.jobs {
+		for _, j := range batch {
+			price, err := s.priceFn(j.opt)
+			if err == nil {
+				s.cache.put(j.key, price)
+				s.metrics.observeOption(time.Since(j.enqueued), be.joules, be.priced)
+			}
+			be.pending.Add(-1)
+			s.queued.Add(-1)
+			j.done <- jobResult{price: price, backend: be.cfg.Name, joules: be.joules, err: err}
+		}
+	}
+}
+
+// aggregateRate is the pool's total modelled throughput, used to compute
+// Retry-After under saturation.
+func (s *Server) aggregateRate() float64 {
+	var sum float64
+	for _, be := range s.backends {
+		sum += be.cfg.Estimate.OptionsPerSec
+	}
+	if sum <= 0 {
+		return 1
+	}
+	return sum
+}

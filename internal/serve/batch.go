@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"binopt/internal/option"
+)
+
+// ErrClosed is returned for work submitted after shutdown began.
+var ErrClosed = errors.New("serve: server is shutting down")
+
+// ErrSaturated is returned when admission would exceed the configured
+// queue depth; HTTP maps it to 429 with a Retry-After computed from the
+// modelled drain rate.
+var ErrSaturated = errors.New("serve: pricing queue saturated")
+
+// ErrBatchTooLarge is the permanent form of saturation: the request's
+// cache-missing contracts alone exceed the queue depth, so retrying can
+// never help. HTTP maps it to 413 instead of 429 + Retry-After.
+var ErrBatchTooLarge = errors.New("serve: batch exceeds queue capacity")
+
+// job is one cache-missing contract travelling through the batcher to a
+// backend shard. done is buffered so a worker never blocks on a client
+// that gave up waiting.
+type job struct {
+	opt      option.Option
+	key      cacheKey
+	enqueued time.Time
+	done     chan jobResult
+}
+
+type jobResult struct {
+	price   float64
+	backend string
+	joules  float64
+	err     error
+}
+
+// batcher implements dynamic micro-batching, the same discipline an
+// inference server uses: requests accumulate in a buffer that is flushed
+// to a backend either when it reaches maxBatch options (size trigger) or
+// when the oldest request has waited flushInterval (deadline trigger),
+// whichever comes first. Batching amortises dispatch and models the
+// paper's observation that accelerators only approach peak throughput on
+// grouped workloads (§V-C saturation).
+type batcher struct {
+	maxBatch int
+	interval time.Duration
+	dispatch func([]*job)
+
+	mu     sync.Mutex
+	buf    []*job
+	timer  *time.Timer
+	closed bool
+}
+
+func newBatcher(maxBatch int, interval time.Duration, dispatch func([]*job)) *batcher {
+	return &batcher{
+		maxBatch: maxBatch,
+		interval: interval,
+		dispatch: dispatch,
+		buf:      make([]*job, 0, maxBatch),
+	}
+}
+
+// add enqueues one job. The size trigger flushes inline on the caller's
+// goroutine so backpressure from a full backend propagates naturally to
+// the producer.
+func (b *batcher) add(j *job) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.buf = append(b.buf, j)
+	if len(b.buf) >= b.maxBatch {
+		batch := b.take()
+		b.mu.Unlock()
+		b.dispatch(batch)
+		return nil
+	}
+	if len(b.buf) == 1 {
+		// First job in an empty buffer arms the deadline trigger.
+		b.timer = time.AfterFunc(b.interval, b.deadlineFlush)
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// take detaches the buffer and disarms the timer. Caller holds b.mu.
+func (b *batcher) take() []*job {
+	batch := b.buf
+	b.buf = make([]*job, 0, b.maxBatch)
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return batch
+}
+
+// deadlineFlush fires on the timer goroutine. A concurrent size-trigger
+// flush may have emptied the buffer already; the empty check makes the
+// stale fire harmless.
+func (b *batcher) deadlineFlush() {
+	b.mu.Lock()
+	if b.closed || len(b.buf) == 0 {
+		b.mu.Unlock()
+		return
+	}
+	batch := b.take()
+	b.mu.Unlock()
+	b.dispatch(batch)
+}
+
+// close stops accepting work and flushes whatever is buffered, so no
+// admitted job is ever dropped during graceful shutdown.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	batch := b.take()
+	b.mu.Unlock()
+	if len(batch) > 0 {
+		b.dispatch(batch)
+	}
+}
+
+// pendingLen reports the number of buffered (not yet flushed) jobs.
+func (b *batcher) pendingLen() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}

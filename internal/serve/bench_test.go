@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"binopt/internal/lattice"
+	"binopt/internal/option"
+)
+
+// BenchmarkServeBatch measures the serving overhead per option — cache
+// lookup, admission, micro-batching, dispatch, result delivery — with an
+// instant pricing kernel and the cache disabled, i.e. the queue machinery
+// itself.
+func BenchmarkServeBatch(b *testing.B) {
+	s, err := New(Config{
+		Steps: 16, MaxBatch: 64, FlushInterval: 200 * time.Microsecond,
+		CacheSize: -1, // disable: measure the queue, not the map
+		Backends:  stubBackends(2, 64),
+		PriceFunc: stubPrice,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	batch := make([]option.Option, 64)
+	for i := range batch {
+		batch[i] = testOption(i)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.PriceOptions(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "options/s")
+}
+
+// BenchmarkServeCacheHit measures the steady-state fast path: every
+// option served straight from the LRU.
+func BenchmarkServeCacheHit(b *testing.B) {
+	s, err := New(Config{
+		Steps: 16, MaxBatch: 64, FlushInterval: 200 * time.Microsecond,
+		Backends:  stubBackends(2, 64),
+		PriceFunc: stubPrice,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	batch := make([]option.Option, 64)
+	for i := range batch {
+		batch[i] = testOption(i)
+	}
+	ctx := context.Background()
+	if _, err := s.PriceOptions(ctx, batch); err != nil { // prime
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.PriceOptions(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "options/s")
+}
+
+// BenchmarkPriceAmericanPut1024 is the lattice hot path at the paper's
+// evaluation depth — the cold-path cost every cache miss pays.
+func BenchmarkPriceAmericanPut1024(b *testing.B) {
+	eng, err := lattice.NewEngine(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := option.Option{
+		Right: option.Put, Style: option.American,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Price(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e3, "ms/option")
+}

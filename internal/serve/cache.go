@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"binopt/internal/option"
+)
+
+// cacheKey is the canonical identity of a priced contract. Two requests
+// that describe the same economics must map to the same key, so every
+// float is normalised (negative zero folds onto zero; validation upstream
+// guarantees no NaNs reach the cache). The lattice depth is part of the
+// key so a server reconfigured to a different tree depth never serves
+// stale prices.
+type cacheKey struct {
+	right  option.Right
+	style  option.Style
+	spot   float64
+	strike float64
+	rate   float64
+	div    float64
+	sigma  float64
+	t      float64
+	steps  int
+}
+
+// canon folds -0 onto +0 so the two bit patterns share a key.
+func canon(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return x
+}
+
+// keyFor canonicalises a contract for the given lattice depth.
+func keyFor(o option.Option, steps int) cacheKey {
+	return cacheKey{
+		right:  o.Right,
+		style:  o.Style,
+		spot:   canon(o.Spot),
+		strike: canon(o.Strike),
+		rate:   canon(o.Rate),
+		div:    canon(o.Div),
+		sigma:  canon(o.Sigma),
+		t:      canon(o.T),
+		steps:  steps,
+	}
+}
+
+// resultCache is a fixed-capacity LRU of priced contracts. A pricing
+// service sees the same quote tape repeatedly — the same chain is
+// re-priced every time the curve refreshes — so a warm cache converts the
+// steady-state workload from O(tree) per option to a map lookup, which is
+// how the serving tier sustains the paper's 2000 options/s target on
+// hardware far slower than the modelled FPGA.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	price float64
+}
+
+// newResultCache returns a cache holding up to capacity entries; a
+// capacity <= 0 disables caching (every lookup misses).
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+// get returns the cached price and whether it was present, promoting the
+// entry to most recently used.
+func (c *resultCache) get(k cacheKey) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		return 0, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).price, true
+}
+
+// put stores a price, evicting the least recently used entry when full.
+// Non-finite prices are never cached: they indicate an engine fault that
+// should not be pinned into the serving path.
+func (c *resultCache) put(k cacheKey, price float64) {
+	if c == nil || math.IsNaN(price) || math.IsInf(price, 0) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).price = price
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: k, price: price})
+	c.m[k] = el
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached entries.
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

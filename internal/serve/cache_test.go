@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"binopt/internal/option"
+)
+
+func cacheOption(strike float64) option.Option {
+	return option.Option{
+		Right: option.Put, Style: option.American,
+		Spot: 100, Strike: strike, Rate: 0.03, Sigma: 0.2, T: 0.5,
+	}
+}
+
+func TestCacheHitAndEviction(t *testing.T) {
+	c := newResultCache(2)
+	k1 := keyFor(cacheOption(90), 64)
+	k2 := keyFor(cacheOption(100), 64)
+	k3 := keyFor(cacheOption(110), 64)
+
+	c.put(k1, 1.0)
+	c.put(k2, 2.0)
+	if v, ok := c.get(k1); !ok || v != 1.0 {
+		t.Fatalf("k1 = %v,%v want 1,true", v, ok)
+	}
+	// k1 is now most recent; inserting k3 must evict k2.
+	c.put(k3, 3.0)
+	if _, ok := c.get(k2); ok {
+		t.Fatal("k2 survived eviction; LRU order wrong")
+	}
+	if v, ok := c.get(k1); !ok || v != 1.0 {
+		t.Fatalf("k1 evicted out of LRU order (%v, %v)", v, ok)
+	}
+	if v, ok := c.get(k3); !ok || v != 3.0 {
+		t.Fatalf("k3 = %v,%v want 3,true", v, ok)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+
+	// Updating an existing key must not grow the cache.
+	c.put(k3, 3.5)
+	if v, _ := c.get(k3); v != 3.5 {
+		t.Fatalf("update lost: %v", v)
+	}
+	if c.len() != 2 {
+		t.Fatalf("len after update = %d, want 2", c.len())
+	}
+}
+
+func TestCacheKeyCanonicalisation(t *testing.T) {
+	a := cacheOption(95)
+	b := a
+	b.Rate = math.Copysign(0, -1) // -0.0
+	a.Rate = 0
+	if keyFor(a, 128) != keyFor(b, 128) {
+		t.Fatal("-0 and +0 rate produced different keys")
+	}
+
+	// Different depth must not share keys.
+	if keyFor(a, 128) == keyFor(a, 256) {
+		t.Fatal("different tree depths share a cache key")
+	}
+	// Different economics must not share keys.
+	cOpt := a
+	cOpt.Sigma = 0.21
+	if keyFor(a, 128) == keyFor(cOpt, 128) {
+		t.Fatal("different sigmas share a cache key")
+	}
+}
+
+func TestCacheDisabledAndNonFinite(t *testing.T) {
+	var c *resultCache // capacity <= 0 yields nil
+	if c = newResultCache(0); c != nil {
+		t.Fatal("capacity 0 should disable the cache")
+	}
+	if _, ok := c.get(keyFor(cacheOption(90), 64)); ok {
+		t.Fatal("nil cache reported a hit")
+	}
+	c.put(keyFor(cacheOption(90), 64), 1) // must not panic
+	if c.len() != 0 {
+		t.Fatal("nil cache has entries")
+	}
+
+	real := newResultCache(4)
+	real.put(keyFor(cacheOption(90), 64), math.NaN())
+	real.put(keyFor(cacheOption(91), 64), math.Inf(1))
+	if real.len() != 0 {
+		t.Fatalf("non-finite prices cached: len %d", real.len())
+	}
+}

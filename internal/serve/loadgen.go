@@ -1,0 +1,300 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"binopt/internal/option"
+)
+
+// LoadConfig parameterises a load-generation run against a pricing
+// server. The workload is split into batch requests of BatchSize
+// contracts; WarmupPasses sweeps prime the server (cold lattice pricing,
+// cache fill) and are reported separately, then Passes sweeps are
+// measured.
+type LoadConfig struct {
+	// BaseURL of the target server, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Options is the workload, typically the paper's 2000-put chain.
+	Options []option.Option
+	// Concurrency is the number of in-flight requests (default 4).
+	Concurrency int
+	// BatchSize is contracts per request (default 250).
+	BatchSize int
+	// WarmupPasses over the workload before measurement (default 0).
+	WarmupPasses int
+	// Passes over the workload during measurement (default 1).
+	Passes int
+	// RPS throttles the measured request rate; 0 means unlimited.
+	RPS float64
+	// Client overrides the HTTP client (default: shared transport with
+	// Concurrency idle connections).
+	Client *http.Client
+}
+
+// LoadReport summarises a run: client-observed throughput, exact latency
+// quantiles over per-request round trips, and the server's modelled
+// energy bill for the options it actually priced.
+type LoadReport struct {
+	// Warmup phase totals (zero when WarmupPasses == 0).
+	WarmupOptions int64
+	WarmupElapsed time.Duration
+
+	// Measured phase.
+	Requests      int64
+	Errors        int64
+	Options       int64
+	CacheHits     int64
+	Elapsed       time.Duration
+	OptionsPerSec float64
+	P50, P95, P99 time.Duration
+
+	// Energy across the whole run (warmup + measured): modelled joules
+	// accumulated by the backend shards, amortised per option served.
+	ModelledJoules  float64
+	JoulesPerOption float64
+}
+
+// Text renders the report as the operator-facing summary.
+func (r LoadReport) Text() string {
+	var b strings.Builder
+	if r.WarmupOptions > 0 {
+		fmt.Fprintf(&b, "warmup:   %d options in %.2fs (%.0f options/s, cold path)\n",
+			r.WarmupOptions, r.WarmupElapsed.Seconds(),
+			float64(r.WarmupOptions)/r.WarmupElapsed.Seconds())
+	}
+	fmt.Fprintf(&b, "measured: %d options in %d requests over %.2fs\n", r.Options, r.Requests, r.Elapsed.Seconds())
+	fmt.Fprintf(&b, "throughput: %.0f options/s sustained\n", r.OptionsPerSec)
+	fmt.Fprintf(&b, "latency:  p50 %s  p95 %s  p99 %s (per request)\n", r.P50, r.P95, r.P99)
+	fmt.Fprintf(&b, "cache:    %d/%d hits (%.1f%%)\n", r.CacheHits, r.Options, 100*float64(r.CacheHits)/float64(max64(r.Options, 1)))
+	fmt.Fprintf(&b, "energy:   %.4g J modelled total, %.4g J/option amortised\n", r.ModelledJoules, r.JoulesPerOption)
+	fmt.Fprintf(&b, "errors:   %d\n", r.Errors)
+	return b.String()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// loadRequest is one pre-encoded batch request.
+type loadRequest struct {
+	body    []byte
+	options int
+}
+
+// RunLoad drives the server with the configured workload and returns the
+// report. The warmup phase exercises the cold pricing path; the measured
+// phase reports sustained serving throughput (on a repeated workload this
+// is dominated by cache hits — by design, that is the serving tier's
+// steady state).
+func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
+	if len(cfg.Options) == 0 {
+		return LoadReport{}, fmt.Errorf("loadgen: empty workload")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 250
+	}
+	if cfg.Passes <= 0 {
+		cfg.Passes = 1
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Concurrency}}
+	}
+
+	// Pre-encode one pass worth of batch requests.
+	var pass []loadRequest
+	for at := 0; at < len(cfg.Options); at += cfg.BatchSize {
+		end := at + cfg.BatchSize
+		if end > len(cfg.Options) {
+			end = len(cfg.Options)
+		}
+		chunk := cfg.Options[at:end]
+		req := PriceRequest{Contracts: make([]Contract, len(chunk))}
+		for i, o := range chunk {
+			req.Contracts[i] = FromOption(o)
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return LoadReport{}, fmt.Errorf("loadgen: encoding batch: %w", err)
+		}
+		pass = append(pass, loadRequest{body: body, options: len(chunk)})
+	}
+
+	var rep LoadReport
+
+	if cfg.WarmupPasses > 0 {
+		start := time.Now()
+		stats, err := sweep(ctx, client, cfg, pass, cfg.WarmupPasses, 0)
+		if err != nil {
+			return rep, err
+		}
+		rep.WarmupOptions = stats.options
+		rep.WarmupElapsed = time.Since(start)
+		rep.ModelledJoules += stats.joules
+	}
+
+	start := time.Now()
+	stats, err := sweep(ctx, client, cfg, pass, cfg.Passes, cfg.RPS)
+	if err != nil {
+		return rep, err
+	}
+	rep.Elapsed = time.Since(start)
+	rep.Requests = stats.requests
+	rep.Errors = stats.errors
+	rep.Options = stats.options
+	rep.CacheHits = stats.cacheHits
+	rep.ModelledJoules += stats.joules
+	if rep.Elapsed > 0 {
+		rep.OptionsPerSec = float64(stats.options) / rep.Elapsed.Seconds()
+	}
+	sort.Slice(stats.latencies, func(i, j int) bool { return stats.latencies[i] < stats.latencies[j] })
+	rep.P50 = quantileDur(stats.latencies, 0.50)
+	rep.P95 = quantileDur(stats.latencies, 0.95)
+	rep.P99 = quantileDur(stats.latencies, 0.99)
+	total := rep.WarmupOptions + rep.Options
+	if total > 0 {
+		rep.JoulesPerOption = rep.ModelledJoules / float64(total)
+	}
+	return rep, nil
+}
+
+type sweepStats struct {
+	requests, errors, options, cacheHits int64
+	joules                               float64
+	latencies                            []time.Duration
+}
+
+// sweep runs `passes` copies of the request set through a worker pool and
+// aggregates per-request observations.
+func sweep(ctx context.Context, client *http.Client, cfg LoadConfig, pass []loadRequest, passes int, rps float64) (sweepStats, error) {
+	work := make(chan loadRequest)
+	var throttle <-chan time.Time
+	if rps > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / rps))
+		defer t.Stop()
+		throttle = t.C
+	}
+
+	var (
+		mu    sync.Mutex
+		stats sweepStats
+		wg    sync.WaitGroup
+		fail  atomic.Value // first transport-level error
+	)
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for lr := range work {
+				t0 := time.Now()
+				obs, err := doPriceRequest(ctx, client, cfg.BaseURL, lr)
+				lat := time.Since(t0)
+				if err != nil {
+					fail.CompareAndSwap(nil, err)
+					return
+				}
+				mu.Lock()
+				stats.requests++
+				stats.latencies = append(stats.latencies, lat)
+				if obs.httpErr {
+					stats.errors++
+				} else {
+					stats.options += int64(lr.options)
+					stats.cacheHits += obs.cacheHits
+					stats.joules += obs.joules
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+feed:
+	for p := 0; p < passes; p++ {
+		for _, lr := range pass {
+			if throttle != nil {
+				select {
+				case <-throttle:
+				case <-ctx.Done():
+					break feed
+				}
+			}
+			select {
+			case work <- lr:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+	}
+	close(work)
+	wg.Wait()
+	if err, ok := fail.Load().(error); ok && err != nil {
+		return stats, fmt.Errorf("loadgen: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, fmt.Errorf("loadgen: %w", err)
+	}
+	return stats, nil
+}
+
+type requestObs struct {
+	httpErr   bool
+	cacheHits int64
+	joules    float64
+}
+
+// doPriceRequest posts one batch and parses the response. Non-2xx
+// statuses (e.g. 429 under saturation) count as request errors, not
+// transport failures — the generator keeps going, as a real client would.
+func doPriceRequest(ctx context.Context, client *http.Client, baseURL string, lr loadRequest) (requestObs, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/price", bytes.NewReader(lr.body))
+	if err != nil {
+		return requestObs{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return requestObs{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return requestObs{httpErr: true}, nil
+	}
+	var pr PriceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return requestObs{}, fmt.Errorf("decoding response: %w", err)
+	}
+	obs := requestObs{}
+	for _, res := range pr.Results {
+		if res.Cached {
+			obs.cacheHits++
+		}
+		obs.joules += res.ModelledJoules
+	}
+	return obs, nil
+}
+
+// quantileDur returns the q-quantile of an ascending slice.
+func quantileDur(d []time.Duration, q float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(d)-1))
+	return d[i]
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"binopt/internal/workload"
+)
+
+// TestRunLoadSmall checks the generator's accounting on a tiny workload.
+func TestRunLoadSmall(t *testing.T) {
+	_, hs := newTestServer(t, Config{Steps: 32})
+	spec := workload.DefaultVolCurveSpec(3)
+	spec.N = 8
+	chain, err := workload.Chain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL: hs.URL, Options: chain,
+		Concurrency: 2, BatchSize: 3, WarmupPasses: 1, Passes: 2,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if rep.WarmupOptions != 8 {
+		t.Errorf("warmup options = %d, want 8", rep.WarmupOptions)
+	}
+	if rep.Options != 16 {
+		t.Errorf("measured options = %d, want 16", rep.Options)
+	}
+	if rep.Requests != 6 { // ceil(8/3)=3 requests per pass, 2 passes
+		t.Errorf("requests = %d, want 6", rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("errors = %d", rep.Errors)
+	}
+	// Warmup primed the cache, so the measured passes must be all hits.
+	if rep.CacheHits != 16 {
+		t.Errorf("cache hits = %d, want 16", rep.CacheHits)
+	}
+	if rep.ModelledJoules <= 0 || rep.JoulesPerOption <= 0 {
+		t.Errorf("energy accounting missing: %+v", rep)
+	}
+	if rep.P50 <= 0 || rep.P99 < rep.P50 {
+		t.Errorf("latency quantiles inconsistent: p50 %v p99 %v", rep.P50, rep.P99)
+	}
+	for _, want := range []string{"throughput:", "latency:", "p99", "J/option", "errors:"} {
+		if !strings.Contains(rep.Text(), want) {
+			t.Errorf("report text missing %q:\n%s", want, rep.Text())
+		}
+	}
+}
+
+// TestRunLoadRPSThrottle bounds the measured request rate.
+func TestRunLoadRPSThrottle(t *testing.T) {
+	_, hs := newTestServer(t, Config{Steps: 16})
+	spec := workload.DefaultVolCurveSpec(5)
+	spec.N = 4
+	chain, err := workload.Chain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL: hs.URL, Options: chain,
+		Concurrency: 1, BatchSize: 2, Passes: 2, RPS: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 requests at 50 req/s: the ticker spaces them ~20ms apart.
+	if el := time.Since(start); el < 60*time.Millisecond {
+		t.Errorf("throttled run finished in %s; RPS limit not applied", el)
+	}
+	if rep.Requests != 4 {
+		t.Errorf("requests = %d, want 4", rep.Requests)
+	}
+}
+
+// TestLoadgenSmoke2000OptionsPerSec is the acceptance run: the paper's
+// 2000-American-put chain at the full 1024-step evaluation depth, served
+// in-process. One warmup pass prices the whole curve cold (filling the
+// cache, paying the modelled energy); the measured passes then sustain
+// the steady-state serving rate, which must clear the paper's 2000
+// options/s use-case budget while the report carries latency quantiles
+// and modelled joules/option.
+func TestLoadgenSmoke2000OptionsPerSec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 1024-step smoke run in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("skipping throughput assertion under the race detector")
+	}
+
+	chain, err := workload.Chain(workload.DefaultVolCurveSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2000 {
+		t.Fatalf("chain size %d, want the paper's 2000", len(chain))
+	}
+
+	_, hs := newTestServer(t, Config{Steps: 1024})
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		BaseURL: hs.URL, Options: chain,
+		Concurrency: 4, BatchSize: 250, WarmupPasses: 1, Passes: 4,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	t.Logf("loadgen summary:\n%s", rep.Text())
+
+	if rep.Errors != 0 {
+		t.Fatalf("measured phase saw %d errors", rep.Errors)
+	}
+	if rep.Options != 8000 {
+		t.Fatalf("measured %d options, want 8000", rep.Options)
+	}
+	if rep.OptionsPerSec < 2000 {
+		t.Fatalf("sustained %.0f options/s, need >= 2000 (paper §I budget)", rep.OptionsPerSec)
+	}
+	if rep.P50 <= 0 || rep.P95 < rep.P50 || rep.P99 < rep.P95 {
+		t.Fatalf("latency quantiles missing or inconsistent: p50 %v p95 %v p99 %v", rep.P50, rep.P95, rep.P99)
+	}
+	if rep.JoulesPerOption <= 0 {
+		t.Fatalf("modelled joules/option missing from summary: %+v", rep)
+	}
+}

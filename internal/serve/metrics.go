@@ -1,0 +1,221 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the histogram upper bounds, in seconds: exponential
+// from 50 microseconds to ~100 s, which spans a cache hit on loopback up
+// to a saturated queue draining a deep tree. The final implicit bucket is
+// +Inf.
+var latencyBuckets = func() []float64 {
+	b := make([]float64, 0, 22)
+	for v := 50e-6; v < 120; v *= 2 {
+		b = append(b, v)
+	}
+	return b
+}()
+
+// histogram is a fixed-bucket concurrent histogram.
+type histogram struct {
+	bounds []float64      // upper bounds, ascending
+	counts []atomic.Int64 // len(bounds)+1, last is overflow
+	sum    atomicFloat
+	n      atomic.Int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// observe records one sample.
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.add(v)
+	h.n.Add(1)
+}
+
+// quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the containing bucket. It returns 0 when the histogram is empty.
+func (h *histogram) quantile(q float64) float64 {
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c >= target && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := lo * 2
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			}
+			frac := (target - cum) / c
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// mean returns the average observed value, or 0 when empty.
+func (h *histogram) mean() float64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.load() / float64(n)
+}
+
+// atomicFloat is a float64 accumulator built on a bits CAS loop, good
+// enough for the additive counters the metrics page needs.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// metrics aggregates everything /metrics exposes. All fields are safe for
+// concurrent use.
+type metrics struct {
+	start time.Time
+
+	requests       atomic.Int64 // HTTP requests to /v1/price
+	volcurveReqs   atomic.Int64 // HTTP requests to /v1/volcurve
+	badRequests    atomic.Int64 // 4xx other than 429
+	rejected       atomic.Int64 // 429 admission rejections
+	optionsServed  atomic.Int64 // priced + cache hits returned to clients
+	optionsPriced  atomic.Int64 // actually ran the lattice
+	cacheHits      atomic.Int64
+	solverPricings atomic.Int64 // lattice evaluations spent inside implied-vol solves
+
+	modelledJoules atomicFloat // sum of per-option modelled energy
+
+	latency   *histogram // per-option enqueue-to-result latency, seconds
+	batchSize *histogram // options per flushed batch
+
+	mu         sync.Mutex
+	perBackend map[string]*atomic.Int64 // options priced per backend shard
+}
+
+func newMetrics() *metrics {
+	batchBounds := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	return &metrics{
+		start:      time.Now(),
+		latency:    newHistogram(latencyBuckets),
+		batchSize:  newHistogram(batchBounds),
+		perBackend: make(map[string]*atomic.Int64),
+	}
+}
+
+// backendCounter returns the per-shard priced counter, creating it on
+// first use.
+func (m *metrics) backendCounter(name string) *atomic.Int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.perBackend[name]
+	if !ok {
+		c = new(atomic.Int64)
+		m.perBackend[name] = c
+	}
+	return c
+}
+
+// observeOption records one completed pricing: its queue+compute latency
+// and the modelled energy of the shard that priced it.
+func (m *metrics) observeOption(lat time.Duration, joules float64, backend *atomic.Int64) {
+	m.optionsPriced.Add(1)
+	m.optionsServed.Add(1)
+	m.modelledJoules.add(joules)
+	m.latency.observe(lat.Seconds())
+	if backend != nil {
+		backend.Add(1)
+	}
+}
+
+// observeHit records one cache hit served to a client.
+func (m *metrics) observeHit() {
+	m.cacheHits.Add(1)
+	m.optionsServed.Add(1)
+}
+
+// joulesPerOption is the modelled energy amortised over everything served
+// (cache hits cost nothing, which is exactly their point).
+func (m *metrics) joulesPerOption() float64 {
+	served := m.optionsServed.Load()
+	if served == 0 {
+		return 0
+	}
+	return m.modelledJoules.load() / float64(served)
+}
+
+// optionsPerSec is the cumulative serving rate since start.
+func (m *metrics) optionsPerSec() float64 {
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.optionsServed.Load()) / el
+}
+
+// render writes the exposition text: Prometheus-style name/value lines,
+// one metric per line, deterministic ordering.
+func (m *metrics) render(queueDepth int64, cacheLen int) string {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	w("binopt_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+	w("binopt_requests_total{endpoint=\"price\"} %d\n", m.requests.Load())
+	w("binopt_requests_total{endpoint=\"volcurve\"} %d\n", m.volcurveReqs.Load())
+	w("binopt_bad_requests_total %d\n", m.badRequests.Load())
+	w("binopt_rejected_total %d\n", m.rejected.Load())
+	w("binopt_options_served_total %d\n", m.optionsServed.Load())
+	w("binopt_options_priced_total %d\n", m.optionsPriced.Load())
+	w("binopt_cache_hits_total %d\n", m.cacheHits.Load())
+	w("binopt_cache_entries %d\n", cacheLen)
+	w("binopt_solver_pricings_total %d\n", m.solverPricings.Load())
+	w("binopt_queue_depth %d\n", queueDepth)
+	w("binopt_options_per_sec %.3f\n", m.optionsPerSec())
+	w("binopt_modelled_joules_total %.6g\n", m.modelledJoules.load())
+	w("binopt_modelled_joules_per_option %.6g\n", m.joulesPerOption())
+
+	w("binopt_batch_size_count %d\n", m.batchSize.n.Load())
+	w("binopt_batch_size_mean %.3f\n", m.batchSize.mean())
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		w("binopt_option_latency_seconds{quantile=\"%g\"} %.6g\n", q, m.latency.quantile(q))
+	}
+	w("binopt_option_latency_seconds_count %d\n", m.latency.n.Load())
+	w("binopt_option_latency_seconds_mean %.6g\n", m.latency.mean())
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.perBackend))
+	for name := range m.perBackend {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w("binopt_backend_options_priced_total{backend=%q} %d\n", name, m.perBackend[name].Load())
+	}
+	m.mu.Unlock()
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram(latencyBuckets)
+	// 1000 samples spread uniformly over (0, 100ms].
+	for i := 1; i <= 1000; i++ {
+		h.observe(float64(i) * 100e-6)
+	}
+	checks := []struct {
+		q        float64
+		lo, hi   float64
+		quantile string
+	}{
+		{0.50, 0.035, 0.075, "p50"}, // true value 50ms, bucket [51.2ms, 102.4ms) edges
+		{0.95, 0.080, 0.110, "p95"}, // true 95ms
+		{0.99, 0.090, 0.110, "p99"}, // true 99ms
+	}
+	for _, c := range checks {
+		got := h.quantile(c.q)
+		if got < c.lo || got > c.hi {
+			t.Errorf("%s = %v, want within [%v, %v]", c.quantile, got, c.lo, c.hi)
+		}
+	}
+	if mean := h.mean(); mean < 0.045 || mean > 0.055 {
+		t.Errorf("mean = %v, want ~0.05005", mean)
+	}
+	if h.quantile(0.5) >= h.quantile(0.99) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestHistogramEmptyAndOverflow(t *testing.T) {
+	h := newHistogram(latencyBuckets)
+	if q := h.quantile(0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	if m := h.mean(); m != 0 {
+		t.Fatalf("empty mean = %v, want 0", m)
+	}
+	h.observe(1e6) // beyond the last bound: overflow bucket
+	if q := h.quantile(0.99); q <= 0 {
+		t.Fatalf("overflow quantile = %v, want positive", q)
+	}
+}
+
+func TestAtomicFloatConcurrentAdd(t *testing.T) {
+	var f atomicFloat
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := f.load(), float64(workers*per)*0.5; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestMetricsRenderAndEnergy(t *testing.T) {
+	m := newMetrics()
+	be := m.backendCounter("fpga-ivb")
+	m.observeOption(2*time.Millisecond, 0.005, be)
+	m.observeOption(3*time.Millisecond, 0.005, be)
+	m.observeHit()
+	m.observeHit()
+
+	// 0.01 J over 4 served options: caching halves the modelled energy
+	// per option relative to pricing everything.
+	if jpo := m.joulesPerOption(); jpo < 0.0024 || jpo > 0.0026 {
+		t.Fatalf("joules/option = %v, want 0.0025", jpo)
+	}
+
+	text := m.render(3, 17)
+	for _, want := range []string{
+		"binopt_options_served_total 4",
+		"binopt_options_priced_total 2",
+		"binopt_cache_hits_total 2",
+		"binopt_queue_depth 3",
+		"binopt_cache_entries 17",
+		`binopt_backend_options_priced_total{backend="fpga-ivb"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector is compiled in; the
+// throughput smoke test skips itself under race, where the instrumented
+// lattice is an order of magnitude slower than any modelled device.
+const raceEnabled = false

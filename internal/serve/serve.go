@@ -1,0 +1,257 @@
+// Package serve is the pricing service layer over the binopt engines: a
+// batched HTTP/JSON API backed by a dynamic micro-batching queue, a
+// worker pool sharded across the paper's modelled devices (FPGA kernel
+// IV.B, GPU, CPU reference), an LRU result cache keyed by canonicalised
+// contract parameters, and a metrics surface reporting throughput,
+// latency quantiles and modelled energy. It turns the library's one-shot
+// experiments into the data-centre serving tier the paper's use case —
+// 2000-option implied-volatility curves on demand under a
+// throughput/energy budget — actually requires.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"binopt/internal/lattice"
+	"binopt/internal/option"
+)
+
+// Config parameterises a Server. The zero value of every field has a
+// sensible default.
+type Config struct {
+	// Steps is the lattice depth every request is priced at (default
+	// 1024, the paper's evaluation depth).
+	Steps int
+	// MaxBatch is the size trigger of the micro-batching queue (default
+	// 64 options per flush).
+	MaxBatch int
+	// FlushInterval is the deadline trigger: the longest a request waits
+	// for co-batched company before being flushed anyway (default 2ms).
+	FlushInterval time.Duration
+	// QueueDepth bounds the total options admitted and not yet priced;
+	// beyond it requests are rejected with ErrSaturated / HTTP 429
+	// (default 8192).
+	QueueDepth int
+	// CacheSize is the LRU capacity in contracts (default 65536; set
+	// negative to disable caching).
+	CacheSize int
+	// Backends is the shard pool (default DefaultBackends(Steps)).
+	Backends []BackendConfig
+	// SolverWorkers bounds concurrency inside /v1/volcurve implied-vol
+	// solves (default GOMAXPROCS).
+	SolverWorkers int
+	// PriceFunc overrides the pricing kernel, for tests that need a slow
+	// or failing engine. The default prices on the double-precision
+	// reference lattice at Steps depth.
+	PriceFunc func(option.Option) (float64, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Steps <= 0 {
+		c.Steps = 1024
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8192
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 65536
+	}
+	return c
+}
+
+// Result is one priced contract as returned to clients.
+type Result struct {
+	// Price is the option value on the reference lattice.
+	Price float64 `json:"price"`
+	// Cached reports whether the result came from the LRU.
+	Cached bool `json:"cached"`
+	// Backend names the shard that priced it ("cache" on a hit).
+	Backend string `json:"backend"`
+	// ModelledJoules is the modelled energy of producing this result on
+	// the shard's device (zero for cache hits).
+	ModelledJoules float64 `json:"modelled_joules"`
+}
+
+// Server is the pricing service. Construct with New, serve via Handler,
+// stop with Close.
+type Server struct {
+	cfg     Config
+	engine  *lattice.Engine
+	priceFn func(option.Option) (float64, error)
+
+	cache    *resultCache
+	metrics  *metrics
+	batcher  *batcher
+	backends []*backend
+
+	queued atomic.Int64 // admitted, not yet completed
+	closed atomic.Bool
+	wg     sync.WaitGroup
+}
+
+// New builds and starts a Server (backend workers launch immediately).
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	eng, err := lattice.NewEngine(cfg.Steps)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if cfg.Backends == nil {
+		cfg.Backends, err = DefaultBackends(cfg.Steps)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("serve: at least one backend required")
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		engine:  eng,
+		metrics: newMetrics(),
+		cache:   newResultCache(cfg.CacheSize),
+	}
+	s.priceFn = cfg.PriceFunc
+	if s.priceFn == nil {
+		s.priceFn = eng.Price
+	}
+	for _, bc := range cfg.Backends {
+		s.backends = append(s.backends, newBackend(bc, s.metrics))
+	}
+	s.batcher = newBatcher(cfg.MaxBatch, cfg.FlushInterval, s.dispatchBatch)
+	for _, be := range s.backends {
+		for w := 0; w < be.cfg.Workers; w++ {
+			s.wg.Add(1)
+			go s.worker(be)
+		}
+	}
+	return s, nil
+}
+
+// Steps reports the lattice depth the server prices at.
+func (s *Server) Steps() int { return s.cfg.Steps }
+
+// QueueDepth reports the currently admitted, not yet completed options.
+func (s *Server) QueueDepth() int64 { return s.queued.Load() }
+
+// RetryAfter estimates, from the modelled aggregate throughput, how long
+// a rejected client should wait before retrying (at least one second).
+func (s *Server) RetryAfter() time.Duration {
+	secs := float64(s.queued.Load()) / s.aggregateRate()
+	if secs < 1 {
+		secs = 1
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// PriceOptions prices a slice of contracts through the full serving path:
+// cache lookup, admission control, micro-batching, backend shards.
+// Results arrive in input order. It returns ErrSaturated when admission
+// would exceed the queue depth and ErrClosed during shutdown; the ctx
+// cancelling abandons the wait (already-admitted work still completes and
+// populates the cache).
+func (s *Server) PriceOptions(ctx context.Context, opts []option.Option) ([]Result, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
+	if len(opts) == 0 {
+		return nil, fmt.Errorf("serve: empty batch")
+	}
+	for i, o := range opts {
+		if err := o.Validate(); err != nil {
+			return nil, fmt.Errorf("serve: contract %d: %w", i, err)
+		}
+	}
+
+	results := make([]Result, len(opts))
+	var jobs []*job
+	var jobIdx []int
+	now := time.Now()
+	for i, o := range opts {
+		key := keyFor(o, s.cfg.Steps)
+		if price, ok := s.cache.get(key); ok {
+			s.metrics.observeHit()
+			results[i] = Result{Price: price, Cached: true, Backend: "cache"}
+			continue
+		}
+		jobs = append(jobs, &job{opt: o, key: key, enqueued: now, done: make(chan jobResult, 1)})
+		jobIdx = append(jobIdx, i)
+	}
+	if len(jobs) == 0 {
+		return results, nil
+	}
+
+	// Admission: reject the whole request rather than partially queueing
+	// it, so a client never waits on half a batch. A request too large
+	// for an empty queue is rejected permanently — a Retry-After would
+	// be a lie.
+	n := int64(len(jobs))
+	if n > int64(s.cfg.QueueDepth) {
+		s.metrics.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %d uncached contracts > depth %d", ErrBatchTooLarge, n, s.cfg.QueueDepth)
+	}
+	if s.queued.Add(n) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-n)
+		s.metrics.rejected.Add(1)
+		return nil, ErrSaturated
+	}
+
+	admitted := 0
+	for _, j := range jobs {
+		if err := s.batcher.add(j); err != nil {
+			// Shutdown raced us: roll back the jobs that never made it in.
+			s.queued.Add(-(n - int64(admitted)))
+			return nil, err
+		}
+		admitted++
+	}
+
+	for k, j := range jobs {
+		select {
+		case res := <-j.done:
+			if res.err != nil {
+				return nil, fmt.Errorf("serve: pricing %v: %w", j.opt, res.err)
+			}
+			results[jobIdx[k]] = Result{Price: res.price, Backend: res.backend, ModelledJoules: res.joules}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return results, nil
+}
+
+// Close drains the service: no new work is admitted, the batcher flushes
+// its buffer, every already-admitted option completes, then the shard
+// queues close and workers exit. ctx bounds the drain.
+func (s *Server) Close(ctx context.Context) error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.batcher.close()
+
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for s.queued.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("serve: drain interrupted with %d options in flight: %w", s.queued.Load(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+	for _, be := range s.backends {
+		close(be.jobs)
+	}
+	s.wg.Wait()
+	return nil
+}

@@ -54,15 +54,32 @@ func DefaultVolCurveSpec(seed int64) ChainSpec {
 	}
 }
 
+// Validate reports whether the spec can generate a usable chain,
+// with a descriptive error naming the offending field otherwise.
+func (spec ChainSpec) Validate() error {
+	switch {
+	case spec.N < 1:
+		return fmt.Errorf("workload: chain needs at least 1 option, got N=%d", spec.N)
+	case !(spec.Spot > 0) || math.IsInf(spec.Spot, 0):
+		return fmt.Errorf("workload: spot must be positive and finite, got %v", spec.Spot)
+	case !(spec.T > 0) || math.IsInf(spec.T, 0):
+		return fmt.Errorf("workload: expiry must be positive and finite, got %v years", spec.T)
+	case math.IsNaN(spec.Rate) || math.IsInf(spec.Rate, 0):
+		return fmt.Errorf("workload: rate must be finite, got %v", spec.Rate)
+	case !(spec.MinMny > 0) || math.IsInf(spec.MinMny, 0):
+		return fmt.Errorf("workload: minimum moneyness must be positive and finite, got %v", spec.MinMny)
+	case math.IsNaN(spec.MaxMny) || math.IsInf(spec.MaxMny, 0) || spec.MinMny >= spec.MaxMny:
+		return fmt.Errorf("workload: moneyness range [%v, %v] is empty or unordered", spec.MinMny, spec.MaxMny)
+	}
+	return nil
+}
+
 // Chain generates the contracts: strikes swept uniformly across the
 // moneyness range with a small seeded jitter, volatilities from the
 // smile.
 func Chain(spec ChainSpec) ([]option.Option, error) {
-	if spec.N < 1 {
-		return nil, fmt.Errorf("workload: chain needs at least 1 option, got %d", spec.N)
-	}
-	if spec.MinMny <= 0 || spec.MaxMny <= spec.MinMny {
-		return nil, fmt.Errorf("workload: bad moneyness range [%v, %v]", spec.MinMny, spec.MaxMny)
+	if err := spec.Validate(); err != nil {
+		return nil, err
 	}
 	smile := spec.Smile
 	if smile == nil {

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"binopt/internal/option"
@@ -51,17 +53,49 @@ func TestChainShape(t *testing.T) {
 	}
 }
 
-func TestChainErrors(t *testing.T) {
-	spec := DefaultVolCurveSpec(1)
-	spec.N = 0
-	if _, err := Chain(spec); err == nil {
-		t.Error("zero options should fail")
+func TestChainSpecValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*ChainSpec)
+		wantErr string // substring the error must carry
+	}{
+		{"zero options", func(s *ChainSpec) { s.N = 0 }, "at least 1 option"},
+		{"negative options", func(s *ChainSpec) { s.N = -5 }, "at least 1 option"},
+		{"zero spot", func(s *ChainSpec) { s.Spot = 0 }, "spot"},
+		{"negative spot", func(s *ChainSpec) { s.Spot = -100 }, "spot"},
+		{"NaN spot", func(s *ChainSpec) { s.Spot = math.NaN() }, "spot"},
+		{"infinite spot", func(s *ChainSpec) { s.Spot = math.Inf(1) }, "spot"},
+		{"zero expiry", func(s *ChainSpec) { s.T = 0 }, "expiry"},
+		{"negative expiry", func(s *ChainSpec) { s.T = -0.5 }, "expiry"},
+		{"NaN expiry", func(s *ChainSpec) { s.T = math.NaN() }, "expiry"},
+		{"NaN rate", func(s *ChainSpec) { s.Rate = math.NaN() }, "rate"},
+		{"infinite rate", func(s *ChainSpec) { s.Rate = math.Inf(-1) }, "rate"},
+		{"zero min moneyness", func(s *ChainSpec) { s.MinMny = 0 }, "moneyness"},
+		{"negative min moneyness", func(s *ChainSpec) { s.MinMny = -0.5 }, "moneyness"},
+		{"inverted range", func(s *ChainSpec) { s.MinMny, s.MaxMny = 1.5, 0.5 }, "moneyness range"},
+		{"empty range", func(s *ChainSpec) { s.MinMny, s.MaxMny = 1.0, 1.0 }, "moneyness range"},
+		{"NaN max moneyness", func(s *ChainSpec) { s.MaxMny = math.NaN() }, "moneyness range"},
 	}
-	spec = DefaultVolCurveSpec(1)
-	spec.MinMny = 1.5
-	spec.MaxMny = 0.5
-	if _, err := Chain(spec); err == nil {
-		t.Error("inverted moneyness range should fail")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := DefaultVolCurveSpec(1)
+			tc.mutate(&spec)
+			_, err := Chain(spec)
+			if err == nil {
+				t.Fatalf("Chain accepted nonsensical spec %+v", spec)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if verr := spec.Validate(); verr == nil || verr.Error() != err.Error() {
+				t.Fatalf("Validate() = %v, Chain err = %v; want identical", verr, err)
+			}
+		})
+	}
+
+	// The default spec itself must validate.
+	if err := DefaultVolCurveSpec(7).Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
 	}
 }
 
