@@ -22,6 +22,7 @@ package binopt
 import (
 	"testing"
 
+	"binopt/internal/accel"
 	"binopt/internal/device"
 	"binopt/internal/hls"
 	"binopt/internal/hwmath"
@@ -234,17 +235,16 @@ func BenchmarkSolvers(b *testing.B) {
 // BenchmarkIVAReducedReads compares the modelled batch time of the
 // published full-readback kernel against the reduced-reads variant.
 func BenchmarkIVAReducedReads(b *testing.B) {
-	board := device.DE4()
-	fitA, err := hls.Fit(board, kernels.ProfileIVA(), kernels.PaperKnobsIVA())
+	fpga, err := accel.Get("fpga-ivb")
 	if err != nil {
 		b.Fatal(err)
 	}
 	var full, reduced perf.Estimate
 	for i := 0; i < b.N; i++ {
-		if full, err = perf.FPGAIVA(board, fitA, 1024, false, true); err != nil {
+		if full, err = fpga.Estimate(1024, accel.Options{Kernel: accel.KernelIVA, FullReadback: true}); err != nil {
 			b.Fatal(err)
 		}
-		if reduced, err = perf.FPGAIVA(board, fitA, 1024, false, false); err != nil {
+		if reduced, err = fpga.Estimate(1024, accel.Options{Kernel: accel.KernelIVA}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -255,17 +255,16 @@ func BenchmarkIVAReducedReads(b *testing.B) {
 // BenchmarkLeafPlacement compares device-pow and host-computed leaves for
 // kernel IV.B, in modelled throughput.
 func BenchmarkLeafPlacement(b *testing.B) {
-	board := device.DE4()
-	fitB, err := hls.Fit(board, kernels.ProfileIVB(1024), kernels.PaperKnobsIVB())
+	fpga, err := accel.Get("fpga-ivb")
 	if err != nil {
 		b.Fatal(err)
 	}
 	var dev, host perf.Estimate
 	for i := 0; i < b.N; i++ {
-		if dev, err = perf.FPGAIVB(board, fitB, 1024, false, false); err != nil {
+		if dev, err = fpga.Estimate(1024, accel.Options{}); err != nil {
 			b.Fatal(err)
 		}
-		if host, err = perf.FPGAIVB(board, fitB, 1024, false, true); err != nil {
+		if host, err = fpga.Estimate(1024, accel.Options{LeavesOnHost: true}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -4,7 +4,7 @@
 //	binomtab -table 1              Table I  (resource usage / Fmax / power)
 //	binomtab -table 2              Table II (options/s, RMSE, options/J, nodes/s)
 //	binomtab -figure 1|2|3|4       the explanatory figures as ASCII
-//	binomtab -experiment saturation|pow|powercap|methods|accelbench|futurework|convergence|mlmc
+//	binomtab -experiment saturation|pow|powercap|methods|accelbench|futurework|convergence|mlmc|platforms
 //
 // Flags -steps, -rmse-options and -rmse-steps scale the measured parts.
 package main
@@ -15,14 +15,14 @@ import (
 	"os"
 
 	"binopt"
-	"binopt/internal/device"
+	"binopt/internal/accel"
 )
 
 func main() {
 	var (
 		table       = flag.Int("table", 0, "regenerate table 1 or 2")
 		figure      = flag.Int("figure", 0, "render figure 1, 2, 3 or 4")
-		experiment  = flag.String("experiment", "", "run experiment: saturation, pow, powercap, methods, accelbench, futurework, convergence, mlmc")
+		experiment  = flag.String("experiment", "", "run experiment: saturation, pow, powercap, methods, accelbench, futurework, convergence, mlmc, platforms")
 		steps       = flag.Int("steps", 1024, "tree depth N")
 		rmseOptions = flag.Int("rmse-options", 40, "options in the accuracy batch")
 		rmseSteps   = flag.Int("rmse-steps", 0, "tree depth for accuracy measurement (0 = -steps)")
@@ -162,14 +162,29 @@ func run(table, figure int, experiment string, steps, rmseOptions, rmseSteps int
 		if err != nil {
 			return err
 		}
-		chip := device.DE4().Chip
-		capped, err := res.KernelIVB.CapPower(chip, 10)
+		fpga, err := accel.Get("fpga-ivb")
+		if err != nil {
+			return err
+		}
+		capped, err := res.KernelIVB.CapPower(fpga.Describe().Board.Chip, 10)
 		if err != nil {
 			return err
 		}
 		fmt.Println("POWER CAP TO THE 10 W BUDGET (§V-C workaround)")
 		fmt.Printf("full speed: %.2f MHz at %.1f W\n", res.KernelIVB.FmaxMHz, res.KernelIVB.PowerWatts)
 		fmt.Printf("derated:    %.2f MHz at %.1f W\n", capped.FmaxMHz, capped.PowerWatts)
+		did = true
+	case "platforms":
+		fmt.Println("REGISTERED ACCELERATOR PLATFORMS (internal/accel registry)")
+		for _, p := range accel.Platforms() {
+			d := p.Describe()
+			est, err := p.Estimate(steps, accel.Options{})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-18s %-9s %-24s kernel %-9s %10.0f options/s  %5.1f W  %8.1f options/J\n",
+				d.Name, d.Kind, d.Device, d.DefaultKernel, est.OptionsPerSec, est.PowerWatts, est.OptionsPerJoule)
+		}
 		did = true
 	default:
 		return fmt.Errorf("unknown experiment %q", experiment)

@@ -67,6 +67,7 @@ func TestRunExperiments(t *testing.T) {
 		"pow":        "Power-operator",
 		"powercap":   "POWER CAP",
 		"futurework": "Future-work",
+		"platforms":  "embedded-keystone",
 	} {
 		out, err := capture(t, func() error { return run(0, 0, exp, 256, 8, 128, false) })
 		if err != nil {

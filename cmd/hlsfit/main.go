@@ -13,9 +13,8 @@ import (
 	"os"
 
 	"binopt"
-	"binopt/internal/device"
+	"binopt/internal/accel"
 	"binopt/internal/hls"
-	"binopt/internal/kernels"
 )
 
 func main() {
@@ -46,16 +45,24 @@ func run(kernel string, vec, repl, unroll, steps int, sweep bool) error {
 		return nil
 	}
 
-	var prof hls.KernelProfile
+	var k accel.Kernel
 	switch kernel {
 	case "iva":
-		prof = kernels.ProfileIVA()
+		k = accel.KernelIVA
 	case "ivb":
-		prof = kernels.ProfileIVB(steps)
+		k = accel.KernelIVB
 	default:
 		return fmt.Errorf("unknown kernel %q (want iva or ivb)", kernel)
 	}
-	rep, err := hls.Fit(device.DE4(), prof, hls.Knobs{Vectorize: vec, Replicate: repl, Unroll: unroll})
+	p, err := accel.Get("fpga-ivb")
+	if err != nil {
+		return err
+	}
+	fitter, ok := p.(accel.Fitter)
+	if !ok {
+		return fmt.Errorf("platform %s does not support fitting", p.Describe().Name)
+	}
+	rep, err := fitter.Fit(steps, k, hls.Knobs{Vectorize: vec, Replicate: repl, Unroll: unroll})
 	if err != nil {
 		return err
 	}

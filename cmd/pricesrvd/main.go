@@ -1,10 +1,12 @@
 // Command pricesrvd serves binomial option pricing over HTTP: the
 // data-centre front end the paper's use case implies. Requests are
-// micro-batched, scheduled across the modelled accelerator shards (FPGA
-// kernel IV.B, GTX660, Xeon reference), answered from an LRU result
-// cache when the tape repeats, and metered on /metrics.
+// micro-batched, scheduled across one shard per accel-registry platform
+// (FPGA kernel IV.B, GTX660, Xeon reference, plus any extra registered
+// target), answered from an LRU result cache when the tape repeats, and
+// metered on /metrics.
 //
 //	pricesrvd -addr :8080 -steps 1024
+//	pricesrvd -backends
 //	curl -s localhost:8080/v1/price -d '{"right":"put","style":"american","spot":100,"strike":105,"rate":0.03,"sigma":0.2,"t":0.5}'
 //
 // SIGINT/SIGTERM drain gracefully: the listener stops, the batching
@@ -16,6 +18,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -23,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"binopt/internal/accel"
 	"binopt/internal/serve"
 )
 
@@ -35,13 +39,37 @@ func main() {
 		queue     = flag.Int("queue-depth", 8192, "max admitted options before 429")
 		cacheSize = flag.Int("cache", 65536, "LRU result cache capacity (negative disables)")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+		backends  = flag.Bool("backends", false, "list the registered backend platforms and exit")
 	)
 	flag.Parse()
+
+	if *backends {
+		if err := listBackends(os.Stdout, *steps); err != nil {
+			fmt.Fprintln(os.Stderr, "pricesrvd:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if err := run(*addr, *steps, *maxBatch, *flushMs, *queue, *cacheSize, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "pricesrvd:", err)
 		os.Exit(1)
 	}
+}
+
+// listBackends prints every accel-registry platform the server would
+// shard across, with its modelled rate and power at the chosen depth.
+func listBackends(w io.Writer, steps int) error {
+	for _, p := range accel.Platforms() {
+		d := p.Describe()
+		est, err := p.Estimate(steps, accel.Options{})
+		if err != nil {
+			return fmt.Errorf("backend %s: %w", d.Name, err)
+		}
+		fmt.Fprintf(w, "%-18s %-9s %-24s kernel %-9s %10.0f options/s  %5.1f W\n",
+			d.Name, d.Kind, d.Device, d.DefaultKernel, est.OptionsPerSec, est.PowerWatts)
+	}
+	return nil
 }
 
 func run(addr string, steps, maxBatch int, flush time.Duration, queue, cacheSize int, drain time.Duration) error {

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"binopt/internal/accel"
+)
+
+// TestListBackends: -backends enumerates every accel-registry platform,
+// including the self-registered embedded target.
+func TestListBackends(t *testing.T) {
+	var b strings.Builder
+	if err := listBackends(&b, 512); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, name := range accel.Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("listing missing platform %s:\n%s", name, out)
+		}
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != len(accel.Names()) {
+		t.Errorf("want one line per platform:\n%s", out)
+	}
+}
+
+func TestListBackendsRejectsBadDepth(t *testing.T) {
+	var b strings.Builder
+	if err := listBackends(&b, 0); err == nil {
+		t.Fatal("steps=0 should fail")
+	}
+}

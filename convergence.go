@@ -5,13 +5,10 @@ import (
 	"math"
 	"time"
 
+	"binopt/internal/accel"
 	"binopt/internal/bs"
-	"binopt/internal/device"
-	"binopt/internal/hls"
-	"binopt/internal/kernels"
 	"binopt/internal/lattice"
 	"binopt/internal/option"
-	"binopt/internal/perf"
 	"binopt/internal/report"
 )
 
@@ -60,7 +57,10 @@ func Convergence(stepsList []int) (ConvergenceResult, error) {
 		return ConvergenceResult{}, err
 	}
 
-	board := device.DE4()
+	fpga, err := accel.Get("fpga-ivb")
+	if err != nil {
+		return ConvergenceResult{}, err
+	}
 	var pts []ConvergencePoint
 	for _, n := range stepsList {
 		if n < 2 {
@@ -99,13 +99,9 @@ func Convergence(stepsList []int) (ConvergenceResult, error) {
 			HostSeconds: hostSec,
 		}
 		// Modelled FPGA throughput: the local value buffer grows with N,
-		// so very deep trees stop fitting the paper's knobs.
-		fit, err := hls.Fit(board, kernels.ProfileIVB(n), kernels.PaperKnobsIVB())
-		if err == nil {
-			est, eerr := perf.FPGAIVB(board, fit, n, false, false)
-			if eerr != nil {
-				return ConvergenceResult{}, eerr
-			}
+		// so very deep trees stop fitting the paper's knobs and the
+		// platform estimate fails.
+		if est, eerr := fpga.Estimate(n, accel.Options{}); eerr == nil {
 			p.FPGAOptSec = est.OptionsPerSec
 			p.FPGALocalM9K = true
 		}

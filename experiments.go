@@ -4,10 +4,9 @@ import (
 	"fmt"
 	"strings"
 
-	"binopt/internal/device"
+	"binopt/internal/accel"
 	"binopt/internal/hls"
 	"binopt/internal/hwmath"
-	"binopt/internal/kernels"
 	"binopt/internal/lattice"
 	"binopt/internal/mathx"
 	"binopt/internal/perf"
@@ -16,6 +15,20 @@ import (
 	"binopt/internal/volatility"
 	"binopt/internal/workload"
 )
+
+// fpgaFitter resolves the registry's FPGA platform as the fitting target
+// for Table I, the knob sweep, and the per-row fits of Table II.
+func fpgaFitter() (accel.Fitter, error) {
+	p, err := accel.Get("fpga-ivb")
+	if err != nil {
+		return nil, err
+	}
+	f, ok := p.(accel.Fitter)
+	if !ok {
+		return nil, fmt.Errorf("binopt: platform %s does not support fitting", p.Describe().Name)
+	}
+	return f, nil
+}
 
 // Table1Result carries the regenerated resource-usage table (paper
 // Table I).
@@ -26,20 +39,24 @@ type Table1Result struct {
 	KernelIVB hls.FitReport
 }
 
-// Table1 compiles both kernels for the DE4 board with the paper's
-// parallelisation knobs and renders the fitter/power summary.
+// Table1 compiles both kernels for the registry's FPGA platform with the
+// paper's parallelisation knobs and renders the fitter/power summary.
 func Table1() (Table1Result, error) {
-	board := device.DE4()
-	fitA, err := hls.Fit(board, kernels.ProfileIVA(), kernels.PaperKnobsIVA())
+	f, err := fpgaFitter()
 	if err != nil {
 		return Table1Result{}, err
 	}
-	fitB, err := hls.Fit(board, kernels.ProfileIVB(1024), kernels.PaperKnobsIVB())
+	fitA, err := f.Fit(1024, accel.KernelIVA, hls.Knobs{})
 	if err != nil {
 		return Table1Result{}, err
 	}
-	tbl := report.BuildTable1(board.Chip.Name, board.Chip.Registers, board.Chip.M9K,
-		board.Chip.DSP18, board.Chip.MemoryBits, fitA, fitB)
+	fitB, err := f.Fit(1024, accel.KernelIVB, hls.Knobs{})
+	if err != nil {
+		return Table1Result{}, err
+	}
+	chip := f.Describe().Board.Chip
+	tbl := report.BuildTable1(chip.Name, chip.Registers, chip.M9K,
+		chip.DSP18, chip.MemoryBits, fitA, fitB)
 	return Table1Result{Text: tbl.String(), CSV: tbl.CSV(), KernelIVA: fitA, KernelIVB: fitB}, nil
 }
 
@@ -84,18 +101,21 @@ type Table2Result struct {
 // per variant, and the published baselines.
 func Table2(cfg Table2Config) (Table2Result, error) {
 	cfg.defaults()
-	board := device.DE4()
-	gpu := device.GTX660()
-	cpu := device.XeonX5450()
-
-	fitA, err := hls.Fit(board, kernels.ProfileIVA(), kernels.PaperKnobsIVA())
+	fpga, err := accel.Get("fpga-ivb")
 	if err != nil {
 		return Table2Result{}, err
 	}
-	fitB, err := hls.Fit(board, kernels.ProfileIVB(cfg.Steps), kernels.PaperKnobsIVB())
+	gpu, err := accel.Get("gpu-ivb")
 	if err != nil {
 		return Table2Result{}, err
 	}
+	cpu, err := accel.Get("cpu-ref")
+	if err != nil {
+		return Table2Result{}, err
+	}
+	fpgaLabel := fpga.Describe().Board.Chip.Name
+	gpuLabel := gpu.Describe().GPU.Name
+	cpuLabel := cpu.Describe().CPU.Name
 
 	rmse, err := measureRMSE(cfg)
 	if err != nil {
@@ -104,36 +124,23 @@ func Table2(cfg Table2Config) (Table2Result, error) {
 
 	type rowSpec struct {
 		kernel, platform string
-		est              func() (perf.Estimate, error)
+		on               accel.Platform
+		opts             accel.Options
 		rmse             float64
 	}
 	specs := []rowSpec{
-		{"IV.A", board.Chip.Name, func() (perf.Estimate, error) {
-			return perf.FPGAIVA(board, fitA, cfg.Steps, false, true)
-		}, rmse.hostLeavesDouble},
-		{"IV.A", gpu.Name, func() (perf.Estimate, error) {
-			return perf.GPUIVA(gpu, cfg.Steps, false, true)
-		}, rmse.hostLeavesDouble},
-		{"IV.B", board.Chip.Name, func() (perf.Estimate, error) {
-			return perf.FPGAIVB(board, fitB, cfg.Steps, false, false)
-		}, rmse.flawedPowDouble},
-		{"IV.B", gpu.Name, func() (perf.Estimate, error) {
-			return perf.GPUIVB(gpu, cfg.Steps, true)
-		}, rmse.single},
-		{"IV.B", gpu.Name, func() (perf.Estimate, error) {
-			return perf.GPUIVB(gpu, cfg.Steps, false)
-		}, rmse.hostLeavesDouble},
-		{"reference", cpu.Name, func() (perf.Estimate, error) {
-			return perf.CPUReference(cpu, cfg.Steps, true)
-		}, rmse.single},
-		{"reference", cpu.Name, func() (perf.Estimate, error) {
-			return perf.CPUReference(cpu, cfg.Steps, false)
-		}, 0},
+		{"IV.A", fpgaLabel, fpga, accel.Options{Kernel: accel.KernelIVA, FullReadback: true}, rmse.hostLeavesDouble},
+		{"IV.A", gpuLabel, gpu, accel.Options{Kernel: accel.KernelIVA, FullReadback: true}, rmse.hostLeavesDouble},
+		{"IV.B", fpgaLabel, fpga, accel.Options{}, rmse.flawedPowDouble},
+		{"IV.B", gpuLabel, gpu, accel.Options{Single: true}, rmse.single},
+		{"IV.B", gpuLabel, gpu, accel.Options{}, rmse.hostLeavesDouble},
+		{"reference", cpuLabel, cpu, accel.Options{Single: true}, rmse.single},
+		{"reference", cpuLabel, cpu, accel.Options{}, 0},
 	}
 
 	var rows []report.Table2Row
 	for _, s := range specs {
-		est, err := s.est()
+		est, err := s.on.Estimate(cfg.Steps, s.opts)
 		if err != nil {
 			return Table2Result{}, fmt.Errorf("binopt: table 2 row %s/%s: %w", s.kernel, s.platform, err)
 		}
@@ -207,21 +214,20 @@ func Saturation(workloads []int64) ([]SaturationResult, error) {
 	if len(workloads) == 0 {
 		workloads = []int64{100, 1000, 2000, 10_000, 100_000, 1_000_000, 10_000_000}
 	}
-	board := device.DE4()
-	fitB, err := hls.Fit(board, kernels.ProfileIVB(1024), kernels.PaperKnobsIVB())
-	if err != nil {
-		return nil, err
-	}
-	fpga, err := perf.FPGAIVB(board, fitB, 1024, false, false)
-	if err != nil {
-		return nil, err
-	}
-	gpu, err := perf.GPUIVB(device.GTX660(), 1024, false)
-	if err != nil {
-		return nil, err
+	var ests []perf.Estimate
+	for _, name := range []string{"fpga-ivb", "gpu-ivb"} {
+		plat, err := accel.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		e, err := plat.Estimate(1024, accel.Options{})
+		if err != nil {
+			return nil, err
+		}
+		ests = append(ests, e)
 	}
 	var out []SaturationResult
-	for _, p := range []perf.Estimate{fpga, gpu} {
+	for _, p := range ests {
 		label := fmt.Sprintf("IV.B %s", p.Platform)
 		pts := perf.SaturationCurve(p.OptionsPerSec, p.SaturationOptions, workloads)
 		out = append(out, SaturationResult{
@@ -288,12 +294,11 @@ func VolCurve(cfg VolCurveConfig) (VolCurveResult, error) {
 		return VolCurveResult{}, err
 	}
 
-	board := device.DE4()
-	fitB, err := hls.Fit(board, kernels.ProfileIVB(cfg.Steps), kernels.PaperKnobsIVB())
+	plat, err := accel.Get("fpga-ivb")
 	if err != nil {
 		return VolCurveResult{}, err
 	}
-	fpga, err := perf.FPGAIVB(board, fitB, cfg.Steps, false, false)
+	fpga, err := plat.Estimate(cfg.Steps, accel.Options{})
 	if err != nil {
 		return VolCurveResult{}, err
 	}
@@ -302,8 +307,8 @@ func VolCurve(cfg VolCurveConfig) (VolCurveResult, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Implied volatility curve: %d quotes, %d informative, %d skipped (pinned at intrinsic)\n",
 		cfg.Quotes, len(pts), skipped)
-	fmt.Fprintf(&b, "modelled DE4 kernel IV.B pricing pass: %.3f s at %.1f W (%.0f options/s steady state)\n",
-		seconds, fpga.PowerWatts, fpga.OptionsPerSec)
+	fmt.Fprintf(&b, "modelled %s kernel IV.B pricing pass: %.3f s at %.1f W (%.0f options/s steady state)\n",
+		plat.Describe().Label, seconds, fpga.PowerWatts, fpga.OptionsPerSec)
 	tbl := report.NewTable("strike", "moneyness", "implied vol")
 	stride := len(pts) / 10
 	if stride < 1 {
@@ -354,32 +359,35 @@ func KnobSweep(steps int) ([]KnobSweepRow, string, error) {
 	if steps <= 0 {
 		steps = 1024
 	}
-	board := device.DE4()
+	f, err := fpgaFitter()
+	if err != nil {
+		return nil, "", err
+	}
 	var rows []KnobSweepRow
-	add := func(kernel string, prof hls.KernelProfile, k hls.Knobs, est func(hls.FitReport) (perf.Estimate, error)) error {
-		rep, err := hls.Fit(board, prof, k)
+	add := func(kernel accel.Kernel, k hls.Knobs, opts accel.Options) error {
+		rep, err := f.Fit(steps, kernel, k)
 		if err != nil {
 			if strings.Contains(err.Error(), "does not fit") {
-				rows = append(rows, KnobSweepRow{Kernel: kernel, Knobs: k})
+				rows = append(rows, KnobSweepRow{Kernel: string(kernel), Knobs: k})
 				return nil
 			}
 			return err
 		}
-		e, err := est(rep)
+		opts.Kernel = kernel
+		opts.Fit = &rep
+		e, err := f.Estimate(steps, opts)
 		if err != nil {
 			return err
 		}
 		rows = append(rows, KnobSweepRow{
-			Kernel: kernel, Knobs: k, Fits: true, Report: rep, OptionsPerSec: e.OptionsPerSec,
+			Kernel: string(kernel), Knobs: k, Fits: true, Report: rep, OptionsPerSec: e.OptionsPerSec,
 		})
 		return nil
 	}
 	for _, v := range []int{1, 2, 4} {
 		for _, r := range []int{1, 2, 3, 4} {
 			k := hls.Knobs{Vectorize: v, Replicate: r, Unroll: 1}
-			if err := add("IV.A", kernels.ProfileIVA(), k, func(rep hls.FitReport) (perf.Estimate, error) {
-				return perf.FPGAIVA(board, rep, steps, false, true)
-			}); err != nil {
+			if err := add(accel.KernelIVA, k, accel.Options{FullReadback: true}); err != nil {
 				return nil, "", err
 			}
 		}
@@ -387,9 +395,7 @@ func KnobSweep(steps int) ([]KnobSweepRow, string, error) {
 	for _, v := range []int{1, 2, 4, 8} {
 		for _, u := range []int{1, 2, 4} {
 			k := hls.Knobs{Vectorize: v, Replicate: 1, Unroll: u}
-			if err := add("IV.B", kernels.ProfileIVB(steps), k, func(rep hls.FitReport) (perf.Estimate, error) {
-				return perf.FPGAIVB(board, rep, steps, false, false)
-			}); err != nil {
+			if err := add(accel.KernelIVB, k, accel.Options{}); err != nil {
 				return nil, "", err
 			}
 		}

@@ -1,7 +1,7 @@
 package binopt
 
 import (
-	"binopt/internal/device"
+	"binopt/internal/accel"
 	"binopt/internal/opencl"
 	"binopt/internal/trace"
 )
@@ -24,13 +24,16 @@ func Figure1(steps int) (string, error) {
 }
 
 // Figure2 renders the paper's Figure 2: the OpenCL platform model, using
-// the actual device descriptors of the test environment.
+// the device descriptors of the paper's three evaluated platforms as the
+// accel registry describes them.
 func Figure2() string {
-	p := opencl.NewPlatform("Altera SDK for OpenCL + NVIDIA OpenCL", "multi-vendor", "OpenCL 1.1",
-		device.DE4().OpenCLInfo(),
-		device.GTX660().OpenCLInfo(),
-		device.XeonX5450().OpenCLInfo(),
-	)
+	var infos []opencl.DeviceInfo
+	for _, name := range []string{"fpga-ivb", "gpu-ivb", "cpu-ref"} {
+		if plat, err := accel.Get(name); err == nil {
+			infos = append(infos, plat.Describe().OpenCL)
+		}
+	}
+	p := opencl.NewPlatform("Altera SDK for OpenCL + NVIDIA OpenCL", "multi-vendor", "OpenCL 1.1", infos...)
 	return trace.Figure2(p)
 }
 

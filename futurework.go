@@ -3,9 +3,8 @@ package binopt
 import (
 	"fmt"
 
+	"binopt/internal/accel"
 	"binopt/internal/device"
-	"binopt/internal/hls"
-	"binopt/internal/kernels"
 	"binopt/internal/perf"
 	"binopt/internal/report"
 )
@@ -28,31 +27,27 @@ func FutureWork(steps int) (FutureWorkResult, error) {
 	if steps <= 0 {
 		steps = 1024
 	}
-	board := device.DE4()
-	fitB, err := hls.Fit(board, kernels.ProfileIVB(steps), kernels.PaperKnobsIVB())
-	if err != nil {
-		return FutureWorkResult{}, err
-	}
-
 	var ests []perf.Estimate
-	fpga, err := perf.FPGAIVB(board, fitB, steps, false, false)
+	for _, name := range []string{"fpga-ivb", "gpu-ivb", "cpu-ref"} {
+		p, err := accel.Get(name)
+		if err != nil {
+			return FutureWorkResult{}, err
+		}
+		e, err := p.Estimate(steps, accel.Options{})
+		if err != nil {
+			return FutureWorkResult{}, err
+		}
+		ests = append(ests, e)
+	}
+	// KeyStone ships pre-registered (the registry's one-file extension);
+	// the Mali target the conclusion also names is wrapped ad hoc here.
+	keystone, err := accel.Get("embedded-keystone")
 	if err != nil {
 		return FutureWorkResult{}, err
 	}
-	ests = append(ests, fpga)
-	gpu, err := perf.GPUIVB(device.GTX660(), steps, false)
-	if err != nil {
-		return FutureWorkResult{}, err
-	}
-	ests = append(ests, gpu)
-	cpu, err := perf.CPUReference(device.XeonX5450(), steps, false)
-	if err != nil {
-		return FutureWorkResult{}, err
-	}
-	ests = append(ests, cpu)
-	for _, spec := range []device.EmbeddedSpec{device.TIKeystone(), device.ARMMali()} {
+	for _, p := range []accel.Platform{keystone, accel.NewEmbedded("embedded-mali", "Mali", device.ARMMali())} {
 		for _, single := range []bool{false, true} {
-			e, err := perf.EmbeddedIVB(spec, steps, single)
+			e, err := p.Estimate(steps, accel.Options{Single: single})
 			if err != nil {
 				return FutureWorkResult{}, err
 			}

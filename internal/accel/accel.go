@@ -1,0 +1,114 @@
+// Package accel is the unified accelerator platform layer: one registry
+// tying together the device catalogue (internal/device), the HLS fitter
+// (internal/hls), the analytic cost models (internal/gpumodel,
+// internal/cpumodel, and the FPGA fit-report arithmetic), and the
+// executable kernels on the simulated OpenCL runtime
+// (internal/kernels + internal/opencl).
+//
+// The paper's whole argument is a three-way comparison — DE4 FPGA vs
+// GTX660 vs Xeon X5450 — over the same OpenCL kernels, and every layer
+// of the reproduction needs the same per-platform plumbing: describe the
+// device, fit the kernel (where applicable), estimate throughput/power/
+// energy, and execute. This package owns that plumbing once; the serving
+// tier, the table/experiment generators and the CLI tools all enumerate
+// the registry instead of hand-wiring the models. Adding a platform is
+// one file registering one constructor (see embedded.go).
+package accel
+
+import (
+	"binopt/internal/device"
+	"binopt/internal/hls"
+	"binopt/internal/opencl"
+	"binopt/internal/perf"
+)
+
+// Kernel names one of the paper's kernel variants.
+type Kernel string
+
+const (
+	// KernelIVA is the straightforward dataflow kernel (§IV-A):
+	// ping-pong buffers in global memory, no barriers.
+	KernelIVA Kernel = "IV.A"
+	// KernelIVB is the optimized work-group kernel (§IV-B): one
+	// work-group per option, values in local memory, barriers.
+	KernelIVB Kernel = "IV.B"
+	// KernelReference is the paper's single-threaded software reference.
+	KernelReference Kernel = "reference"
+)
+
+// Options selects a build variant for Platform.Estimate. The zero value
+// is each platform's headline Table II row: the default kernel in double
+// precision with the paper's parallelisation knobs.
+type Options struct {
+	// Kernel picks the variant; empty means the platform's default.
+	Kernel Kernel
+	// Single selects the float32 build.
+	Single bool
+	// FullReadback makes kernel IV.A read the whole ping-pong buffer
+	// back every batch (the paper's 25-options/s configuration) instead
+	// of only the root.
+	FullReadback bool
+	// LeavesOnHost selects kernel IV.B's fallback plan: leaves computed
+	// on the host and streamed down, "to the detriment of speed".
+	LeavesOnHost bool
+	// Knobs overrides the HLS parallelisation knobs on fitting platforms
+	// (nil: the paper's published knobs for the kernel).
+	Knobs *hls.Knobs
+	// Fit supplies a pre-computed fit report on fitting platforms,
+	// bypassing the fitter entirely (power-capped designs, knob sweeps).
+	Fit *hls.FitReport
+}
+
+// Description is the static identity of a registered platform.
+type Description struct {
+	// Name is the registry key and the serving shard label, e.g.
+	// "fpga-ivb".
+	Name string
+	// Label is the short device tag report text uses, e.g. "DE4".
+	Label string
+	// Device is the full device name, e.g. "Terasic DE4 (Stratix IV
+	// EP4SGX530)".
+	Device string
+	// Kind classifies the platform: "fpga", "gpu", "cpu" or "embedded".
+	Kind string
+	// DefaultKernel is the variant Estimate and NewEngine use when
+	// Options.Kernel is empty.
+	DefaultKernel Kernel
+	// OpenCL is the runtime device descriptor engines execute against.
+	OpenCL opencl.DeviceInfo
+	// SaturationOptions is the workload at which the device reaches
+	// linear throughput (zero when not modelled).
+	SaturationOptions int64
+
+	// Exactly one of the following spec pointers is set, exposing the
+	// underlying catalogue entry to consumers that need chip-level
+	// denominators (Table I, the power-cap experiment).
+	Board    *device.FPGABoard
+	GPU      *device.GPUSpec
+	CPU      *device.CPUSpec
+	Embedded *device.EmbeddedSpec
+}
+
+// Platform is one accelerator the registry knows how to describe,
+// cost-model and execute.
+type Platform interface {
+	// Describe returns the platform's static identity and device info.
+	Describe() Description
+	// Estimate returns the modelled throughput/power/energy row for a
+	// tree of the given depth under the selected build options.
+	Estimate(steps int, o Options) (perf.Estimate, error)
+	// NewEngine builds an executable pricing engine at the given depth,
+	// backed by the platform's simulated substrate. Construction runs
+	// the real kernel on the platform's OpenCL device and verifies it
+	// bit-for-bit against the host reference before the engine is
+	// released to callers.
+	NewEngine(steps int) (*Engine, error)
+}
+
+// Fitter is implemented by platforms whose kernels go through the HLS
+// compiler/fitter (the FPGA). A zero Knobs value selects the paper's
+// published knobs for the kernel.
+type Fitter interface {
+	Platform
+	Fit(steps int, kernel Kernel, knobs hls.Knobs) (hls.FitReport, error)
+}

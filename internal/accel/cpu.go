@@ -1,0 +1,55 @@
+package accel
+
+import (
+	"fmt"
+
+	"binopt/internal/device"
+	"binopt/internal/perf"
+)
+
+// cpuPlatform adapts the software reference: estimates come from the
+// analytic CPU model, execution is the host lattice itself.
+type cpuPlatform struct {
+	name  string
+	label string
+	spec  device.CPUSpec
+}
+
+// NewCPU wraps a CPU spec as a registrable platform. The default
+// registry holds NewCPU("cpu-ref", "Xeon X5450", device.XeonX5450()).
+func NewCPU(name, label string, spec device.CPUSpec) Platform {
+	return &cpuPlatform{name: name, label: label, spec: spec}
+}
+
+func (p *cpuPlatform) Describe() Description {
+	spec := p.spec
+	return Description{
+		Name:          p.name,
+		Label:         p.label,
+		Device:        spec.Name,
+		Kind:          "cpu",
+		DefaultKernel: KernelReference,
+		OpenCL:        spec.OpenCLInfo(),
+		CPU:           &spec,
+	}
+}
+
+func (p *cpuPlatform) Estimate(steps int, o Options) (perf.Estimate, error) {
+	if steps < 1 {
+		return perf.Estimate{}, fmt.Errorf("accel: %s: steps must be positive, got %d", p.name, steps)
+	}
+	switch o.Kernel {
+	case KernelReference, "":
+		return CPUReference(p.spec, steps, o.Single)
+	default:
+		return perf.Estimate{}, fmt.Errorf("accel: %s: unsupported kernel %q (the reference is software-only)", p.name, o.Kernel)
+	}
+}
+
+func (p *cpuPlatform) NewEngine(steps int) (*Engine, error) {
+	est, err := p.Estimate(steps, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return newHostEngine(p.Describe(), est, steps)
+}

@@ -1,0 +1,81 @@
+package accel
+
+import (
+	"fmt"
+
+	"binopt/internal/device"
+	"binopt/internal/opencl"
+	"binopt/internal/perf"
+)
+
+// This file is the layer's "add a platform = one file" demonstration:
+// it adapts the paper's §VI embedded future-work targets and
+// self-registers the TI KeyStone into the default registry via init().
+// Nothing else in the repository names this platform — it appears in
+// binomtab, pricesrvd --backends, the serving pool and the bench output
+// purely by being registered here.
+
+// embeddedPlatform adapts an embedded OpenCL SoC: estimates come from
+// the arithmetic-bound embedded model, execution from kernel IV.B on the
+// simulated runtime.
+type embeddedPlatform struct {
+	name  string
+	label string
+	spec  device.EmbeddedSpec
+}
+
+// NewEmbedded wraps an embedded SoC spec as a registrable platform.
+func NewEmbedded(name, label string, spec device.EmbeddedSpec) Platform {
+	return &embeddedPlatform{name: name, label: label, spec: spec}
+}
+
+func (p *embeddedPlatform) Describe() Description {
+	spec := p.spec
+	return Description{
+		Name:          p.name,
+		Label:         p.label,
+		Device:        spec.Name,
+		Kind:          "embedded",
+		DefaultKernel: KernelIVB,
+		// No vendor SDK publishes OpenCL limits for these parts in the
+		// paper; the descriptor below is a conservative embedded profile
+		// (modest work-group ceiling, small local memory) sufficient for
+		// the runtime to execute and meter kernel IV.B.
+		OpenCL: opencl.DeviceInfo{
+			Name:             spec.Name,
+			Vendor:           "embedded",
+			Type:             opencl.Accelerator,
+			ComputeUnits:     8,
+			GlobalMemBytes:   512 << 20,
+			LocalMemBytes:    256 << 10,
+			MaxWorkGroupSize: 1024,
+		},
+		Embedded: &spec,
+	}
+}
+
+func (p *embeddedPlatform) Estimate(steps int, o Options) (perf.Estimate, error) {
+	if steps < 1 {
+		return perf.Estimate{}, fmt.Errorf("accel: %s: steps must be positive, got %d", p.name, steps)
+	}
+	switch o.Kernel {
+	case KernelIVB, "":
+		return EmbeddedIVB(p.spec, steps, o.Single)
+	default:
+		return perf.Estimate{}, fmt.Errorf("accel: %s: unsupported kernel %q", p.name, o.Kernel)
+	}
+}
+
+func (p *embeddedPlatform) NewEngine(steps int) (*Engine, error) {
+	est, err := p.Estimate(steps, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return newKernelEngine(p.Describe(), est, steps)
+}
+
+func init() {
+	registerDefault(func() Platform {
+		return NewEmbedded("embedded-keystone", "KeyStone", device.TIKeystone())
+	})
+}

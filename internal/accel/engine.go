@@ -1,0 +1,259 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"binopt/internal/kernels"
+	"binopt/internal/lattice"
+	"binopt/internal/opencl"
+	"binopt/internal/option"
+	"binopt/internal/perf"
+)
+
+// maxProbeSteps caps the depth of the construction-time kernel probe.
+// The simulated runtime executes kernel IV.B with a goroutine per
+// work-item and two real barriers per backward step, so a full-depth
+// probe would cost seconds per engine; a few hundred steps already
+// exercises every code path (params packing, leaf streaming, local
+// memory, barriers, readback) while staying in the low milliseconds.
+const maxProbeSteps = 256
+
+// Engine is an executable pricing engine for one platform: the real
+// kernel verified on the platform's simulated OpenCL device at
+// construction, then served through the bit-identical host realisation
+// of the same arithmetic, with every priced option accounted against the
+// platform's modelled substrate activity (opencl.Counters) and energy.
+//
+// The two-phase design preserves the repository's exactness guarantee at
+// serving throughput: kernel IV.B with host-computed double-precision
+// leaves is proven bit-for-bit equal to the host lattice engine (the
+// kernels package integration tests, re-checked here on every
+// construction), so the host path IS the device arithmetic — only the
+// clock is modelled, exactly as in the perf estimates.
+type Engine struct {
+	desc       Description
+	est        perf.Estimate
+	steps      int
+	probeSteps int
+	host       *lattice.Engine
+	jpo        float64 // modelled joules per option
+
+	// perOption is the modelled substrate activity of pricing one option
+	// at serving depth, calibrated from the construction probe.
+	perOption opencl.Counters
+
+	mu     sync.Mutex
+	totals opencl.Counters
+	priced int64
+}
+
+// probeChain is the construction-time verification batch: the styles and
+// rights the kernels branch on.
+func probeChain() []option.Option {
+	return []option.Option{
+		{Right: option.Put, Style: option.American, Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5},
+		{Right: option.Call, Style: option.European, Spot: 100, Strike: 95, Rate: 0.05, Div: 0.01, Sigma: 0.3, T: 1},
+		{Right: option.Call, Style: option.American, Spot: 80, Strike: 100, Rate: 0.02, Div: 0.04, Sigma: 0.4, T: 2},
+	}
+}
+
+// probeDepth picks the largest affordable probe depth the device can run
+// kernel IV.B at: one work-item per tree row, rows*8 bytes of local
+// memory per work-group.
+func probeDepth(info opencl.DeviceInfo, steps int) int {
+	p := steps
+	if p > maxProbeSteps {
+		p = maxProbeSteps
+	}
+	if m := info.MaxWorkGroupSize; m > 0 && p > m-1 {
+		p = m - 1
+	}
+	if lb := info.LocalMemBytes; lb > 0 {
+		if rows := int(lb/8) - 1; p > rows {
+			p = rows
+		}
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// newKernelEngine builds an engine whose substrate is kernel IV.B on the
+// platform's OpenCL device: it runs the probe batch through the real
+// runtime, asserts bit-for-bit parity with the host lattice, and
+// calibrates the per-option counters from the metered run.
+func newKernelEngine(desc Description, est perf.Estimate, steps int) (*Engine, error) {
+	host, err := lattice.NewEngine(steps)
+	if err != nil {
+		return nil, fmt.Errorf("accel: %s: %w", desc.Name, err)
+	}
+	probe := probeDepth(desc.OpenCL, steps)
+	ctx, err := opencl.NewContext(&opencl.Device{Info: desc.OpenCL})
+	if err != nil {
+		return nil, fmt.Errorf("accel: %s: %w", desc.Name, err)
+	}
+	chain := probeChain()
+	res, err := kernels.RunIVB(ctx, chain, kernels.IVBConfig{
+		Steps:        probe,
+		Precision:    kernels.Double,
+		LeavesOnHost: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("accel: %s: probe kernel: %w", desc.Name, err)
+	}
+	ref, err := lattice.NewEngine(probe)
+	if err != nil {
+		return nil, fmt.Errorf("accel: %s: %w", desc.Name, err)
+	}
+	for i, o := range chain {
+		want, err := ref.Price(o)
+		if err != nil {
+			return nil, fmt.Errorf("accel: %s: probe reference: %w", desc.Name, err)
+		}
+		if got := res.Prices[i]; got != want {
+			return nil, fmt.Errorf("accel: %s: kernel/host parity violation at probe depth %d, option %d: device %v (%#x) vs host %v (%#x)",
+				desc.Name, probe, i, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+	return &Engine{
+		desc:       desc,
+		est:        est,
+		steps:      steps,
+		probeSteps: probe,
+		host:       host,
+		jpo:        joulesPerOption(est),
+		perOption:  scaleProbeCounters(res.Counters, len(chain), probe, steps),
+	}, nil
+}
+
+// newHostEngine builds the CPU reference engine: no OpenCL substrate,
+// the host lattice is the device. Its modelled activity is the
+// arithmetic alone.
+func newHostEngine(desc Description, est perf.Estimate, steps int) (*Engine, error) {
+	host, err := lattice.NewEngine(steps)
+	if err != nil {
+		return nil, fmt.Errorf("accel: %s: %w", desc.Name, err)
+	}
+	const flopsPerNode = 6
+	return &Engine{
+		desc:      desc,
+		est:       est,
+		steps:     steps,
+		host:      host,
+		jpo:       joulesPerOption(est),
+		perOption: opencl.Counters{Flops: nodesFor(steps) * flopsPerNode},
+	}, nil
+}
+
+func joulesPerOption(est perf.Estimate) float64 {
+	if est.OptionsPerSec <= 0 {
+		return 0
+	}
+	return est.PowerWatts / est.OptionsPerSec
+}
+
+func nodesFor(steps int) int64 {
+	n := int64(steps)
+	return n * (n + 1) / 2
+}
+
+// scaleProbeCounters converts the metered activity of the probe batch
+// into the modelled per-option activity at serving depth. Quantities
+// proportional to tree nodes (arithmetic, local traffic, barriers) scale
+// by the node ratio; quantities proportional to tree rows (work-items,
+// parameter/leaf traffic) scale by the row ratio; per-option fixed costs
+// (result readback, launches) carry over unscaled.
+func scaleProbeCounters(c opencl.Counters, batch, probe, steps int) opencl.Counters {
+	nodeR := float64(nodesFor(steps)) / float64(nodesFor(probe))
+	rowR := float64(steps+1) / float64(probe+1)
+	per := func(v int64, ratio float64) int64 {
+		return int64(math.Round(float64(v) / float64(batch) * ratio))
+	}
+	return opencl.Counters{
+		Kernels:        per(c.Kernels, 1),
+		KernelLaunches: per(c.KernelLaunches, 1),
+		WorkGroups:     per(c.WorkGroups, 1),
+		WorkItems:      per(c.WorkItems, rowR),
+		GlobalReads:    per(c.GlobalReads, rowR),
+		GlobalWrites:   per(c.GlobalWrites, 1),
+		LocalReads:     per(c.LocalReads, nodeR),
+		LocalWrites:    per(c.LocalWrites, nodeR),
+		Flops:          per(c.Flops, nodeR),
+		Barriers:       per(c.Barriers, nodeR),
+		HostWrites:     per(c.HostWrites, rowR),
+		HostReads:      per(c.HostReads, 1),
+		HostTransfers:  per(c.HostTransfers, 1),
+	}
+}
+
+// Describe returns the owning platform's description.
+func (e *Engine) Describe() Description { return e.desc }
+
+// Estimate returns the modelled throughput/power row the engine was
+// built against.
+func (e *Engine) Estimate() perf.Estimate { return e.est }
+
+// Steps reports the serving tree depth.
+func (e *Engine) Steps() int { return e.steps }
+
+// ProbeSteps reports the depth of the construction-time kernel probe
+// (zero for host-substrate engines).
+func (e *Engine) ProbeSteps() int { return e.probeSteps }
+
+// Price prices one option and accounts its modelled substrate activity.
+func (e *Engine) Price(o option.Option) (float64, error) {
+	p, err := e.host.Price(o)
+	if err != nil {
+		return 0, err
+	}
+	e.account(1)
+	return p, nil
+}
+
+// PriceBatch prices a batch (workers <= 0 uses GOMAXPROCS) and accounts
+// its modelled substrate activity.
+func (e *Engine) PriceBatch(opts []option.Option, workers int) ([]float64, error) {
+	prices, err := e.host.PriceBatch(opts, workers)
+	if err != nil {
+		return nil, err
+	}
+	e.account(len(opts))
+	return prices, nil
+}
+
+func (e *Engine) account(n int) {
+	var add opencl.Counters
+	for i := 0; i < n; i++ {
+		add.Add(e.perOption)
+	}
+	e.mu.Lock()
+	e.totals.Add(add)
+	e.priced += int64(n)
+	e.mu.Unlock()
+}
+
+// Counters returns the accumulated modelled substrate activity.
+func (e *Engine) Counters() opencl.Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.totals
+}
+
+// PricedOptions reports how many options the engine has priced.
+func (e *Engine) PricedOptions() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.priced
+}
+
+// ModelledJoulesPerOption is the platform's modelled energy per priced
+// option (power / throughput from the estimate).
+func (e *Engine) ModelledJoulesPerOption() float64 { return e.jpo }
+
+// ModelledJoules is the total modelled energy of everything priced.
+func (e *Engine) ModelledJoules() float64 {
+	return float64(e.PricedOptions()) * e.jpo
+}

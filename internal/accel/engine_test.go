@@ -1,0 +1,133 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"binopt/internal/lattice"
+	"binopt/internal/opencl"
+	"binopt/internal/option"
+)
+
+// TestEngineMatchesReference: every platform's engine must price
+// bit-for-bit like the host reference at its serving depth.
+func TestEngineMatchesReference(t *testing.T) {
+	const steps = 64
+	ref, err := lattice.NewEngine(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := option.Option{Right: option.Put, Style: option.American,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5}
+	want, err := ref.Price(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range Platforms() {
+		name := p.Describe().Name
+		eng, err := p.NewEngine(steps)
+		if err != nil {
+			t.Fatalf("%s: NewEngine: %v", name, err)
+		}
+		got, err := eng.Price(o)
+		if err != nil {
+			t.Fatalf("%s: Price: %v", name, err)
+		}
+		if got != want {
+			t.Errorf("%s: price %v (%#x) != reference %v (%#x)",
+				name, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+		if eng.Steps() != steps {
+			t.Errorf("%s: Steps = %d", name, eng.Steps())
+		}
+	}
+}
+
+// TestEngineAccounting: counters and modelled energy accumulate with
+// priced options, and the kernel-backed engines carry real substrate
+// activity from the probe.
+func TestEngineAccounting(t *testing.T) {
+	for _, p := range Platforms() {
+		d := p.Describe()
+		eng, err := p.NewEngine(32)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if eng.PricedOptions() != 0 || eng.Counters() != (opencl.Counters{}) {
+			t.Errorf("%s: fresh engine already accounted work", d.Name)
+		}
+		batch := probeChain()
+		if _, err := eng.PriceBatch(batch, 1); err != nil {
+			t.Fatalf("%s: PriceBatch: %v", d.Name, err)
+		}
+		if got := eng.PricedOptions(); got != int64(len(batch)) {
+			t.Errorf("%s: priced %d, want %d", d.Name, got, len(batch))
+		}
+		c := eng.Counters()
+		if c.Flops <= 0 {
+			t.Errorf("%s: no modelled flops: %v", d.Name, c)
+		}
+		if d.Kind != "cpu" {
+			if c.Barriers <= 0 || c.LocalReads <= 0 || c.HostBytes() <= 0 {
+				t.Errorf("%s: kernel engine missing substrate activity: %v", d.Name, c)
+			}
+			if eng.ProbeSteps() <= 0 {
+				t.Errorf("%s: no probe recorded", d.Name)
+			}
+		}
+		if eng.ModelledJoulesPerOption() <= 0 {
+			t.Errorf("%s: no modelled energy", d.Name)
+		}
+		wantJ := float64(len(batch)) * eng.ModelledJoulesPerOption()
+		if got := eng.ModelledJoules(); math.Abs(got-wantJ) > 1e-12*wantJ {
+			t.Errorf("%s: ModelledJoules = %g, want %g", d.Name, got, wantJ)
+		}
+	}
+}
+
+// TestEngineCountersScaleWithDepth: the modelled per-option arithmetic
+// must grow roughly quadratically with the serving depth even though the
+// probe depth is capped.
+func TestEngineCountersScaleWithDepth(t *testing.T) {
+	fpga, err := Get("fpga-ivb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flopsAt := func(steps int) int64 {
+		eng, err := fpga.NewEngine(steps)
+		if err != nil {
+			t.Fatalf("NewEngine(%d): %v", steps, err)
+		}
+		if _, err := eng.Price(probeChain()[0]); err != nil {
+			t.Fatal(err)
+		}
+		return eng.Counters().Flops
+	}
+	f512, f1024 := flopsAt(512), flopsAt(1024)
+	ratio := float64(f1024) / float64(f512)
+	// nodes(1024)/nodes(512) = 1024*1025/(512*513) ≈ 3.996
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("flops ratio 1024/512 = %.2f (%d vs %d), want ~4", ratio, f1024, f512)
+	}
+}
+
+// TestProbeDepthRespectsDeviceLimits: the probe must fit the device's
+// work-group ceiling and local memory.
+func TestProbeDepthRespectsDeviceLimits(t *testing.T) {
+	cases := []struct {
+		info  opencl.DeviceInfo
+		steps int
+		want  int
+	}{
+		{opencl.DeviceInfo{MaxWorkGroupSize: 2048, LocalMemBytes: 1 << 20}, 64, 64},
+		{opencl.DeviceInfo{MaxWorkGroupSize: 2048, LocalMemBytes: 1 << 20}, 4096, maxProbeSteps},
+		{opencl.DeviceInfo{MaxWorkGroupSize: 128, LocalMemBytes: 1 << 20}, 4096, 127},
+		{opencl.DeviceInfo{MaxWorkGroupSize: 2048, LocalMemBytes: 512}, 4096, 63},
+		{opencl.DeviceInfo{}, 100, 100},
+	}
+	for _, c := range cases {
+		if got := probeDepth(c.info, c.steps); got != c.want {
+			t.Errorf("probeDepth(%+v, %d) = %d, want %d", c.info, c.steps, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package accel
+
+import (
+	"fmt"
+
+	"binopt/internal/cpumodel"
+	"binopt/internal/device"
+	"binopt/internal/gpumodel"
+	"binopt/internal/hls"
+	"binopt/internal/perf"
+)
+
+// This file holds the per-platform estimate builders: the only place the
+// repository converts a device spec (plus, for the FPGA, an HLS fit
+// report) into a perf.Estimate row. Consumers normally reach them
+// through Platform.Estimate; the direct forms stay exported for studies
+// that synthesise their own fit reports (power capping, knob sweeps).
+
+// bytesPerNodeIVA is the global traffic of one IV.A node update: the
+// time-step table entry, six option constants, three ping values in, two
+// pong values out — about 12 element-sized words.
+const bytesPerNodeIVA = 12
+
+// precisionName converts the single flag to the Table II label.
+func precisionName(single bool) string {
+	if single {
+		return "single"
+	}
+	return "double"
+}
+
+func elemBytes(single bool) float64 {
+	if single {
+		return 4
+	}
+	return 8
+}
+
+// FPGAIVB estimates the optimized kernel on an FPGA board, from its fit
+// report. leavesOnHost adds the fallback path's host work and transfer.
+func FPGAIVB(board device.FPGABoard, fit hls.FitReport, steps int, single, leavesOnHost bool) (perf.Estimate, error) {
+	if steps < 1 {
+		return perf.Estimate{}, fmt.Errorf("accel: steps must be positive, got %d", steps)
+	}
+	nodes := float64(steps) * float64(steps+1) / 2
+	// Steady-state pipeline: NodeLanes updates per clock.
+	optSec := nodes / (float64(fit.NodeLanes) * fit.FmaxMHz * 1e6)
+
+	if leavesOnHost {
+		// Host computes the leaves (a multiply per node on the Xeon) and
+		// streams them down; neither overlaps with this option's kernel
+		// start in the paper's fallback description.
+		cpu := device.XeonX5450()
+		hostCompute := float64(steps+1) * 4 / cpu.ClockHz
+		transfer := float64(steps+1) * elemBytes(single) / (board.PCIe.TheoreticalB / 2)
+		optSec += hostCompute + transfer
+	}
+	e := perf.Estimate{
+		Platform:          board.Chip.Name,
+		Kernel:            string(KernelIVB),
+		Precision:         precisionName(single),
+		OptionsPerSec:     1 / optSec,
+		PowerWatts:        fit.PowerWatts,
+		SaturationOptions: board.SaturationOptions,
+	}
+	return perf.Finalize(e, steps), nil
+}
+
+// FPGAIVA estimates the straightforward kernel on an FPGA board. The
+// per-batch cost is the DDR-bound node sweep plus the blocking host
+// interaction — leaf upload, launch, and the ping-pong readback that
+// §V-C identifies as the bottleneck.
+func FPGAIVA(board device.FPGABoard, fit hls.FitReport, steps int, single, fullReadback bool) (perf.Estimate, error) {
+	if steps < 1 {
+		return perf.Estimate{}, fmt.Errorf("accel: steps must be positive, got %d", steps)
+	}
+	elem := elemBytes(single)
+	nodes := float64(steps) * float64(steps+1) / 2
+
+	pipeline := nodes / (float64(fit.NodeLanes) * fit.FmaxMHz * 1e6)
+	ddr := nodes * bytesPerNodeIVA * elem / board.DDRBytesPerSec
+	kernel := pipeline
+	if ddr > kernel {
+		kernel = ddr
+	}
+
+	bufLen := float64((steps + 1) * (steps + 2) / 2)
+	write := float64(steps+1) * 2 * elem / board.PCIe.EffectiveB
+	read := elem / board.PCIe.EffectiveB
+	if fullReadback {
+		read = 2 * bufLen * elem / board.PCIe.EffectiveB
+	}
+	batch := kernel + write + read + 3*board.PCIe.CommandLatencySec
+
+	e := perf.Estimate{
+		Platform:          board.Chip.Name,
+		Kernel:            string(KernelIVA),
+		Precision:         precisionName(single),
+		OptionsPerSec:     1 / batch,
+		PowerWatts:        fit.PowerWatts,
+		SaturationOptions: board.SaturationOptions,
+	}
+	return perf.Finalize(e, steps), nil
+}
+
+// GPUIVB estimates the optimized kernel on the GPU.
+func GPUIVB(spec device.GPUSpec, steps int, single bool) (perf.Estimate, error) {
+	m := gpumodel.New(spec)
+	ps, err := m.IVBOptionsPerSec(steps, single)
+	if err != nil {
+		return perf.Estimate{}, err
+	}
+	e := perf.Estimate{
+		Platform:          spec.Name,
+		Kernel:            string(KernelIVB),
+		Precision:         precisionName(single),
+		OptionsPerSec:     ps,
+		PowerWatts:        m.PowerWatts(),
+		SaturationOptions: spec.SaturationOptions,
+	}
+	return perf.Finalize(e, steps), nil
+}
+
+// GPUIVA estimates the straightforward kernel on the GPU.
+func GPUIVA(spec device.GPUSpec, steps int, single, fullReadback bool) (perf.Estimate, error) {
+	m := gpumodel.New(spec)
+	ps, err := m.IVAOptionsPerSec(steps, single, fullReadback)
+	if err != nil {
+		return perf.Estimate{}, err
+	}
+	e := perf.Estimate{
+		Platform:          spec.Name,
+		Kernel:            string(KernelIVA),
+		Precision:         precisionName(single),
+		OptionsPerSec:     ps,
+		PowerWatts:        m.PowerWatts(),
+		SaturationOptions: spec.SaturationOptions,
+	}
+	return perf.Finalize(e, steps), nil
+}
+
+// EmbeddedIVB estimates the optimized kernel on one of the paper's
+// future-work targets (§VI: "other hardware architectures supporting the
+// OpenCL standard [16], [17]"): arithmetic-throughput bound at the
+// spec's sustained efficiency, like the GPU model.
+func EmbeddedIVB(spec device.EmbeddedSpec, steps int, single bool) (perf.Estimate, error) {
+	if steps < 1 {
+		return perf.Estimate{}, fmt.Errorf("accel: steps must be positive, got %d", steps)
+	}
+	peak := spec.PeakDPFlops
+	if single {
+		peak = spec.PeakSPFlops
+	}
+	nodes := float64(steps) * float64(steps+1) / 2
+	const flopsPerNode = 6
+	e := perf.Estimate{
+		Platform:      spec.Name,
+		Kernel:        string(KernelIVB),
+		Precision:     precisionName(single),
+		OptionsPerSec: peak * spec.Efficiency / (nodes * flopsPerNode),
+		PowerWatts:    spec.TDPWatts,
+	}
+	return perf.Finalize(e, steps), nil
+}
+
+// CPUReference estimates the single-core software reference.
+func CPUReference(spec device.CPUSpec, steps int, single bool) (perf.Estimate, error) {
+	m := cpumodel.New(spec)
+	ps, err := m.OptionsPerSec(steps, single)
+	if err != nil {
+		return perf.Estimate{}, err
+	}
+	e := perf.Estimate{
+		Platform:      spec.Name,
+		Kernel:        string(KernelReference),
+		Precision:     precisionName(single),
+		OptionsPerSec: ps,
+		PowerWatts:    m.PowerWatts(),
+	}
+	return perf.Finalize(e, steps), nil
+}

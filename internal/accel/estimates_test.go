@@ -1,0 +1,368 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"binopt/internal/device"
+	"binopt/internal/hls"
+	"binopt/internal/perf"
+)
+
+func fits(t *testing.T) (hls.FitReport, hls.FitReport) {
+	t.Helper()
+	fpga, err := Get("fpga-ivb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fpga.(Fitter)
+	fitA, err := f.Fit(1024, KernelIVA, hls.Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitB, err := f.Fit(1024, KernelIVB, hls.Knobs{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fitA, fitB
+}
+
+func within(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	rel := math.Abs(got-want) / math.Abs(want)
+	if rel > relTol {
+		t.Errorf("%s = %.4g, paper reports %.4g (off %.0f%%)", name, got, want, 100*rel)
+	} else {
+		t.Logf("%s = %.4g vs paper %.4g (%.1f%%)", name, got, want, 100*rel)
+	}
+}
+
+// TestTable2FPGA reproduces the FPGA columns of Table II.
+func TestTable2FPGA(t *testing.T) {
+	fitA, fitB := fits(t)
+	board := device.DE4()
+
+	a, err := FPGAIVA(board, fitA, 1024, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "IV.A FPGA options/s", a.OptionsPerSec, 25, 0.15)
+	within(t, "IV.A FPGA options/J", a.OptionsPerJoule, 1.7, 0.15)
+	within(t, "IV.A FPGA nodes/s", a.NodesPerSec, 13e6, 0.15)
+
+	b, err := FPGAIVB(board, fitB, 1024, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "IV.B FPGA options/s", b.OptionsPerSec, 2400, 0.12)
+	within(t, "IV.B FPGA options/J", b.OptionsPerJoule, 140, 0.12)
+	within(t, "IV.B FPGA nodes/s", b.NodesPerSec, 1.3e9, 0.12)
+
+	// The headline claim: more than 2000 options per second on the DE4.
+	if b.OptionsPerSec < 2000 {
+		t.Errorf("IV.B FPGA = %.0f options/s, the paper's use case needs > 2000", b.OptionsPerSec)
+	}
+}
+
+// TestTable2GPU reproduces the GPU columns.
+func TestTable2GPU(t *testing.T) {
+	spec := device.GTX660()
+	a, err := GPUIVA(spec, 1024, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "IV.A GPU options/s", a.OptionsPerSec, 53, 0.12)
+	within(t, "IV.A GPU options/J", a.OptionsPerJoule, 0.4, 0.15)
+
+	bd, err := GPUIVB(spec, 1024, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "IV.B GPU double options/s", bd.OptionsPerSec, 8900, 0.05)
+	within(t, "IV.B GPU double options/J", bd.OptionsPerJoule, 64, 0.05)
+	within(t, "IV.B GPU double nodes/s", bd.NodesPerSec, 4.7e9, 0.05)
+
+	bs, err := GPUIVB(spec, 1024, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "IV.B GPU single options/s", bs.OptionsPerSec, 47000, 0.05)
+	within(t, "IV.B GPU single options/J", bs.OptionsPerJoule, 340, 0.05)
+}
+
+// TestTable2Reference reproduces the software reference columns.
+func TestTable2Reference(t *testing.T) {
+	spec := device.XeonX5450()
+	d, err := CPUReference(spec, 1024, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "reference double options/s", d.OptionsPerSec, 222, 0.05)
+	within(t, "reference double options/J", d.OptionsPerJoule, 1.85, 0.05)
+	within(t, "reference double nodes/s", d.NodesPerSec, 117e6, 0.05)
+
+	s, err := CPUReference(spec, 1024, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "reference single options/s", s.OptionsPerSec, 116, 0.05)
+	within(t, "reference single options/J", s.OptionsPerJoule, 1.0, 0.05)
+}
+
+// TestPaperHeadlineRatios checks the shape claims of §V-C.
+func TestPaperHeadlineRatios(t *testing.T) {
+	fitA, fitB := fits(t)
+	board := device.DE4()
+	fpgaB, _ := FPGAIVB(board, fitB, 1024, false, false)
+	gpuB, _ := GPUIVB(device.GTX660(), 1024, false)
+	ref, _ := CPUReference(device.XeonX5450(), 1024, false)
+	fpgaA, _ := FPGAIVA(board, fitA, 1024, false, true)
+
+	// "the implementation on the DE4 board is 2 times more energy-
+	// efficient than the GPU implementation"
+	if r := fpgaB.OptionsPerJoule / gpuB.OptionsPerJoule; r < 1.8 || r > 2.6 {
+		t.Errorf("FPGA/GPU energy ratio = %.2f, paper reports ~2.2", r)
+	}
+	// "more than 5 times more energy efficient than the software
+	// reference" (140 / 1.85 is in fact ~75; the 5x sentence compares
+	// J/option at matched throughput elsewhere — assert the hard
+	// dominance).
+	if r := fpgaB.OptionsPerJoule / ref.OptionsPerJoule; r < 5 {
+		t.Errorf("FPGA/reference energy ratio = %.1f, want > 5", r)
+	}
+	// GPU wins raw speed by a moderate factor: "the number of options/s
+	// computed by the GTX660 and the FPGA version are within a factor 5
+	// of each other".
+	if r := gpuB.OptionsPerSec / fpgaB.OptionsPerSec; r < 2 || r > 5 {
+		t.Errorf("GPU/FPGA speed ratio = %.2f, paper reports within a factor 5", r)
+	}
+	// Kernel IV.A is catastrophically slower than IV.B on the same board.
+	if r := fpgaB.OptionsPerSec / fpgaA.OptionsPerSec; r < 50 {
+		t.Errorf("IV.B/IV.A FPGA ratio = %.0f, expected ~100x", r)
+	}
+}
+
+func TestLeavesOnHostSlowsIVB(t *testing.T) {
+	_, fitB := fits(t)
+	board := device.DE4()
+	fast, err := FPGAIVB(board, fitB, 1024, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := FPGAIVB(board, fitB, 1024, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.OptionsPerSec >= fast.OptionsPerSec {
+		t.Error("host-side leaves must cost throughput (paper: 'to the detriment of speed')")
+	}
+	// But the penalty is bounded — the fallback remains a usable plan.
+	if slow.OptionsPerSec < 0.5*fast.OptionsPerSec {
+		t.Errorf("host-leaves penalty too large: %.0f vs %.0f options/s",
+			slow.OptionsPerSec, fast.OptionsPerSec)
+	}
+}
+
+func TestPowerCapMeetsBudget(t *testing.T) {
+	// §V-C workaround: derate the clock until the 10 W budget holds, and
+	// check the derated design still beats the 2000 options/s target.
+	_, fitB := fits(t)
+	board := device.DE4()
+	capped, err := fitB.CapPower(board.Chip, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.PowerWatts > 10+1e-9 {
+		t.Errorf("capped power = %.2f W", capped.PowerWatts)
+	}
+	if capped.FmaxMHz >= fitB.FmaxMHz {
+		t.Error("capping must lower the clock")
+	}
+	est, err := FPGAIVB(board, capped, 1024, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derating the clock to 10 W keeps ~40% of throughput (the static
+	// power floor eats the budget) — under 2000 options/s, which is why
+	// the paper concedes that a less power-hungry *board*, not just a
+	// slower clock, is needed to meet both constraints at once.
+	if est.OptionsPerSec < 800 || est.OptionsPerSec > 2000 {
+		t.Errorf("10 W derated design = %.0f options/s; expected ~1000 (under the 2000 target)", est.OptionsPerSec)
+	}
+	// Derating also *hurts* energy efficiency: the static watts amortise
+	// over fewer options.
+	if est.OptionsPerJoule >= fitBEst(t, board, fitB).OptionsPerJoule {
+		t.Error("derated design should be less energy-efficient than full speed")
+	}
+	// Impossible budget: below static power.
+	if _, err := fitB.CapPower(board.Chip, 1); err == nil {
+		t.Error("budget below static power should fail")
+	}
+	// Already within budget: unchanged.
+	same, err := fitB.CapPower(board.Chip, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.FmaxMHz != fitB.FmaxMHz {
+		t.Error("generous budget should not derate")
+	}
+	// The capped fit flows back through the platform layer via
+	// Options.Fit without refitting.
+	fpga, err := Get("fpga-ivb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOpts, err := fpga.Estimate(1024, Options{Fit: &capped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaOpts.OptionsPerSec != est.OptionsPerSec {
+		t.Errorf("Options.Fit path = %g options/s, direct = %g", viaOpts.OptionsPerSec, est.OptionsPerSec)
+	}
+}
+
+func fitBEst(t *testing.T, board device.FPGABoard, fit hls.FitReport) perf.Estimate {
+	t.Helper()
+	e, err := FPGAIVB(board, fit, 1024, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestValidationErrors(t *testing.T) {
+	fitA, fitB := fits(t)
+	board := device.DE4()
+	if _, err := FPGAIVA(board, fitA, 0, false, true); err == nil {
+		t.Error("zero steps should fail")
+	}
+	if _, err := FPGAIVB(board, fitB, -1, false, false); err == nil {
+		t.Error("negative steps should fail")
+	}
+	if _, err := GPUIVA(device.GTX660(), 0, false, true); err == nil {
+		t.Error("zero steps should fail")
+	}
+	if _, err := GPUIVB(device.GTX660(), 0, false); err == nil {
+		t.Error("zero steps should fail")
+	}
+	if _, err := CPUReference(device.XeonX5450(), 0, false); err == nil {
+		t.Error("zero steps should fail")
+	}
+	// The platform layer rejects bad depths before reaching any model.
+	for _, p := range Platforms() {
+		if _, err := p.Estimate(0, Options{}); err == nil {
+			t.Errorf("%s: zero steps should fail", p.Describe().Name)
+		}
+		if _, err := p.NewEngine(-5); err == nil {
+			t.Errorf("%s: negative steps should fail", p.Describe().Name)
+		}
+	}
+}
+
+// TestMonotoneInDepth: deeper trees mean more nodes per option, so
+// options/s must fall monotonically with N on every platform model.
+func TestMonotoneInDepth(t *testing.T) {
+	board := device.DE4()
+	fitA, fitB := fits(t)
+	gpu := device.GTX660()
+	cpu := device.XeonX5450()
+
+	prev := map[string]float64{}
+	for _, n := range []int{128, 256, 512, 1024, 2048} {
+		cases := map[string]func() (perf.Estimate, error){
+			"fpga-ivb": func() (perf.Estimate, error) { return FPGAIVB(board, fitB, n, false, false) },
+			"fpga-iva": func() (perf.Estimate, error) { return FPGAIVA(board, fitA, n, false, true) },
+			"gpu-ivb":  func() (perf.Estimate, error) { return GPUIVB(gpu, n, false) },
+			"gpu-iva":  func() (perf.Estimate, error) { return GPUIVA(gpu, n, false, true) },
+			"cpu":      func() (perf.Estimate, error) { return CPUReference(cpu, n, false) },
+		}
+		for name, f := range cases {
+			e, err := f()
+			if err != nil {
+				t.Fatalf("%s N=%d: %v", name, n, err)
+			}
+			if p, ok := prev[name]; ok && e.OptionsPerSec >= p {
+				t.Errorf("%s: throughput rose with depth at N=%d (%g -> %g)", name, n, p, e.OptionsPerSec)
+			}
+			prev[name] = e.OptionsPerSec
+		}
+	}
+}
+
+// TestFPGAThroughputScalesWithLanesAndClock: the IV.B estimate must be
+// proportional to lanes * Fmax.
+func TestFPGAThroughputScalesWithLanesAndClock(t *testing.T) {
+	board := device.DE4()
+	_, fitB := fits(t)
+	base, err := FPGAIVB(board, fitB, 1024, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled := fitB
+	doubled.NodeLanes *= 2
+	est, err := FPGAIVB(board, doubled, 1024, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := est.OptionsPerSec / base.OptionsPerSec; ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("doubling lanes gave %.3fx", ratio)
+	}
+	slower := fitB
+	slower.FmaxMHz /= 2
+	est, err = FPGAIVB(board, slower, 1024, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := est.OptionsPerSec / base.OptionsPerSec; ratio < 0.49 || ratio > 0.51 {
+		t.Errorf("halving the clock gave %.3fx", ratio)
+	}
+}
+
+// TestSinglePrecisionNeverSlower: halving element size can only help the
+// transfer-bound IV.A models.
+func TestSinglePrecisionNeverSlower(t *testing.T) {
+	board := device.DE4()
+	fitA, _ := fits(t)
+	d, err := FPGAIVA(board, fitA, 1024, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := FPGAIVA(board, fitA, 1024, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OptionsPerSec < d.OptionsPerSec {
+		t.Errorf("single %g slower than double %g on the transfer-bound path", s.OptionsPerSec, d.OptionsPerSec)
+	}
+}
+
+// TestEmbeddedEstimates sanity-checks the future-work models directly.
+func TestEmbeddedEstimates(t *testing.T) {
+	for _, spec := range []device.EmbeddedSpec{device.TIKeystone(), device.ARMMali()} {
+		d, err := EmbeddedIVB(spec, 1024, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := EmbeddedIVB(spec, 1024, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.OptionsPerSec <= d.OptionsPerSec {
+			t.Errorf("%s: single %g not above double %g", spec.Name, s.OptionsPerSec, d.OptionsPerSec)
+		}
+		if _, err := EmbeddedIVB(spec, 0, false); err == nil {
+			t.Error("zero steps should fail")
+		}
+	}
+}
+
+// TestSaturationGPUNeedsTenTimesMore pins the §V-C claim that the GPU
+// "needs a more important workload to reach optimal performances (ten
+// times as many)".
+func TestSaturationGPUNeedsTenTimesMore(t *testing.T) {
+	fpga := device.DE4().SaturationOptions
+	gpu := device.GTX660().SaturationOptions
+	if gpu != 10*fpga {
+		t.Errorf("saturation workloads: gpu %d vs fpga %d, want 10x", gpu, fpga)
+	}
+}

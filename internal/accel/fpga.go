@@ -1,0 +1,100 @@
+package accel
+
+import (
+	"fmt"
+
+	"binopt/internal/device"
+	"binopt/internal/hls"
+	"binopt/internal/kernels"
+	"binopt/internal/perf"
+)
+
+// fpgaPlatform adapts an FPGA board: estimates go through the HLS
+// fitter, execution through kernel IV.B on the simulated runtime.
+type fpgaPlatform struct {
+	name  string
+	label string
+	board device.FPGABoard
+}
+
+// NewFPGA wraps an FPGA board as a registrable platform. The default
+// registry holds NewFPGA("fpga-ivb", "DE4", device.DE4()).
+func NewFPGA(name, label string, board device.FPGABoard) Fitter {
+	return &fpgaPlatform{name: name, label: label, board: board}
+}
+
+func (p *fpgaPlatform) Describe() Description {
+	board := p.board
+	return Description{
+		Name:              p.name,
+		Label:             p.label,
+		Device:            board.Name,
+		Kind:              "fpga",
+		DefaultKernel:     KernelIVB,
+		OpenCL:            board.OpenCLInfo(),
+		SaturationOptions: board.SaturationOptions,
+		Board:             &board,
+	}
+}
+
+// Fit compiles the kernel's profile for this board. A zero Knobs value
+// selects the paper's published knobs for the kernel.
+func (p *fpgaPlatform) Fit(steps int, kernel Kernel, knobs hls.Knobs) (hls.FitReport, error) {
+	if steps < 1 {
+		return hls.FitReport{}, fmt.Errorf("accel: %s: steps must be positive, got %d", p.name, steps)
+	}
+	var prof hls.KernelProfile
+	switch kernel {
+	case KernelIVA:
+		prof = kernels.ProfileIVA()
+		if knobs == (hls.Knobs{}) {
+			knobs = kernels.PaperKnobsIVA()
+		}
+	case KernelIVB, "":
+		prof = kernels.ProfileIVB(steps)
+		if knobs == (hls.Knobs{}) {
+			knobs = kernels.PaperKnobsIVB()
+		}
+	default:
+		return hls.FitReport{}, fmt.Errorf("accel: %s: kernel %q has no HLS profile", p.name, kernel)
+	}
+	return hls.Fit(p.board, prof, knobs)
+}
+
+func (p *fpgaPlatform) Estimate(steps int, o Options) (perf.Estimate, error) {
+	if steps < 1 {
+		return perf.Estimate{}, fmt.Errorf("accel: %s: steps must be positive, got %d", p.name, steps)
+	}
+	k := o.Kernel
+	if k == "" {
+		k = KernelIVB
+	}
+	fit := o.Fit
+	if fit == nil {
+		var knobs hls.Knobs
+		if o.Knobs != nil {
+			knobs = *o.Knobs
+		}
+		rep, err := p.Fit(steps, k, knobs)
+		if err != nil {
+			return perf.Estimate{}, fmt.Errorf("accel: %s: fitting kernel %s: %w", p.name, k, err)
+		}
+		fit = &rep
+	}
+	switch k {
+	case KernelIVB:
+		return FPGAIVB(p.board, *fit, steps, o.Single, o.LeavesOnHost)
+	case KernelIVA:
+		return FPGAIVA(p.board, *fit, steps, o.Single, o.FullReadback)
+	default:
+		return perf.Estimate{}, fmt.Errorf("accel: %s: unsupported kernel %q", p.name, k)
+	}
+}
+
+func (p *fpgaPlatform) NewEngine(steps int) (*Engine, error) {
+	est, err := p.Estimate(steps, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return newKernelEngine(p.Describe(), est, steps)
+}

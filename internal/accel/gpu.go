@@ -1,0 +1,58 @@
+package accel
+
+import (
+	"fmt"
+
+	"binopt/internal/device"
+	"binopt/internal/perf"
+)
+
+// gpuPlatform adapts a GPU spec: estimates come from the analytic GPU
+// model, execution from kernel IV.B on the simulated runtime.
+type gpuPlatform struct {
+	name  string
+	label string
+	spec  device.GPUSpec
+}
+
+// NewGPU wraps a GPU spec as a registrable platform. The default
+// registry holds NewGPU("gpu-ivb", "GTX660", device.GTX660()).
+func NewGPU(name, label string, spec device.GPUSpec) Platform {
+	return &gpuPlatform{name: name, label: label, spec: spec}
+}
+
+func (p *gpuPlatform) Describe() Description {
+	spec := p.spec
+	return Description{
+		Name:              p.name,
+		Label:             p.label,
+		Device:            spec.Name,
+		Kind:              "gpu",
+		DefaultKernel:     KernelIVB,
+		OpenCL:            spec.OpenCLInfo(),
+		SaturationOptions: spec.SaturationOptions,
+		GPU:               &spec,
+	}
+}
+
+func (p *gpuPlatform) Estimate(steps int, o Options) (perf.Estimate, error) {
+	if steps < 1 {
+		return perf.Estimate{}, fmt.Errorf("accel: %s: steps must be positive, got %d", p.name, steps)
+	}
+	switch o.Kernel {
+	case KernelIVB, "":
+		return GPUIVB(p.spec, steps, o.Single)
+	case KernelIVA:
+		return GPUIVA(p.spec, steps, o.Single, o.FullReadback)
+	default:
+		return perf.Estimate{}, fmt.Errorf("accel: %s: unsupported kernel %q", p.name, o.Kernel)
+	}
+}
+
+func (p *gpuPlatform) NewEngine(steps int) (*Engine, error) {
+	est, err := p.Estimate(steps, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return newKernelEngine(p.Describe(), est, steps)
+}

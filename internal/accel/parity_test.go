@@ -1,0 +1,95 @@
+package accel
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"binopt/internal/lattice"
+	"binopt/internal/option"
+	"binopt/internal/workload"
+)
+
+// TestCrossPlatformParity is the serving-layer exactness guarantee: every
+// registry entry's engine must price the paper's 2000-put volatility
+// chain bit-for-bit identically to the double-precision host reference at
+// the depths the experiments run (§V uses 512–2048 steps).
+//
+// A full 2000×2048 sweep per platform is too slow for CI on one core, so
+// deeper trees subsample the chain with a fixed stride; the 512-step row
+// covers every contract. Under the race detector (where the lattice is
+// ~10× slower) the strides thin further but every depth still runs.
+func TestCrossPlatformParity(t *testing.T) {
+	chain, err := workload.Chain(workload.DefaultVolCurveSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		steps  int
+		stride int // 1 = every contract in the chain
+	}{
+		{512, 1},
+		{1024, 8},
+		{2048, 40},
+	}
+	if raceEnabled {
+		rows[0].stride, rows[1].stride, rows[2].stride = 20, 80, 200
+	}
+	if testing.Short() {
+		rows[0].stride, rows[1].stride, rows[2].stride = 100, 400, 1000
+	}
+	for _, row := range rows {
+		row := row
+		t.Run(fmt.Sprintf("steps=%d", row.steps), func(t *testing.T) {
+			subset := sample(chain, row.stride)
+			ref, err := lattice.NewEngine(row.steps)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]float64, len(subset))
+			for i, o := range subset {
+				if want[i], err = ref.Price(o); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, p := range Platforms() {
+				name := p.Describe().Name
+				eng, err := p.NewEngine(row.steps)
+				if err != nil {
+					t.Fatalf("%s: NewEngine(%d): %v", name, row.steps, err)
+				}
+				got, err := eng.PriceBatch(subset, 1)
+				if err != nil {
+					t.Fatalf("%s: PriceBatch: %v", name, err)
+				}
+				mismatches := 0
+				for i := range subset {
+					if got[i] != want[i] {
+						if mismatches < 3 {
+							t.Errorf("%s: contract %d (K=%.4f σ=%.4f): %v (%#x) != reference %v (%#x)",
+								name, i, subset[i].Strike, subset[i].Sigma,
+								got[i], math.Float64bits(got[i]),
+								want[i], math.Float64bits(want[i]))
+						}
+						mismatches++
+					}
+				}
+				if mismatches > 0 {
+					t.Errorf("%s: %d/%d contracts diverge from the host reference at %d steps",
+						name, mismatches, len(subset), row.steps)
+				}
+			}
+		})
+	}
+}
+
+func sample(chain []option.Option, stride int) []option.Option {
+	if stride <= 1 {
+		return chain
+	}
+	out := make([]option.Option, 0, len(chain)/stride+1)
+	for i := 0; i < len(chain); i += stride {
+		out = append(out, chain[i])
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package accel
+
+// raceEnabled reports whether the race detector is compiled in; the
+// cross-platform parity test thins its deep-tree chains under race,
+// where the instrumented lattice is an order of magnitude slower.
+const raceEnabled = false

@@ -1,0 +1,129 @@
+package accel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"binopt/internal/device"
+)
+
+// Registry is a name-keyed, registration-ordered set of platforms.
+type Registry struct {
+	mu     sync.RWMutex
+	names  []string
+	byName map[string]Platform
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]Platform)}
+}
+
+// Register adds a platform under its described name. Names are unique.
+func (r *Registry) Register(p Platform) error {
+	d := p.Describe()
+	if d.Name == "" {
+		return fmt.Errorf("accel: platform has no name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[d.Name]; dup {
+		return fmt.Errorf("accel: platform %q already registered", d.Name)
+	}
+	r.byName[d.Name] = p
+	r.names = append(r.names, d.Name)
+	return nil
+}
+
+// Lookup returns the platform registered under name.
+func (r *Registry) Lookup(name string) (Platform, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.byName[name]
+	return p, ok
+}
+
+// Names returns the registered names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// Platforms returns the platforms in registration order.
+func (r *Registry) Platforms() []Platform {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Platform, 0, len(r.names))
+	for _, n := range r.names {
+		out = append(out, r.byName[n])
+	}
+	return out
+}
+
+// defaultExtras collects constructors registered by platform files'
+// init functions (see embedded.go); they are appended to the default
+// registry after the paper's three evaluated platforms, sorted by name
+// so registration order does not depend on compilation order.
+var defaultExtras []func() Platform
+
+func registerDefault(f func() Platform) {
+	defaultExtras = append(defaultExtras, f)
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the shared registry holding the paper's test
+// environment (§V-A) — DE4 FPGA, GTX660, Xeon X5450 — plus any
+// platforms self-registered at init time.
+func Default() *Registry {
+	defaultOnce.Do(func() {
+		r := NewRegistry()
+		for _, p := range []Platform{
+			NewFPGA("fpga-ivb", "DE4", device.DE4()),
+			NewGPU("gpu-ivb", "GTX660", device.GTX660()),
+			NewCPU("cpu-ref", "Xeon X5450", device.XeonX5450()),
+		} {
+			if err := r.Register(p); err != nil {
+				panic(err)
+			}
+		}
+		extras := make([]Platform, 0, len(defaultExtras))
+		for _, f := range defaultExtras {
+			extras = append(extras, f())
+		}
+		sort.Slice(extras, func(i, j int) bool {
+			return extras[i].Describe().Name < extras[j].Describe().Name
+		})
+		for _, p := range extras {
+			if err := r.Register(p); err != nil {
+				panic(err)
+			}
+		}
+		defaultReg = r
+	})
+	return defaultReg
+}
+
+// Get returns the named platform from the default registry.
+func Get(name string) (Platform, error) {
+	p, ok := Default().Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("accel: unknown platform %q (have %v)", name, Default().Names())
+	}
+	return p, nil
+}
+
+// Platforms returns the default registry's platforms in registration
+// order.
+func Platforms() []Platform { return Default().Platforms() }
+
+// Names returns the default registry's platform names in registration
+// order.
+func Names() []string { return Default().Names() }

@@ -1,0 +1,177 @@
+package accel
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"binopt/internal/device"
+	"binopt/internal/hls"
+)
+
+// TestDefaultRegistryRoster pins the registry contents: the paper's
+// three evaluated platforms in §V-A order, then the self-registered
+// embedded target from embedded.go.
+func TestDefaultRegistryRoster(t *testing.T) {
+	want := []string{"fpga-ivb", "gpu-ivb", "cpu-ref", "embedded-keystone"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("registry names = %v, want %v", got, want)
+	}
+	if got := len(Platforms()); got != len(want) {
+		t.Fatalf("Platforms() returned %d entries", got)
+	}
+}
+
+func TestDescriptions(t *testing.T) {
+	cases := []struct {
+		name, kind, label string
+		kernel            Kernel
+	}{
+		{"fpga-ivb", "fpga", "DE4", KernelIVB},
+		{"gpu-ivb", "gpu", "GTX660", KernelIVB},
+		{"cpu-ref", "cpu", "Xeon X5450", KernelReference},
+		{"embedded-keystone", "embedded", "KeyStone", KernelIVB},
+	}
+	for _, c := range cases {
+		p, err := Get(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := p.Describe()
+		if d.Kind != c.kind || d.Label != c.label || d.DefaultKernel != c.kernel {
+			t.Errorf("%s: Describe = kind %q label %q kernel %q", c.name, d.Kind, d.Label, d.DefaultKernel)
+		}
+		if d.OpenCL.Name == "" || d.OpenCL.MaxWorkGroupSize <= 0 {
+			t.Errorf("%s: incomplete OpenCL descriptor %+v", c.name, d.OpenCL)
+		}
+		set := 0
+		for _, ptr := range []bool{d.Board != nil, d.GPU != nil, d.CPU != nil, d.Embedded != nil} {
+			if ptr {
+				set++
+			}
+		}
+		if set != 1 {
+			t.Errorf("%s: %d spec pointers set, want exactly 1", c.name, set)
+		}
+	}
+	// The chip-level details Table I and the power-cap experiment need
+	// are reachable through the registry.
+	fpga, _ := Get("fpga-ivb")
+	if d := fpga.Describe(); d.Board == nil || d.Board.Chip.Name != "EP4SGX530" {
+		t.Errorf("fpga-ivb Board spec missing or wrong: %+v", fpga.Describe().Board)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	_, err := Get("tpu-v9")
+	if err == nil || !strings.Contains(err.Error(), "unknown platform") {
+		t.Fatalf("Get(unknown) = %v", err)
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	p := NewCPU("cpu-ref", "Xeon", device.XeonX5450())
+	if err := r.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(p); err == nil {
+		t.Fatal("duplicate registration should fail")
+	}
+}
+
+// TestEstimateMatchesDirectBuilders: the Platform.Estimate dispatch must
+// produce the exact rows the direct builders do — the registry is a
+// router, not a second model.
+func TestEstimateMatchesDirectBuilders(t *testing.T) {
+	const steps = 1024
+	_, fitB := fits(t)
+
+	fpga, _ := Get("fpga-ivb")
+	viaPlatform, err := fpga.Estimate(steps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := FPGAIVB(device.DE4(), fitB, steps, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaPlatform != direct {
+		t.Errorf("fpga Estimate = %+v, direct = %+v", viaPlatform, direct)
+	}
+
+	gpu, _ := Get("gpu-ivb")
+	g, err := gpu.Estimate(steps, Options{Kernel: KernelIVA, FullReadback: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gd, _ := GPUIVA(device.GTX660(), steps, false, true)
+	if g != gd {
+		t.Errorf("gpu IV.A Estimate = %+v, direct = %+v", g, gd)
+	}
+
+	cpu, _ := Get("cpu-ref")
+	c, err := cpu.Estimate(steps, Options{Single: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, _ := CPUReference(device.XeonX5450(), steps, true)
+	if c != cd {
+		t.Errorf("cpu Estimate = %+v, direct = %+v", c, cd)
+	}
+
+	emb, _ := Get("embedded-keystone")
+	e, err := emb.Estimate(steps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, _ := EmbeddedIVB(device.TIKeystone(), steps, false)
+	if e != ed {
+		t.Errorf("embedded Estimate = %+v, direct = %+v", e, ed)
+	}
+}
+
+func TestUnsupportedKernels(t *testing.T) {
+	cpu, _ := Get("cpu-ref")
+	if _, err := cpu.Estimate(1024, Options{Kernel: KernelIVB}); err == nil {
+		t.Error("cpu should reject kernel IV.B")
+	}
+	fpga, _ := Get("fpga-ivb")
+	if _, err := fpga.Estimate(1024, Options{Kernel: KernelReference}); err == nil {
+		t.Error("fpga should reject the reference kernel")
+	}
+	emb, _ := Get("embedded-keystone")
+	if _, err := emb.Estimate(1024, Options{Kernel: KernelIVA}); err == nil {
+		t.Error("embedded should reject kernel IV.A")
+	}
+}
+
+// TestFitterInterface: only the FPGA fits; its zero-knob default is the
+// paper's published configuration.
+func TestFitterInterface(t *testing.T) {
+	var fitters []string
+	for _, p := range Platforms() {
+		if _, ok := p.(Fitter); ok {
+			fitters = append(fitters, p.Describe().Name)
+		}
+	}
+	if !reflect.DeepEqual(fitters, []string{"fpga-ivb"}) {
+		t.Fatalf("fitting platforms = %v, want [fpga-ivb]", fitters)
+	}
+	f := mustFitter(t)
+	if _, err := f.Fit(0, KernelIVB, hls.Knobs{}); err == nil {
+		t.Error("Fit with zero steps should fail")
+	}
+	if _, err := f.Fit(1024, KernelReference, hls.Knobs{}); err == nil {
+		t.Error("Fit of the reference kernel should fail")
+	}
+}
+
+func mustFitter(t *testing.T) Fitter {
+	t.Helper()
+	p, err := Get("fpga-ivb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.(Fitter)
+}

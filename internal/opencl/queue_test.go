@@ -409,3 +409,37 @@ func TestFinishIsSafeAnytime(t *testing.T) {
 		t.Errorf("kernels = %d", got)
 	}
 }
+
+// TestNDRangeWorkGroupCeiling pins the CL_INVALID_WORK_GROUP_SIZE
+// behaviour at the device boundary: a work-group exactly at
+// MaxWorkGroupSize launches, one past it is rejected with an error
+// naming both sizes, and a device reporting no limit accepts any group.
+func TestNDRangeWorkGroupCeiling(t *testing.T) {
+	ctx, dev := newCtx(t)
+	q := ctx.NewQueue()
+	k := NewKernel("nop", false, func(*WorkItem) {})
+	max := dev.Info.MaxWorkGroupSize
+
+	if _, err := q.EnqueueNDRange(k, max, max); err != nil {
+		t.Fatalf("local size == device max (%d) must launch: %v", max, err)
+	}
+	_, err := q.EnqueueNDRange(k, 2*(max+1), max+1)
+	if err == nil {
+		t.Fatalf("local size %d > device max %d must be rejected", max+1, max)
+	}
+	for _, want := range []string{"local size", "exceeds device max", "257", "256"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+
+	unlimited := testDevice()
+	unlimited.MaxWorkGroupSize = 0
+	uctx, err := NewContext(&Device{Info: unlimited})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := uctx.NewQueue().EnqueueNDRange(k, 4096, 4096); err != nil {
+		t.Errorf("device without a work-group limit must accept any local size: %v", err)
+	}
+}

@@ -1,19 +1,13 @@
-// Package perf converts kernel runs into the quantities Table II reports:
-// options per second, options per joule, and tree nodes per second, for
-// each (kernel, platform, precision) combination, plus the
-// workload-dependent saturation behaviour of §V-C. Throughput comes from
-// the analytic device models (internal/hls fit reports for the FPGA,
-// internal/gpumodel, internal/cpumodel); accuracy (RMSE) is measured
-// separately by running the corresponding lattice engine and attached by
-// the reporting layer.
+// Package perf defines the quantities Table II reports — options per
+// second, options per joule, and tree nodes per second for each
+// (kernel, platform, precision) combination — plus the
+// workload-dependent saturation behaviour of §V-C. The per-platform
+// estimate builders that fill these rows live in internal/accel, next to
+// the device models they consume; this package keeps only the row type
+// and the device-independent saturation arithmetic.
 package perf
 
-import (
-	"fmt"
-
-	"binopt/internal/device"
-	"binopt/internal/hls"
-)
+import "fmt"
 
 // Estimate is one performance row.
 type Estimate struct {
@@ -29,8 +23,9 @@ type Estimate struct {
 	SaturationOptions int64
 }
 
-// finalize fills the derived metrics.
-func finalize(e Estimate, steps int) Estimate {
+// Finalize fills the derived metrics of a row whose primary throughput
+// and power are set.
+func Finalize(e Estimate, steps int) Estimate {
 	nodes := float64(steps) * float64(steps+1) / 2
 	e.OptionsPerJoule = e.OptionsPerSec / e.PowerWatts
 	e.NodesPerSec = e.OptionsPerSec * nodes
@@ -41,93 +36,6 @@ func finalize(e Estimate, steps int) Estimate {
 func (e Estimate) String() string {
 	return fmt.Sprintf("%s %s (%s): %.4g options/s, %.3g options/J, %.4g nodes/s at %.1f W",
 		e.Kernel, e.Platform, e.Precision, e.OptionsPerSec, e.OptionsPerJoule, e.NodesPerSec, e.PowerWatts)
-}
-
-// bytesPerNodeIVA is the global traffic of one IV.A node update: the
-// time-step table entry, six option constants, three ping values in, two
-// pong values out — about 12 element-sized words.
-const bytesPerNodeIVA = 12
-
-// precisionName converts the single flag to the Table II label.
-func precisionName(single bool) string {
-	if single {
-		return "single"
-	}
-	return "double"
-}
-
-func elemBytes(single bool) float64 {
-	if single {
-		return 4
-	}
-	return 8
-}
-
-// FPGAIVB estimates the optimized kernel on an FPGA board, from its fit
-// report. leavesOnHost adds the fallback path's host work and transfer.
-func FPGAIVB(board device.FPGABoard, fit hls.FitReport, steps int, single, leavesOnHost bool) (Estimate, error) {
-	if steps < 1 {
-		return Estimate{}, fmt.Errorf("perf: steps must be positive, got %d", steps)
-	}
-	nodes := float64(steps) * float64(steps+1) / 2
-	// Steady-state pipeline: NodeLanes updates per clock.
-	optSec := nodes / (float64(fit.NodeLanes) * fit.FmaxMHz * 1e6)
-
-	if leavesOnHost {
-		// Host computes the leaves (a multiply per node on the Xeon) and
-		// streams them down; neither overlaps with this option's kernel
-		// start in the paper's fallback description.
-		cpu := device.XeonX5450()
-		hostCompute := float64(steps+1) * 4 / cpu.ClockHz
-		transfer := float64(steps+1) * elemBytes(single) / (board.PCIe.TheoreticalB / 2)
-		optSec += hostCompute + transfer
-	}
-	e := Estimate{
-		Platform:          board.Chip.Name,
-		Kernel:            "IV.B",
-		Precision:         precisionName(single),
-		OptionsPerSec:     1 / optSec,
-		PowerWatts:        fit.PowerWatts,
-		SaturationOptions: board.SaturationOptions,
-	}
-	return finalize(e, steps), nil
-}
-
-// FPGAIVA estimates the straightforward kernel on an FPGA board. The
-// per-batch cost is the DDR-bound node sweep plus the blocking host
-// interaction — leaf upload, launch, and the ping-pong readback that
-// §V-C identifies as the bottleneck.
-func FPGAIVA(board device.FPGABoard, fit hls.FitReport, steps int, single, fullReadback bool) (Estimate, error) {
-	if steps < 1 {
-		return Estimate{}, fmt.Errorf("perf: steps must be positive, got %d", steps)
-	}
-	elem := elemBytes(single)
-	nodes := float64(steps) * float64(steps+1) / 2
-
-	pipeline := nodes / (float64(fit.NodeLanes) * fit.FmaxMHz * 1e6)
-	ddr := nodes * bytesPerNodeIVA * elem / board.DDRBytesPerSec
-	kernel := pipeline
-	if ddr > kernel {
-		kernel = ddr
-	}
-
-	bufLen := float64((steps + 1) * (steps + 2) / 2)
-	write := float64(steps+1) * 2 * elem / board.PCIe.EffectiveB
-	read := elem / board.PCIe.EffectiveB
-	if fullReadback {
-		read = 2 * bufLen * elem / board.PCIe.EffectiveB
-	}
-	batch := kernel + write + read + 3*board.PCIe.CommandLatencySec
-
-	e := Estimate{
-		Platform:          board.Chip.Name,
-		Kernel:            "IV.A",
-		Precision:         precisionName(single),
-		OptionsPerSec:     1 / batch,
-		PowerWatts:        fit.PowerWatts,
-		SaturationOptions: board.SaturationOptions,
-	}
-	return finalize(e, steps), nil
 }
 
 // SaturationThroughput returns the achieved throughput for a workload of

@@ -273,17 +273,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	type backendHealth struct {
 		Name          string  `json:"name"`
+		Kind          string  `json:"kind,omitempty"`
 		OptionsPerSec float64 `json:"modelled_options_per_sec"`
 		PowerWatts    float64 `json:"modelled_power_watts"`
 		Pending       int64   `json:"pending_options"`
+		PricedOptions int64   `json:"priced_options,omitempty"`
 	}
 	bs := make([]backendHealth, len(s.backends))
 	for i, be := range s.backends {
 		bs[i] = backendHealth{
 			Name:          be.cfg.Name,
+			Kind:          be.cfg.Kind,
 			OptionsPerSec: be.cfg.Estimate.OptionsPerSec,
 			PowerWatts:    be.cfg.Estimate.PowerWatts,
 			Pending:       be.pending.Load(),
+		}
+		if be.cfg.Engine != nil {
+			bs[i].PricedOptions = be.cfg.Engine.PricedOptions()
 		}
 	}
 	writeJSON(w, code, map[string]any{

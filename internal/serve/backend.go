@@ -6,57 +6,68 @@ import (
 	"sync/atomic"
 	"time"
 
-	"binopt/internal/device"
-	"binopt/internal/hls"
-	"binopt/internal/kernels"
+	"binopt/internal/accel"
 	"binopt/internal/perf"
 )
 
 // BackendConfig describes one pricing shard: a modelled accelerator from
 // the paper's test environment. The estimate drives admission (faster
 // shards are offered work first) and the energy accounting (modelled
-// joules per option = power / throughput); the arithmetic itself runs on
-// the host reference engine so results are exact and identical across
-// shards.
+// joules per option = power / throughput). When Engine is set the shard
+// executes on that platform's calibrated engine — probed against the real
+// simulated kernel and metering device counters — so results are exact
+// and identical across shards while each shard's substrate activity is
+// accounted separately.
 type BackendConfig struct {
-	// Name labels the shard in responses and metrics.
+	// Name labels the shard in responses and metrics; DefaultBackends
+	// uses the accel registry name.
 	Name string
+	// Kind classifies the substrate ("fpga", "gpu", "cpu", "embedded").
+	Kind string
 	// Estimate is the modelled throughput/power row for this device.
 	Estimate perf.Estimate
+	// Engine, when set, prices this shard's work on the platform engine
+	// (bit-identical to the reference lattice, with counter accounting).
+	// When nil the shard prices on the server's reference engine.
+	Engine *accel.Engine
 	// Workers is the number of concurrent batch executors (default 1).
 	Workers int
 	// QueueDepth bounds the shard's batch queue (default 32 batches).
 	QueueDepth int
 }
 
-// DefaultBackends models the paper's three platforms at the given tree
-// depth: the DE4's kernel IV.B (the energy-efficiency winner), the
-// GTX660's kernel IV.B (the throughput winner) and the Xeon software
-// reference — the heterogeneous pool a data-centre deployment of the
-// paper's design would schedule across.
+// DefaultBackends builds the serving pool from the accel registry at the
+// given tree depth: every registered platform — the DE4's kernel IV.B
+// (the energy-efficiency winner), the GTX660's kernel IV.B (the
+// throughput winner), the Xeon software reference, and any extra
+// registered target such as the §VI embedded SoC — becomes one shard
+// executing on its own platform engine: the heterogeneous pool a
+// data-centre deployment of the paper's design would schedule across.
 func DefaultBackends(steps int) ([]BackendConfig, error) {
-	board := device.DE4()
-	fit, err := hls.Fit(board, kernels.ProfileIVB(steps), kernels.PaperKnobsIVB())
-	if err != nil {
-		return nil, fmt.Errorf("serve: fitting kernel IV.B: %w", err)
+	if steps < 1 {
+		return nil, fmt.Errorf("serve: lattice depth must be a positive number of steps, got %d", steps)
 	}
-	fpga, err := perf.FPGAIVB(board, fit, steps, false, false)
-	if err != nil {
-		return nil, fmt.Errorf("serve: FPGA estimate: %w", err)
+	platforms := accel.Platforms()
+	out := make([]BackendConfig, 0, len(platforms))
+	for _, p := range platforms {
+		d := p.Describe()
+		eng, err := p.NewEngine(steps)
+		if err != nil {
+			return nil, fmt.Errorf("serve: backend %s: %w", d.Name, err)
+		}
+		workers := 1
+		if d.Kind == "fpga" || d.Kind == "gpu" {
+			workers = 2
+		}
+		out = append(out, BackendConfig{
+			Name:     d.Name,
+			Kind:     d.Kind,
+			Estimate: eng.Estimate(),
+			Engine:   eng,
+			Workers:  workers,
+		})
 	}
-	gpu, err := perf.GPUIVB(device.GTX660(), steps, false)
-	if err != nil {
-		return nil, fmt.Errorf("serve: GPU estimate: %w", err)
-	}
-	cpu, err := perf.CPUReference(device.XeonX5450(), steps, false)
-	if err != nil {
-		return nil, fmt.Errorf("serve: CPU estimate: %w", err)
-	}
-	return []BackendConfig{
-		{Name: "fpga-ivb", Estimate: fpga, Workers: 2},
-		{Name: "gpu-ivb", Estimate: gpu, Workers: 2},
-		{Name: "cpu-ref", Estimate: cpu, Workers: 1},
-	}, nil
+	return out, nil
 }
 
 // backend is a running shard: a bounded batch queue drained by Workers
@@ -79,7 +90,10 @@ func newBackend(cfg BackendConfig, m *metrics) *backend {
 		cfg.QueueDepth = 32
 	}
 	var joules float64
-	if cfg.Estimate.OptionsPerSec > 0 {
+	switch {
+	case cfg.Engine != nil:
+		joules = cfg.Engine.ModelledJoulesPerOption()
+	case cfg.Estimate.OptionsPerSec > 0:
 		joules = cfg.Estimate.PowerWatts / cfg.Estimate.OptionsPerSec
 	}
 	return &backend{
@@ -127,13 +141,20 @@ func (s *Server) dispatchBatch(batch []*job) {
 	be.jobs <- batch
 }
 
-// worker drains batches from one shard until its queue closes. Results
-// are cached, metered, and delivered on each job's buffered channel.
+// worker drains batches from one shard until its queue closes. A shard
+// with a platform engine prices on it (a PriceFunc override wins, so stub
+// tests keep their injected kernel); the rest fall back to the server's
+// reference engine. Results are cached, metered, and delivered on each
+// job's buffered channel.
 func (s *Server) worker(be *backend) {
 	defer s.wg.Done()
+	priceFn := s.priceFn
+	if be.cfg.Engine != nil && s.cfg.PriceFunc == nil {
+		priceFn = be.cfg.Engine.Price
+	}
 	for batch := range be.jobs {
 		for _, j := range batch {
-			price, err := s.priceFn(j.opt)
+			price, err := priceFn(j.opt)
 			if err == nil {
 				s.cache.put(j.key, price)
 				s.metrics.observeOption(time.Since(j.enqueued), be.joules, be.priced)

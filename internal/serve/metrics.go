@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"binopt/internal/opencl"
 )
 
 // latencyBuckets are the histogram upper bounds, in seconds: exponential
@@ -116,6 +118,18 @@ type metrics struct {
 
 	mu         sync.Mutex
 	perBackend map[string]*atomic.Int64 // options priced per backend shard
+
+	// substrate, when set, snapshots per-backend device counters from
+	// the platform engines; render appends them to the exposition.
+	substrate func() []substrateStat
+}
+
+// substrateStat is one backend's accumulated device-level activity, read
+// from its platform engine at render time.
+type substrateStat struct {
+	backend  string
+	counters opencl.Counters
+	joules   float64
 }
 
 func newMetrics() *metrics {
@@ -217,5 +231,17 @@ func (m *metrics) render(queueDepth int64, cacheLen int) string {
 		w("binopt_backend_options_priced_total{backend=%q} %d\n", name, m.perBackend[name].Load())
 	}
 	m.mu.Unlock()
+
+	if m.substrate != nil {
+		for _, st := range m.substrate() {
+			c := st.counters
+			w("binopt_backend_flops_total{backend=%q} %d\n", st.backend, c.Flops)
+			w("binopt_backend_global_bytes_total{backend=%q} %d\n", st.backend, c.GlobalBytes())
+			w("binopt_backend_host_bytes_total{backend=%q} %d\n", st.backend, c.HostBytes())
+			w("binopt_backend_barriers_total{backend=%q} %d\n", st.backend, c.Barriers)
+			w("binopt_backend_kernel_launches_total{backend=%q} %d\n", st.backend, c.KernelLaunches)
+			w("binopt_backend_modelled_joules_total{backend=%q} %.6g\n", st.backend, st.joules)
+		}
+	}
 	return b.String()
 }

@@ -1,7 +1,9 @@
 // Package serve is the pricing service layer over the binopt engines: a
 // batched HTTP/JSON API backed by a dynamic micro-batching queue, a
-// worker pool sharded across the paper's modelled devices (FPGA kernel
-// IV.B, GPU, CPU reference), an LRU result cache keyed by canonicalised
+// worker pool with one shard per accel-registry platform (FPGA kernel
+// IV.B, GPU, CPU reference, plus any extra registered target), each
+// executing on its own platform engine with per-device counter and
+// energy accounting, an LRU result cache keyed by canonicalised
 // contract parameters, and a metrics surface reporting throughput,
 // latency quantiles and modelled energy. It turns the library's one-shot
 // experiments into the data-centre serving tier the paper's use case —
@@ -12,6 +14,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -129,6 +132,10 @@ func New(cfg Config) (*Server, error) {
 	for _, bc := range cfg.Backends {
 		s.backends = append(s.backends, newBackend(bc, s.metrics))
 	}
+	if err := s.verifyEngineParity(); err != nil {
+		return nil, err
+	}
+	s.metrics.substrate = s.substrateStats
 	s.batcher = newBatcher(cfg.MaxBatch, cfg.FlushInterval, s.dispatchBatch)
 	for _, be := range s.backends {
 		for w := 0; w < be.cfg.Workers; w++ {
@@ -137,6 +144,56 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	return s, nil
+}
+
+// verifyEngineParity prices one canonical contract on every shard's
+// platform engine and requires the results to match the server's
+// reference lattice bit for bit — the serving-layer version of the
+// kernel validation in §V-B. A PriceFunc override disables the check
+// (stub kernels are deliberately not the reference).
+func (s *Server) verifyEngineParity() error {
+	if s.cfg.PriceFunc != nil {
+		return nil
+	}
+	probe := option.Option{
+		Right: option.Put, Style: option.American,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5,
+	}
+	want, err := s.engine.Price(probe)
+	if err != nil {
+		return fmt.Errorf("serve: parity reference: %w", err)
+	}
+	for _, be := range s.backends {
+		if be.cfg.Engine == nil {
+			continue
+		}
+		got, err := be.cfg.Engine.Price(probe)
+		if err != nil {
+			return fmt.Errorf("serve: parity probe on %s: %w", be.cfg.Name, err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			return fmt.Errorf("serve: backend %s diverges from the reference lattice: %v (%#x) != %v (%#x)",
+				be.cfg.Name, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+	return nil
+}
+
+// substrateStats snapshots per-backend device activity from the platform
+// engines for the metrics page.
+func (s *Server) substrateStats() []substrateStat {
+	var out []substrateStat
+	for _, be := range s.backends {
+		if be.cfg.Engine == nil {
+			continue
+		}
+		out = append(out, substrateStat{
+			backend:  be.cfg.Name,
+			counters: be.cfg.Engine.Counters(),
+			joules:   be.cfg.Engine.ModelledJoules(),
+		})
+	}
+	return out
 }
 
 // Steps reports the lattice depth the server prices at.

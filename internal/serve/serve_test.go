@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"binopt/internal/accel"
 	"binopt/internal/lattice"
 	"binopt/internal/option"
 	"binopt/internal/workload"
@@ -224,6 +225,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 		Status   string `json:"status"`
 		Backends []struct {
 			Name          string  `json:"name"`
+			Kind          string  `json:"kind"`
 			OptionsPerSec float64 `json:"modelled_options_per_sec"`
 		} `json:"backends"`
 	}
@@ -231,10 +233,18 @@ func TestHealthzAndMetrics(t *testing.T) {
 		t.Fatalf("healthz decode: %v", err)
 	}
 	resp.Body.Close()
-	if health.Status != "ok" || len(health.Backends) != 3 {
-		t.Fatalf("healthz = %+v, want ok with 3 backends", health)
+	// One shard per accel-registry platform: the paper's three plus the
+	// self-registered embedded target.
+	if health.Status != "ok" || len(health.Backends) != len(accel.Names()) {
+		t.Fatalf("healthz = %+v, want ok with %d backends", health, len(accel.Names()))
 	}
-	for _, be := range health.Backends {
+	for i, be := range health.Backends {
+		if be.Name != accel.Names()[i] {
+			t.Errorf("backend %d = %s, want registry order %v", i, be.Name, accel.Names())
+		}
+		if be.Kind == "" {
+			t.Errorf("backend %s reports no kind", be.Name)
+		}
 		if be.OptionsPerSec <= 0 {
 			t.Errorf("backend %s has no modelled throughput", be.Name)
 		}
@@ -298,5 +308,34 @@ func TestDuplicateContractsInOneRequest(t *testing.T) {
 	}
 	if !again[0].Cached || again[0].Price != first[0].Price {
 		t.Fatalf("repeat should hit the cache with the same price: %+v", again[0])
+	}
+}
+
+// TestDefaultBackendsValidation: invalid tree depths are rejected with a
+// clear error; valid depths yield one engine-backed shard per registry
+// platform, in registry order.
+func TestDefaultBackendsValidation(t *testing.T) {
+	for _, steps := range []int{0, -1, -1024} {
+		if _, err := DefaultBackends(steps); err == nil || !strings.Contains(err.Error(), "positive") {
+			t.Errorf("DefaultBackends(%d) = %v, want a positive-steps error", steps, err)
+		}
+	}
+	bs, err := DefaultBackends(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != len(accel.Names()) {
+		t.Fatalf("got %d backends, want %d", len(bs), len(accel.Names()))
+	}
+	for i, bc := range bs {
+		if bc.Name != accel.Names()[i] {
+			t.Errorf("backend %d = %s, want %s", i, bc.Name, accel.Names()[i])
+		}
+		if bc.Engine == nil {
+			t.Fatalf("backend %s has no platform engine", bc.Name)
+		}
+		if bc.Engine.Steps() != 64 {
+			t.Errorf("backend %s engine depth = %d, want 64", bc.Name, bc.Engine.Steps())
+		}
 	}
 }
