@@ -9,6 +9,14 @@
 //	pricesrvd -backends
 //	curl -s localhost:8080/v1/price -d '{"right":"put","style":"american","spot":100,"strike":105,"rate":0.03,"sigma":0.2,"t":0.5}'
 //
+// Observability: span tracing is on by default (-trace=false disables);
+// GET /debug/trace returns the recent span window as Chrome trace-event
+// JSON for chrome://tracing or Perfetto, decomposing every priced
+// option into batch/queue/compute/readback host phases and the modelled
+// device commands of the shard that priced it. -debug-addr starts a
+// second listener with net/http/pprof (plus the same /debug/trace), so
+// profiling never shares a port with production traffic.
+//
 // SIGINT/SIGTERM drain gracefully: the listener stops, the batching
 // queue flushes, and every admitted option completes before exit.
 package main
@@ -21,6 +29,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,6 +37,7 @@ import (
 
 	"binopt/internal/accel"
 	"binopt/internal/serve"
+	"binopt/internal/telemetry"
 )
 
 func main() {
@@ -40,6 +50,9 @@ func main() {
 		cacheSize = flag.Int("cache", 65536, "LRU result cache capacity (negative disables)")
 		drain     = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 		backends  = flag.Bool("backends", false, "list the registered backend platforms and exit")
+		trace     = flag.Bool("trace", true, "span tracing and the /debug/trace Chrome-trace endpoint")
+		traceBuf  = flag.Int("trace-buf", 65536, "span ring capacity (older spans are dropped)")
+		debugAddr = flag.String("debug-addr", "", "separate listener for net/http/pprof and /debug/trace (empty disables)")
 	)
 	flag.Parse()
 
@@ -51,7 +64,12 @@ func main() {
 		return
 	}
 
-	if err := run(*addr, *steps, *maxBatch, *flushMs, *queue, *cacheSize, *drain); err != nil {
+	cfg := serverConfig{
+		addr: *addr, steps: *steps, maxBatch: *maxBatch, flush: *flushMs,
+		queue: *queue, cacheSize: *cacheSize, drain: *drain,
+		trace: *trace, traceBuf: *traceBuf, debugAddr: *debugAddr,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pricesrvd:", err)
 		os.Exit(1)
 	}
@@ -72,29 +90,72 @@ func listBackends(w io.Writer, steps int) error {
 	return nil
 }
 
-func run(addr string, steps, maxBatch int, flush time.Duration, queue, cacheSize int, drain time.Duration) error {
+type serverConfig struct {
+	addr      string
+	steps     int
+	maxBatch  int
+	flush     time.Duration
+	queue     int
+	cacheSize int
+	drain     time.Duration
+	trace     bool
+	traceBuf  int
+	debugAddr string
+}
+
+// debugHandler builds the auxiliary listener's mux: the pprof family
+// plus the trace endpoint, so one curl fetches either a CPU profile or
+// a request timeline.
+func debugHandler(srv *serve.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/trace", srv.Handler()) // serves 404 when tracing is off
+	return mux
+}
+
+func run(cfg serverConfig) error {
+	var tracer *telemetry.Tracer
+	if cfg.trace {
+		tracer = telemetry.New(cfg.traceBuf)
+	}
 	srv, err := serve.New(serve.Config{
-		Steps:         steps,
-		MaxBatch:      maxBatch,
-		FlushInterval: flush,
-		QueueDepth:    queue,
-		CacheSize:     cacheSize,
+		Steps:         cfg.steps,
+		MaxBatch:      cfg.maxBatch,
+		FlushInterval: cfg.flush,
+		QueueDepth:    cfg.queue,
+		CacheSize:     cfg.cacheSize,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		return err
 	}
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("pricesrvd: listening on %s (steps=%d, max-batch=%d, flush=%s, queue=%d, cache=%d)",
-			addr, steps, maxBatch, flush, queue, cacheSize)
+		log.Printf("pricesrvd: listening on %s (steps=%d, max-batch=%d, flush=%s, queue=%d, cache=%d, trace=%v)",
+			cfg.addr, cfg.steps, cfg.maxBatch, cfg.flush, cfg.queue, cfg.cacheSize, cfg.trace)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 			return
 		}
 		errc <- nil
 	}()
+
+	var dbgSrv *http.Server
+	if cfg.debugAddr != "" {
+		dbgSrv = &http.Server{Addr: cfg.debugAddr, Handler: debugHandler(srv)}
+		go func() {
+			log.Printf("pricesrvd: debug listener (pprof + trace) on %s", cfg.debugAddr)
+			if err := dbgSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("pricesrvd: debug listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -104,9 +165,12 @@ func run(addr string, steps, maxBatch int, flush time.Duration, queue, cacheSize
 	case <-ctx.Done():
 	}
 
-	log.Printf("pricesrvd: draining (%d options in flight, budget %s)", srv.QueueDepth(), drain)
-	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	log.Printf("pricesrvd: draining (%d options in flight, budget %s)", srv.QueueDepth(), cfg.drain)
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
+	if dbgSrv != nil {
+		dbgSrv.Shutdown(dctx)
+	}
 	if err := httpSrv.Shutdown(dctx); err != nil {
 		return fmt.Errorf("http shutdown: %w", err)
 	}

@@ -1,0 +1,120 @@
+package accel
+
+import (
+	"math"
+	"testing"
+
+	"binopt/internal/option"
+)
+
+func tracedProbe() option.Option {
+	return option.Option{
+		Right: option.Put, Style: option.American,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5,
+	}
+}
+
+// TestPriceTracedTimeline: a kernel-substrate engine's modelled device
+// trace decomposes each option into the IV.B command sequence, tiles
+// the device clock gaplessly, and spends exactly the estimate's
+// per-option seconds.
+func TestPriceTracedTimeline(t *testing.T) {
+	p, err := Get("fpga-ivb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.NewEngine(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spo := eng.ModelledSecondsPerOption()
+	if spo <= 0 {
+		t.Fatalf("seconds per option = %v", spo)
+	}
+
+	var prevEnd float64
+	for i := 0; i < 3; i++ {
+		price, dtr, err := eng.PriceTraced(tracedProbe())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := eng.Price(tracedProbe())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if price != want {
+			t.Errorf("PriceTraced price %v != Price %v", price, want)
+		}
+		if dtr.Backend != "fpga-ivb" {
+			t.Errorf("backend = %q", dtr.Backend)
+		}
+		// Option i occupies [prevEnd, prevEnd+spo) — the interleaved
+		// plain Price above also advanced the clock by one option.
+		if math.Abs(dtr.Start-prevEnd) > 1e-12 {
+			t.Errorf("option %d starts at %v, want %v (device clock must be contiguous)", i, dtr.Start, prevEnd)
+		}
+		if math.Abs((dtr.End-dtr.Start)-spo) > 1e-12*spo {
+			t.Errorf("option %d spans %v device seconds, want %v", i, dtr.End-dtr.Start, spo)
+		}
+		names := make([]string, len(dtr.Commands))
+		at := dtr.Start
+		var sum float64
+		for c, cmd := range dtr.Commands {
+			names[c] = cmd.Name
+			if cmd.Queued != dtr.Start || cmd.Submit != dtr.Start {
+				t.Errorf("command %q queued/submit not at option start: %+v", cmd.Name, cmd)
+			}
+			if math.Abs(cmd.Start-at) > 1e-12 {
+				t.Errorf("command %q starts at %v, want %v (commands must tile)", cmd.Name, cmd.Start, at)
+			}
+			if cmd.End < cmd.Start {
+				t.Errorf("command %q ends before it starts", cmd.Name)
+			}
+			at = cmd.End
+			sum += cmd.Seconds()
+		}
+		if len(names) != 3 || names[0] != "write params+leaves" || names[1] != "ndrange IV.B" || names[2] != "read result" {
+			t.Errorf("command sequence = %v", names)
+		}
+		if dtr.Commands[len(dtr.Commands)-1].End != dtr.End {
+			t.Errorf("last command ends at %v, option at %v", at, dtr.End)
+		}
+		if math.Abs(sum-spo) > 1e-9*spo {
+			t.Errorf("commands sum to %v, option costs %v", sum, spo)
+		}
+		// The kernel dominates: transfers are overhead, not the bulk.
+		if k := dtr.Commands[1].Seconds(); k < dtr.Commands[0].Seconds() || k < dtr.Commands[2].Seconds() {
+			t.Errorf("kernel (%v) should dominate transfers (%v, %v)",
+				k, dtr.Commands[0].Seconds(), dtr.Commands[2].Seconds())
+		}
+		prevEnd = dtr.End + spo // the plain Price call consumed one more slot
+	}
+
+	// 6 pricings total (3 traced + 3 plain) on the device clock.
+	if got, want := eng.ModelledDeviceSeconds(), 6*spo; math.Abs(got-want) > 1e-9*want {
+		t.Errorf("ModelledDeviceSeconds = %v, want %v", got, want)
+	}
+}
+
+// TestPriceTracedHostEngine: the pure-host reference engine collapses
+// to a single compute command — no PCIe lanes to model.
+func TestPriceTracedHostEngine(t *testing.T) {
+	p, err := Get("cpu-ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.NewEngine(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dtr, err := eng.PriceTraced(tracedProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dtr.Commands) != 1 || dtr.Commands[0].Name != "compute" {
+		t.Errorf("host engine commands = %+v, want one compute", dtr.Commands)
+	}
+	if dtr.Commands[0].End != dtr.End || dtr.Commands[0].Start != dtr.Start {
+		t.Errorf("compute command must cover the option interval: %+v", dtr)
+	}
+}

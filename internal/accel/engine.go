@@ -44,9 +44,15 @@ type Engine struct {
 	// at serving depth, calibrated from the construction probe.
 	perOption opencl.Counters
 
-	mu     sync.Mutex
-	totals opencl.Counters
-	priced int64
+	// spo and devPlan model the device clock: seconds per option from
+	// the estimate, decomposed into the option's command schedule.
+	spo     float64
+	devPlan devCommandPlan
+
+	mu       sync.Mutex
+	totals   opencl.Counters
+	priced   int64
+	devClock float64 // modelled device-busy seconds accumulated
 }
 
 // probeChain is the construction-time verification batch: the styles and
@@ -118,6 +124,7 @@ func newKernelEngine(desc Description, est perf.Estimate, steps int) (*Engine, e
 				desc.Name, probe, i, got, math.Float64bits(got), want, math.Float64bits(want))
 		}
 	}
+	perOpt := scaleProbeCounters(res.Counters, len(chain), probe, steps)
 	return &Engine{
 		desc:       desc,
 		est:        est,
@@ -125,7 +132,9 @@ func newKernelEngine(desc Description, est perf.Estimate, steps int) (*Engine, e
 		probeSteps: probe,
 		host:       host,
 		jpo:        joulesPerOption(est),
-		perOption:  scaleProbeCounters(res.Counters, len(chain), probe, steps),
+		perOption:  perOpt,
+		spo:        secondsPerOption(est),
+		devPlan:    newDevCommandPlan(perOpt),
 	}, nil
 }
 
@@ -138,13 +147,16 @@ func newHostEngine(desc Description, est perf.Estimate, steps int) (*Engine, err
 		return nil, fmt.Errorf("accel: %s: %w", desc.Name, err)
 	}
 	const flopsPerNode = 6
+	perOpt := opencl.Counters{Flops: nodesFor(steps) * flopsPerNode}
 	return &Engine{
 		desc:      desc,
 		est:       est,
 		steps:     steps,
 		host:      host,
 		jpo:       joulesPerOption(est),
-		perOption: opencl.Counters{Flops: nodesFor(steps) * flopsPerNode},
+		perOption: perOpt,
+		spo:       secondsPerOption(est),
+		devPlan:   newDevCommandPlan(perOpt),
 	}, nil
 }
 
@@ -213,6 +225,20 @@ func (e *Engine) Price(o option.Option) (float64, error) {
 	return p, nil
 }
 
+// PriceTraced prices one option and additionally returns its modelled
+// device timeline: the interval the option occupied on this platform's
+// virtual device clock, decomposed into the commands the host program
+// would have enqueued, with the four profiling timestamps each. The
+// telemetry layer renders these as the device lane of the trace.
+func (e *Engine) PriceTraced(o option.Option) (float64, DeviceTrace, error) {
+	p, err := e.host.Price(o)
+	if err != nil {
+		return 0, DeviceTrace{}, err
+	}
+	start := e.account(1)
+	return p, e.devPlan.trace(e.desc.Name, start, e.spo), nil
+}
+
 // PriceBatch prices a batch (workers <= 0 uses GOMAXPROCS) and accounts
 // its modelled substrate activity.
 func (e *Engine) PriceBatch(opts []option.Option, workers int) ([]float64, error) {
@@ -224,7 +250,9 @@ func (e *Engine) PriceBatch(opts []option.Option, workers int) ([]float64, error
 	return prices, nil
 }
 
-func (e *Engine) account(n int) {
+// account books n priced options and advances the modelled device
+// clock, returning the device-clock position the work started at.
+func (e *Engine) account(n int) float64 {
 	var add opencl.Counters
 	for i := 0; i < n; i++ {
 		add.Add(e.perOption)
@@ -232,7 +260,10 @@ func (e *Engine) account(n int) {
 	e.mu.Lock()
 	e.totals.Add(add)
 	e.priced += int64(n)
+	start := e.devClock
+	e.devClock += float64(n) * e.spo
 	e.mu.Unlock()
+	return start
 }
 
 // Counters returns the accumulated modelled substrate activity.
@@ -252,6 +283,18 @@ func (e *Engine) PricedOptions() int64 {
 // ModelledJoulesPerOption is the platform's modelled energy per priced
 // option (power / throughput from the estimate).
 func (e *Engine) ModelledJoulesPerOption() float64 { return e.jpo }
+
+// ModelledSecondsPerOption is the modelled device time of one option
+// (1 / OptionsPerSec from the estimate).
+func (e *Engine) ModelledSecondsPerOption() float64 { return e.spo }
+
+// ModelledDeviceSeconds is the total modelled device-busy time of
+// everything priced: the device clock's current position.
+func (e *Engine) ModelledDeviceSeconds() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.devClock
+}
 
 // ModelledJoules is the total modelled energy of everything priced.
 func (e *Engine) ModelledJoules() float64 {

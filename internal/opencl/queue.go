@@ -4,15 +4,31 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
-// Event records what one enqueued command did, the analogue of OpenCL
-// profiling events — except that instead of timestamps it carries the
-// meters the performance models consume.
+// DefaultEventCapacity bounds the per-queue event ring. A long-running
+// server enqueues commands forever; the ring keeps the recent window
+// for inspection while Counters stay exact over the queue's whole life.
+const DefaultEventCapacity = 4096
+
+// Event records what one enqueued command did: the meters the
+// performance models consume plus the four profiling timestamps of
+// clGetEventProfilingInfo. This runtime executes commands synchronously
+// at enqueue, so Queued == Submit and the queued→start gap is the
+// host-side validation cost; the modelled device-clock timeline is
+// derived separately, from the perf estimates (internal/accel).
 type Event struct {
 	Command string
 	Stats   Counters
+	// Queued is CL_PROFILING_COMMAND_QUEUED: the host enqueued the
+	// command. Submit is CL_PROFILING_COMMAND_SUBMIT (same instant on
+	// this synchronous runtime). Start and End bracket execution.
+	Queued, Submit, Start, End time.Time
 }
+
+// Duration is the command's host execution time (start to end).
+func (e Event) Duration() time.Duration { return e.End.Sub(e.Start) }
 
 // CommandQueue executes commands against one device, in order (the paper
 // uses in-order queues; the host overlaps work by splitting commands
@@ -23,13 +39,18 @@ type CommandQueue struct {
 
 	mu      sync.Mutex
 	total   Counters
-	events  []Event
+	events  []Event // bounded ring, evCap slots
+	evNext  int
+	evFull  bool
+	evDrop  int64
+	evCap   int
+	hook    func(Event)
 	hazards bool
 }
 
 // NewQueue creates a command queue on the context.
 func (c *Context) NewQueue() *CommandQueue {
-	return &CommandQueue{ctx: c}
+	return &CommandQueue{ctx: c, evCap: DefaultEventCapacity}
 }
 
 // Counters returns the accumulated meters of all commands executed so
@@ -40,13 +61,53 @@ func (q *CommandQueue) Counters() Counters {
 	return q.total
 }
 
-// Events returns the recorded per-command events.
+// Events returns the retained per-command events, oldest first. At most
+// the ring capacity of recent events is kept; DroppedEvents counts the
+// rest.
 func (q *CommandQueue) Events() []Event {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	out := make([]Event, len(q.events))
-	copy(out, q.events)
+	if !q.evFull {
+		out := make([]Event, q.evNext)
+		copy(out, q.events[:q.evNext])
+		return out
+	}
+	out := make([]Event, 0, q.evCap)
+	out = append(out, q.events[q.evNext:]...)
+	out = append(out, q.events[:q.evNext]...)
 	return out
+}
+
+// DroppedEvents reports how many events were evicted from the ring to
+// make room for newer ones.
+func (q *CommandQueue) DroppedEvents() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.evDrop
+}
+
+// SetEventCapacity resizes the event ring (minimum 1), discarding the
+// retained events.
+func (q *CommandQueue) SetEventCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	q.mu.Lock()
+	q.evCap = n
+	q.events = nil
+	q.evNext = 0
+	q.evFull = false
+	q.mu.Unlock()
+}
+
+// SetEventHook installs fn to be called with every recorded event,
+// after the command completes and outside the queue lock — the
+// profiling-callback analogue the telemetry layer subscribes to. Pass
+// nil to remove.
+func (q *CommandQueue) SetEventHook(fn func(Event)) {
+	q.mu.Lock()
+	q.hook = fn
+	q.mu.Unlock()
 }
 
 // ResetCounters clears the accumulated meters (the events are kept).
@@ -56,37 +117,56 @@ func (q *CommandQueue) ResetCounters() {
 	q.mu.Unlock()
 }
 
-func (q *CommandQueue) record(cmd string, st Counters) Event {
-	ev := Event{Command: cmd, Stats: st}
+func (q *CommandQueue) record(cmd string, st Counters, queued, start time.Time) Event {
+	ev := Event{Command: cmd, Stats: st, Queued: queued, Submit: queued, Start: start, End: time.Now()}
 	q.mu.Lock()
 	q.total.Add(st)
-	q.events = append(q.events, ev)
+	if q.events == nil {
+		q.events = make([]Event, q.evCap)
+	}
+	if q.evFull {
+		q.evDrop++
+	}
+	q.events[q.evNext] = ev
+	q.evNext++
+	if q.evNext == q.evCap {
+		q.evNext = 0
+		q.evFull = true
+	}
+	hook := q.hook
 	q.mu.Unlock()
+	if hook != nil {
+		hook(ev)
+	}
 	return ev
 }
 
 // EnqueueWriteBuffer copies host data into a buffer
 // (clEnqueueWriteBuffer). The length of data must not exceed the buffer.
 func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, offset int, data []float64) (Event, error) {
+	queued := time.Now()
 	if offset < 0 || offset+len(data) > b.Len() {
 		return Event{}, fmt.Errorf("opencl: write to %q out of range: [%d, %d) of %d",
 			b.name, offset, offset+len(data), b.Len())
 	}
+	start := time.Now()
 	copy(b.data[offset:], data)
 	st := Counters{HostWrites: int64(len(data)) * b.elemBytes, HostTransfers: 1}
-	return q.record("write "+b.name, st), nil
+	return q.record("write "+b.name, st, queued, start), nil
 }
 
 // EnqueueReadBuffer copies a buffer range back to the host
 // (clEnqueueReadBuffer).
 func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, offset int, out []float64) (Event, error) {
+	queued := time.Now()
 	if offset < 0 || offset+len(out) > b.Len() {
 		return Event{}, fmt.Errorf("opencl: read from %q out of range: [%d, %d) of %d",
 			b.name, offset, offset+len(out), b.Len())
 	}
+	start := time.Now()
 	copy(out, b.data[offset:offset+len(out)])
 	st := Counters{HostReads: int64(len(out)) * b.elemBytes, HostTransfers: 1}
-	return q.record("read "+b.name, st), nil
+	return q.record("read "+b.name, st, queued, start), nil
 }
 
 // EnqueueNDRange executes a 1-D NDRange of the kernel
@@ -97,6 +177,7 @@ func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, offset int, out []float64) (
 // which case every work-item runs on its own goroutine and Barrier
 // rendezvouses them.
 func (q *CommandQueue) EnqueueNDRange(k *Kernel, globalSize, localSize int) (Event, error) {
+	queued := time.Now()
 	if globalSize <= 0 || localSize <= 0 {
 		return Event{}, fmt.Errorf("opencl: kernel %q: sizes must be positive (global=%d local=%d)",
 			k.Name, globalSize, localSize)
@@ -119,6 +200,7 @@ func (q *CommandQueue) EnqueueNDRange(k *Kernel, globalSize, localSize int) (Eve
 		tracker = newHazardTracker()
 	}
 
+	start := time.Now()
 	workers := runtime.GOMAXPROCS(0)
 	if workers > groups {
 		workers = groups
@@ -157,7 +239,7 @@ func (q *CommandQueue) EnqueueNDRange(k *Kernel, globalSize, localSize int) (Eve
 	st.KernelLaunches = 1
 	st.WorkGroups = int64(groups)
 	st.WorkItems = int64(globalSize)
-	return q.record("ndrange "+k.Name, st), nil
+	return q.record("ndrange "+k.Name, st, queued, start), nil
 }
 
 // runGroup executes one work-group and returns its merged meters.

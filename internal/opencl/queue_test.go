@@ -443,3 +443,94 @@ func TestNDRangeWorkGroupCeiling(t *testing.T) {
 		t.Errorf("device without a work-group limit must accept any local size: %v", err)
 	}
 }
+
+// TestEventRingBounded: the event log is a bounded ring — a long
+// command stream keeps only the newest window, counts the evictions,
+// and never perturbs the exact counters.
+func TestEventRingBounded(t *testing.T) {
+	ctx, _ := newCtx(t)
+	q := ctx.NewQueue()
+	q.SetEventCapacity(4)
+	b, _ := ctx.CreateBuffer("b", 1, 8)
+	const writes = 11
+	for i := 0; i < writes; i++ {
+		if _, err := q.EnqueueWriteBuffer(b, 0, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evs := q.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Queued.Before(evs[i-1].Queued) {
+			t.Errorf("events out of order at %d", i)
+		}
+	}
+	if got := q.DroppedEvents(); got != writes-4 {
+		t.Errorf("dropped = %d, want %d", got, writes-4)
+	}
+	// Counters stay exact across the whole stream, not just the window.
+	if got := q.Counters().HostTransfers; got != writes {
+		t.Errorf("HostTransfers = %d, want %d (ring must not lose counters)", got, writes)
+	}
+}
+
+// TestEventTimestamps: every command carries the four profiling
+// timestamps in CL order (queued <= submit <= start <= end).
+func TestEventTimestamps(t *testing.T) {
+	ctx, _ := newCtx(t)
+	q := ctx.NewQueue()
+	b, _ := ctx.CreateBuffer("b", 8, 8)
+	if _, err := q.EnqueueWriteBuffer(b, 0, make([]float64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	k := NewKernel("nop", false, func(*WorkItem) {})
+	if err := k.SetArgs(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueNDRange(k, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueReadBuffer(b, 0, make([]float64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range q.Events() {
+		if ev.Queued.IsZero() || ev.End.IsZero() {
+			t.Fatalf("event %d missing timestamps: %+v", i, ev)
+		}
+		if ev.Submit.Before(ev.Queued) || ev.Start.Before(ev.Submit) || ev.End.Before(ev.Start) {
+			t.Errorf("event %d timestamps out of CL order: q=%v s=%v st=%v e=%v",
+				i, ev.Queued, ev.Submit, ev.Start, ev.End)
+		}
+		if ev.Duration() < 0 {
+			t.Errorf("event %d negative duration", i)
+		}
+	}
+}
+
+// TestEventHook: the hook sees every command with its stats, the
+// profiling-callback analogue telemetry subscribes to.
+func TestEventHook(t *testing.T) {
+	ctx, _ := newCtx(t)
+	q := ctx.NewQueue()
+	var got []Event
+	q.SetEventHook(func(ev Event) { got = append(got, ev) })
+	b, _ := ctx.CreateBuffer("b", 2, 8)
+	if _, err := q.EnqueueWriteBuffer(b, 0, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.EnqueueReadBuffer(b, 0, make([]float64, 2)); err != nil {
+		t.Fatal(err)
+	}
+	q.SetEventHook(nil)
+	if _, err := q.EnqueueWriteBuffer(b, 0, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("hook saw %d events, want 2 (unset must stop delivery)", len(got))
+	}
+	if got[0].Stats.HostWrites != 16 || got[1].Stats.HostReads != 16 {
+		t.Errorf("hook events carry wrong stats: %+v", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"binopt/internal/option"
+	"binopt/internal/telemetry"
 	"binopt/internal/volatility"
 	"binopt/internal/workload"
 )
@@ -116,13 +117,35 @@ type errorResponse struct {
 //	POST /v1/volcurve  recover an implied-volatility curve
 //	GET  /healthz      liveness and pool summary
 //	GET  /metrics      counters, histograms, energy model
+//	GET  /debug/trace  Chrome trace-event JSON of the span ring
+//	                   (only when the server has a tracer)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/price", s.handlePrice)
 	mux.HandleFunc("/v1/volcurve", s.handleVolCurve)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.tracer.Enabled() {
+		mux.HandleFunc("/debug/trace", s.handleTrace)
+	}
 	return mux
+}
+
+// handleTrace serves the span ring as Chrome trace-event JSON, loadable
+// in chrome://tracing or https://ui.perfetto.dev. ?reset=1 clears the
+// ring after the snapshot, for capturing disjoint windows.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	spans := s.tracer.Snapshot()
+	out, err := telemetry.Chrome(spans)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "rendering trace: %v", err)
+		return
+	}
+	if r.URL.Query().Get("reset") == "1" {
+		s.tracer.Reset()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -144,6 +167,9 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.requests.Add(1)
+	span := s.tracer.Begin("POST /v1/price", "host", "requests")
+	span.SetReq(span.ID())
+	defer span.End()
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "reading body: %v", err)
@@ -176,7 +202,12 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 		opts[i] = o
 	}
 
-	results, err := s.PriceOptions(r.Context(), opts)
+	span.SetAttr("contracts", len(opts))
+	ctx := r.Context()
+	if id := span.ID(); id != 0 {
+		ctx = telemetry.ContextWithReq(ctx, id)
+	}
+	results, phases, err := s.PriceOptionsTimed(ctx, opts)
 	switch {
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", strconv.Itoa(int(s.RetryAfter()/time.Second)))
@@ -192,6 +223,8 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	span.SetAttr("priced", phases.Priced)
+	w.Header().Set("Server-Timing", phases.ServerTiming())
 	writeJSON(w, http.StatusOK, PriceResponse{Steps: s.cfg.Steps, Results: results})
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"binopt/internal/accel"
 	"binopt/internal/perf"
+	"binopt/internal/telemetry"
 )
 
 // BackendConfig describes one pricing shard: a modelled accelerator from
@@ -123,6 +124,10 @@ func (s *Server) dispatchBatch(batch []*job) {
 		return
 	}
 	s.metrics.batchSize.observe(float64(len(batch)))
+	now := time.Now()
+	for _, j := range batch {
+		j.flushed = now
+	}
 
 	order := make([]*backend, len(s.backends))
 	copy(order, s.backends)
@@ -149,20 +154,77 @@ func (s *Server) dispatchBatch(batch []*job) {
 func (s *Server) worker(be *backend) {
 	defer s.wg.Done()
 	priceFn := s.priceFn
-	if be.cfg.Engine != nil && s.cfg.PriceFunc == nil {
-		priceFn = be.cfg.Engine.Price
+	engine := be.cfg.Engine
+	if engine != nil && s.cfg.PriceFunc == nil {
+		priceFn = engine.Price
+	} else {
+		engine = nil // overridden kernels have no modelled device timeline
 	}
 	for batch := range be.jobs {
 		for _, j := range batch {
-			price, err := priceFn(j.opt)
+			j.picked = time.Now()
+			var price float64
+			var err error
+			if engine != nil && s.tracer.Enabled() {
+				var dtr accel.DeviceTrace
+				price, dtr, err = engine.PriceTraced(j.opt)
+				if err == nil {
+					s.emitDeviceSpans(j, dtr)
+				}
+			} else {
+				price, err = priceFn(j.opt)
+			}
+			j.computed = time.Now()
 			if err == nil {
 				s.cache.put(j.key, price)
-				s.metrics.observeOption(time.Since(j.enqueued), be.joules, be.priced)
+				s.metrics.observeOption(j.computed.Sub(j.enqueued), j.computed.Unix(), be.joules, be.priced)
+				s.emitComputeSpan(j, be)
 			}
 			be.pending.Add(-1)
 			s.queued.Add(-1)
 			j.done <- jobResult{price: price, backend: be.cfg.Name, joules: be.joules, err: err}
 		}
+	}
+}
+
+// emitComputeSpan records the worker-side compute span of one priced
+// option on the host clock.
+func (s *Server) emitComputeSpan(j *job, be *backend) {
+	if !s.tracer.Enabled() {
+		return
+	}
+	s.tracer.Emit(telemetry.Span{
+		Req: j.req, Name: "compute", Proc: "host", Thread: "backend " + be.cfg.Name,
+		Start: j.picked, Dur: j.computed.Sub(j.picked), Clock: telemetry.Wall,
+		Attrs: map[string]any{
+			"backend": be.cfg.Name,
+			"opt":     j.seq,
+			"steps":   s.cfg.Steps,
+			"joules":  be.joules,
+		},
+	})
+}
+
+// emitDeviceSpans records one priced option's modelled device timeline:
+// an enclosing option span plus one span per modelled command, all on
+// the backend's virtual device clock.
+func (s *Server) emitDeviceSpans(j *job, dtr accel.DeviceTrace) {
+	proc := "device:" + dtr.Backend
+	s.tracer.Emit(telemetry.Span{
+		Req: j.req, Name: "option", Proc: proc, Thread: "device clock",
+		DevStart: dtr.Start, DevDur: dtr.End - dtr.Start, Clock: telemetry.Device,
+		Attrs: map[string]any{"backend": dtr.Backend, "opt": j.seq, "steps": s.cfg.Steps},
+	})
+	for _, c := range dtr.Commands {
+		s.tracer.Emit(telemetry.Span{
+			Req: j.req, Name: c.Name, Proc: proc, Thread: "cl queue",
+			DevStart: c.Start, DevDur: c.End - c.Start, Clock: telemetry.Device,
+			Attrs: map[string]any{
+				"backend":  dtr.Backend,
+				"queued_s": c.Queued,
+				"submit_s": c.Submit,
+			},
+		})
 	}
 }
 

@@ -24,10 +24,22 @@ var ErrBatchTooLarge = errors.New("serve: batch exceeds queue capacity")
 // job is one cache-missing contract travelling through the batcher to a
 // backend shard. done is buffered so a worker never blocks on a client
 // that gave up waiting.
+//
+// The four timestamps mark the phase boundaries of the option's life:
+// enqueued→flushed is batch assembly, flushed→picked is shard queue
+// wait, picked→computed is compute; the requester adds readback when it
+// receives the result. flushed is written by the dispatcher and picked/
+// computed by the worker, all strictly before the send on done, so the
+// requester reads them race-free after the receive.
 type job struct {
 	opt      option.Option
 	key      cacheKey
+	req      uint64 // telemetry request group (0 when tracing is off)
+	seq      int    // index within the originating request
 	enqueued time.Time
+	flushed  time.Time
+	picked   time.Time
+	computed time.Time
 	done     chan jobResult
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"binopt/internal/lattice"
 	"binopt/internal/option"
+	"binopt/internal/telemetry"
 )
 
 // BenchmarkServeBatch measures the serving overhead per option — cache
@@ -19,6 +20,37 @@ func BenchmarkServeBatch(b *testing.B) {
 		CacheSize: -1, // disable: measure the queue, not the map
 		Backends:  stubBackends(2, 64),
 		PriceFunc: stubPrice,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close(context.Background())
+
+	batch := make([]option.Option, 64)
+	for i := range batch {
+		batch[i] = testOption(i)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.PriceOptions(ctx, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "options/s")
+}
+
+// BenchmarkServeBatchTraced is BenchmarkServeBatch with the span ring
+// live — the delta between the two is the whole cost of tracing on the
+// queue path (acceptance: under 5% of options/s).
+func BenchmarkServeBatchTraced(b *testing.B) {
+	s, err := New(Config{
+		Steps: 16, MaxBatch: 64, FlushInterval: 200 * time.Microsecond,
+		CacheSize: -1,
+		Backends:  stubBackends(2, 64),
+		PriceFunc: stubPrice,
+		Tracer:    telemetry.New(65536),
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -62,6 +63,14 @@ type LoadReport struct {
 	// accumulated by the backend shards, amortised per option served.
 	ModelledJoules  float64
 	JoulesPerOption float64
+
+	// Per-phase mean latencies of the priced (non-cached) options across
+	// the whole run, aggregated from the server's Server-Timing response
+	// headers. PhasePriced is the number of options contributing; all
+	// zero against a server without phase timing.
+	PhaseBatch, PhaseQueue  time.Duration
+	PhaseCompute, PhaseRead time.Duration
+	PhasePriced             int64
 }
 
 // Text renders the report as the operator-facing summary.
@@ -76,6 +85,10 @@ func (r LoadReport) Text() string {
 	fmt.Fprintf(&b, "throughput: %.0f options/s sustained\n", r.OptionsPerSec)
 	fmt.Fprintf(&b, "latency:  p50 %s  p95 %s  p99 %s (per request)\n", r.P50, r.P95, r.P99)
 	fmt.Fprintf(&b, "cache:    %d/%d hits (%.1f%%)\n", r.CacheHits, r.Options, 100*float64(r.CacheHits)/float64(max64(r.Options, 1)))
+	if r.PhasePriced > 0 {
+		fmt.Fprintf(&b, "phases:   batch %s  queue %s  compute %s  readback %s (mean per priced option, %d options)\n",
+			r.PhaseBatch, r.PhaseQueue, r.PhaseCompute, r.PhaseRead, r.PhasePriced)
+	}
 	fmt.Fprintf(&b, "energy:   %.4g J modelled total, %.4g J/option amortised\n", r.ModelledJoules, r.JoulesPerOption)
 	fmt.Fprintf(&b, "errors:   %d\n", r.Errors)
 	return b.String()
@@ -147,6 +160,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 		rep.WarmupOptions = stats.options
 		rep.WarmupElapsed = time.Since(start)
 		rep.ModelledJoules += stats.joules
+		rep.addPhases(stats)
 	}
 
 	start := time.Now()
@@ -154,6 +168,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	if err != nil {
 		return rep, err
 	}
+	rep.addPhases(stats)
 	rep.Elapsed = time.Since(start)
 	rep.Requests = stats.requests
 	rep.Errors = stats.errors
@@ -178,6 +193,41 @@ type sweepStats struct {
 	requests, errors, options, cacheHits int64
 	joules                               float64
 	latencies                            []time.Duration
+	phases                               phaseSums
+}
+
+// phaseSums accumulates Server-Timing phase durations and the priced
+// option counts they cover.
+type phaseSums struct {
+	batch, queue, compute, readback time.Duration
+	priced                          int64
+}
+
+func (p *phaseSums) add(o phaseSums) {
+	p.batch += o.batch
+	p.queue += o.queue
+	p.compute += o.compute
+	p.readback += o.readback
+	p.priced += o.priced
+}
+
+// addPhases folds one sweep's phase sums into the report's running
+// per-option means.
+func (r *LoadReport) addPhases(stats sweepStats) {
+	p := stats.phases
+	if p.priced == 0 {
+		return
+	}
+	prev := r.PhasePriced
+	total := prev + p.priced
+	mix := func(mean time.Duration, sum time.Duration) time.Duration {
+		return time.Duration((int64(mean)*prev + int64(sum)) / total)
+	}
+	r.PhaseBatch = mix(r.PhaseBatch, p.batch)
+	r.PhaseQueue = mix(r.PhaseQueue, p.queue)
+	r.PhaseCompute = mix(r.PhaseCompute, p.compute)
+	r.PhaseRead = mix(r.PhaseRead, p.readback)
+	r.PhasePriced = total
 }
 
 // sweep runs `passes` copies of the request set through a worker pool and
@@ -218,6 +268,7 @@ func sweep(ctx context.Context, client *http.Client, cfg LoadConfig, pass []load
 					stats.options += int64(lr.options)
 					stats.cacheHits += obs.cacheHits
 					stats.joules += obs.joules
+					stats.phases.add(obs.phases)
 				}
 				mu.Unlock()
 			}
@@ -256,6 +307,40 @@ type requestObs struct {
 	httpErr   bool
 	cacheHits int64
 	joules    float64
+	phases    phaseSums
+}
+
+// parseServerTiming reads the serving tier's Server-Timing header:
+// per-phase summed milliseconds plus the priced option count
+// ("batch;dur=1.2, queue;dur=0.3, ..., priced;dur=250"). Unknown or
+// malformed entries are skipped, so the generator works against older
+// servers too.
+func parseServerTiming(header string) phaseSums {
+	var p phaseSums
+	for _, part := range strings.Split(header, ",") {
+		name, dur, ok := strings.Cut(strings.TrimSpace(part), ";dur=")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(dur), 64)
+		if err != nil {
+			continue
+		}
+		d := time.Duration(v * float64(time.Millisecond))
+		switch name {
+		case "batch":
+			p.batch = d
+		case "queue":
+			p.queue = d
+		case "compute":
+			p.compute = d
+		case "readback":
+			p.readback = d
+		case "priced":
+			p.priced = int64(v)
+		}
+	}
+	return p
 }
 
 // doPriceRequest posts one batch and parses the response. Non-2xx
@@ -281,6 +366,9 @@ func doPriceRequest(ctx context.Context, client *http.Client, baseURL string, lr
 		return requestObs{}, fmt.Errorf("decoding response: %w", err)
 	}
 	obs := requestObs{}
+	if st := resp.Header.Get("Server-Timing"); st != "" {
+		obs.phases = parseServerTiming(st)
+	}
 	for _, res := range pr.Results {
 		if res.Cached {
 			obs.cacheHits++

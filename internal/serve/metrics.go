@@ -97,6 +97,57 @@ func (f *atomicFloat) add(v float64) {
 
 func (f *atomicFloat) load() float64 { return math.Float64frombits(f.bits.Load()) }
 
+// phaseNames orders the pipeline phase decomposition everywhere it is
+// rendered: the life of one priced option is batch assembly wait, shard
+// queue wait, compute, readback.
+var phaseNames = []string{"batch", "queue", "compute", "readback"}
+
+// rateWindow is a 10-slot, one-second-granularity sliding window over a
+// counter, for a throughput figure that decays after idle periods
+// instead of averaging over the whole uptime. Methods take the current
+// unix second so tests can drive the clock.
+type rateWindow struct {
+	mu    sync.Mutex
+	slots [10]struct {
+		sec int64
+		n   int64
+	}
+}
+
+// add books n observations in the current second's slot.
+func (w *rateWindow) add(nowSec, n int64) {
+	i := nowSec % int64(len(w.slots))
+	w.mu.Lock()
+	if w.slots[i].sec != nowSec {
+		w.slots[i].sec = nowSec
+		w.slots[i].n = 0
+	}
+	w.slots[i].n += n
+	w.mu.Unlock()
+}
+
+// rate returns observations per second over the window, counting only
+// slots within the last len(slots) seconds. uptime bounds the divisor
+// so a server younger than the window is not under-reported.
+func (w *rateWindow) rate(nowSec int64, uptime time.Duration) float64 {
+	window := float64(len(w.slots))
+	if up := uptime.Seconds(); up < window {
+		window = up
+	}
+	if window < 1 {
+		window = 1
+	}
+	var sum int64
+	w.mu.Lock()
+	for _, s := range w.slots {
+		if s.sec > nowSec-int64(len(w.slots)) {
+			sum += s.n
+		}
+	}
+	w.mu.Unlock()
+	return float64(sum) / window
+}
+
 // metrics aggregates everything /metrics exposes. All fields are safe for
 // concurrent use.
 type metrics struct {
@@ -115,6 +166,12 @@ type metrics struct {
 
 	latency   *histogram // per-option enqueue-to-result latency, seconds
 	batchSize *histogram // options per flushed batch
+	// phases decomposes the per-option latency: one histogram per
+	// pipeline phase, keyed in phaseNames order.
+	phases map[string]*histogram
+	// window tracks options served over the last 10 seconds, the decay-
+	// aware companion of the cumulative optionsPerSec.
+	window rateWindow
 
 	mu         sync.Mutex
 	perBackend map[string]*atomic.Int64 // options priced per backend shard
@@ -122,24 +179,41 @@ type metrics struct {
 	// substrate, when set, snapshots per-backend device counters from
 	// the platform engines; render appends them to the exposition.
 	substrate func() []substrateStat
+	// traceStats, when set, reports the span tracer's emitted/dropped/
+	// retained counts.
+	traceStats func() (emitted, dropped int64, retained int)
 }
 
 // substrateStat is one backend's accumulated device-level activity, read
 // from its platform engine at render time.
 type substrateStat struct {
-	backend  string
-	counters opencl.Counters
-	joules   float64
+	backend    string
+	counters   opencl.Counters
+	joules     float64
+	devSeconds float64 // modelled device-busy time
 }
 
 func newMetrics() *metrics {
 	batchBounds := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
-	return &metrics{
+	m := &metrics{
 		start:      time.Now(),
 		latency:    newHistogram(latencyBuckets),
 		batchSize:  newHistogram(batchBounds),
+		phases:     make(map[string]*histogram, len(phaseNames)),
 		perBackend: make(map[string]*atomic.Int64),
 	}
+	for _, p := range phaseNames {
+		m.phases[p] = newHistogram(latencyBuckets)
+	}
+	return m
+}
+
+// observePhases records one priced option's per-phase wall durations.
+func (m *metrics) observePhases(batch, queue, compute, readback time.Duration) {
+	m.phases["batch"].observe(batch.Seconds())
+	m.phases["queue"].observe(queue.Seconds())
+	m.phases["compute"].observe(compute.Seconds())
+	m.phases["readback"].observe(readback.Seconds())
 }
 
 // backendCounter returns the per-shard priced counter, creating it on
@@ -156,10 +230,13 @@ func (m *metrics) backendCounter(name string) *atomic.Int64 {
 }
 
 // observeOption records one completed pricing: its queue+compute latency
-// and the modelled energy of the shard that priced it.
-func (m *metrics) observeOption(lat time.Duration, joules float64, backend *atomic.Int64) {
+// and the modelled energy of the shard that priced it. nowSec is the
+// caller's already-stamped completion time — the worker holds a fresh
+// time.Time, so the hot path is spared another clock read.
+func (m *metrics) observeOption(lat time.Duration, nowSec int64, joules float64, backend *atomic.Int64) {
 	m.optionsPriced.Add(1)
 	m.optionsServed.Add(1)
+	m.window.add(nowSec, 1)
 	m.modelledJoules.add(joules)
 	m.latency.observe(lat.Seconds())
 	if backend != nil {
@@ -171,6 +248,7 @@ func (m *metrics) observeOption(lat time.Duration, joules float64, backend *atom
 func (m *metrics) observeHit() {
 	m.cacheHits.Add(1)
 	m.optionsServed.Add(1)
+	m.window.add(time.Now().Unix(), 1)
 }
 
 // joulesPerOption is the modelled energy amortised over everything served
@@ -210,6 +288,8 @@ func (m *metrics) render(queueDepth int64, cacheLen int) string {
 	w("binopt_solver_pricings_total %d\n", m.solverPricings.Load())
 	w("binopt_queue_depth %d\n", queueDepth)
 	w("binopt_options_per_sec %.3f\n", m.optionsPerSec())
+	now := time.Now()
+	w("binopt_options_per_sec_window %.3f\n", m.window.rate(now.Unix(), now.Sub(m.start)))
 	w("binopt_modelled_joules_total %.6g\n", m.modelledJoules.load())
 	w("binopt_modelled_joules_per_option %.6g\n", m.joulesPerOption())
 
@@ -220,6 +300,15 @@ func (m *metrics) render(queueDepth int64, cacheLen int) string {
 	}
 	w("binopt_option_latency_seconds_count %d\n", m.latency.n.Load())
 	w("binopt_option_latency_seconds_mean %.6g\n", m.latency.mean())
+
+	for _, p := range phaseNames {
+		h := m.phases[p]
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			w("binopt_phase_seconds{phase=%q,quantile=\"%g\"} %.6g\n", p, q, h.quantile(q))
+		}
+		w("binopt_phase_seconds_count{phase=%q} %d\n", p, h.n.Load())
+		w("binopt_phase_seconds_mean{phase=%q} %.6g\n", p, h.mean())
+	}
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.perBackend))
@@ -241,7 +330,14 @@ func (m *metrics) render(queueDepth int64, cacheLen int) string {
 			w("binopt_backend_barriers_total{backend=%q} %d\n", st.backend, c.Barriers)
 			w("binopt_backend_kernel_launches_total{backend=%q} %d\n", st.backend, c.KernelLaunches)
 			w("binopt_backend_modelled_joules_total{backend=%q} %.6g\n", st.backend, st.joules)
+			w("binopt_backend_modelled_device_seconds_total{backend=%q} %.6g\n", st.backend, st.devSeconds)
 		}
+	}
+	if m.traceStats != nil {
+		emitted, dropped, retained := m.traceStats()
+		w("binopt_trace_spans_total %d\n", emitted)
+		w("binopt_trace_spans_dropped_total %d\n", dropped)
+		w("binopt_trace_spans_retained %d\n", retained)
 	}
 	return b.String()
 }

@@ -72,8 +72,8 @@ func TestAtomicFloatConcurrentAdd(t *testing.T) {
 func TestMetricsRenderAndEnergy(t *testing.T) {
 	m := newMetrics()
 	be := m.backendCounter("fpga-ivb")
-	m.observeOption(2*time.Millisecond, 0.005, be)
-	m.observeOption(3*time.Millisecond, 0.005, be)
+	m.observeOption(2*time.Millisecond, time.Now().Unix(), 0.005, be)
+	m.observeOption(3*time.Millisecond, time.Now().Unix(), 0.005, be)
 	m.observeHit()
 	m.observeHit()
 

@@ -21,6 +21,7 @@ import (
 
 	"binopt/internal/lattice"
 	"binopt/internal/option"
+	"binopt/internal/telemetry"
 )
 
 // Config parameterises a Server. The zero value of every field has a
@@ -51,6 +52,11 @@ type Config struct {
 	// or failing engine. The default prices on the double-precision
 	// reference lattice at Steps depth.
 	PriceFunc func(option.Option) (float64, error)
+	// Tracer, when set, receives spans for every request and priced
+	// option — host phases and modelled device commands — and enables
+	// the /debug/trace Chrome-trace endpoint. nil disables tracing (the
+	// emit paths become no-ops).
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +102,7 @@ type Server struct {
 	metrics  *metrics
 	batcher  *batcher
 	backends []*backend
+	tracer   *telemetry.Tracer // nil-safe: nil is the disabled tracer
 
 	queued atomic.Int64 // admitted, not yet completed
 	closed atomic.Bool
@@ -124,6 +131,7 @@ func New(cfg Config) (*Server, error) {
 		engine:  eng,
 		metrics: newMetrics(),
 		cache:   newResultCache(cfg.CacheSize),
+		tracer:  cfg.Tracer,
 	}
 	s.priceFn = cfg.PriceFunc
 	if s.priceFn == nil {
@@ -136,6 +144,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s.metrics.substrate = s.substrateStats
+	if s.tracer.Enabled() {
+		s.metrics.traceStats = func() (int64, int64, int) {
+			return s.tracer.Emitted(), s.tracer.Dropped(), s.tracer.Len()
+		}
+	}
 	s.batcher = newBatcher(cfg.MaxBatch, cfg.FlushInterval, s.dispatchBatch)
 	for _, be := range s.backends {
 		for w := 0; w < be.cfg.Workers; w++ {
@@ -188,9 +201,10 @@ func (s *Server) substrateStats() []substrateStat {
 			continue
 		}
 		out = append(out, substrateStat{
-			backend:  be.cfg.Name,
-			counters: be.cfg.Engine.Counters(),
-			joules:   be.cfg.Engine.ModelledJoules(),
+			backend:    be.cfg.Name,
+			counters:   be.cfg.Engine.Counters(),
+			joules:     be.cfg.Engine.ModelledJoules(),
+			devSeconds: be.cfg.Engine.ModelledDeviceSeconds(),
 		})
 	}
 	return out
@@ -198,6 +212,10 @@ func (s *Server) substrateStats() []substrateStat {
 
 // Steps reports the lattice depth the server prices at.
 func (s *Server) Steps() int { return s.cfg.Steps }
+
+// Tracer returns the server's span tracer (nil when tracing is off),
+// for mounting /debug/trace on auxiliary listeners.
+func (s *Server) Tracer() *telemetry.Tracer { return s.tracer }
 
 // QueueDepth reports the currently admitted, not yet completed options.
 func (s *Server) QueueDepth() int64 { return s.queued.Load() }
@@ -212,6 +230,27 @@ func (s *Server) RetryAfter() time.Duration {
 	return time.Duration(secs * float64(time.Second))
 }
 
+// PhaseBreakdown sums, over a request's priced (non-cached) options,
+// the wall time spent in each pipeline phase: batch assembly wait,
+// shard queue wait, compute, and readback (result delivery back to the
+// requester). The four phases telescope — their sum is exactly the
+// summed end-to-end latency of the priced options.
+type PhaseBreakdown struct {
+	Batch, Queue, Compute, Readback time.Duration
+	// Priced counts the options contributing (cache hits skip every
+	// phase and contribute nothing).
+	Priced int
+}
+
+// ServerTiming renders the breakdown as a Server-Timing header value:
+// per-phase summed milliseconds plus the contributing option count, the
+// form loadgen aggregates across requests.
+func (p PhaseBreakdown) ServerTiming() string {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return fmt.Sprintf("batch;dur=%.3f, queue;dur=%.3f, compute;dur=%.3f, readback;dur=%.3f, priced;dur=%d",
+		ms(p.Batch), ms(p.Queue), ms(p.Compute), ms(p.Readback), p.Priced)
+}
+
 // PriceOptions prices a slice of contracts through the full serving path:
 // cache lookup, admission control, micro-batching, backend shards.
 // Results arrive in input order. It returns ErrSaturated when admission
@@ -219,18 +258,32 @@ func (s *Server) RetryAfter() time.Duration {
 // cancelling abandons the wait (already-admitted work still completes and
 // populates the cache).
 func (s *Server) PriceOptions(ctx context.Context, opts []option.Option) ([]Result, error) {
+	results, _, err := s.PriceOptionsTimed(ctx, opts)
+	return results, err
+}
+
+// PriceOptionsTimed is PriceOptions plus the request's per-phase latency
+// breakdown, which the HTTP handler exports as a Server-Timing header.
+func (s *Server) PriceOptionsTimed(ctx context.Context, opts []option.Option) ([]Result, PhaseBreakdown, error) {
+	var phases PhaseBreakdown
 	if s.closed.Load() {
-		return nil, ErrClosed
+		return nil, phases, ErrClosed
 	}
 	if len(opts) == 0 {
-		return nil, fmt.Errorf("serve: empty batch")
+		return nil, phases, fmt.Errorf("serve: empty batch")
 	}
 	for i, o := range opts {
 		if err := o.Validate(); err != nil {
-			return nil, fmt.Errorf("serve: contract %d: %w", i, err)
+			return nil, phases, fmt.Errorf("serve: contract %d: %w", i, err)
 		}
 	}
 
+	var reqID uint64
+	if s.tracer.Enabled() {
+		if reqID = telemetry.ReqFromContext(ctx); reqID == 0 {
+			reqID = s.tracer.NextID()
+		}
+	}
 	results := make([]Result, len(opts))
 	var jobs []*job
 	var jobIdx []int
@@ -242,11 +295,11 @@ func (s *Server) PriceOptions(ctx context.Context, opts []option.Option) ([]Resu
 			results[i] = Result{Price: price, Cached: true, Backend: "cache"}
 			continue
 		}
-		jobs = append(jobs, &job{opt: o, key: key, enqueued: now, done: make(chan jobResult, 1)})
+		jobs = append(jobs, &job{opt: o, key: key, req: reqID, seq: i, enqueued: now, done: make(chan jobResult, 1)})
 		jobIdx = append(jobIdx, i)
 	}
 	if len(jobs) == 0 {
-		return results, nil
+		return results, phases, nil
 	}
 
 	// Admission: reject the whole request rather than partially queueing
@@ -256,12 +309,12 @@ func (s *Server) PriceOptions(ctx context.Context, opts []option.Option) ([]Resu
 	n := int64(len(jobs))
 	if n > int64(s.cfg.QueueDepth) {
 		s.metrics.rejected.Add(1)
-		return nil, fmt.Errorf("%w: %d uncached contracts > depth %d", ErrBatchTooLarge, n, s.cfg.QueueDepth)
+		return nil, phases, fmt.Errorf("%w: %d uncached contracts > depth %d", ErrBatchTooLarge, n, s.cfg.QueueDepth)
 	}
 	if s.queued.Add(n) > int64(s.cfg.QueueDepth) {
 		s.queued.Add(-n)
 		s.metrics.rejected.Add(1)
-		return nil, ErrSaturated
+		return nil, phases, ErrSaturated
 	}
 
 	admitted := 0
@@ -269,7 +322,7 @@ func (s *Server) PriceOptions(ctx context.Context, opts []option.Option) ([]Resu
 		if err := s.batcher.add(j); err != nil {
 			// Shutdown raced us: roll back the jobs that never made it in.
 			s.queued.Add(-(n - int64(admitted)))
-			return nil, err
+			return nil, phases, err
 		}
 		admitted++
 	}
@@ -278,14 +331,53 @@ func (s *Server) PriceOptions(ctx context.Context, opts []option.Option) ([]Resu
 		select {
 		case res := <-j.done:
 			if res.err != nil {
-				return nil, fmt.Errorf("serve: pricing %v: %w", j.opt, res.err)
+				return nil, phases, fmt.Errorf("serve: pricing %v: %w", j.opt, res.err)
 			}
 			results[jobIdx[k]] = Result{Price: res.price, Backend: res.backend, ModelledJoules: res.joules}
+			s.observeDelivery(j, res.backend, &phases)
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, phases, ctx.Err()
 		}
 	}
-	return results, nil
+	return results, phases, nil
+}
+
+// observeDelivery closes out one priced option on the requester side:
+// it computes the four phase durations from the job's timestamps (the
+// worker wrote them before sending on done), feeds the phase
+// histograms, accumulates the request breakdown, and emits the batch/
+// queue/readback host spans. The compute span was emitted by the
+// worker, on the shard's own track.
+func (s *Server) observeDelivery(j *job, backend string, phases *PhaseBreakdown) {
+	recv := time.Now()
+	batchD := j.flushed.Sub(j.enqueued)
+	queueD := j.picked.Sub(j.flushed)
+	computeD := j.computed.Sub(j.picked)
+	readbackD := recv.Sub(j.computed)
+	phases.Batch += batchD
+	phases.Queue += queueD
+	phases.Compute += computeD
+	phases.Readback += readbackD
+	phases.Priced++
+	s.metrics.observePhases(batchD, queueD, computeD, readbackD)
+	if !s.tracer.Enabled() {
+		return
+	}
+	attrs := func() map[string]any {
+		return map[string]any{"backend": backend, "opt": j.seq}
+	}
+	s.tracer.Emit(telemetry.Span{
+		Req: j.req, Name: "batch", Proc: "host", Thread: "requests",
+		Start: j.enqueued, Dur: batchD, Clock: telemetry.Wall, Attrs: attrs(),
+	})
+	s.tracer.Emit(telemetry.Span{
+		Req: j.req, Name: "queue", Proc: "host", Thread: "requests",
+		Start: j.flushed, Dur: queueD, Clock: telemetry.Wall, Attrs: attrs(),
+	})
+	s.tracer.Emit(telemetry.Span{
+		Req: j.req, Name: "readback", Proc: "host", Thread: "requests",
+		Start: j.computed, Dur: readbackD, Clock: telemetry.Wall, Attrs: attrs(),
+	})
 }
 
 // Close drains the service: no new work is admitted, the batcher flushes

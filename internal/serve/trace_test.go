@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"binopt/internal/option"
+	"binopt/internal/telemetry"
+)
+
+// traceDoc is the subset of the Chrome trace-event schema the tests
+// assert on.
+type traceDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Dur  float64        `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+func getTrace(t *testing.T, url string) traceDoc {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace content type = %q", ct)
+	}
+	var doc traceDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	return doc
+}
+
+// TestDebugTraceEndToEnd drives real requests through the HTTP server
+// and checks /debug/trace returns a Chrome trace that decomposes the
+// priced options into all four host phases plus modelled device events,
+// all stitched to the request by a shared req group.
+func TestDebugTraceEndToEnd(t *testing.T) {
+	_, hs := newTestServer(t, Config{Steps: 64, Tracer: telemetry.New(4096)})
+
+	req := PriceRequest{Contracts: []Contract{
+		{Right: "put", Style: "american", Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5},
+		{Right: "call", Style: "european", Spot: 100, Strike: 95, Rate: 0.03, Sigma: 0.25, T: 1},
+	}}
+	resp, _ := postJSON(t, hs.URL+"/v1/price", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("price status %d", resp.StatusCode)
+	}
+
+	doc := getTrace(t, hs.URL+"/debug/trace")
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	// Every complete event carries a clock, and both clocks appear.
+	names := map[string]int{}
+	clocks := map[string]int{}
+	reqGroups := map[string]bool{}
+	procs := map[int]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			procs[ev.Pid], _ = ev.Args["name"].(string)
+		}
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		names[ev.Name]++
+		clock, _ := ev.Args["clock"].(string)
+		clocks[clock]++
+		if clock == "" {
+			t.Errorf("event %q has no clock arg", ev.Name)
+		}
+		if clock == "device" && !strings.HasPrefix(procs[ev.Pid], "device:") {
+			t.Errorf("device-clock event %q on process %q", ev.Name, procs[ev.Pid])
+		}
+		if r, ok := ev.Args["req"]; ok {
+			t.Logf("event %q req %v", ev.Name, r)
+			reqGroups[ev.Name] = true
+		}
+	}
+	for _, phase := range []string{"batch", "queue", "compute", "readback"} {
+		if names[phase] == 0 {
+			t.Errorf("no %q span in trace (have %v)", phase, names)
+		}
+	}
+	if names["POST /v1/price"] == 0 {
+		t.Error("no request span in trace")
+	}
+	if names["option"] == 0 {
+		t.Error("no device-clock option span in trace")
+	}
+	if clocks["wall"] == 0 || clocks["device"] == 0 {
+		t.Errorf("clock coverage = %v, want both wall and device", clocks)
+	}
+	for _, phase := range []string{"POST /v1/price", "batch", "queue", "compute", "readback"} {
+		if !reqGroups[phase] {
+			t.Errorf("span %q not stitched to a req group", phase)
+		}
+	}
+
+	// ?reset=1 snapshots then clears the ring.
+	getTrace(t, hs.URL+"/debug/trace?reset=1")
+	doc = getTrace(t, hs.URL+"/debug/trace")
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			t.Fatalf("ring not cleared by reset: %q survived", ev.Name)
+		}
+	}
+}
+
+// TestTraceDisabledByDefault: without a tracer the endpoint does not
+// exist and pricing emits nothing.
+func TestTraceDisabledByDefault(t *testing.T) {
+	s, hs := newTestServer(t, Config{Steps: 64})
+	if s.Tracer().Enabled() {
+		t.Fatal("tracer enabled without config")
+	}
+	resp, err := http.Get(hs.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/debug/trace without tracer: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestPhaseSumWithinLatency: the four phases telescope — per request
+// their sum equals the summed per-option end-to-end latency, so it can
+// never exceed priced×(wall time of the call).
+func TestPhaseSumWithinLatency(t *testing.T) {
+	s, _ := newTestServer(t, Config{Steps: 64, Tracer: telemetry.New(1024), CacheSize: -1})
+
+	opts := make([]option.Option, 8)
+	for i := range opts {
+		opts[i] = option.Option{
+			Right: option.Put, Style: option.American,
+			Spot: 100, Strike: 90 + float64(i), Rate: 0.03, Sigma: 0.2, T: 0.5,
+		}
+	}
+	t0 := time.Now()
+	_, phases, err := s.PriceOptionsTimed(context.Background(), opts)
+	elapsed := time.Since(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phases.Priced != len(opts) {
+		t.Fatalf("priced %d options, want %d", phases.Priced, len(opts))
+	}
+	sum := phases.Batch + phases.Queue + phases.Compute + phases.Readback
+	if sum <= 0 {
+		t.Fatalf("phase sum %v, want > 0 (breakdown %+v)", sum, phases)
+	}
+	if limit := time.Duration(len(opts)) * elapsed; sum > limit {
+		t.Errorf("phase sum %v exceeds priced×elapsed %v — phases do not telescope", sum, limit)
+	}
+	if phases.Compute <= 0 {
+		t.Errorf("compute phase empty: %+v", phases)
+	}
+}
+
+// TestServerTimingHeader: the HTTP response carries the phase breakdown
+// in a Server-Timing header and the loadgen parser recovers it.
+func TestServerTimingHeader(t *testing.T) {
+	_, hs := newTestServer(t, Config{Steps: 64, Tracer: telemetry.New(1024), CacheSize: -1})
+
+	c := Contract{Right: "put", Style: "american", Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5}
+	resp, _ := postJSON(t, hs.URL+"/v1/price", PriceRequest{Contracts: []Contract{c}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	header := resp.Header.Get("Server-Timing")
+	if header == "" {
+		t.Fatal("no Server-Timing header")
+	}
+	for _, metric := range []string{"batch;dur=", "queue;dur=", "compute;dur=", "readback;dur=", "priced;dur="} {
+		if !strings.Contains(header, metric) {
+			t.Errorf("Server-Timing %q missing %q", header, metric)
+		}
+	}
+	got := parseServerTiming(header)
+	if got.priced != 1 {
+		t.Errorf("parsed priced = %d from %q", got.priced, header)
+	}
+	if got.batch+got.queue+got.compute+got.readback <= 0 {
+		t.Errorf("parsed empty phase sums from %q", header)
+	}
+}
+
+// TestParseServerTiming covers the parser against hand-built and
+// malformed headers — loadgen must never crash on a proxy-mangled one.
+func TestParseServerTiming(t *testing.T) {
+	got := parseServerTiming("batch;dur=1.500, queue;dur=0.250, compute;dur=10.000, readback;dur=0.125, priced;dur=4")
+	if got.batch != 1500*time.Microsecond || got.queue != 250*time.Microsecond {
+		t.Errorf("batch/queue = %v/%v", got.batch, got.queue)
+	}
+	if got.compute != 10*time.Millisecond || got.readback != 125*time.Microsecond {
+		t.Errorf("compute/readback = %v/%v", got.compute, got.readback)
+	}
+	if got.priced != 4 {
+		t.Errorf("priced = %d", got.priced)
+	}
+	for _, junk := range []string{"", "garbage", "batch;dur=abc, priced;dur=-1", "a=b;c=d"} {
+		if got := parseServerTiming(junk); got.priced != 0 && junk != "batch;dur=abc, priced;dur=-1" {
+			t.Errorf("junk %q parsed to %+v", junk, got)
+		}
+	}
+}
+
+// TestRateWindow drives the sliding throughput window with a synthetic
+// clock: steady load reports the true rate, and the figure decays to
+// zero within the window after load stops.
+func TestRateWindow(t *testing.T) {
+	var w rateWindow
+	uptime := time.Hour // not the limiting factor here
+
+	// 100 options/s for 20 seconds; the window only sees the last 10.
+	var now int64 = 1000
+	for s := int64(0); s < 20; s++ {
+		w.add(now+s, 100)
+	}
+	now += 19
+	if got := w.rate(now, uptime); got != 100 {
+		t.Errorf("steady rate = %v, want 100", got)
+	}
+
+	// Idle for 5 seconds: half the window has drained.
+	if got := w.rate(now+5, uptime); got != 50 {
+		t.Errorf("rate after 5s idle = %v, want 50", got)
+	}
+	// Idle past the window: fully decayed.
+	if got := w.rate(now+10, uptime); got != 0 {
+		t.Errorf("rate after 10s idle = %v, want 0", got)
+	}
+
+	// A young server divides by its uptime, not the window.
+	var fresh rateWindow
+	fresh.add(now, 300)
+	if got := fresh.rate(now, 3*time.Second); got != 100 {
+		t.Errorf("young-server rate = %v, want 100", got)
+	}
+	// ...but never by less than one second.
+	if got := fresh.rate(now, 100*time.Millisecond); got != 300 {
+		t.Errorf("sub-second uptime rate = %v, want 300", got)
+	}
+}
+
+// TestMetricsExposeObservability: after traced traffic, /metrics renders
+// the phase quantiles, the windowed rate, the modelled device seconds
+// and the span accounting.
+func TestMetricsExposeObservability(t *testing.T) {
+	_, hs := newTestServer(t, Config{Steps: 64, Tracer: telemetry.New(1024), CacheSize: -1})
+
+	c := Contract{Right: "put", Style: "american", Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5}
+	resp, _ := postJSON(t, hs.URL+"/v1/price", PriceRequest{Contracts: []Contract{c}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, line := range []string{
+		`binopt_phase_seconds{phase="batch",quantile="0.5"}`,
+		`binopt_phase_seconds{phase="queue",quantile="0.95"}`,
+		`binopt_phase_seconds{phase="compute",quantile="0.99"}`,
+		`binopt_phase_seconds_count{phase="readback"}`,
+		"binopt_options_per_sec_window",
+		"binopt_backend_modelled_device_seconds_total",
+		"binopt_trace_spans_total",
+		"binopt_trace_spans_dropped_total",
+		"binopt_trace_spans_retained",
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("/metrics missing %q", line)
+		}
+	}
+}

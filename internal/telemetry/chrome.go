@@ -1,0 +1,137 @@
+// Chrome trace-event export: the span ring rendered as the JSON object
+// format chrome://tracing and Perfetto load directly. Host wall spans
+// and modelled device spans land in separate process lanes, so the UI
+// shows the request pipeline above what each modelled device was doing,
+// both zoomable on one time axis.
+package telemetry
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one trace_event record. Only "X" (complete) and "M"
+// (metadata) phases are emitted.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON object format container.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// Chrome renders spans as Chrome trace-event JSON. Wall timestamps are
+// made relative to the earliest wall span so traces start at t=0;
+// device spans already carry relative modelled seconds. The output is
+// deterministic for a given span slice: lanes are numbered by sorted
+// name, events sorted by (pid, tid, ts, name), and args keys are sorted
+// by the JSON encoder.
+func Chrome(spans []Span) ([]byte, error) {
+	// Assign process and thread IDs by sorted first-seen names so the
+	// lane numbering never depends on emission interleaving.
+	procNames := map[string]bool{}
+	threadNames := map[[2]string]bool{}
+	for _, sp := range spans {
+		procNames[sp.Proc] = true
+		threadNames[[2]string{sp.Proc, sp.Thread}] = true
+	}
+	procs := make([]string, 0, len(procNames))
+	for p := range procNames {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	pids := make(map[string]int, len(procs))
+	for i, p := range procs {
+		pids[p] = i + 1
+	}
+	threads := make([][2]string, 0, len(threadNames))
+	for th := range threadNames {
+		threads = append(threads, th)
+	}
+	sort.Slice(threads, func(i, j int) bool {
+		if threads[i][0] != threads[j][0] {
+			return threads[i][0] < threads[j][0]
+		}
+		return threads[i][1] < threads[j][1]
+	})
+	tids := make(map[[2]string]int, len(threads))
+	tidIn := map[string]int{}
+	for _, th := range threads {
+		tidIn[th[0]]++
+		tids[th] = tidIn[th[0]]
+	}
+
+	var base time.Time
+	for _, sp := range spans {
+		if sp.Clock != Wall {
+			continue
+		}
+		if base.IsZero() || sp.Start.Before(base) {
+			base = sp.Start
+		}
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+len(procs)+len(threads))
+	for _, p := range procs {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pids[p],
+			Args: map[string]any{"name": p},
+		})
+	}
+	for _, th := range threads {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pids[th[0]], Tid: tids[th],
+			Args: map[string]any{"name": th[1]},
+		})
+	}
+	for _, sp := range spans {
+		ev := chromeEvent{
+			Name: sp.Name, Ph: "X",
+			Pid: pids[sp.Proc], Tid: tids[[2]string{sp.Proc, sp.Thread}],
+		}
+		if sp.Clock == Device {
+			ev.Ts = sp.DevStart * 1e6
+			ev.Dur = sp.DevDur * 1e6
+		} else {
+			ev.Ts = float64(sp.Start.Sub(base)) / float64(time.Microsecond)
+			ev.Dur = float64(sp.Dur) / float64(time.Microsecond)
+		}
+		ev.Args = make(map[string]any, len(sp.Attrs)+2)
+		for k, v := range sp.Attrs {
+			ev.Args[k] = v
+		}
+		ev.Args["clock"] = sp.Clock.String()
+		if sp.Req != 0 {
+			ev.Args["req"] = sp.Req
+		}
+		events = append(events, ev)
+	}
+
+	// Metadata first, then timeline order within each lane.
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if (a.Ph == "M") != (b.Ph == "M") {
+			return a.Ph == "M"
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		return a.Name < b.Name
+	})
+	return json.Marshal(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

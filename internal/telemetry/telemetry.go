@@ -1,0 +1,265 @@
+// Package telemetry is the span-based tracing spine of the serving
+// tier: every priced option leaves a timeline of host phases (batch
+// assembly, shard queue, compute, readback) and modelled device
+// commands (the analogue of CL_PROFILING_COMMAND_{QUEUED,SUBMIT,START,
+// END}) that downstream sinks — the /debug/trace Chrome-trace endpoint,
+// the /metrics phase decomposition — render for the operator.
+//
+// Spans carry one of two clocks. Wall spans are real host time measured
+// with time.Now. Device spans live on a per-backend *modelled* device
+// clock: a virtual monotonic timeline, in seconds, advanced by the
+// platform engine's perf estimate as options are priced, so the trace
+// shows what the modelled DE4/GTX660/Xeon would have been doing — the
+// two-clock discipline the paper's energy attribution (§V) needs, where
+// host wall time and device busy time are different quantities.
+//
+// The tracer itself is a bounded ring: emitting a span is one short
+// mutex hold and one struct copy, old spans are overwritten (and
+// counted) rather than growing memory, and a nil *Tracer is a valid
+// disabled tracer whose every method is a cheap no-op.
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// reqKey carries a request group ID through a context, so spans emitted
+// deep in the pipeline land in the same Chrome trace group as the
+// request span the HTTP handler opened.
+type reqKey struct{}
+
+// ContextWithReq tags ctx with a request group ID.
+func ContextWithReq(ctx context.Context, req uint64) context.Context {
+	return context.WithValue(ctx, reqKey{}, req)
+}
+
+// ReqFromContext extracts the request group ID, zero when untagged.
+func ReqFromContext(ctx context.Context) uint64 {
+	if v, ok := ctx.Value(reqKey{}).(uint64); ok {
+		return v
+	}
+	return 0
+}
+
+// Clock distinguishes which timeline a span's timestamps live on.
+type Clock uint8
+
+const (
+	// Wall spans are measured host time (time.Now).
+	Wall Clock = iota
+	// Device spans are modelled device time: DevStart/DevDur seconds on
+	// the owning backend's virtual device clock.
+	Device
+)
+
+// String names the clock for trace args and tests.
+func (c Clock) String() string {
+	if c == Device {
+		return "device"
+	}
+	return "wall"
+}
+
+// Span is one completed interval on one timeline. Spans are emitted
+// whole (start and duration known) rather than opened and closed in the
+// ring, so the hot path never holds a ring slot across a computation.
+type Span struct {
+	// ID is unique per tracer; Req groups every span of one client
+	// request (zero when the span is not request-scoped).
+	ID  uint64
+	Req uint64
+	// Name is the span label, e.g. "batch", "queue", "compute",
+	// "ndrange IV.B".
+	Name string
+	// Proc and Thread place the span on a Chrome trace track: Proc is
+	// the process lane ("host" or "device:fpga-ivb"), Thread the thread
+	// lane within it ("requests", "backend fpga-ivb", "cl queue").
+	Proc   string
+	Thread string
+	// Start and Dur are the wall-clock interval (Clock == Wall).
+	Start time.Time
+	Dur   time.Duration
+	// DevStart and DevDur are seconds on the modelled device clock
+	// (Clock == Device).
+	DevStart float64
+	DevDur   float64
+	Clock    Clock
+	// Attrs are exported into the Chrome trace event's args. Keys are
+	// sorted at export, so map iteration order never leaks into output.
+	Attrs map[string]any
+}
+
+// Tracer is a bounded, concurrency-safe span sink. The zero capacity
+// and the nil tracer are both valid: New clamps capacity to at least 1,
+// and every method is nil-safe so call sites need no branching.
+type Tracer struct {
+	capacity int
+	ids      atomic.Uint64
+	emitted  atomic.Int64
+	dropped  atomic.Int64
+
+	mu   sync.Mutex
+	ring []Span
+	next int
+	full bool
+}
+
+// New builds a tracer retaining up to capacity spans (minimum 1).
+func New(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{capacity: capacity, ring: make([]Span, capacity)}
+}
+
+// Enabled reports whether spans emitted here are retained. A nil tracer
+// is the disabled tracer.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Capacity reports the ring size (zero for the disabled tracer).
+func (t *Tracer) Capacity() int {
+	if t == nil {
+		return 0
+	}
+	return t.capacity
+}
+
+// NextID returns a fresh span/request ID (zero for the disabled
+// tracer).
+func (t *Tracer) NextID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.ids.Add(1)
+}
+
+// Emit records one completed span, assigning an ID if the caller left
+// it zero. When the ring is full the oldest span is overwritten and
+// counted as dropped.
+func (t *Tracer) Emit(sp Span) {
+	if t == nil {
+		return
+	}
+	if sp.ID == 0 {
+		sp.ID = t.ids.Add(1)
+	}
+	t.emitted.Add(1)
+	t.mu.Lock()
+	if t.full {
+		t.dropped.Add(1)
+	}
+	t.ring[t.next] = sp
+	t.next++
+	if t.next == t.capacity {
+		t.next = 0
+		t.full = true
+	}
+	t.mu.Unlock()
+}
+
+// Len reports the number of retained spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.full {
+		return t.capacity
+	}
+	return t.next
+}
+
+// Emitted reports the total spans ever emitted.
+func (t *Tracer) Emitted() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.emitted.Load()
+}
+
+// Dropped reports the spans overwritten because the ring was full.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Snapshot copies the retained spans out in emission order, oldest
+// first. It does not clear the ring.
+func (t *Tracer) Snapshot() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		out := make([]Span, t.next)
+		copy(out, t.ring[:t.next])
+		return out
+	}
+	out := make([]Span, 0, t.capacity)
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Reset discards the retained spans (counters keep accumulating).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.next = 0
+	t.full = false
+	t.mu.Unlock()
+}
+
+// Active is an in-progress wall span, for call sites that bracket a
+// region instead of computing timestamps themselves (request handlers).
+type Active struct {
+	t  *Tracer
+	sp Span
+}
+
+// Begin opens a wall span now. On a disabled tracer the returned Active
+// is inert.
+func (t *Tracer) Begin(name, proc, thread string) *Active {
+	a := &Active{t: t}
+	if t == nil {
+		return a
+	}
+	a.sp = Span{ID: t.NextID(), Name: name, Proc: proc, Thread: thread, Start: time.Now(), Clock: Wall}
+	return a
+}
+
+// ID returns the span's ID (zero when inert), usable as the Req of
+// child spans.
+func (a *Active) ID() uint64 { return a.sp.ID }
+
+// SetAttr attaches one attribute.
+func (a *Active) SetAttr(key string, value any) {
+	if a.t == nil {
+		return
+	}
+	if a.sp.Attrs == nil {
+		a.sp.Attrs = make(map[string]any, 4)
+	}
+	a.sp.Attrs[key] = value
+}
+
+// SetReq assigns the span to a request group.
+func (a *Active) SetReq(req uint64) { a.sp.Req = req }
+
+// End closes and emits the span.
+func (a *Active) End() {
+	if a.t == nil {
+		return
+	}
+	a.sp.Dur = time.Since(a.sp.Start)
+	a.t.Emit(a.sp)
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# trace_smoke.sh — boot pricesrvd with tracing on, drive real load
+# through loadgen, then assert the observability surface is intact:
+# /debug/trace must serve well-formed Chrome trace-event JSON containing
+# all four host phases plus modelled device events, and /metrics must
+# expose the phase quantiles and the windowed throughput gauge.
+#
+# Run from the repository root:  ./scripts/trace_smoke.sh
+set -euo pipefail
+
+ADDR=127.0.0.1:18080
+BASE=http://$ADDR
+LOG=$(mktemp)
+SRV_PID=
+
+cleanup() {
+    if [ -n "$SRV_PID" ] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill "$SRV_PID" 2>/dev/null || true
+        wait "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -f "$LOG"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "trace_smoke: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$LOG" >&2
+    exit 1
+}
+
+echo "trace_smoke: building"
+go build -o /tmp/pricesrvd-smoke ./cmd/pricesrvd
+go build -o /tmp/loadgen-smoke ./cmd/loadgen
+
+echo "trace_smoke: starting pricesrvd on $ADDR"
+/tmp/pricesrvd-smoke -addr "$ADDR" -steps 256 >"$LOG" 2>&1 &
+SRV_PID=$!
+
+for i in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    [ "$i" = 50 ] && fail "server did not become healthy"
+    sleep 0.2
+done
+
+echo "trace_smoke: driving load"
+/tmp/loadgen-smoke -addr "$BASE" -n 200 -warmup 0 -passes 2 -target 0
+
+TRACE=$(mktemp)
+METRICS=$(mktemp)
+trap 'cleanup; rm -f "$TRACE" "$METRICS"' EXIT
+curl -sf "$BASE/debug/trace" -o "$TRACE" || fail "GET /debug/trace"
+curl -sf "$BASE/metrics" -o "$METRICS" || fail "GET /metrics"
+
+echo "trace_smoke: validating trace JSON"
+python3 -m json.tool "$TRACE" >/dev/null || fail "/debug/trace is not valid JSON"
+for span in '"batch"' '"queue"' '"compute"' '"readback"' 'POST /v1/price' \
+    'ndrange IV.B' '"clock":"wall"' '"clock":"device"' displayTimeUnit; do
+    grep -q -- "$span" "$TRACE" || fail "trace missing $span"
+done
+
+echo "trace_smoke: validating metrics"
+for metric in 'binopt_phase_seconds{phase="batch"' \
+    'binopt_phase_seconds{phase="queue"' \
+    'binopt_phase_seconds{phase="compute"' \
+    'binopt_phase_seconds{phase="readback"' \
+    binopt_options_per_sec_window \
+    binopt_backend_modelled_device_seconds_total \
+    binopt_trace_spans_total; do
+    grep -q -- "$metric" "$METRICS" || fail "metrics missing $metric"
+done
+
+kill "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=
+grep -q "drained cleanly" "$LOG" || fail "server did not drain cleanly"
+
+echo "trace_smoke: PASS"
