@@ -7,6 +7,11 @@
 //
 //	pricesrvd -addr :8080 -steps 1024 &
 //	loadgen -addr http://127.0.0.1:8080 -n 2000 -warmup 1 -passes 5
+//
+// With -chaos the run becomes a fault-tolerance verdict: the report
+// gains client-visible error and server-side retry rates, and the exit
+// code is nonzero if any error reached a client — pair it with a
+// pricesrvd started under -faults.
 package main
 
 import (
@@ -32,16 +37,17 @@ func main() {
 		passes      = flag.Int("passes", 5, "measured passes over the chain")
 		rps         = flag.Float64("rps", 0, "request-rate limit during measurement (0 = unlimited)")
 		target      = flag.Float64("target", 2000, "options/s target to check the run against (0 = skip)")
+		chaos       = flag.Bool("chaos", false, "chaos verdict: report error/retry rates and exit nonzero on any client-visible error (pair with pricesrvd -faults)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *n, *seed, *concurrency, *batch, *warmup, *passes, *rps, *target); err != nil {
+	if err := run(*addr, *n, *seed, *concurrency, *batch, *warmup, *passes, *rps, *target, *chaos); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n int, seed int64, concurrency, batch, warmup, passes int, rps, target float64) error {
+func run(addr string, n int, seed int64, concurrency, batch, warmup, passes int, rps, target float64, chaos bool) error {
 	spec := workload.DefaultVolCurveSpec(seed)
 	spec.N = n
 	chain, err := workload.Chain(spec)
@@ -67,6 +73,22 @@ func run(addr string, n int, seed int64, concurrency, batch, warmup, passes int,
 		return err
 	}
 	fmt.Print(rep.Text())
+	if chaos {
+		// The chaos verdict: a fault-tolerant pool absorbs injected shard
+		// faults server-side (retries > 0 is the proof faults fired), and
+		// no error ever reaches a client.
+		reqs := rep.Requests
+		if reqs == 0 {
+			reqs = 1
+		}
+		fmt.Printf("chaos:    %d client-visible errors / %d requests (%.2f%%), %d server-side retries (%.3f per option)\n",
+			rep.Errors, rep.Requests, 100*float64(rep.Errors)/float64(reqs),
+			rep.Retries, float64(rep.Retries)/float64(maxI64(rep.Options, 1)))
+		if rep.Errors > 0 {
+			return fmt.Errorf("chaos verdict: %d client-visible errors — failover did not absorb the faults", rep.Errors)
+		}
+		fmt.Println("chaos verdict: pass — every fault absorbed server-side")
+	}
 	if target > 0 {
 		if rep.OptionsPerSec >= target {
 			fmt.Printf("target met: %.0f options/s sustained >= %.0f (paper §I use-case budget)\n", rep.OptionsPerSec, target)
@@ -75,4 +97,11 @@ func run(addr string, n int, seed int64, concurrency, batch, warmup, passes int,
 		}
 	}
 	return nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -17,6 +17,14 @@
 // second listener with net/http/pprof (plus the same /debug/trace), so
 // profiling never shares a port with production traffic.
 //
+// Chaos: -faults arms a deterministic fault injector on the backend
+// engines (spec grammar in internal/faults), exercising the pool's
+// circuit breakers and retry-with-failover; pair with `loadgen -chaos`
+// to verify no injected fault ever reaches a client:
+//
+//	pricesrvd -faults 'gpu-ivb:err=0.2' -fault-seed 7
+//	loadgen -chaos -target 0
+//
 // SIGINT/SIGTERM drain gracefully: the listener stops, the batching
 // queue flushes, and every admitted option completes before exit.
 package main
@@ -36,6 +44,7 @@ import (
 	"time"
 
 	"binopt/internal/accel"
+	"binopt/internal/faults"
 	"binopt/internal/serve"
 	"binopt/internal/telemetry"
 )
@@ -53,6 +62,13 @@ func main() {
 		trace     = flag.Bool("trace", true, "span tracing and the /debug/trace Chrome-trace endpoint")
 		traceBuf  = flag.Int("trace-buf", 65536, "span ring capacity (older spans are dropped)")
 		debugAddr = flag.String("debug-addr", "", "separate listener for net/http/pprof and /debug/trace (empty disables)")
+
+		faultSpec = flag.String("faults", "", "chaos: fault spec armed on the backend engines, e.g. 'gpu-ivb:err=0.2' or '*:lat=5ms@0.1' (empty disables)")
+		faultSeed = flag.Int64("fault-seed", 1, "chaos: fault schedule PRNG seed (same seed, same schedule)")
+
+		maxAttempts = flag.Int("max-attempts", 3, "shards a single option may be tried on before its error reaches the client (1 disables failover)")
+		brThreshold = flag.Float64("breaker-threshold", 0, "windowed error rate that opens a shard's circuit breaker (0 = default 0.1)")
+		brCooldown  = flag.Duration("breaker-cooldown", 0, "how long an open breaker rejects dispatch before probing (0 = default 250ms)")
 	)
 	flag.Parse()
 
@@ -68,6 +84,8 @@ func main() {
 		addr: *addr, steps: *steps, maxBatch: *maxBatch, flush: *flushMs,
 		queue: *queue, cacheSize: *cacheSize, drain: *drain,
 		trace: *trace, traceBuf: *traceBuf, debugAddr: *debugAddr,
+		faultSpec: *faultSpec, faultSeed: *faultSeed,
+		maxAttempts: *maxAttempts, brThreshold: *brThreshold, brCooldown: *brCooldown,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pricesrvd:", err)
@@ -101,6 +119,12 @@ type serverConfig struct {
 	trace     bool
 	traceBuf  int
 	debugAddr string
+
+	faultSpec   string
+	faultSeed   int64
+	maxAttempts int
+	brThreshold float64
+	brCooldown  time.Duration
 }
 
 // debugHandler builds the auxiliary listener's mux: the pprof family
@@ -117,10 +141,54 @@ func debugHandler(srv *serve.Server) http.Handler {
 	return mux
 }
 
+// checkFaultScopes rejects fault clauses naming a backend the pool does
+// not contain — a typoed shard name must fail loudly, not silently arm
+// nothing.
+func checkFaultScopes(inj *faults.Injector, backends []serve.BackendConfig) error {
+	known := make(map[string]bool, len(backends))
+	for _, bc := range backends {
+		known[bc.Name] = true
+	}
+	for _, name := range inj.Backends() {
+		if name != "*" && !known[name] {
+			return fmt.Errorf("fault spec scopes unknown backend %q (have %v)", name, accel.Names())
+		}
+	}
+	return nil
+}
+
+// armFaults installs the injector's hooks on the backend engines. It
+// runs after serve.New so the startup parity probe prices clean — chaos
+// starts with serving, not with construction.
+func armFaults(inj *faults.Injector, backends []serve.BackendConfig) {
+	for _, bc := range backends {
+		if bc.Engine == nil {
+			continue
+		}
+		if h := inj.HookFor(bc.Name); h != nil {
+			bc.Engine.SetFaultHook(h)
+			log.Printf("pricesrvd: chaos: faults armed on %s (spec %q, seed %d)", bc.Name, inj.String(), inj.Seed())
+		}
+	}
+}
+
 func run(cfg serverConfig) error {
 	var tracer *telemetry.Tracer
 	if cfg.trace {
 		tracer = telemetry.New(cfg.traceBuf)
+	}
+	inj, err := faults.Parse(cfg.faultSpec, cfg.faultSeed)
+	if err != nil {
+		return err
+	}
+	backends, err := serve.DefaultBackends(cfg.steps)
+	if err != nil {
+		return err
+	}
+	if inj.Active() {
+		if err := checkFaultScopes(inj, backends); err != nil {
+			return err
+		}
 	}
 	srv, err := serve.New(serve.Config{
 		Steps:         cfg.steps,
@@ -128,10 +196,19 @@ func run(cfg serverConfig) error {
 		FlushInterval: cfg.flush,
 		QueueDepth:    cfg.queue,
 		CacheSize:     cfg.cacheSize,
-		Tracer:        tracer,
+		Backends:      backends,
+		MaxAttempts:   cfg.maxAttempts,
+		Breaker: serve.BreakerConfig{
+			Threshold: cfg.brThreshold,
+			Cooldown:  cfg.brCooldown,
+		},
+		Tracer: tracer,
 	})
 	if err != nil {
 		return err
+	}
+	if inj.Active() {
+		armFaults(inj, backends)
 	}
 
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.Handler()}

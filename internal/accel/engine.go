@@ -53,6 +53,35 @@ type Engine struct {
 	totals   opencl.Counters
 	priced   int64
 	devClock float64 // modelled device-busy seconds accumulated
+
+	// fault, when armed via SetFaultHook, is consulted before every
+	// pricing; a non-nil return aborts the call with that error and
+	// accounts nothing. It is how the fault injector (internal/faults)
+	// makes the simulated substrate misbehave on demand.
+	hookMu sync.RWMutex
+	fault  func() error
+}
+
+// SetFaultHook arms (or, with nil, disarms) the engine's fault hook.
+// Safe to call while the engine is serving; in-flight pricings keep the
+// hook state they started with.
+func (e *Engine) SetFaultHook(h func() error) {
+	e.hookMu.Lock()
+	e.fault = h
+	e.hookMu.Unlock()
+}
+
+// faultCheck runs the armed hook, if any. The hook itself may sleep
+// (latency-spike and stuck-shard profiles), so it runs outside the
+// accounting lock.
+func (e *Engine) faultCheck() error {
+	e.hookMu.RLock()
+	h := e.fault
+	e.hookMu.RUnlock()
+	if h == nil {
+		return nil
+	}
+	return h()
 }
 
 // probeChain is the construction-time verification batch: the styles and
@@ -216,7 +245,12 @@ func (e *Engine) Steps() int { return e.steps }
 func (e *Engine) ProbeSteps() int { return e.probeSteps }
 
 // Price prices one option and accounts its modelled substrate activity.
+// An armed fault hook is consulted first; its error fails the call with
+// no accounting, exactly as a device-side launch failure would.
 func (e *Engine) Price(o option.Option) (float64, error) {
+	if err := e.faultCheck(); err != nil {
+		return 0, err
+	}
 	p, err := e.host.Price(o)
 	if err != nil {
 		return 0, err
@@ -231,6 +265,9 @@ func (e *Engine) Price(o option.Option) (float64, error) {
 // would have enqueued, with the four profiling timestamps each. The
 // telemetry layer renders these as the device lane of the trace.
 func (e *Engine) PriceTraced(o option.Option) (float64, DeviceTrace, error) {
+	if err := e.faultCheck(); err != nil {
+		return 0, DeviceTrace{}, err
+	}
 	p, err := e.host.Price(o)
 	if err != nil {
 		return 0, DeviceTrace{}, err
@@ -240,8 +277,12 @@ func (e *Engine) PriceTraced(o option.Option) (float64, DeviceTrace, error) {
 }
 
 // PriceBatch prices a batch (workers <= 0 uses GOMAXPROCS) and accounts
-// its modelled substrate activity.
+// its modelled substrate activity. The fault hook is consulted once per
+// batch — the batch is one modelled device submission.
 func (e *Engine) PriceBatch(opts []option.Option, workers int) ([]float64, error) {
+	if err := e.faultCheck(); err != nil {
+		return nil, err
+	}
 	prices, err := e.host.PriceBatch(opts, workers)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package accel
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -129,5 +130,58 @@ func TestProbeDepthRespectsDeviceLimits(t *testing.T) {
 		if got := probeDepth(c.info, c.steps); got != c.want {
 			t.Errorf("probeDepth(%+v, %d) = %d, want %d", c.info, c.steps, got, c.want)
 		}
+	}
+}
+
+// TestEngineFaultHook: an armed hook fails pricing with its error and
+// accounts nothing — the injector's substrate outage must be invisible
+// in the counters; disarming restores normal service.
+func TestEngineFaultHook(t *testing.T) {
+	p, err := Get("cpu-ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := p.NewEngine(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := option.Option{Right: option.Put, Style: option.American,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5}
+
+	boom := errors.New("boom")
+	calls := 0
+	eng.SetFaultHook(func() error {
+		calls++
+		if calls%2 == 1 {
+			return boom
+		}
+		return nil
+	})
+
+	if _, err := eng.Price(o); !errors.Is(err, boom) {
+		t.Fatalf("faulted Price = %v, want the hook's error", err)
+	}
+	if got := eng.PricedOptions(); got != 0 {
+		t.Fatalf("failed pricing accounted %d options, want 0", got)
+	}
+	if c := eng.Counters(); c.Flops != 0 {
+		t.Fatalf("failed pricing accounted %d flops, want 0", c.Flops)
+	}
+	if _, err := eng.Price(o); err != nil {
+		t.Fatalf("hook pass-through still failed: %v", err)
+	}
+	if _, _, err := eng.PriceTraced(o); !errors.Is(err, boom) {
+		t.Fatalf("faulted PriceTraced = %v, want the hook's error", err)
+	}
+	if _, err := eng.PriceBatch([]option.Option{o, o}, 1); err != nil {
+		t.Fatalf("batch after even call count failed: %v", err)
+	}
+	if got := eng.PricedOptions(); got != 3 {
+		t.Fatalf("priced %d options, want 3 (1 single + 2 batch)", got)
+	}
+
+	eng.SetFaultHook(nil)
+	if _, err := eng.Price(o); err != nil {
+		t.Fatalf("disarmed engine failed: %v", err)
 	}
 }

@@ -311,18 +311,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		PowerWatts    float64 `json:"modelled_power_watts"`
 		Pending       int64   `json:"pending_options"`
 		PricedOptions int64   `json:"priced_options,omitempty"`
+		Breaker       string  `json:"breaker"`
+		BreakerOpens  int64   `json:"breaker_opens,omitempty"`
+		PriceErrors   int64   `json:"price_errors,omitempty"`
 	}
 	bs := make([]backendHealth, len(s.backends))
 	for i, be := range s.backends {
+		st, opens := be.breaker.snapshot()
 		bs[i] = backendHealth{
 			Name:          be.cfg.Name,
 			Kind:          be.cfg.Kind,
 			OptionsPerSec: be.cfg.Estimate.OptionsPerSec,
 			PowerWatts:    be.cfg.Estimate.PowerWatts,
 			Pending:       be.pending.Load(),
+			Breaker:       st.String(),
+			BreakerOpens:  opens,
+			PriceErrors:   be.errs.Load(),
 		}
 		if be.cfg.Engine != nil {
 			bs[i].PricedOptions = be.cfg.Engine.PricedOptions()
+		}
+		// A pool serving around an open breaker is degraded, not down:
+		// clients still get every price, so the HTTP code stays 200 and
+		// the status string carries the signal.
+		if st == breakerOpen && status == "ok" {
+			status = "degraded"
 		}
 	}
 	writeJSON(w, code, map[string]any{

@@ -2,11 +2,13 @@ package serve
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
 	"sync/atomic"
 	"time"
 
 	"binopt/internal/accel"
+	"binopt/internal/option"
 	"binopt/internal/perf"
 	"binopt/internal/telemetry"
 )
@@ -31,6 +33,11 @@ type BackendConfig struct {
 	// (bit-identical to the reference lattice, with counter accounting).
 	// When nil the shard prices on the server's reference engine.
 	Engine *accel.Engine
+	// PriceFunc overrides this shard's kernel alone — the fault-
+	// tolerance tests use it to make exactly one shard misbehave. A
+	// shard with a PriceFunc is skipped by the startup parity check and
+	// has no modelled device timeline.
+	PriceFunc func(option.Option) (float64, error)
 	// Workers is the number of concurrent batch executors (default 1).
 	Workers int
 	// QueueDepth bounds the shard's batch queue (default 32 batches).
@@ -72,18 +79,21 @@ func DefaultBackends(steps int) ([]BackendConfig, error) {
 }
 
 // backend is a running shard: a bounded batch queue drained by Workers
-// goroutines.
+// goroutines, with a circuit breaker tracking its rolling health.
 type backend struct {
 	cfg    BackendConfig
 	jobs   chan []*job
 	joules float64 // modelled joules per option on this device
 	// pending counts options dispatched to this shard and not yet
-	// completed; admission reads it to estimate drain time.
+	// completed or failed over; admission reads it to estimate drain
+	// time.
 	pending atomic.Int64
-	priced  *atomic.Int64 // metrics counter
+	priced  *atomic.Int64 // metrics counter: options priced here
+	errs    *atomic.Int64 // metrics counter: pricing attempts failed here
+	breaker *breaker
 }
 
-func newBackend(cfg BackendConfig, m *metrics) *backend {
+func newBackend(cfg BackendConfig, m *metrics, bcfg BreakerConfig) *backend {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
@@ -98,10 +108,12 @@ func newBackend(cfg BackendConfig, m *metrics) *backend {
 		joules = cfg.Estimate.PowerWatts / cfg.Estimate.OptionsPerSec
 	}
 	return &backend{
-		cfg:    cfg,
-		jobs:   make(chan []*job, cfg.QueueDepth),
-		joules: joules,
-		priced: m.backendCounter(cfg.Name),
+		cfg:     cfg,
+		jobs:    make(chan []*job, cfg.QueueDepth),
+		joules:  joules,
+		priced:  m.backendCounter(cfg.Name),
+		errs:    m.backendErrCounter(cfg.Name),
+		breaker: newBreaker(bcfg),
 	}
 }
 
@@ -115,10 +127,7 @@ func (be *backend) drainScore() float64 {
 	return float64(be.pending.Load()+1) / rate
 }
 
-// dispatchBatch routes one flushed batch to the shard with the shortest
-// modelled drain time that has queue space, falling back to a blocking
-// send on the best shard when every queue is full (admission control has
-// already bounded the total backlog, so the block is bounded too).
+// dispatchBatch routes one freshly flushed batch into the pool.
 func (s *Server) dispatchBatch(batch []*job) {
 	if len(batch) == 0 {
 		return
@@ -128,12 +137,45 @@ func (s *Server) dispatchBatch(batch []*job) {
 	for _, j := range batch {
 		j.flushed = now
 	}
+	s.dispatch(batch, nil)
+}
 
-	order := make([]*backend, len(s.backends))
-	copy(order, s.backends)
-	sort.Slice(order, func(i, j int) bool { return order[i].drainScore() < order[j].drainScore() })
+// dispatch places a batch on a shard queue. Candidates are the breaker-
+// eligible shards minus `exclude` (the shard a retried job just failed
+// on); if the breakers have shed everything, all shards are candidates
+// again — a fully dark pool should still try rather than park work.
+//
+// First a non-blocking pass in modelled-drain-time order; if every
+// candidate queue is full, a select across *every* candidate's queue at
+// once, so the batch lands on whichever shard frees up first instead of
+// blocking on one queue chosen from by-then-stale drain scores. The
+// shutdown-abort channel participates in the same select: a send
+// abandoned at shutdown fails the batch's jobs with ErrClosed and rolls
+// back their admission, rather than leaking them (and a pending count)
+// on a queue nobody drains.
+//
+// A shard's pending count is booked only after its send completes, so
+// the abandoned path has nothing to roll back there.
+func (s *Server) dispatch(batch []*job, exclude *backend) {
+	candidates := make([]*backend, 0, len(s.backends))
+	for _, be := range s.backends {
+		if be != exclude && be.breaker.eligible() {
+			candidates = append(candidates, be)
+		}
+	}
+	if len(candidates) == 0 {
+		for _, be := range s.backends {
+			if be != exclude {
+				candidates = append(candidates, be)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = s.backends
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].drainScore() < candidates[j].drainScore() })
 
-	for _, be := range order {
+	for _, be := range candidates {
 		select {
 		case be.jobs <- batch:
 			be.pending.Add(int64(len(batch)))
@@ -141,50 +183,125 @@ func (s *Server) dispatchBatch(batch []*job) {
 		default:
 		}
 	}
-	be := order[0]
-	be.pending.Add(int64(len(batch)))
-	be.jobs <- batch
+
+	cases := make([]reflect.SelectCase, 0, len(candidates)+1)
+	cases = append(cases, reflect.SelectCase{Dir: reflect.SelectRecv, Chan: reflect.ValueOf(s.aborted)})
+	bv := reflect.ValueOf(batch)
+	for _, be := range candidates {
+		cases = append(cases, reflect.SelectCase{Dir: reflect.SelectSend, Chan: reflect.ValueOf(be.jobs), Send: bv})
+	}
+	chosen, _, _ := reflect.Select(cases)
+	if chosen == 0 {
+		// Shutdown abandoned the send: fail the jobs and undo admission.
+		for _, j := range batch {
+			s.queued.Add(-1)
+			j.done <- jobResult{retries: j.retries, err: ErrClosed}
+		}
+		return
+	}
+	candidates[chosen-1].pending.Add(int64(len(batch)))
 }
 
-// worker drains batches from one shard until its queue closes. A shard
-// with a platform engine prices on it (a PriceFunc override wins, so stub
-// tests keep their injected kernel); the rest fall back to the server's
-// reference engine. Results are cached, metered, and delivered on each
-// job's buffered channel.
+// shardKernel resolves the pricing function one shard's workers run: a
+// per-shard PriceFunc override first (fault tests), then the server-
+// wide override (stub tests keep their injected kernel), then the
+// shard's platform engine, then the server's reference engine. Only the
+// engine path has a modelled device timeline.
+func (s *Server) shardKernel(be *backend) (func(option.Option) (float64, error), *accel.Engine) {
+	switch {
+	case be.cfg.PriceFunc != nil:
+		return be.cfg.PriceFunc, nil
+	case s.cfg.PriceFunc != nil:
+		return s.priceFn, nil
+	case be.cfg.Engine != nil:
+		return be.cfg.Engine.Price, be.cfg.Engine
+	default:
+		return s.priceFn, nil
+	}
+}
+
+// worker drains batches from one shard until its queue closes. Results
+// are cached, metered, and delivered on each job's buffered channel;
+// failed pricings are metered against the shard's breaker and handed to
+// failover.
 func (s *Server) worker(be *backend) {
 	defer s.wg.Done()
-	priceFn := s.priceFn
-	engine := be.cfg.Engine
-	if engine != nil && s.cfg.PriceFunc == nil {
-		priceFn = engine.Price
-	} else {
-		engine = nil // overridden kernels have no modelled device timeline
-	}
+	priceFn, engine := s.shardKernel(be)
 	for batch := range be.jobs {
 		for _, j := range batch {
-			j.picked = time.Now()
-			var price float64
-			var err error
-			if engine != nil && s.tracer.Enabled() {
-				var dtr accel.DeviceTrace
-				price, dtr, err = engine.PriceTraced(j.opt)
-				if err == nil {
-					s.emitDeviceSpans(j, dtr)
-				}
-			} else {
-				price, err = priceFn(j.opt)
-			}
-			j.computed = time.Now()
-			if err == nil {
-				s.cache.put(j.key, price)
-				s.metrics.observeOption(j.computed.Sub(j.enqueued), j.computed.Unix(), be.joules, be.priced)
-				s.emitComputeSpan(j, be)
-			}
-			be.pending.Add(-1)
-			s.queued.Add(-1)
-			j.done <- jobResult{price: price, backend: be.cfg.Name, joules: be.joules, err: err}
+			s.runJob(be, j, priceFn, engine)
 		}
 	}
+}
+
+// runJob prices one job on one shard and settles its outcome: success
+// feeds the cache, the metrics and the requester; failure feeds the
+// breaker, the error counters and the failover path.
+func (s *Server) runJob(be *backend, j *job, priceFn func(option.Option) (float64, error), engine *accel.Engine) {
+	j.picked = time.Now()
+	var price float64
+	var err error
+	if engine != nil && s.tracer.Enabled() {
+		var dtr accel.DeviceTrace
+		price, dtr, err = engine.PriceTraced(j.opt)
+		if err == nil {
+			s.emitDeviceSpans(j, dtr)
+		}
+	} else {
+		price, err = priceFn(j.opt)
+	}
+	j.computed = time.Now()
+	if err != nil {
+		be.breaker.onFailure()
+		be.errs.Add(1)
+		s.metrics.priceErrors.Add(1)
+		s.emitErrorSpan(j, be, err)
+		s.failover(be, j, err)
+		return
+	}
+	be.breaker.onSuccess()
+	s.cache.put(j.key, price)
+	s.metrics.observeOption(j.computed.Sub(j.enqueued), j.computed.Unix(), be.joules, be.priced)
+	s.emitComputeSpan(j, be)
+	be.pending.Add(-1)
+	s.queued.Add(-1)
+	j.done <- jobResult{price: price, backend: be.cfg.Name, joules: be.joules, retries: j.retries, err: nil}
+}
+
+// failover settles a failed pricing attempt: within the attempt budget
+// the job is re-dispatched — after an exponential backoff — to the
+// next-best shard whose breaker admits it (bit-identical results across
+// shards are what make silent failover safe); past the budget the
+// requester gets the error. The job keeps holding its admission slot
+// (s.queued) throughout, so graceful drain waits for in-flight retries.
+func (s *Server) failover(be *backend, j *job, err error) {
+	be.pending.Add(-1)
+	attempts := j.retries + 1
+	if attempts >= s.cfg.MaxAttempts {
+		s.queued.Add(-1)
+		j.done <- jobResult{
+			backend: be.cfg.Name,
+			retries: j.retries,
+			err:     fmt.Errorf("%d attempt(s) failed, last on %s: %w", attempts, be.cfg.Name, err),
+		}
+		return
+	}
+	j.retries++
+	s.metrics.retries.Add(1)
+	backoff := retryBackoff(s.cfg.RetryBackoff, j.retries)
+	s.emitRetrySpan(j, be, backoff, err)
+	// The backoff timer, not the worker, re-dispatches: the shard's
+	// other queued jobs must not wait out this job's penalty.
+	time.AfterFunc(backoff, func() { s.dispatch([]*job{j}, be) })
+}
+
+// retryBackoff is base<<(retry-1), clamped so a misconfigured attempt
+// budget cannot shift into overflow.
+func retryBackoff(base time.Duration, retry int) time.Duration {
+	if retry > 16 {
+		retry = 16
+	}
+	return base << (retry - 1)
 }
 
 // emitComputeSpan records the worker-side compute span of one priced
@@ -201,6 +318,44 @@ func (s *Server) emitComputeSpan(j *job, be *backend) {
 			"opt":     j.seq,
 			"steps":   s.cfg.Steps,
 			"joules":  be.joules,
+		},
+	})
+}
+
+// emitErrorSpan records one failed pricing attempt on the shard's
+// track, so a failed-then-recovered option reads as error → retry →
+// compute in /debug/trace.
+func (s *Server) emitErrorSpan(j *job, be *backend, err error) {
+	if !s.tracer.Enabled() {
+		return
+	}
+	s.tracer.Emit(telemetry.Span{
+		Req: j.req, Name: "error", Proc: "host", Thread: "backend " + be.cfg.Name,
+		Start: j.picked, Dur: j.computed.Sub(j.picked), Clock: telemetry.Wall,
+		Attrs: map[string]any{
+			"backend": be.cfg.Name,
+			"opt":     j.seq,
+			"attempt": j.retries + 1,
+			"error":   err.Error(),
+		},
+	})
+}
+
+// emitRetrySpan records the backoff interval between a failed attempt
+// and its re-dispatch, on the requests track.
+func (s *Server) emitRetrySpan(j *job, be *backend, backoff time.Duration, err error) {
+	if !s.tracer.Enabled() {
+		return
+	}
+	s.tracer.Emit(telemetry.Span{
+		Req: j.req, Name: "retry", Proc: "host", Thread: "requests",
+		Start: j.computed, Dur: backoff, Clock: telemetry.Wall,
+		Attrs: map[string]any{
+			"failed_backend": be.cfg.Name,
+			"opt":            j.seq,
+			"attempt":        j.retries,
+			"backoff":        backoff.String(),
+			"error":          err.Error(),
 		},
 	})
 }
@@ -228,15 +383,35 @@ func (s *Server) emitDeviceSpans(j *job, dtr accel.DeviceTrace) {
 	}
 }
 
-// aggregateRate is the pool's total modelled throughput, used to compute
-// Retry-After under saturation.
+// aggregateRate is the pool's modelled throughput with open-breaker
+// shards excluded — a shard the dispatcher is routing around must not
+// inflate the drain rate behind Retry-After, or 429s would promise
+// capacity a partial outage cannot deliver. A fully open pool falls
+// back to the full sum rather than advertise zero.
 func (s *Server) aggregateRate() float64 {
-	var sum float64
+	var sum, all float64
 	for _, be := range s.backends {
-		sum += be.cfg.Estimate.OptionsPerSec
+		rate := be.cfg.Estimate.OptionsPerSec
+		all += rate
+		if st, _ := be.breaker.snapshot(); st != breakerOpen {
+			sum += rate
+		}
+	}
+	if sum <= 0 {
+		sum = all
 	}
 	if sum <= 0 {
 		return 1
 	}
 	return sum
+}
+
+// breakerStats snapshots every shard's breaker for /metrics.
+func (s *Server) breakerStats() []breakerStat {
+	out := make([]breakerStat, 0, len(s.backends))
+	for _, be := range s.backends {
+		st, opens := be.breaker.snapshot()
+		out = append(out, breakerStat{backend: be.cfg.Name, state: st, opens: opens})
+	}
+	return out
 }

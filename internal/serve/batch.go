@@ -41,12 +41,19 @@ type job struct {
 	picked   time.Time
 	computed time.Time
 	done     chan jobResult
+	// retries counts failover re-dispatches after failed pricing
+	// attempts. Only the owning worker (exactly one at a time — a job
+	// is re-dispatched only after its current shard gave up on it) and
+	// the backoff timer touch it, strictly before the next send, so the
+	// requester reads it race-free from the jobResult.
+	retries int
 }
 
 type jobResult struct {
 	price   float64
 	backend string
 	joules  float64
+	retries int // failover re-dispatches this option survived
 	err     error
 }
 

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker's injectable clock so transition tests are
+// deterministic schedules, not sleeps.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func testBreaker(cfg BreakerConfig) (*breaker, *fakeClock) {
+	b := newBreaker(cfg)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func wantState(t *testing.T, b *breaker, want breakerState) {
+	t.Helper()
+	if st, _ := b.snapshot(); st != want {
+		t.Fatalf("breaker state = %v, want %v", st, want)
+	}
+}
+
+// TestBreakerStaysClosedBelowMinSamples: a cold shard's first errors
+// must not open the breaker before the window has evidence.
+func TestBreakerStaysClosedBelowMinSamples(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Window: 20, MinSamples: 10, Threshold: 0.1})
+	for i := 0; i < 9; i++ {
+		b.onFailure()
+	}
+	wantState(t, b, breakerClosed)
+	if !b.eligible() {
+		t.Fatal("closed breaker must stay eligible")
+	}
+}
+
+// TestBreakerTripClosesAfterProbe walks the full state machine on a
+// deterministic schedule: threshold trip, cooldown rejection, half-open
+// probe, close on enough successes.
+func TestBreakerTripClosesAfterProbe(t *testing.T) {
+	cfg := BreakerConfig{
+		Window: 10, MinSamples: 4, Threshold: 0.5,
+		Cooldown: time.Second, HalfOpenSuccesses: 3,
+	}
+	b, clk := testBreaker(cfg)
+
+	b.onSuccess()
+	b.onSuccess()
+	b.onFailure()
+	wantState(t, b, breakerClosed) // 1/3 failed but below MinSamples
+	b.onFailure()
+	wantState(t, b, breakerOpen) // 2/4 = 0.5 >= threshold
+
+	if b.eligible() {
+		t.Fatal("open breaker inside cooldown must not be eligible")
+	}
+	clk.advance(cfg.Cooldown)
+	if !b.eligible() {
+		t.Fatal("open breaker past cooldown must turn half-open and accept a probe")
+	}
+	wantState(t, b, breakerHalfOpen)
+
+	b.onSuccess()
+	b.onSuccess()
+	wantState(t, b, breakerHalfOpen) // 2 of 3 required successes
+	b.onSuccess()
+	wantState(t, b, breakerClosed)
+
+	// The close must have reset the window: the pre-trip failures may
+	// not count against fresh outcomes.
+	b.onFailure()
+	b.onFailure()
+	b.onFailure()
+	b.onSuccess()
+	// 3/4 >= 0.5 with MinSamples met: trips again on fresh evidence.
+	b.onFailure()
+	wantState(t, b, breakerOpen)
+}
+
+// TestBreakerHalfOpenFailureReopens: one failed probe re-opens
+// immediately and counts a second open transition.
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	cfg := BreakerConfig{Window: 8, MinSamples: 2, Threshold: 0.5, Cooldown: time.Second}
+	b, clk := testBreaker(cfg)
+	b.onFailure()
+	b.onFailure()
+	wantState(t, b, breakerOpen)
+
+	clk.advance(cfg.Cooldown)
+	if !b.eligible() {
+		t.Fatal("want half-open probe after cooldown")
+	}
+	b.onFailure()
+	wantState(t, b, breakerOpen)
+	if _, opens := b.snapshot(); opens != 2 {
+		t.Fatalf("opens = %d, want 2", opens)
+	}
+	if b.eligible() {
+		t.Fatal("re-opened breaker must reject until a fresh cooldown elapses")
+	}
+}
+
+// TestBreakerOpenFailureExtendsOutage: stragglers failing on an already
+// open shard (jobs queued before the trip) push the cooldown out.
+func TestBreakerOpenFailureExtendsOutage(t *testing.T) {
+	cfg := BreakerConfig{Window: 8, MinSamples: 2, Threshold: 0.5, Cooldown: time.Second}
+	b, clk := testBreaker(cfg)
+	b.onFailure()
+	b.onFailure()
+	wantState(t, b, breakerOpen)
+
+	clk.advance(cfg.Cooldown)
+	b.onFailure() // straggler: outage clock restarts
+	if b.eligible() {
+		t.Fatal("extended outage must keep rejecting")
+	}
+	clk.advance(cfg.Cooldown)
+	if !b.eligible() {
+		t.Fatal("want probe after the extended cooldown")
+	}
+}
+
+// TestBreakerWindowSlides: outcomes age out of the ring, so an old
+// error burst cannot trip the breaker after the shard recovers.
+func TestBreakerWindowSlides(t *testing.T) {
+	b, _ := testBreaker(BreakerConfig{Window: 4, MinSamples: 4, Threshold: 0.5})
+	b.onFailure()
+	b.onSuccess()
+	b.onSuccess()
+	b.onSuccess()
+	wantState(t, b, breakerClosed) // 1/4 < 0.5
+	// Four more successes evict the failure entirely...
+	for i := 0; i < 4; i++ {
+		b.onSuccess()
+	}
+	// ...so one fresh failure is 1/4 again, not 2/4.
+	b.onFailure()
+	wantState(t, b, breakerClosed)
+	b.onFailure()
+	wantState(t, b, breakerOpen) // 2/4 of fresh outcomes
+}

@@ -55,6 +55,7 @@ type LoadReport struct {
 	Errors        int64
 	Options       int64
 	CacheHits     int64
+	Retries       int64 // failover re-dispatches the server survived for us
 	Elapsed       time.Duration
 	OptionsPerSec float64
 	P50, P95, P99 time.Duration
@@ -90,6 +91,9 @@ func (r LoadReport) Text() string {
 			r.PhaseBatch, r.PhaseQueue, r.PhaseCompute, r.PhaseRead, r.PhasePriced)
 	}
 	fmt.Fprintf(&b, "energy:   %.4g J modelled total, %.4g J/option amortised\n", r.ModelledJoules, r.JoulesPerOption)
+	if r.Retries > 0 {
+		fmt.Fprintf(&b, "retries:  %d failover re-dispatches absorbed server-side\n", r.Retries)
+	}
 	fmt.Fprintf(&b, "errors:   %d\n", r.Errors)
 	return b.String()
 }
@@ -174,6 +178,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	rep.Errors = stats.errors
 	rep.Options = stats.options
 	rep.CacheHits = stats.cacheHits
+	rep.Retries = stats.retries
 	rep.ModelledJoules += stats.joules
 	if rep.Elapsed > 0 {
 		rep.OptionsPerSec = float64(stats.options) / rep.Elapsed.Seconds()
@@ -191,6 +196,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 
 type sweepStats struct {
 	requests, errors, options, cacheHits int64
+	retries                              int64
 	joules                               float64
 	latencies                            []time.Duration
 	phases                               phaseSums
@@ -267,6 +273,7 @@ func sweep(ctx context.Context, client *http.Client, cfg LoadConfig, pass []load
 				} else {
 					stats.options += int64(lr.options)
 					stats.cacheHits += obs.cacheHits
+					stats.retries += obs.retries
 					stats.joules += obs.joules
 					stats.phases.add(obs.phases)
 				}
@@ -306,6 +313,7 @@ feed:
 type requestObs struct {
 	httpErr   bool
 	cacheHits int64
+	retries   int64
 	joules    float64
 	phases    phaseSums
 }
@@ -373,6 +381,7 @@ func doPriceRequest(ctx context.Context, client *http.Client, baseURL string, lr
 		if res.Cached {
 			obs.cacheHits++
 		}
+		obs.retries += int64(res.Retries)
 		obs.joules += res.ModelledJoules
 	}
 	return obs, nil

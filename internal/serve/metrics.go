@@ -161,6 +161,8 @@ type metrics struct {
 	optionsPriced  atomic.Int64 // actually ran the lattice
 	cacheHits      atomic.Int64
 	solverPricings atomic.Int64 // lattice evaluations spent inside implied-vol solves
+	priceErrors    atomic.Int64 // failed pricing attempts across all shards
+	retries        atomic.Int64 // failover re-dispatches after failed attempts
 
 	modelledJoules atomicFloat // sum of per-option modelled energy
 
@@ -173,8 +175,9 @@ type metrics struct {
 	// aware companion of the cumulative optionsPerSec.
 	window rateWindow
 
-	mu         sync.Mutex
-	perBackend map[string]*atomic.Int64 // options priced per backend shard
+	mu            sync.Mutex
+	perBackend    map[string]*atomic.Int64 // options priced per backend shard
+	perBackendErr map[string]*atomic.Int64 // failed pricing attempts per backend shard
 
 	// substrate, when set, snapshots per-backend device counters from
 	// the platform engines; render appends them to the exposition.
@@ -182,6 +185,16 @@ type metrics struct {
 	// traceStats, when set, reports the span tracer's emitted/dropped/
 	// retained counts.
 	traceStats func() (emitted, dropped int64, retained int)
+	// breakers, when set, snapshots per-shard circuit breaker state for
+	// the exposition.
+	breakers func() []breakerStat
+}
+
+// breakerStat is one shard's circuit breaker snapshot at render time.
+type breakerStat struct {
+	backend string
+	state   breakerState
+	opens   int64 // cumulative closed/half-open -> open transitions
 }
 
 // substrateStat is one backend's accumulated device-level activity, read
@@ -196,11 +209,12 @@ type substrateStat struct {
 func newMetrics() *metrics {
 	batchBounds := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 	m := &metrics{
-		start:      time.Now(),
-		latency:    newHistogram(latencyBuckets),
-		batchSize:  newHistogram(batchBounds),
-		phases:     make(map[string]*histogram, len(phaseNames)),
-		perBackend: make(map[string]*atomic.Int64),
+		start:         time.Now(),
+		latency:       newHistogram(latencyBuckets),
+		batchSize:     newHistogram(batchBounds),
+		phases:        make(map[string]*histogram, len(phaseNames)),
+		perBackend:    make(map[string]*atomic.Int64),
+		perBackendErr: make(map[string]*atomic.Int64),
 	}
 	for _, p := range phaseNames {
 		m.phases[p] = newHistogram(latencyBuckets)
@@ -225,6 +239,19 @@ func (m *metrics) backendCounter(name string) *atomic.Int64 {
 	if !ok {
 		c = new(atomic.Int64)
 		m.perBackend[name] = c
+	}
+	return c
+}
+
+// backendErrCounter returns the per-shard failed-attempt counter,
+// creating it on first use.
+func (m *metrics) backendErrCounter(name string) *atomic.Int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.perBackendErr[name]
+	if !ok {
+		c = new(atomic.Int64)
+		m.perBackendErr[name] = c
 	}
 	return c
 }
@@ -286,6 +313,8 @@ func (m *metrics) render(queueDepth int64, cacheLen int) string {
 	w("binopt_cache_hits_total %d\n", m.cacheHits.Load())
 	w("binopt_cache_entries %d\n", cacheLen)
 	w("binopt_solver_pricings_total %d\n", m.solverPricings.Load())
+	w("binopt_price_errors_total %d\n", m.priceErrors.Load())
+	w("binopt_retries_total %d\n", m.retries.Load())
 	w("binopt_queue_depth %d\n", queueDepth)
 	w("binopt_options_per_sec %.3f\n", m.optionsPerSec())
 	now := time.Now()
@@ -319,7 +348,22 @@ func (m *metrics) render(queueDepth int64, cacheLen int) string {
 	for _, name := range names {
 		w("binopt_backend_options_priced_total{backend=%q} %d\n", name, m.perBackend[name].Load())
 	}
+	errNames := make([]string, 0, len(m.perBackendErr))
+	for name := range m.perBackendErr {
+		errNames = append(errNames, name)
+	}
+	sort.Strings(errNames)
+	for _, name := range errNames {
+		w("binopt_backend_price_errors_total{backend=%q} %d\n", name, m.perBackendErr[name].Load())
+	}
 	m.mu.Unlock()
+
+	if m.breakers != nil {
+		for _, bs := range m.breakers() {
+			w("binopt_breaker_state{backend=%q} %d\n", bs.backend, int(bs.state))
+			w("binopt_breaker_opens_total{backend=%q} %d\n", bs.backend, bs.opens)
+		}
+	}
 
 	if m.substrate != nil {
 		for _, st := range m.substrate() {

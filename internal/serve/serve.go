@@ -52,6 +52,18 @@ type Config struct {
 	// or failing engine. The default prices on the double-precision
 	// reference lattice at Steps depth.
 	PriceFunc func(option.Option) (float64, error)
+	// MaxAttempts bounds how many shards a single option may be tried
+	// on before its error reaches the client (default 3; 1 disables
+	// failover). Results are bit-identical across shards, so re-
+	// dispatching a failed job elsewhere is semantically invisible.
+	MaxAttempts int
+	// RetryBackoff is the base of the exponential backoff between a
+	// failed attempt and its re-dispatch (default 1ms; attempt n waits
+	// RetryBackoff << (n-1)).
+	RetryBackoff time.Duration
+	// Breaker parameterises the per-shard circuit breakers; zero fields
+	// take the BreakerConfig defaults.
+	Breaker BreakerConfig
 	// Tracer, when set, receives spans for every request and priced
 	// option — host phases and modelled device commands — and enables
 	// the /debug/trace Chrome-trace endpoint. nil disables tracing (the
@@ -75,6 +87,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 65536
 	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Millisecond
+	}
 	return c
 }
 
@@ -89,6 +107,10 @@ type Result struct {
 	// ModelledJoules is the modelled energy of producing this result on
 	// the shard's device (zero for cache hits).
 	ModelledJoules float64 `json:"modelled_joules"`
+	// Retries counts the failed pricing attempts this option survived
+	// before Backend produced it — nonzero means failover saved the
+	// request from a shard fault.
+	Retries int `json:"retries,omitempty"`
 }
 
 // Server is the pricing service. Construct with New, serve via Handler,
@@ -104,9 +126,10 @@ type Server struct {
 	backends []*backend
 	tracer   *telemetry.Tracer // nil-safe: nil is the disabled tracer
 
-	queued atomic.Int64 // admitted, not yet completed
-	closed atomic.Bool
-	wg     sync.WaitGroup
+	queued  atomic.Int64 // admitted, not yet completed
+	closed  atomic.Bool
+	aborted chan struct{} // closed when a drain deadline abandons shutdown
+	wg      sync.WaitGroup
 }
 
 // New builds and starts a Server (backend workers launch immediately).
@@ -132,18 +155,20 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 		cache:   newResultCache(cfg.CacheSize),
 		tracer:  cfg.Tracer,
+		aborted: make(chan struct{}),
 	}
 	s.priceFn = cfg.PriceFunc
 	if s.priceFn == nil {
 		s.priceFn = eng.Price
 	}
 	for _, bc := range cfg.Backends {
-		s.backends = append(s.backends, newBackend(bc, s.metrics))
+		s.backends = append(s.backends, newBackend(bc, s.metrics, cfg.Breaker))
 	}
 	if err := s.verifyEngineParity(); err != nil {
 		return nil, err
 	}
 	s.metrics.substrate = s.substrateStats
+	s.metrics.breakers = s.breakerStats
 	if s.tracer.Enabled() {
 		s.metrics.traceStats = func() (int64, int64, int) {
 			return s.tracer.Emitted(), s.tracer.Dropped(), s.tracer.Len()
@@ -177,7 +202,7 @@ func (s *Server) verifyEngineParity() error {
 		return fmt.Errorf("serve: parity reference: %w", err)
 	}
 	for _, be := range s.backends {
-		if be.cfg.Engine == nil {
+		if be.cfg.Engine == nil || be.cfg.PriceFunc != nil {
 			continue
 		}
 		got, err := be.cfg.Engine.Price(probe)
@@ -327,17 +352,29 @@ func (s *Server) PriceOptionsTimed(ctx context.Context, opts []option.Option) ([
 		admitted++
 	}
 
+	// Drain every job's done channel even after a failure: sibling jobs
+	// from this request are still in flight, and returning early would
+	// silently discard their results and never observe their phase
+	// metrics and spans. Only the caller's context abandons the wait
+	// (the buffered channels keep the workers from blocking on us).
+	var firstErr error
 	for k, j := range jobs {
 		select {
 		case res := <-j.done:
 			if res.err != nil {
-				return nil, phases, fmt.Errorf("serve: pricing %v: %w", j.opt, res.err)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("serve: contract %d (%v): %w", jobIdx[k], j.opt, res.err)
+				}
+				continue
 			}
-			results[jobIdx[k]] = Result{Price: res.price, Backend: res.backend, ModelledJoules: res.joules}
+			results[jobIdx[k]] = Result{Price: res.price, Backend: res.backend, ModelledJoules: res.joules, Retries: res.retries}
 			s.observeDelivery(j, res.backend, &phases)
 		case <-ctx.Done():
 			return nil, phases, ctx.Err()
 		}
+	}
+	if firstErr != nil {
+		return nil, phases, firstErr
 	}
 	return results, phases, nil
 }
@@ -394,6 +431,10 @@ func (s *Server) Close(ctx context.Context) error {
 	for s.queued.Load() > 0 {
 		select {
 		case <-ctx.Done():
+			// Abandoning the drain: wake any dispatch blocked on a full
+			// shard queue so it can fail its jobs and roll back their
+			// admission instead of leaking on a queue nobody drains.
+			close(s.aborted)
 			return fmt.Errorf("serve: drain interrupted with %d options in flight: %w", s.queued.Load(), ctx.Err())
 		case <-tick.C:
 		}
