@@ -1,0 +1,141 @@
+// Command binoptvet runs the repo's domain-specific static checks: the
+// five analyzers in internal/lint/suite (kernel determinism, barrier
+// discipline, unit-suffix safety, float equality, lock hygiene).
+//
+// Standalone:
+//
+//	go run ./cmd/binoptvet ./...
+//
+// As a vet tool (the go command drives it once per compilation unit and
+// caches clean results):
+//
+//	go build -o bin/binoptvet ./cmd/binoptvet
+//	go vet -vettool=$(pwd)/bin/binoptvet ./...
+//
+// Findings are suppressed line-by-line with
+// `//binopt:ignore <analyzer> <reason>`; the reason is mandatory.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"binopt/internal/lint"
+	"binopt/internal/lint/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("binoptvet", flag.ExitOnError)
+	fs.Usage = usage
+	listOnly := fs.Bool("list", false, "list the registered analyzers and exit")
+	version := fs.String("V", "", "internal: go command version handshake")
+	printFlags := fs.Bool("flags", false, "internal: print the tool's flag schema as JSON")
+	fs.Parse(args)
+
+	// The go command's vettool handshake: `-V=full` must echo a line the
+	// build cache can key on, `-flags` must describe passable flags.
+	if *version != "" {
+		return printVersion(*version)
+	}
+	if *printFlags {
+		fmt.Println("[]")
+		return 0
+	}
+	if *listOnly {
+		for _, a := range suite.Analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	rest := fs.Args()
+
+	// Unit mode: the go command invokes the tool with a single *.cfg
+	// argument per compilation unit.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		diags, err := lint.RunUnit(suite.Analyzers, rest[0])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "binoptvet: %v\n", err)
+			return 1
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		if len(diags) > 0 {
+			return 2
+		}
+		return 0
+	}
+
+	// Standalone mode: patterns resolve through `go list` from the
+	// current directory.
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := lint.Run(suite.Analyzers, ".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "binoptvet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "binoptvet: %d finding(s)\n", len(diags))
+		return 2
+	}
+	return 0
+}
+
+// printVersion answers the go command's `-V=full` probe. The line must
+// start with "binoptvet version"; hashing our own executable gives the
+// build cache an honest key, so edits to the tool invalidate cached vet
+// results.
+func printVersion(mode string) int {
+	if mode != "full" {
+		fmt.Println("binoptvet version 1")
+		return 0
+	}
+	self, err := os.Executable()
+	if err == nil {
+		if f, ferr := os.Open(self); ferr == nil {
+			h := sha256.New()
+			_, err = io.Copy(h, f)
+			f.Close()
+			if err == nil {
+				fmt.Printf("binoptvet version 1 buildID=%x\n", h.Sum(nil)[:16])
+				return 0
+			}
+		}
+	}
+	fmt.Println("binoptvet version 1 buildID=unknown")
+	return 0
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `binoptvet checks binomial-pricer invariants the compiler cannot:
+
+  kerneldet   kernel bodies stay deterministic (parity probe, §IV)
+  barrieruse  work-group kernels barrier between conflicting local accesses
+  unitcheck   Joules/Seconds/Hz/Bytes/Watts suffixes are not mixed (Table I)
+  floateq     float ==/!= outside tolerance helpers
+  locksafe    no mutex held across channel ops or Engine calls
+
+usage:
+  binoptvet [packages]        analyze packages (default ./...)
+  binoptvet -list             list analyzers
+  go vet -vettool=binoptvet   run under the go command with caching
+
+suppress a finding with an adjacent comment:
+  //binopt:ignore <analyzer> <reason>
+`)
+}

@@ -148,6 +148,7 @@ func newKernelEngine(desc Description, est perf.Estimate, steps int) (*Engine, e
 		if err != nil {
 			return nil, fmt.Errorf("accel: %s: probe reference: %w", desc.Name, err)
 		}
+		//binopt:ignore floateq the probe asserts bit-exact kernel/host parity (the §IV invariant), not numerical closeness
 		if got := res.Prices[i]; got != want {
 			return nil, fmt.Errorf("accel: %s: kernel/host parity violation at probe depth %d, option %d: device %v (%#x) vs host %v (%#x)",
 				desc.Name, probe, i, got, math.Float64bits(got), want, math.Float64bits(want))

@@ -137,6 +137,9 @@ func Parse(spec string, seed int64) (*Injector, error) {
 				return nil, fmt.Errorf("faults: clause %q: unknown profile %q (want err/lat/stuck/stall)", clause, key)
 			}
 		}
+		if r.latRate == 0 {
+			r.latency = 0 // lat=DUR@0 never fires; drop the dead duration
+		}
 		if r.errRate == 0 && r.latRate == 0 && r.stuckAfter < 0 {
 			return nil, fmt.Errorf("faults: clause %q selects no fault profile", clause)
 		}
@@ -161,6 +164,36 @@ func (in *Injector) Seed() int64 { return in.seed }
 
 // String returns the spec the injector was compiled from.
 func (in *Injector) String() string { return in.spec }
+
+// Canonical re-emits the compiled rules as a normalized spec: clauses
+// sorted by backend, profiles in err, lat, stuck, stall order, inactive
+// components omitted, durations and rates in Go's shortest round-trip
+// forms. Parsing a canonical spec yields the same canonical spec, so
+// two specs compile to the same fault schedule iff their canonical
+// forms match; chaos reports log this form.
+func (in *Injector) Canonical() string {
+	var clauses []string
+	for _, backend := range in.Backends() {
+		r := in.rules[backend]
+		var ps []string
+		if r.errRate > 0 {
+			ps = append(ps, "err="+formatRate(r.errRate))
+		}
+		if r.latRate > 0 {
+			ps = append(ps, "lat="+r.latency.String()+"@"+formatRate(r.latRate))
+		}
+		if r.stuckAfter >= 0 {
+			ps = append(ps, "stuck="+strconv.FormatInt(r.stuckAfter, 10))
+			ps = append(ps, "stall="+r.stall.String())
+		}
+		clauses = append(clauses, backend+":"+strings.Join(ps, ","))
+	}
+	return strings.Join(clauses, ";")
+}
+
+func formatRate(r float64) string {
+	return strconv.FormatFloat(r, 'g', -1, 64)
+}
 
 // Backends lists the scoped backend names, sorted ('*' included as-is).
 func (in *Injector) Backends() []string {

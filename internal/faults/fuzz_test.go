@@ -1,0 +1,125 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCanonical pins the normalized spelling of a representative spec:
+// clauses sorted, profiles in err/lat/stuck/stall order, defaults made
+// explicit, inactive components dropped.
+func TestCanonical(t *testing.T) {
+	cases := []struct {
+		spec, want string
+	}{
+		{"", ""},
+		{" ; ; ", ""},
+		{"gpu-ivb:err=0.20", "gpu-ivb:err=0.2"},
+		{"fpga-ivb:lat=5ms", "fpga-ivb:lat=5ms@1"},
+		{"cpu-ref:stuck=100", "cpu-ref:stuck=100,stall=50ms"},
+		{"cpu-ref:stall=20ms,stuck=100", "cpu-ref:stuck=100,stall=20ms"},
+		{"b:err=0.1;a:lat=1s@0.5", "a:lat=1s@0.5;b:err=0.1"},
+		{"*:err=0.05,lat=5ms@0", "*:err=0.05"},
+	}
+	for _, c := range cases {
+		in, err := Parse(c.spec, 1)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if got := in.Canonical(); got != c.want {
+			t.Errorf("Canonical(%q) = %q, want %q", c.spec, got, c.want)
+		}
+	}
+}
+
+// FuzzParse feeds arbitrary specs through the grammar. Parse must never
+// panic, and whenever it accepts a spec the canonical re-emission must
+// reparse to the identical canonical form and the identical compiled
+// schedule — the round-trip that lets chaos reports log Canonical() and
+// stay replayable.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"gpu-ivb:err=0.2",
+		"fpga-ivb:lat=5ms@0.1",
+		"cpu-ref:stuck=100,stall=20ms",
+		"*:err=0.05",
+		"a:err=1;b:lat=1h@0.5;c:stuck=0",
+		"a:err=0.2,lat=3ms@0.9,stuck=7,stall=1ms",
+		" spaced :  err = 0.5 ",
+		"a:err=2",
+		"a:lat=-5ms",
+		"a:stuck=-1",
+		"a:err=0.1;a:err=0.2",
+		"a:stall=9ms",
+		"a:b:err=1",
+		";;;",
+		"a,b:err=1e-3",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		in, err := Parse(spec, 42)
+		if err != nil {
+			if in != nil {
+				t.Fatalf("Parse(%q) returned both an injector and error %v", spec, err)
+			}
+			return
+		}
+		c1 := in.Canonical()
+		in2, err := Parse(c1, 42)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q does not reparse: %v", c1, spec, err)
+		}
+		c2 := in2.Canonical()
+		if c1 != c2 {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q -> %q", spec, c1, c2)
+		}
+		if got, want := strings.Join(in2.Backends(), ";"), strings.Join(in.Backends(), ";"); got != want {
+			t.Fatalf("round-trip changed backends: %q vs %q", got, want)
+		}
+		if in.Active() != in2.Active() {
+			t.Fatalf("round-trip changed Active: %v vs %v", in.Active(), in2.Active())
+		}
+		// The compiled rules must survive the round-trip exactly: same
+		// hooks scoped, and a wedged backend wedges at the same call.
+		for _, b := range in.Backends() {
+			r1, r2 := in.rules[b], in2.rules[b]
+			if r1.errRate != r2.errRate || r1.latency != r2.latency || r1.latRate != r2.latRate ||
+				r1.stuckAfter != r2.stuckAfter {
+				t.Fatalf("round-trip changed rule for %q: %+v vs %+v", b, r1, r2)
+			}
+			if r1.stuckAfter >= 0 && r1.stall != r2.stall {
+				t.Fatalf("round-trip changed stall for %q: %v vs %v", b, r1.stall, r2.stall)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedBehaviour spot-checks that a canonicalized spec drives the
+// injector identically to the original: same seed, same call order,
+// same fault schedule.
+func TestFuzzSeedBehaviour(t *testing.T) {
+	const spec = "a:err=0.5,lat=1us@0.5;b:stuck=3,stall=1us"
+	in1, err := Parse(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in2, err := Parse(in1.Canonical(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, h2 := in1.HookFor("a"), in2.HookFor("a")
+	w1, w2 := in1.HookFor("b"), in2.HookFor("b")
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; i < 64 && time.Now().Before(deadline); i++ {
+		if (h1() == nil) != (h2() == nil) {
+			t.Fatalf("call %d: error schedules diverge between spec and canonical form", i)
+		}
+		if (w1() == nil) != (w2() == nil) {
+			t.Fatalf("call %d: wedge schedules diverge between spec and canonical form", i)
+		}
+	}
+}

@@ -1,26 +1,28 @@
 package kernels
 
 import (
+	"strings"
 	"testing"
 
 	"binopt/internal/hwmath"
 	"binopt/internal/opencl"
+	"binopt/internal/option"
 )
 
 // The paper's §IV-A design rationale — ping-pong buffering exists "to
 // avoid any memory conflict" — as an executable invariant: both kernels'
 // drivers must run clean under the runtime's element-granular hazard
 // checker. RunIVA/RunIVB create their own queues, so the checker is
-// exercised through a purpose-built driver here mirroring RunIVA's batch
+// exercised through purpose-built drivers here mirroring the batch
 // structure with the checker enabled.
 
-func TestIVAPingPongIsHazardFree(t *testing.T) {
+// runIVABatch mirrors one batch of RunIVA with hazards enabled: same
+// kernel, same buffer layout, one enqueue. With inPlace it aliases the
+// output buffers onto the input buffers — the anti-pattern ping-pong
+// exists to avoid — and returns the enqueue error either way.
+func runIVABatch(t *testing.T, opts []option.Option, steps, local int, inPlace bool) error {
+	t.Helper()
 	ctx := testContext(t)
-	opts := testChain(4)
-	const steps = 12
-
-	// Mirror one batch of RunIVA with hazards enabled: build the same
-	// kernel and buffers, enqueue one batch.
 	q := ctx.NewQueue()
 	q.EnableHazardCheck()
 
@@ -34,6 +36,9 @@ func TestIVAPingPongIsHazardFree(t *testing.T) {
 		return b
 	}
 	sOld, vOld, sNew, vNew := mk("s0"), mk("v0"), mk("s1"), mk("v1")
+	if inPlace {
+		sNew, vNew = sOld, vOld
+	}
 	params, err := ctx.CreateBuffer("params", len(opts)*paramStride, 8)
 	if err != nil {
 		t.Fatal(err)
@@ -64,32 +69,18 @@ func TestIVAPingPongIsHazardFree(t *testing.T) {
 		steps, len(opts), steps, totalNodes); err != nil {
 		t.Fatal(err)
 	}
-	local := 6
 	global := (totalNodes + local - 1) / local * local
-	if _, err := q.EnqueueNDRange(kern, global, local); err != nil {
-		t.Fatalf("ping-pong batch flagged hazards: %v", err)
-	}
-
-	// The anti-pattern the paper avoids: write back into the buffers
-	// being read. The checker must catch it.
-	if err := kern.SetArgs(sOld, vOld, sOld, vOld, tTable, params,
-		steps, len(opts), steps, totalNodes); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := q.EnqueueNDRange(kern, global, local); err == nil {
-		t.Fatal("in-place tree update should be flagged as a memory conflict")
-	}
+	_, err = q.EnqueueNDRange(kern, global, local)
+	return err
 }
 
-func TestIVBKernelIsHazardFreeOnGlobals(t *testing.T) {
-	// Kernel IV.B touches global memory only for per-option params and
-	// the one result slot per group; run a real small batch through the
-	// checker via a custom queue + direct kernel build.
+// runIVBBatch runs one real IV.B batch — per-option params and one
+// result slot per group in global memory, the recombination tree in
+// local — through a hazard-checked queue and returns the enqueue error.
+func runIVBBatch(t *testing.T, opts []option.Option, steps int) error {
+	t.Helper()
 	ctx := testContext(t)
-	opts := testChain(3)
-	const steps = 8
 	rows := steps + 1
-
 	q := ctx.NewQueue()
 	q.EnableHazardCheck()
 	params, err := ctx.CreateBuffer("p", len(opts)*paramStride, 8)
@@ -111,7 +102,71 @@ func TestIVBKernelIsHazardFreeOnGlobals(t *testing.T) {
 	if err := kern.SetArgs(params, results, opencl.LocalAlloc{N: rows, ElemBytes: 8}, steps); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := q.EnqueueNDRange(kern, len(opts)*rows, rows); err != nil {
+	_, err = q.EnqueueNDRange(kern, len(opts)*rows, rows)
+	return err
+}
+
+func TestIVAPingPongIsHazardFree(t *testing.T) {
+	opts := testChain(4)
+	const steps = 12
+	if err := runIVABatch(t, opts, steps, 6, false); err != nil {
+		t.Fatalf("ping-pong batch flagged hazards: %v", err)
+	}
+	// The anti-pattern the paper avoids: write back into the buffers
+	// being read. The checker must catch it.
+	if err := runIVABatch(t, opts, steps, 6, true); err == nil {
+		t.Fatal("in-place tree update should be flagged as a memory conflict")
+	}
+}
+
+func TestIVBKernelIsHazardFreeOnGlobals(t *testing.T) {
+	if err := runIVBBatch(t, testChain(3), 8); err != nil {
 		t.Fatalf("kernel IV.B flagged hazards: %v", err)
+	}
+}
+
+// TestIVAPingPongHazardFreeAtDepth2048 sweeps the full production depth
+// (the paper's Table II tops out at 2048 steps): ~2.1M tree nodes per
+// batch through the element-granular checker. Under the race detector
+// the tree is thinned — the instrumented scheduler is an order of
+// magnitude slower and the invariant is depth-independent by
+// construction; the full sweep still runs in the plain test pass.
+func TestIVAPingPongHazardFreeAtDepth2048(t *testing.T) {
+	if testing.Short() {
+		t.Skip("depth-2048 hazard sweep is seconds-long; skipped in -short")
+	}
+	steps := 2048
+	if raceEnabled {
+		steps = 256
+	}
+	if err := runIVABatch(t, testChain(1), steps, 64, false); err != nil {
+		t.Fatalf("ping-pong batch at depth %d flagged hazards: %v", steps, err)
+	}
+}
+
+// TestIVBHazardFreeAtDeviceMaxDepth pushes kernel IV.B to the deepest
+// tree one work-group can hold: the modelled device caps work-group
+// size at 2048, so depth 2047 (2048 rows) is IV.B's ceiling and depth
+// 2048 must be rejected up front by the launch check — an explicit
+// local-size error, not a data hazard. This is the same envelope that
+// forces the paper to route deep trees to kernel IV.A.
+func TestIVBHazardFreeAtDeviceMaxDepth(t *testing.T) {
+	err := runIVBBatch(t, testChain(1), 2048)
+	if err == nil {
+		t.Fatal("depth 2048 needs a 2049-row work-group; the device cap should reject the launch")
+	}
+	if !strings.Contains(err.Error(), "local size") {
+		t.Fatalf("depth-2048 rejection should be the local-size launch check, got: %v", err)
+	}
+
+	if testing.Short() {
+		t.Skip("depth-2047 hazard sweep is seconds-long; skipped in -short")
+	}
+	steps := 2047
+	if raceEnabled {
+		steps = 255
+	}
+	if err := runIVBBatch(t, testChain(1), steps); err != nil {
+		t.Fatalf("kernel IV.B at depth %d flagged hazards: %v", steps, err)
 	}
 }

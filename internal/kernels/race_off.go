@@ -1,0 +1,8 @@
+//go:build !race
+
+package kernels
+
+// raceEnabled reports whether the race detector is compiled in; the
+// depth-2048 hazard sweeps thin their trees under race, where the
+// instrumented work-item scheduler is an order of magnitude slower.
+const raceEnabled = false

@@ -1,0 +1,249 @@
+// Package barrieruse is the static companion to the runtime hazard
+// tracker in internal/opencl: in a work-group kernel (a function
+// literal passed to opencl.NewKernel with usesBarriers=true), local
+// memory is shared by every work-item of the group, and the paper's
+// §IV-A discipline — "to avoid any memory conflict" — demands a Barrier
+// between a write to a local buffer and any access that could touch the
+// same element from another work-item.
+//
+// The model is index-expression based: all work-items execute the same
+// source, so an access at index text "k" by one work-item can alias an
+// access at a DIFFERENT index text ("k+1", "0") by its neighbour.
+// Between two barriers the analyzer therefore flags, per local buffer:
+//
+//   - RAW: LoadLocal after a StoreLocal with a different index text;
+//   - WAR: StoreLocal after a LoadLocal with a different index text;
+//   - WAW: two StoreLocals with different index texts.
+//
+// Same-index accesses are each work-item's own slot and stay silent,
+// which is exactly the read-modify-write pattern kernel IV.B uses. Loop
+// bodies are walked twice so hazards across the loop's back edge (a
+// store at the bottom racing a load at the top of the next iteration)
+// are caught — removing any one of IV.B's three barriers produces a
+// finding.
+package barrieruse
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+
+	"binopt/internal/lint"
+)
+
+// Analyzer flags unbarriered local-memory hazards in work-group kernels.
+var Analyzer = &lint.Analyzer{
+	Name: "barrieruse",
+	Doc: "in kernels built with usesBarriers=true, a StoreLocal followed by a " +
+		"potential cross-work-item LoadLocal/StoreLocal (or vice versa) without " +
+		"an intervening Barrier is a local-memory hazard",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Name() != "NewKernel" || fn.Pkg() == nil || fn.Pkg().Name() != "opencl" {
+				return true
+			}
+			if len(call.Args) < 3 || !constTrue(pass, call.Args[1]) {
+				return true // sequential kernels have no work-group concurrency
+			}
+			if lit, ok := ast.Unparen(call.Args[2]).(*ast.FuncLit); ok {
+				c := &checker{pass: pass, reported: make(map[token.Pos]bool)}
+				c.stmts(lit.Body.List, state{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func constTrue(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && constant.BoolVal(tv.Value)
+}
+
+// access is one unbarriered local-memory touch: which local buffer
+// (argument-slot expression text) at which index (expression text).
+type access struct {
+	pos      token.Pos
+	arg, idx string
+}
+
+// state is the set of unbarriered accesses flowing into a statement.
+type state struct {
+	stores []access
+	loads  []access
+}
+
+func (s state) clone() state {
+	return state{
+		stores: append([]access(nil), s.stores...),
+		loads:  append([]access(nil), s.loads...),
+	}
+}
+
+// union merges two control-flow paths; an access pending on either path
+// is pending after the join.
+func union(a, b state) state {
+	out := a.clone()
+	out.stores = mergeAccesses(out.stores, b.stores)
+	out.loads = mergeAccesses(out.loads, b.loads)
+	return out
+}
+
+func mergeAccesses(dst, src []access) []access {
+	seen := make(map[access]bool, len(dst))
+	for _, a := range dst {
+		seen[a] = true
+	}
+	for _, a := range src {
+		if !seen[a] {
+			seen[a] = true
+			dst = append(dst, a)
+		}
+	}
+	return dst
+}
+
+type checker struct {
+	pass     *lint.Pass
+	reported map[token.Pos]bool
+}
+
+func (c *checker) stmts(list []ast.Stmt, s state) state {
+	for _, st := range list {
+		s = c.stmt(st, s)
+	}
+	return s
+}
+
+func (c *checker) stmt(st ast.Stmt, s state) state {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		return c.stmts(st.List, s)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s = c.stmt(st.Init, s)
+		}
+		s = c.events(st.Cond, s)
+		thenOut := c.stmts(st.Body.List, s.clone())
+		elseOut := s
+		if st.Else != nil {
+			elseOut = c.stmt(st.Else, s.clone())
+		}
+		return union(thenOut, elseOut)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s = c.stmt(st.Init, s)
+		}
+		if st.Cond != nil {
+			s = c.events(st.Cond, s)
+		}
+		once := c.stmts(st.Body.List, s.clone())
+		if st.Post != nil {
+			once = c.stmt(st.Post, once)
+		}
+		// Second pass models the back edge: state at the loop bottom
+		// flows into the loop top of the next iteration.
+		again := c.stmts(st.Body.List, once.clone())
+		if st.Post != nil {
+			again = c.stmt(st.Post, again)
+		}
+		return union(s, union(once, again))
+	case *ast.RangeStmt:
+		s = c.events(st.X, s)
+		once := c.stmts(st.Body.List, s.clone())
+		again := c.stmts(st.Body.List, once.clone())
+		return union(s, union(once, again))
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s = c.stmt(st.Init, s)
+		}
+		if st.Tag != nil {
+			s = c.events(st.Tag, s)
+		}
+		out := s
+		for _, cl := range st.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				out = union(out, c.stmts(cc.Body, s.clone()))
+			}
+		}
+		return out
+	case *ast.LabeledStmt:
+		return c.stmt(st.Stmt, s)
+	default:
+		return c.events(st, s)
+	}
+}
+
+// events processes the local-memory operations inside one
+// non-control-flow node in source order.
+func (c *checker) events(n ast.Node, s state) state {
+	if n == nil {
+		return s
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		info := c.pass.TypesInfo
+		switch {
+		case lint.MethodCallOn(info, call, "WorkItem", "Barrier"):
+			s = state{}
+		case lint.MethodCallOn(info, call, "WorkItem", "StoreLocal") && len(call.Args) == 3:
+			st := access{pos: call.Pos(), arg: c.text(call.Args[0]), idx: c.text(call.Args[1])}
+			for _, ld := range s.loads {
+				if ld.arg == st.arg && ld.idx != st.idx {
+					c.report(call.Pos(), "StoreLocal(%s, %s) may overwrite an element another work-item "+
+						"is still reading (LoadLocal(%s, %s) at %s) without an intervening Barrier",
+						st.arg, st.idx, ld.arg, ld.idx, c.pos(ld.pos))
+					break
+				}
+			}
+			for _, prev := range s.stores {
+				if prev.arg == st.arg && prev.idx != st.idx {
+					c.report(call.Pos(), "StoreLocal(%s, %s) may collide with StoreLocal(%s, %s) (at %s) "+
+						"on another work-item's element without an intervening Barrier",
+						st.arg, st.idx, prev.arg, prev.idx, c.pos(prev.pos))
+					break
+				}
+			}
+			s.stores = mergeAccesses(s.stores, []access{st})
+		case lint.MethodCallOn(info, call, "WorkItem", "LoadLocal") && len(call.Args) == 2:
+			ld := access{pos: call.Pos(), arg: c.text(call.Args[0]), idx: c.text(call.Args[1])}
+			for _, st := range s.stores {
+				if st.arg == ld.arg && st.idx != ld.idx {
+					c.report(call.Pos(), "LoadLocal(%s, %s) may read another work-item's unbarriered "+
+						"StoreLocal(%s, %s) (at %s); insert a Barrier between the write and the read",
+						ld.arg, ld.idx, st.arg, st.idx, c.pos(st.pos))
+					break
+				}
+			}
+			s.loads = mergeAccesses(s.loads, []access{ld})
+		}
+		return true
+	})
+	return s
+}
+
+func (c *checker) text(e ast.Expr) string { return lint.ExprString(c.pass.Fset, e) }
+
+func (c *checker) pos(p token.Pos) token.Position { return c.pass.Fset.Position(p) }
+
+// report emits once per source position even though loops are walked
+// twice and branches may re-visit the same call.
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.reported[pos] {
+		return
+	}
+	c.reported[pos] = true
+	c.pass.Reportf(pos, format, args...)
+}

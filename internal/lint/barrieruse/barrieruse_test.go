@@ -1,0 +1,11 @@
+package barrieruse
+
+import (
+	"testing"
+
+	"binopt/internal/lint/linttest"
+)
+
+func TestBarrieruse(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "bu")
+}

@@ -1,0 +1,124 @@
+package bu
+
+import "opencl"
+
+// cleanIVB mirrors kernel IV.B's barrier discipline exactly: leaf
+// barrier after the initial store, a barrier between the neighbour
+// loads and the write-back, and a barrier before the next level's
+// loads. No findings.
+func cleanIVB() *opencl.Kernel {
+	return opencl.NewKernel("ivb-clean", true, func(wi *opencl.WorkItem) {
+		k := wi.LocalID()
+		n := wi.Int(0)
+		wi.StoreLocal(0, k, float64(k))
+		wi.Barrier()
+		for t := n; t >= 1; t-- {
+			if k < t {
+				up := wi.LoadLocal(0, k+1)
+				down := wi.LoadLocal(0, k)
+				wi.Barrier()
+				wi.StoreLocal(0, k, 0.5*(up+down))
+			}
+			wi.Barrier()
+		}
+	})
+}
+
+// missingMidBarrier drops IV.B's barrier between the neighbour loads
+// and the write-back: the store at k races a neighbour still reading
+// k (its own k+1).
+func missingMidBarrier() *opencl.Kernel {
+	return opencl.NewKernel("ivb-no-mid", true, func(wi *opencl.WorkItem) {
+		k := wi.LocalID()
+		n := wi.Int(0)
+		wi.StoreLocal(0, k, float64(k))
+		wi.Barrier()
+		for t := n; t >= 1; t-- {
+			up := wi.LoadLocal(0, k+1)
+			down := wi.LoadLocal(0, k)
+			wi.StoreLocal(0, k, 0.5*(up+down)) // want `may overwrite an element another work-item`
+			wi.Barrier()
+		}
+	})
+}
+
+// missingEndBarrier drops IV.B's barrier at the bottom of the loop:
+// the store at k survives the back edge and races the next level's
+// load at k+1.
+func missingEndBarrier() *opencl.Kernel {
+	return opencl.NewKernel("ivb-no-end", true, func(wi *opencl.WorkItem) {
+		k := wi.LocalID()
+		n := wi.Int(0)
+		wi.StoreLocal(0, k, float64(k))
+		wi.Barrier()
+		for t := n; t >= 1; t-- {
+			up := wi.LoadLocal(0, k+1) // want `may read another work-item's unbarriered`
+			down := wi.LoadLocal(0, k)
+			wi.Barrier()
+			wi.StoreLocal(0, k, 0.5*(up+down))
+		}
+	})
+}
+
+// missingLeafBarrier drops the barrier after the initial payoff store,
+// so the first level's neighbour load sees an unbarriered write.
+func missingLeafBarrier() *opencl.Kernel {
+	return opencl.NewKernel("ivb-no-leaf", true, func(wi *opencl.WorkItem) {
+		k := wi.LocalID()
+		n := wi.Int(0)
+		wi.StoreLocal(0, k, float64(k))
+		for t := n; t >= 1; t-- {
+			up := wi.LoadLocal(0, k+1) // want `may read another work-item's unbarriered`
+			down := wi.LoadLocal(0, k)
+			wi.Barrier()
+			wi.StoreLocal(0, k, 0.5*(up+down))
+			wi.Barrier()
+		}
+	})
+}
+
+// scatterStores writes two different slots back to back: on another
+// work-item those slots alias, so the pair needs a barrier between.
+func scatterStores() *opencl.Kernel {
+	return opencl.NewKernel("scatter", true, func(wi *opencl.WorkItem) {
+		k := wi.LocalID()
+		wi.StoreLocal(0, k, 1)
+		wi.StoreLocal(0, k+1, 2) // want `on another work-item's element`
+		wi.Barrier()
+	})
+}
+
+// distinctBuffers is clean: the unbarriered accesses touch different
+// local buffers, which never alias.
+func distinctBuffers() *opencl.Kernel {
+	return opencl.NewKernel("two-buffers", true, func(wi *opencl.WorkItem) {
+		k := wi.LocalID()
+		wi.StoreLocal(0, k, 1)
+		v := wi.LoadLocal(1, k+1)
+		wi.StoreLocal(1, k+1, v+1)
+		wi.Barrier()
+	})
+}
+
+// sequentialKernel uses the same racy shape but is built with
+// usesBarriers=false: a sequential kernel has no work-group
+// concurrency, so nothing is flagged.
+func sequentialKernel() *opencl.Kernel {
+	return opencl.NewKernel("iva-like", false, func(wi *opencl.WorkItem) {
+		k := wi.LocalID()
+		wi.StoreLocal(0, k, 1)
+		_ = wi.LoadLocal(0, k+1)
+	})
+}
+
+// suppressedKernel documents a deliberate exception with the shared
+// ignore directive.
+func suppressedKernel() *opencl.Kernel {
+	return opencl.NewKernel("annotated", true, func(wi *opencl.WorkItem) {
+		k := wi.LocalID()
+		wi.StoreLocal(0, k, 1)
+		//binopt:ignore barrieruse single work-item group proven by launch config
+		_ = wi.LoadLocal(0, k+1)
+		wi.Barrier()
+	})
+}

@@ -1,0 +1,24 @@
+// Package opencl is a minimal stub of the runtime: kerneldet and
+// barrieruse recognise NewKernel and WorkItem by name, so testdata can
+// exercise the analyzers without the real simulator.
+package opencl
+
+type WorkItem struct{}
+
+func (wi *WorkItem) LocalID() int                        { return 0 }
+func (wi *WorkItem) GroupID() int                        { return 0 }
+func (wi *WorkItem) Int(i int) int                       { return 0 }
+func (wi *WorkItem) Load(b *Buffer, idx int) float64     { return 0 }
+func (wi *WorkItem) Store(b *Buffer, idx int, v float64) {}
+func (wi *WorkItem) LoadLocal(arg, idx int) float64      { return 0 }
+func (wi *WorkItem) StoreLocal(arg, idx int, v float64)  {}
+func (wi *WorkItem) Barrier()                            {}
+func (wi *WorkItem) Buffer(i int) *Buffer                { return nil }
+
+type Buffer struct{}
+
+type Kernel struct{}
+
+func NewKernel(name string, usesBarriers bool, fn func(*WorkItem)) *Kernel {
+	return &Kernel{}
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces a suppression comment:
+//
+//	//binopt:ignore <analyzer> <reason>
+//
+// It silences findings of the named analyzer on the same source line or
+// on the line directly below the comment (so the directive can sit on
+// its own line above the flagged statement).
+const DirectivePrefix = "//binopt:ignore"
+
+// directive is one parsed suppression.
+type directive struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+}
+
+// collectDirectives parses every //binopt:ignore comment. Malformed
+// directives — missing analyzer, missing reason, or naming an analyzer
+// not in the running suite — become findings under the pseudo-analyzer
+// "directive", so a suppression can never silently rot.
+func collectDirectives(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File) ([]directive, []Diagnostic) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var dirs []directive
+	var diags []Diagnostic
+	bad := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: "directive",
+			Pos:      fset.Position(pos),
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue // not ours, e.g. //binopt:ignorexyz
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+				if name == "" {
+					bad(c.Pos(), "binopt:ignore needs an analyzer name and a reason")
+					continue
+				}
+				if !known[name] {
+					bad(c.Pos(), "binopt:ignore names unknown analyzer %q", name)
+					continue
+				}
+				if strings.TrimSpace(reason) == "" {
+					bad(c.Pos(), "binopt:ignore %s needs a written reason", name)
+					continue
+				}
+				p := fset.Position(c.Pos())
+				dirs = append(dirs, directive{analyzer: name, reason: strings.TrimSpace(reason), file: p.Filename, line: p.Line})
+			}
+		}
+	}
+	return dirs, diags
+}
+
+// filterSuppressed drops findings covered by a directive on the same
+// line or the line directly above.
+func filterSuppressed(diags []Diagnostic, dirs []directive) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	covered := make(map[key]bool, len(dirs)*2)
+	for _, d := range dirs {
+		covered[key{d.file, d.line, d.analyzer}] = true
+		covered[key{d.file, d.line + 1, d.analyzer}] = true
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if covered[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

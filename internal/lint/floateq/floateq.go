@@ -1,0 +1,121 @@
+// Package floateq flags exact floating-point equality comparisons in
+// non-test code.
+//
+// The reproduction's parity suite compares prices bit-for-bit on
+// purpose — that is the §IV invariant — so _test.go files are the
+// sanctioned home for exact comparison and are skipped wholesale. In
+// production code an exact == or != on floats is almost always a
+// latent vacuous comparison: a branch taken because two code paths
+// share a rounding accident, or a guard that can never fire. The rare
+// intentional sites (parity probes, exact domain endpoints, sort
+// tie-breaks) carry a //binopt:ignore floateq directive with the
+// reason written down, which keeps the deliberate exactness auditable.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"binopt/internal/lint"
+)
+
+// Analyzer flags ==/!= between floating-point operands.
+var Analyzer = &lint.Analyzer{
+	Name: "floateq",
+	Doc: "flag exact ==/!= on floating-point values in non-test code outside " +
+		"tolerance helpers; comparisons against an exact zero, NaN self-checks " +
+		"(x != x) and math.Inf sentinels are allowed, and _test.go files are " +
+		"exempt because the parity suite compares bit-for-bit by design",
+	Run: run,
+}
+
+// approvedFunc matches names of tolerance helpers whose bodies may
+// compare floats exactly (typically against a computed bound).
+func approvedFunc(name string) bool {
+	lower := strings.ToLower(name)
+	for _, frag := range []string{"approx", "close", "within", "toler", "ulp"} {
+		if strings.Contains(lower, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *lint.Pass) error {
+	// Function literals inherit the enclosing declaration's name, so a
+	// closure inside approxEqual stays exempt with its parent.
+	check := func(enclosing string, root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			if approvedFunc(enclosing) {
+				return true
+			}
+			if !floatOperand(pass.TypesInfo, cmp.X) && !floatOperand(pass.TypesInfo, cmp.Y) {
+				return true
+			}
+			if exempt(pass, cmp) {
+				return true
+			}
+			pass.Reportf(cmp.OpPos, "exact floating-point %s comparison; use a tolerance helper, "+
+				"or annotate intentional bit-parity with %s floateq <reason>", cmp.Op, lint.DirectivePrefix)
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue // the parity suite asserts bit-exact equality by design
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					check(d.Name.Name, d.Body)
+				}
+			case *ast.GenDecl:
+				check("", d)
+			}
+		}
+	}
+	return nil
+}
+
+// floatOperand reports whether e has floating-point type.
+func floatOperand(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && lint.IsFloat(t)
+}
+
+// exempt holds the comparisons exact equality is legitimate for:
+// constant-zero sentinels, both-constant comparisons folded at compile
+// time, NaN self-tests, and ±Inf range sentinels.
+func exempt(pass *lint.Pass, cmp *ast.BinaryExpr) bool {
+	xv := pass.TypesInfo.Types[cmp.X]
+	yv := pass.TypesInfo.Types[cmp.Y]
+	if xv.Value != nil && yv.Value != nil {
+		return true
+	}
+	if isZero(xv) || isZero(yv) {
+		return true
+	}
+	if lint.ExprString(pass.Fset, cmp.X) == lint.ExprString(pass.Fset, cmp.Y) {
+		return true // x != x is the portable NaN test
+	}
+	if isInfCall(pass.TypesInfo, cmp.X) || isInfCall(pass.TypesInfo, cmp.Y) {
+		return true
+	}
+	return false
+}
+
+func isZero(tv types.TypeAndValue) bool {
+	return tv.Value != nil && tv.Value.String() == "0"
+}
+
+func isInfCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && lint.IsPkgFunc(info, call, "math", "Inf")
+}

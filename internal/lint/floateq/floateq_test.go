@@ -1,0 +1,11 @@
+package floateq
+
+import (
+	"testing"
+
+	"binopt/internal/lint/linttest"
+)
+
+func TestFloateq(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,49 @@
+package a
+
+import "math"
+
+func flagged(x, y float64, f32 float32) {
+	_ = x == y            // want `exact floating-point == comparison`
+	_ = x != y            // want `exact floating-point != comparison`
+	_ = f32 == float32(y) // want `exact floating-point == comparison`
+	if x == y+1 {         // want `exact floating-point == comparison`
+		return
+	}
+	_ = []bool{x == y} // want `exact floating-point == comparison`
+}
+
+func clean(x, y float64, n int) {
+	_ = x == 0   // exact-zero sentinel is deliberate
+	_ = 0.0 != y // either side
+	_ = x != x   // portable NaN test
+	_ = x == math.Inf(1)
+	_ = math.Inf(-1) == y
+	_ = n == 3 // integers are not floateq's business
+	_ = x < y  // ordering comparisons carry no exactness trap
+	const a, b = 1.5, 2.5
+	_ = a == b // both constant, folded at compile time
+}
+
+// approxEqual is a tolerance helper: exact comparison on the bound is
+// the point.
+func approxEqual(x, y, tol float64) bool {
+	d := x - y
+	if d < 0 {
+		d = -d
+	}
+	sameSign := (x >= 0) == (y >= 0)
+	_ = sameSign
+	return d == tol || d < tol
+}
+
+// withinULP inherits the exemption through its closure.
+func withinULP(x, y float64) bool {
+	eq := func() bool { return x == y }
+	return eq()
+}
+
+func suppressed(x, y float64) {
+	//binopt:ignore floateq bit-parity probe keeps exact equality on purpose
+	_ = x == y
+	_ = x != y //binopt:ignore floateq same-line suppression form
+}

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CalleeFunc resolves the function or method a call invokes, or nil for
+// indirect calls (function values, type conversions, some builtins).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsPkgFunc reports whether the call invokes the named package-level
+// function of a package with the given import path ("time", "math/rand").
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return len(names) == 0
+}
+
+// RecvNamed returns the named type of the method call's receiver
+// (through pointers), or nil when the call is not a method call.
+func RecvNamed(info *types.Info, call *ast.CallExpr) *types.Named {
+	fn := CalleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// MethodCallOn reports whether call invokes a method of the given name
+// on a receiver whose (pointer-stripped) named type is typeName. The
+// package of the receiver type is deliberately ignored so testdata can
+// stub domain types.
+func MethodCallOn(info *types.Info, call *ast.CallExpr, typeName, method string) bool {
+	named := RecvNamed(info, call)
+	if named == nil || named.Obj().Name() != typeName {
+		return false
+	}
+	fn := CalleeFunc(info, call)
+	return fn != nil && fn.Name() == method
+}
+
+// ExprString renders an expression compactly for messages and for
+// syntactic identity comparison.
+func ExprString(fset *token.FileSet, e ast.Expr) string {
+	var b strings.Builder
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "<expr>"
+	}
+	return b.String()
+}
+
+// IsFloat reports whether t's underlying type is a floating-point or
+// complex basic type.
+func IsFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,11 @@
+package kerneldet
+
+import (
+	"testing"
+
+	"binopt/internal/lint/linttest"
+)
+
+func TestKerneldet(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "kd")
+}

@@ -1,0 +1,87 @@
+package kd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+
+	"opencl"
+)
+
+var calibration = map[string]float64{"fma": 1}
+
+var scaleBias = 1.0
+
+var errSaturated = errors.New("saturated")
+
+func badKernel() *opencl.Kernel {
+	return opencl.NewKernel("bad", true, func(wi *opencl.WorkItem) {
+		t0 := time.Now() // want `calls time\.Now`
+		_ = t0
+		jitter := rand.Float64() // want `shared math/rand source`
+		_ = jitter
+		v := math.FMA(2, 3, 4) // want `calls math\.FMA`
+		_ = v
+		for k, f := range calibration { // want `ranges over a map` `touches package-level variable calibration`
+			_, _ = k, f
+		}
+		_ = scaleBias // want `touches package-level variable scaleBias`
+		helper(wi)
+	})
+}
+
+// helper is reachable from the kernel body, so its violations count.
+func helper(wi *opencl.WorkItem) {
+	wi.StoreLocal(0, 0, rand.Float64()) // want `shared math/rand source`
+	if err := validate(); err != nil {
+		_ = err
+	}
+}
+
+// validate is reachable transitively; error sentinels are tolerated.
+func validate() error {
+	return errSaturated
+}
+
+// goodKernel is a faithful miniature of IV.B: pure arithmetic over
+// arguments, a seeded generator built outside, and no global state.
+func goodKernel(seed int64) *opencl.Kernel {
+	rng := rand.New(rand.NewSource(seed))
+	noise := rng.Float64() // host-side, outside the kernel body
+	_ = noise
+	return opencl.NewKernel("good", true, func(wi *opencl.WorkItem) {
+		k := wi.LocalID()
+		n := wi.Int(3)
+		s := math.Pow(1.01, float64(2*k-n))
+		wi.StoreLocal(0, k, payoff(s))
+		wi.Barrier()
+	})
+}
+
+// payoff is reachable but clean.
+func payoff(s float64) float64 {
+	if s > 100 {
+		return s - 100
+	}
+	return 0
+}
+
+// hostSide is NOT reachable from any kernel: the same constructs are
+// fine here.
+func hostSide() float64 {
+	total := 0.0
+	for _, v := range calibration {
+		total += v
+	}
+	total += rand.Float64() * scaleBias
+	_ = time.Now()
+	return math.FMA(total, 2, 1)
+}
+
+func suppressedKernel() *opencl.Kernel {
+	return opencl.NewKernel("annotated", false, func(wi *opencl.WorkItem) {
+		//binopt:ignore kerneldet bias is frozen before any kernel launches
+		_ = scaleBias
+	})
+}

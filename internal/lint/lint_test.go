@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// checkSrc type-checks one source string and runs the analyzers.
+func checkSrc(t *testing.T, src string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := AnalyzePackage(analyzers, fset, []*ast.File{f}, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// intLit is a toy analyzer: it flags every integer literal. Small
+// enough to exercise reporting and suppression end to end.
+var intLit = &Analyzer{
+	Name: "intlit",
+	Doc:  "flags integer literals (test analyzer)",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if bl, ok := n.(*ast.BasicLit); ok && bl.Kind == token.INT {
+					pass.Reportf(bl.Pos(), "integer literal %s", bl.Value)
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestReportAndSuppress(t *testing.T) {
+	src := `package p
+
+var a = 1
+var b = 2 //binopt:ignore intlit literal is load-bearing
+
+//binopt:ignore intlit next-line form covers this one
+var c = 3
+
+var d = 4
+`
+	diags := checkSrc(t, src, intLit)
+	if len(diags) != 2 {
+		t.Fatalf("want 2 findings (lines 3 and 9), got %d: %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 3 || diags[1].Pos.Line != 9 {
+		t.Errorf("findings on wrong lines: %v", diags)
+	}
+	if !strings.Contains(diags[0].String(), "intlit: integer literal 1") {
+		t.Errorf("diagnostic format: %q", diags[0].String())
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	src := `package p
+
+//binopt:ignore
+var a = 1
+
+//binopt:ignore intlit
+var b = 2
+
+//binopt:ignore nosuchanalyzer because
+var c = 3
+`
+	diags := checkSrc(t, src, intLit)
+	var msgs []string
+	for _, d := range diags {
+		if d.Analyzer == "directive" {
+			msgs = append(msgs, d.Message)
+		}
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("want 3 directive findings, got %v", diags)
+	}
+	for want, got := range map[string]string{
+		"needs an analyzer name": msgs[0],
+		"needs a written reason": msgs[1],
+		"unknown analyzer":       msgs[2],
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("directive finding %q does not mention %q", got, want)
+		}
+	}
+	// The malformed directives must not suppress anything: all three
+	// literals still reported.
+	var lits int
+	for _, d := range diags {
+		if d.Analyzer == "intlit" {
+			lits++
+		}
+	}
+	if lits != 3 {
+		t.Errorf("malformed directives suppressed findings: %v", diags)
+	}
+}
+
+func TestDirectiveScopedToAnalyzer(t *testing.T) {
+	src := `package p
+
+//binopt:ignore intlit only silences intlit, not others
+var a = 1
+`
+	other := &Analyzer{
+		Name: "other",
+		Doc:  "flags the same literals under another name",
+		Run:  intLit.Run,
+	}
+	diags := checkSrc(t, src, intLit, other)
+	if len(diags) != 1 || diags[0].Analyzer != "other" {
+		t.Fatalf("want exactly the 'other' finding to survive, got %v", diags)
+	}
+}
+
+func TestMatchSuffix(t *testing.T) {
+	m := MatchSuffix("internal/serve", "internal/faults")
+	for path, want := range map[string]bool{
+		"binopt/internal/serve":      true,
+		"binopt/internal/serve_test": true, // external test package
+		"binopt/internal/faults":     true,
+		"binopt/internal/telemetry":  false,
+		"binopt/internal/servesque":  false,
+	} {
+		if got := m(path); got != want {
+			t.Errorf("MatchSuffix(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

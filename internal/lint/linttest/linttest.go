@@ -1,0 +1,228 @@
+// Package linttest is a golden-file harness for lint analyzers in the
+// style of golang.org/x/tools/go/analysis/analysistest: testdata
+// packages annotate the lines they expect findings on with
+//
+//	// want "regexp" "another regexp"
+//
+// and the harness fails the test on any unmatched expectation or
+// unexpected finding. Suppression directives (//binopt:ignore) are
+// honoured exactly as in the real driver, so their behaviour is
+// testable from testdata too.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"binopt/internal/lint"
+)
+
+// Run analyzes the packages under dir/src (one directory per package,
+// imported by its directory name) and compares findings against the
+// // want annotations in their sources. The analyzer's Match filter is
+// deliberately bypassed: testdata exercises the check itself, package
+// scoping is driver policy.
+func Run(t *testing.T, dir string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	ld := &loader{root: filepath.Join(dir, "src"), fset: token.NewFileSet(), pkgs: make(map[string]*loaded)}
+	for _, pkg := range pkgs {
+		lp, err := ld.load(pkg)
+		if err != nil {
+			t.Fatalf("loading testdata package %q: %v", pkg, err)
+		}
+		diags, err := lint.AnalyzePackage([]*lint.Analyzer{a}, ld.fset, lp.files, lp.pkg, lp.info)
+		if err != nil {
+			t.Fatalf("analyzing %q: %v", pkg, err)
+		}
+		checkWants(t, ld.fset, lp.files, diags)
+	}
+}
+
+// loaded is one type-checked testdata package.
+type loaded struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader resolves imports first against the testdata src tree, then
+// against the real toolchain via export data, so testdata can stub
+// domain packages (an `opencl` with WorkItem and NewKernel) while still
+// importing the genuine standard library.
+type loader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*loaded
+	gc   types.ImporterFrom // one instance, so stdlib types stay identical across packages
+
+	mu      sync.Mutex
+	exports map[string]string
+}
+
+func (l *loader) load(path string) (*loaded, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := lint.NewInfo()
+	conf := types.Config{Importer: (*testImporter)(l)}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loaded{files: files, pkg: pkg, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// testImporter adapts loader to types.Importer.
+type testImporter loader
+
+func (ti *testImporter) Import(path string) (*types.Package, error) {
+	l := (*loader)(ti)
+	if _, err := os.Stat(filepath.Join(l.root, path)); err == nil {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	if l.gc == nil {
+		l.gc = importer.ForCompiler(l.fset, "gc", func(p string) (io.ReadCloser, error) {
+			f, err := l.exportFile(p)
+			if err != nil {
+				return nil, err
+			}
+			return os.Open(f)
+		}).(types.ImporterFrom)
+	}
+	return l.gc.ImportFrom(path, "", 0)
+}
+
+// exportFile locates compiler export data for a real package, shelling
+// out to `go list -export` once per new dependency closure.
+func (l *loader) exportFile(path string) (string, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if f, ok := l.exports[path]; ok {
+		return f, nil
+	}
+	out, err := exec.Command("go", "list", "-e", "-deps", "-export", "-f",
+		`{{if .Export}}{{.ImportPath}} {{.Export}}{{end}}`, path).Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -export %s: %w", path, err)
+	}
+	if l.exports == nil {
+		l.exports = make(map[string]string)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if ip, f, ok := strings.Cut(line, " "); ok {
+			l.exports[ip] = f
+		}
+	}
+	f, ok := l.exports[path]
+	if !ok {
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	return f, nil
+}
+
+// wantRe pulls the quoted regexps off a // want comment; both "..."
+// and `...` forms are accepted.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// checkWants matches findings against // want annotations line by line.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
+	t.Helper()
+	type lineKey struct {
+		file string
+		line int
+	}
+	wants := make(map[lineKey][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					pat := m[1]
+					if m[2] != "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+					}
+					k := lineKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected finding: %s: %s", d.Pos, d.Analyzer, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	var keys []lineKey
+	for k, res := range wants {
+		if len(res) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+		}
+	}
+}

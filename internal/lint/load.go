@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPkg is the slice of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	ForTest    string
+	Export     string
+	Standard   bool
+	GoFiles    []string
+	ImportMap  map[string]string
+}
+
+// LoadedPackage is one type-checked analysis unit. For a package with
+// in-package tests the unit is the test variant (package sources plus
+// _test.go files); external _test packages load as their own unit.
+type LoadedPackage struct {
+	// Path is the base import path with any " [pkg.test]" test-variant
+	// suffix stripped; analyzers' Match filters see this form.
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Load type-checks the packages matching patterns (run from dir, which
+// must sit inside the module) and returns one unit per compilation the
+// toolchain would perform, test files included. Dependencies are
+// imported from compiler export data produced by `go list -export`, so
+// loading needs no network and no third-party machinery.
+func Load(dir string, patterns []string) ([]*LoadedPackage, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(dir, append([]string{
+		"-e", "-test", "-deps", "-export",
+		"-json=Dir,ImportPath,Name,ForTest,Export,Standard,GoFiles,ImportMap",
+	}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(metas))
+	byPath := make(map[string]*listPkg, len(metas))
+	for _, m := range metas {
+		byPath[m.ImportPath] = m
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+	}
+
+	// The dependency closure above does not say which packages were
+	// asked for; a second, root-only listing does.
+	roots, err := goList(dir, append([]string{
+		"-e", "-test", "-json=ImportPath,Name,ForTest",
+	}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+
+	// A package with in-package tests appears twice ("p" and
+	// "p [p.test]"); analyzing both would duplicate every finding in
+	// the shared files, so the test variant — the superset — wins.
+	variant := make(map[string]bool)
+	for _, r := range roots {
+		if r.ForTest != "" && pkgBase(r.ImportPath) == r.ForTest {
+			variant[r.ForTest] = true
+		}
+	}
+
+	var out []*LoadedPackage
+	for _, r := range roots {
+		if r.Name == "main" && strings.HasSuffix(r.ImportPath, ".test") {
+			continue // synthesized test binary
+		}
+		if r.ForTest == "" && variant[r.ImportPath] {
+			continue // base package shadowed by its test variant
+		}
+		m := byPath[r.ImportPath]
+		if m == nil {
+			return nil, fmt.Errorf("lint: go list closure is missing %q", r.ImportPath)
+		}
+		lp, err := checkUnit(m, exports)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// MatchSuffix returns a Match filter admitting packages whose import
+// path ends with one of the given suffixes. External test packages
+// ("p_test") count as their base package.
+func MatchSuffix(suffixes ...string) func(string) bool {
+	return func(path string) bool {
+		base := strings.TrimSuffix(path, "_test")
+		for _, s := range suffixes {
+			if strings.HasSuffix(base, s) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// pkgBase strips the " [pkg.test]" test-variant suffix.
+func pkgBase(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// checkUnit parses and type-checks one go list entry against the export
+// data of its dependency closure.
+func checkUnit(m *listPkg, exports map[string]string) (*LoadedPackage, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, g := range m.GoFiles {
+		name := g
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(m.Dir, g)
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := m.ImportMap[path]; ok {
+			path = mapped
+		}
+		exp, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(exp)
+	})
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgBase(m.ImportPath), fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", m.ImportPath, err)
+	}
+	return &LoadedPackage{Path: pkgBase(m.ImportPath), Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// goList runs `go list` with args in dir and decodes the JSON stream.
+func goList(dir string, args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %w\n%s", err, stderr.String())
+	}
+	var metas []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(outBytes))
+	for {
+		var m listPkg
+		if err := dec.Decode(&m); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		metas = append(metas, &m)
+	}
+	return metas, nil
+}
+
+// Run loads the packages matching patterns and applies every analyzer
+// whose Match filter admits the package, returning findings sorted by
+// position. Suppression directives are already applied.
+func Run(analyzers []*Analyzer, dir string, patterns []string) ([]Diagnostic, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, p := range pkgs {
+		var active []*Analyzer
+		for _, a := range analyzers {
+			if a.Match == nil || a.Match(p.Path) {
+				active = append(active, a)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		diags, err := AnalyzePackage(active, p.Fset, p.Files, p.Pkg, p.Info)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Path, err)
+		}
+		all = append(all, diags...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all, nil
+}

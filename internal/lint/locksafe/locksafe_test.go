@@ -1,0 +1,11 @@
+package locksafe
+
+import (
+	"testing"
+
+	"binopt/internal/lint/linttest"
+)
+
+func TestLocksafe(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,94 @@
+package a
+
+import "sync"
+
+// Engine stands in for accel.Engine: locksafe recognises the receiver
+// type by name so testdata needs no real accelerator.
+type Engine struct{}
+
+func (e *Engine) PriceOptions(n int) float64 { return float64(n) }
+
+type shard struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	jobs   chan int
+	engine *Engine
+}
+
+func (s *shard) flagged() {
+	s.mu.Lock()
+	s.jobs <- 1 // want `channel send while s\.mu is locked`
+	<-s.jobs    // want `channel receive while s\.mu is locked`
+	s.mu.Unlock()
+}
+
+func (s *shard) flaggedSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `select while s\.mu is locked`
+	case j := <-s.jobs:
+		_ = j
+	default:
+	}
+}
+
+func (s *shard) flaggedEngine() float64 {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.engine.PriceOptions(3) // want `call to Engine\.PriceOptions while s\.rw is locked`
+}
+
+func (s *shard) flaggedRange() {
+	s.mu.Lock()
+	for j := range s.jobs { // want `range over channel while s\.mu is locked`
+		_ = j
+	}
+	s.mu.Unlock()
+}
+
+// unlockBeforeDispatch is the idiom the serving pool uses everywhere:
+// detach under the lock, release, then block. No findings.
+func (s *shard) unlockBeforeDispatch() {
+	s.mu.Lock()
+	n := 1
+	s.mu.Unlock()
+	s.jobs <- n
+	_ = s.engine.PriceOptions(n)
+}
+
+// earlyReturnPath releases on the terminating branch; the fallthrough
+// path still holds the lock but performs no blocking op under it.
+func (s *shard) earlyReturnPath(closed bool) int {
+	s.mu.Lock()
+	if closed {
+		s.mu.Unlock()
+		return 0
+	}
+	n := cap(s.jobs)
+	s.mu.Unlock()
+	<-s.jobs
+	return n
+}
+
+// goroutineDoesNotInheritLocks: the spawned body has its own state.
+func (s *shard) goroutineDoesNotInheritLocks() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.jobs <- 1 // runs after Unlock on its own goroutine
+	}()
+}
+
+// distinctLocks: holding rw does not taint mu's critical path.
+func (s *shard) distinctLocks() {
+	s.rw.RLock()
+	s.rw.RUnlock()
+	s.jobs <- 1
+}
+
+func (s *shard) suppressed() {
+	s.mu.Lock()
+	//binopt:ignore locksafe send is buffered and never blocks by construction
+	s.jobs <- 1
+	s.mu.Unlock()
+}

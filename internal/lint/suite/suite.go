@@ -1,0 +1,23 @@
+// Package suite registers the binoptvet analyzers. The command and the
+// repo-wide integration test both consume this list, so adding an
+// analyzer here is the single step that wires it into `scripts/lint.sh`,
+// `go vet -vettool` and CI.
+package suite
+
+import (
+	"binopt/internal/lint"
+	"binopt/internal/lint/barrieruse"
+	"binopt/internal/lint/floateq"
+	"binopt/internal/lint/kerneldet"
+	"binopt/internal/lint/locksafe"
+	"binopt/internal/lint/unitcheck"
+)
+
+// Analyzers is every check binoptvet runs, in report order.
+var Analyzers = []*lint.Analyzer{
+	barrieruse.Analyzer,
+	floateq.Analyzer,
+	kerneldet.Analyzer,
+	locksafe.Analyzer,
+	unitcheck.Analyzer,
+}

@@ -1,0 +1,51 @@
+package suite
+
+import (
+	"path/filepath"
+	"testing"
+
+	"binopt/internal/lint"
+)
+
+// TestAnalyzerRegistry pins the suite's shape: five distinct, documented
+// analyzers under the names the suppression directives refer to.
+func TestAnalyzerRegistry(t *testing.T) {
+	want := map[string]bool{
+		"barrieruse": true, "floateq": true, "kerneldet": true,
+		"locksafe": true, "unitcheck": true,
+	}
+	seen := map[string]bool{}
+	for _, a := range Analyzers {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %q is missing a name, doc or run function", a.Name)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q in the suite", a.Name)
+		}
+	}
+	if len(seen) != len(want) {
+		t.Errorf("suite has %d analyzers, want %d", len(seen), len(want))
+	}
+}
+
+// TestRepoIsClean runs the whole suite over the repository — the same
+// gate CI applies. Every deliberate exception in the tree carries a
+// //binopt:ignore directive with a written reason, so a finding here is
+// either a real defect or an undocumented exception; both should fail.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint type-checks every package; skipped in -short")
+	}
+	root := filepath.Join("..", "..", "..")
+	diags, err := lint.Run(Analyzers, root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,72 @@
+package a
+
+// The seeded Table-I violation: energy and time added as if they were
+// the same dimension.
+func seededJouleSecondMix(kernelJoules, hostSeconds float64) float64 {
+	return kernelJoules + hostSeconds // want `'\+' mixes Joules and Seconds`
+}
+
+func flagged(staticWatts, runSeconds, fmaxMHz, clockHz float64, localBytes int64) {
+	_ = staticWatts - runSeconds // want `'-' mixes Watts and Seconds`
+	_ = fmaxMHz + clockHz        // want `'\+' mixes MHz and Hz`
+	if fmaxMHz < clockHz {       // want `'<' mixes MHz and Hz`
+		return
+	}
+	_ = float64(localBytes) + runSeconds // want `'\+' mixes Bytes and Seconds`
+
+	var totalJoules float64
+	totalJoules = runSeconds // want `assignment mixes Joules and Seconds`
+	_ = totalJoules
+
+	idleJoules := 0.0
+	idleJoules = staticWatts // want `assignment mixes Joules and Watts`
+	_ = idleJoules
+}
+
+type report struct {
+	EnergyJoules float64
+	WallSeconds  float64
+}
+
+func flaggedFieldsAndCalls(drainSeconds, busWatts float64) {
+	_ = report{
+		EnergyJoules: busWatts, // want `field EnergyJoules mixes Joules and Watts`
+		WallSeconds:  drainSeconds,
+	}
+	scale(busWatts) // want `argument busWatts passed to parameter baseJoules of scale mixes Watts and Joules`
+}
+
+func scale(baseJoules float64) float64 { return baseJoules * 2 }
+
+func clean(staticWatts, runSeconds, fmaxMHz float64) {
+	// Multiplication and division are dimension changes: the canonical
+	// Table-I identity joules = watts × seconds.
+	energyJoules := staticWatts * runSeconds
+	_ = energyJoules
+
+	// Same-unit arithmetic is the convention working as intended.
+	totalSeconds := runSeconds + runSeconds
+	_ = totalSeconds
+
+	// A division routed through a plainly-named intermediate is an
+	// explicit conversion.
+	fHz := fmaxMHz * 1e6
+	_ = fHz + fHz
+
+	// Non-numeric identifiers that happen to end in a unit word are not
+	// quantities: no finding even though the suffixes differ.
+	labelSeconds := "seconds"
+	labelJoules := "joules"
+	_ = labelSeconds == labelJoules
+
+	// Calls are conversion boundaries.
+	capped := capSeconds(staticWatts)
+	_ = capped + runSeconds
+}
+
+func capSeconds(x float64) float64 { return x }
+
+func suppressed(aJoules, bSeconds float64) {
+	//binopt:ignore unitcheck modelled exchange rate validated in fit_test
+	_ = aJoules + bSeconds
+}

@@ -1,0 +1,203 @@
+// Package unitcheck enforces the unit-suffix naming convention the
+// Table-I power model depends on: identifiers carrying a physical
+// quantity name their unit (…Joules, …Seconds, …Hz, …MHz, …Bytes,
+// …Watts), and arithmetic that adds, subtracts, compares or assigns
+// across two DIFFERENT units is flagged. Multiplication and division
+// legitimately change dimension (watts × seconds = joules), so they
+// reset the inferred unit — an explicit conversion is any expression
+// that routes through *, /, a function call, or a plainly-named
+// intermediate. The checker is deliberately name-driven: it models the
+// convention, not full dimensional analysis, exactly like the HLS
+// report's MHz/W bookkeeping it guards.
+package unitcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"unicode"
+
+	"binopt/internal/lint"
+)
+
+// Analyzer flags unit-suffix mismatches in +, -, comparisons,
+// assignments, composite-literal fields and call arguments.
+var Analyzer = &lint.Analyzer{
+	Name: "unitcheck",
+	Doc: "flag arithmetic, comparisons, assignments and calls that mix " +
+		"identifiers with different unit suffixes (Joules, Seconds, Hz, MHz, " +
+		"Bytes, Watts) without an explicit conversion",
+	Match: lint.MatchSuffix(
+		"internal/hls", "internal/perf", "internal/gpumodel", "internal/accel",
+	),
+	Run: run,
+}
+
+// units are recognised longest-first so FmaxMHz resolves to MHz, not Hz.
+var units = []string{"Joules", "Seconds", "MHz", "GHz", "Hz", "Bytes", "Watts"}
+
+// unitOfName extracts the unit suffix of an identifier, honouring
+// camel-case boundaries; a whole identifier equal to the lowercased
+// unit ("watts", "seconds") also counts.
+func unitOfName(name string) (string, bool) {
+	for _, u := range units {
+		if name == u {
+			return u, true
+		}
+		if len(name) > len(u) && name[len(name)-len(u):] == u {
+			prev := rune(name[len(name)-len(u)-1])
+			if unicode.IsLower(prev) || unicode.IsDigit(prev) {
+				return u, true
+			}
+		}
+	}
+	for _, u := range units {
+		if name == lowerUnit(u) {
+			return u, true
+		}
+	}
+	return "", false
+}
+
+func lowerUnit(u string) string {
+	b := []rune(u)
+	for i := range b {
+		b[i] = unicode.ToLower(b[i])
+	}
+	return string(b)
+}
+
+// unitOf infers the unit a whole expression denotes, or ok=false when
+// the expression's dimension is unknown (literals, products, calls —
+// all of which act as explicit conversions).
+func unitOf(info *types.Info, e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return unitOfName(e.Name)
+	case *ast.SelectorExpr:
+		return unitOfName(e.Sel.Name)
+	case *ast.ParenExpr:
+		return unitOf(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return unitOf(info, e.X)
+		}
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD || e.Op == token.SUB {
+			lu, lok := unitOf(info, e.X)
+			ru, rok := unitOf(info, e.Y)
+			if lok && rok && lu == ru {
+				return lu, true
+			}
+		}
+	case *ast.CallExpr:
+		// A type conversion is transparent: float64(xBytes) is still
+		// bytes. A real call is an explicit conversion boundary.
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return unitOf(info, e.Args[0])
+		}
+	case *ast.IndexExpr:
+		return unitOf(info, e.X)
+	}
+	return "", false
+}
+
+// numeric reports whether the expression has a numeric type — unit
+// discipline only concerns quantities, not strings like "…Seconds" keys.
+func numeric(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+func run(pass *lint.Pass) error {
+	info := pass.TypesInfo
+	mismatch := func(pos token.Pos, what, lu, ru string) {
+		pass.Reportf(pos, "%s mixes %s and %s without an explicit conversion", what, lu, ru)
+	}
+	both := func(x, y ast.Expr) (string, string, bool) {
+		lu, lok := unitOf(info, x)
+		ru, rok := unitOf(info, y)
+		if lok && rok && lu != ru && numeric(info, x) && numeric(info, y) {
+			return lu, ru, true
+		}
+		return "", "", false
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+					if lu, ru, bad := both(n.X, n.Y); bad {
+						mismatch(n.OpPos, "'"+n.Op.String()+"'", lu, ru)
+					}
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i := range n.Lhs {
+					if lu, ru, bad := both(n.Lhs[i], n.Rhs[i]); bad {
+						mismatch(n.TokPos, "assignment", lu, ru)
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) != len(n.Values) {
+					return true
+				}
+				for i := range n.Names {
+					if lu, ru, bad := both(n.Names[i], n.Values[i]); bad {
+						mismatch(n.Names[i].Pos(), "declaration", lu, ru)
+					}
+				}
+			case *ast.KeyValueExpr:
+				key, ok := n.Key.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if lu, lok := unitOfName(key.Name); lok {
+					if ru, rok := unitOf(info, n.Value); rok && lu != ru && numeric(info, n.Value) {
+						mismatch(n.Colon, "field "+key.Name, lu, ru)
+					}
+				}
+			case *ast.CallExpr:
+				checkCallArgs(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCallArgs compares each argument's unit against the callee
+// parameter's declared name: passing fHz into a parameter named mhz is
+// exactly the Table-I slip this exists to catch.
+func checkCallArgs(pass *lint.Pass, call *ast.CallExpr) {
+	fn := lint.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Variadic() {
+		return
+	}
+	params := sig.Params()
+	if params.Len() != len(call.Args) {
+		return
+	}
+	for i, arg := range call.Args {
+		pu, pok := unitOfName(params.At(i).Name())
+		if !pok {
+			continue
+		}
+		au, aok := unitOf(pass.TypesInfo, arg)
+		if aok && au != pu && numeric(pass.TypesInfo, arg) {
+			pass.Reportf(arg.Pos(), "argument %s passed to parameter %s of %s mixes %s and %s without an explicit conversion",
+				lint.ExprString(pass.Fset, arg), params.At(i).Name(), fn.Name(), au, pu)
+		}
+	}
+}

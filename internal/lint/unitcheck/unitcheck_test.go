@@ -1,0 +1,11 @@
+package unitcheck
+
+import (
+	"testing"
+
+	"binopt/internal/lint/linttest"
+)
+
+func TestUnitcheck(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// vetConfig mirrors the JSON file cmd/go hands a -vettool for each
+// compilation unit. Only the fields binoptvet consumes are declared;
+// the rest of the document is ignored.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit implements the `go vet -vettool` protocol for one .cfg file:
+// it type-checks the unit against the export data the go command
+// already built, applies every analyzer whose Match filter admits the
+// package, writes the (empty — binoptvet exports no facts) VetxOutput
+// file the go command insists on, and returns the findings.
+func RunUnit(analyzers []*Analyzer, cfgFile string) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("binoptvet: no facts\n"), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil // dependency pass: facts only, and we export none
+	}
+
+	path := pkgBase(cfg.ImportPath)
+	var active []*Analyzer
+	for _, a := range analyzers {
+		if a.Match == nil || a.Match(path) {
+			active = append(active, a)
+		}
+	}
+	if len(active) == 0 {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, g := range cfg.GoFiles {
+		if !filepath.IsAbs(g) {
+			g = filepath.Join(cfg.Dir, g)
+		}
+		f, err := parser.ParseFile(fset, g, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, func(p string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[p]; ok {
+			p = mapped
+		}
+		exp, ok := cfg.PackageFile[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(exp)
+	})
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("type-checking %s: %w", cfg.ImportPath, err)
+	}
+	return AnalyzePackage(active, fset, files, pkg, info)
+}

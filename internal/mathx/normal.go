@@ -61,6 +61,7 @@ func NormInvCDF(p float64) float64 {
 		return math.NaN()
 	case p == 0:
 		return math.Inf(-1)
+	//binopt:ignore floateq p == 1 is an exact domain endpoint (1.0 is representable), not a computed value
 	case p == 1:
 		return math.Inf(1)
 	}

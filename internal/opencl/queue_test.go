@@ -114,6 +114,7 @@ func TestBarrierReductionKernel(t *testing.T) {
 			if l < stride {
 				s := wi.LoadLocal(2, l) + wi.LoadLocal(2, l+stride)
 				wi.AddFlops(1)
+				//binopt:ignore barrieruse the l < stride guard keeps writers (l < stride) and read targets (l+stride >= stride) in disjoint halves
 				wi.StoreLocal(2, l, s)
 			}
 			wi.Barrier()

@@ -128,6 +128,7 @@ func Chrome(spans []Span) ([]byte, error) {
 		if a.Tid != b.Tid {
 			return a.Tid < b.Tid
 		}
+		//binopt:ignore floateq sort tie-break needs an exact total order, not tolerance
 		if a.Ts != b.Ts {
 			return a.Ts < b.Ts
 		}

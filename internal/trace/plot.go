@@ -30,9 +30,11 @@ func Plot(title, xLabel, yLabel string, xs, ys []float64, width, height int) (st
 		yMin = math.Min(yMin, ys[i])
 		yMax = math.Max(yMax, ys[i])
 	}
+	//binopt:ignore floateq a degenerate axis range means every point is bitwise identical; exact is the right test
 	if xMax == xMin {
 		return "", fmt.Errorf("trace: plot x range is degenerate")
 	}
+	//binopt:ignore floateq a degenerate axis range means every point is bitwise identical; exact is the right test
 	if yMax == yMin {
 		// Flat series: pad the range so the line sits mid-chart.
 		yMax += 1

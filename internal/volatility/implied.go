@@ -208,6 +208,7 @@ func Brent(price float64, o option.Option, pf PriceFunc, tol float64, maxIter in
 			return b, nil
 		}
 		var s float64
+		//binopt:ignore floateq Brent's method guard: exact inequality is what keeps the IQI denominators nonzero
 		if fa != fc && fb != fc {
 			// Inverse quadratic interpolation.
 			s = a*fb*fc/((fa-fb)*(fa-fc)) +

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Local mirror of CI's static gates: build binoptvet, run it over the
+# whole module via `go vet -vettool` (so clean packages come out of the
+# build cache), and hold the formatting / module-hygiene lines.
+#
+# Usage: scripts/lint.sh [packages...]    (default ./...)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pkgs=("$@")
+if [ ${#pkgs[@]} -eq 0 ]; then
+  pkgs=(./...)
+fi
+
+echo "== gofmt"
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "gofmt needs to run on:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "== go mod tidy -diff"
+go mod tidy -diff
+
+echo "== go vet"
+go vet "${pkgs[@]}"
+
+echo "== binoptvet"
+bin=$(mktemp -d)/binoptvet
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/binoptvet
+go vet -vettool="$bin" "${pkgs[@]}"
+
+echo "lint: clean"
