@@ -8,6 +8,15 @@
 //	pricesrvd -addr :8080 -steps 1024 &
 //	loadgen -addr http://127.0.0.1:8080 -n 2000 -warmup 1 -passes 5
 //
+// Against a fleet there are two modes. -targets round-robins requests
+// across the member nodes directly (client-side spreading, per-target
+// breakdown in the report); -via-router sends everything through one
+// cluster router entrypoint, measuring the fabric's own ring placement:
+//
+//	pricefleet -nodes 3 -addr :9090 &
+//	loadgen -targets http://n0:8080,http://n1:8080,http://n2:8080
+//	loadgen -via-router http://127.0.0.1:9090
+//
 // With -chaos the run becomes a fault-tolerance verdict: the report
 // gains client-visible error and server-side retry rates, and the exit
 // code is nonzero if any error reached a client — pair it with a
@@ -20,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"binopt/internal/serve"
@@ -29,6 +39,8 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", "http://127.0.0.1:8080", "base URL of the pricing server")
+		targets     = flag.String("targets", "", "comma-separated node base URLs; requests round-robin across them and the report breaks down per target (overrides -addr)")
+		viaRouter   = flag.String("via-router", "", "base URL of a cluster router; all requests go through this one entrypoint (overrides -addr and -targets)")
 		n           = flag.Int("n", 2000, "options per volatility-curve pass (the paper's chain size)")
 		seed        = flag.Int64("seed", 7, "chain generation seed")
 		concurrency = flag.Int("concurrency", 4, "in-flight requests")
@@ -41,13 +53,28 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*addr, *n, *seed, *concurrency, *batch, *warmup, *passes, *rps, *target, *chaos); err != nil {
+	// -via-router wins over -targets wins over -addr: one entrypoint,
+	// client-side spreading, single node — in that order of preference.
+	var targetList []string
+	base := *addr
+	switch {
+	case *viaRouter != "":
+		base = *viaRouter
+	case *targets != "":
+		for _, t := range strings.Split(*targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targetList = append(targetList, t)
+			}
+		}
+	}
+
+	if err := run(base, targetList, *n, *seed, *concurrency, *batch, *warmup, *passes, *rps, *target, *chaos); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n int, seed int64, concurrency, batch, warmup, passes int, rps, target float64, chaos bool) error {
+func run(addr string, targets []string, n int, seed int64, concurrency, batch, warmup, passes int, rps, target float64, chaos bool) error {
 	spec := workload.DefaultVolCurveSpec(seed)
 	spec.N = n
 	chain, err := workload.Chain(spec)
@@ -58,10 +85,17 @@ func run(addr string, n int, seed int64, concurrency, batch, warmup, passes int,
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("loadgen: %d-put chain (seed %d), %d warmup + %d measured passes, batch %d, concurrency %d\n",
-		n, seed, warmup, passes, batch, concurrency)
+	switch {
+	case len(targets) > 0:
+		fmt.Printf("loadgen: %d-put chain (seed %d), %d warmup + %d measured passes, batch %d, concurrency %d, %d targets round-robin\n",
+			n, seed, warmup, passes, batch, concurrency, len(targets))
+	default:
+		fmt.Printf("loadgen: %d-put chain (seed %d), %d warmup + %d measured passes, batch %d, concurrency %d\n",
+			n, seed, warmup, passes, batch, concurrency)
+	}
 	rep, err := serve.RunLoad(ctx, serve.LoadConfig{
 		BaseURL:      addr,
+		Targets:      targets,
 		Options:      chain,
 		Concurrency:  concurrency,
 		BatchSize:    batch,

@@ -1,0 +1,237 @@
+// Command pricefleet runs the distributed pricing fabric: a
+// consistent-hash router over a fleet of pricing nodes, speaking the
+// same /v1/price API as a single pricesrvd — clients cannot tell one
+// board from a rack. Two modes:
+//
+// In-process mode boots M full serving nodes inside this binary, each
+// with its own shard pool, result cache and gossip wiring — the whole
+// modelled data centre in one command:
+//
+//	pricefleet -addr :9090 -nodes 3 -steps 1024
+//	loadgen -via-router http://127.0.0.1:9090
+//
+// Join mode routes over externally started nodes instead (e.g. one
+// pricesrvd per machine):
+//
+//	pricesrvd -addr :8081 & pricesrvd -addr :8082 &
+//	pricefleet -addr :9090 -join http://127.0.0.1:8081,http://127.0.0.1:8082
+//
+// The router adds fleet endpoints on top of the node API:
+// GET /metrics carries the fleet roll-up (summed options/s, fleet
+// joules per option, ring-ownership and per-node liveness gauges);
+// POST /v1/invalidate broadcasts a cache-generation bump to every node.
+// In-process mode also mounts chaos controls for scripted kill tests:
+// GET /fleet/nodes lists the members, POST /fleet/kill?node=N yanks
+// one node's listener and connections mid-flight — the smoke test's
+// power cut.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"binopt/internal/cluster"
+	"binopt/internal/serve"
+	"binopt/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":9090", "router listen address")
+		nodes       = flag.Int("nodes", 3, "in-process fleet size (ignored with -join)")
+		join        = flag.String("join", "", "comma-separated base URLs of external nodes to route over instead of booting an in-process fleet")
+		steps       = flag.Int("steps", 1024, "binomial tree depth (the paper evaluates at 1024)")
+		cacheSize   = flag.Int("cache", 65536, "per-node LRU result cache capacity (negative disables; in-process mode)")
+		vnodes      = flag.Int("vnodes", 128, "virtual nodes per member on the hash ring")
+		seed        = flag.Uint64("seed", 1, "ring placement seed (same seed, same ownership)")
+		hedge       = flag.Duration("hedge", 0, "hedge delay: re-send a straggling sub-batch to the ring successor after this long (0 disables)")
+		maxAttempts = flag.Int("max-attempts", 3, "distinct nodes a sub-batch may be tried on before the client sees an error")
+		heartbeat   = flag.Duration("heartbeat", 250*time.Millisecond, "membership health-poll interval")
+		trace       = flag.Bool("trace", true, "router span tracing and the /debug/trace endpoint")
+		traceBuf    = flag.Int("trace-buf", 65536, "router span ring capacity")
+		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	cfg := fleetConfig{
+		addr: *addr, nodes: *nodes, join: *join, steps: *steps,
+		cacheSize: *cacheSize, vnodes: *vnodes, seed: *seed,
+		hedge: *hedge, maxAttempts: *maxAttempts, heartbeat: *heartbeat,
+		trace: *trace, traceBuf: *traceBuf, drain: *drain,
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "pricefleet:", err)
+		os.Exit(1)
+	}
+}
+
+type fleetConfig struct {
+	addr        string
+	nodes       int
+	join        string
+	steps       int
+	cacheSize   int
+	vnodes      int
+	seed        uint64
+	hedge       time.Duration
+	maxAttempts int
+	heartbeat   time.Duration
+	trace       bool
+	traceBuf    int
+	drain       time.Duration
+}
+
+// buildMembers resolves the membership: external URLs under -join, or a
+// freshly booted in-process fleet otherwise (returned for chaos control
+// and shutdown; nil in join mode).
+func buildMembers(cfg fleetConfig) ([]cluster.Node, *cluster.LocalFleet, error) {
+	if cfg.join != "" {
+		var members []cluster.Node
+		for i, raw := range strings.Split(cfg.join, ",") {
+			u := strings.TrimSpace(raw)
+			if u == "" {
+				continue
+			}
+			members = append(members, cluster.Node{Name: fmt.Sprintf("node-%d", i), BaseURL: u})
+		}
+		if len(members) == 0 {
+			return nil, nil, fmt.Errorf("-join lists no usable URLs")
+		}
+		return members, nil, nil
+	}
+	fleet, err := cluster.NewLocalFleet(cfg.nodes, serve.Config{
+		Steps:     cfg.steps,
+		CacheSize: cfg.cacheSize,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return fleet.Nodes(), fleet, nil
+}
+
+// fleetHandler mounts the router API plus, when an in-process fleet is
+// attached, the chaos controls the smoke script drives.
+func fleetHandler(rt *cluster.Router, fleet *cluster.LocalFleet) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", rt.Handler())
+	mux.HandleFunc("/fleet/nodes", func(w http.ResponseWriter, r *http.Request) {
+		type row struct {
+			Name    string `json:"name"`
+			BaseURL string `json:"base_url"`
+			Killed  bool   `json:"killed,omitempty"`
+		}
+		var out []row
+		if fleet != nil {
+			for i, n := range fleet.Nodes() {
+				out = append(out, row{Name: n.Name, BaseURL: n.BaseURL, Killed: fleet.Killed(i)})
+			}
+		} else {
+			for _, n := range rt.Ring().Nodes() {
+				out = append(out, row{Name: n})
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/fleet/kill", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		if fleet == nil {
+			http.Error(w, "kill is only available for in-process fleets", http.StatusBadRequest)
+			return
+		}
+		i, err := strconv.Atoi(r.URL.Query().Get("node"))
+		if err != nil || i < 0 || i >= fleet.Len() {
+			http.Error(w, fmt.Sprintf("node must be 0..%d", fleet.Len()-1), http.StatusBadRequest)
+			return
+		}
+		fleet.Kill(i)
+		log.Printf("pricefleet: chaos: node %d killed (listener and connections torn down)", i)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"killed": i})
+	})
+	return mux
+}
+
+func run(cfg fleetConfig) error {
+	members, fleet, err := buildMembers(cfg)
+	if err != nil {
+		return err
+	}
+
+	var tracer *telemetry.Tracer
+	if cfg.trace {
+		tracer = telemetry.New(cfg.traceBuf)
+	}
+	rt, err := cluster.NewRouter(cluster.Config{
+		Nodes:       members,
+		Steps:       cfg.steps,
+		VNodes:      cfg.vnodes,
+		Seed:        cfg.seed,
+		Hedge:       cfg.hedge,
+		MaxAttempts: cfg.maxAttempts,
+		Heartbeat:   cfg.heartbeat,
+		Tracer:      tracer,
+	})
+	if err != nil {
+		if fleet != nil {
+			fleet.Close(context.Background())
+		}
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: fleetHandler(rt, fleet)}
+	errc := make(chan error, 1)
+	go func() {
+		mode := "join"
+		if fleet != nil {
+			mode = "in-process"
+		}
+		log.Printf("pricefleet: routing %d nodes (%s) on %s (steps=%d, vnodes=%d, seed=%d, hedge=%s, heartbeat=%s)",
+			len(members), mode, cfg.addr, cfg.steps, cfg.vnodes, cfg.seed, cfg.hedge, cfg.heartbeat)
+		for _, n := range members {
+			log.Printf("pricefleet: member %s at %s", n.Name, n.BaseURL)
+		}
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("pricefleet: draining (budget %s)", cfg.drain)
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	rt.Close()
+	if fleet != nil {
+		if err := fleet.Close(dctx); err != nil {
+			return err
+		}
+	}
+	log.Printf("pricefleet: drained cleanly")
+	return <-errc
+}

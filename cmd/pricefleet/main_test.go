@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"binopt/internal/cluster"
+	"binopt/internal/serve"
+)
+
+// TestFleetHandlerChaosControls: the admin surface the smoke script
+// drives — list members, kill one, see it marked killed, and watch the
+// router keep serving prices around the corpse.
+func TestFleetHandlerChaosControls(t *testing.T) {
+	const steps = 64
+	fleet, err := cluster.NewLocalFleet(3, serve.Config{Steps: steps})
+	if err != nil {
+		t.Fatalf("fleet: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		fleet.Close(ctx)
+	}()
+	rt, err := cluster.NewRouter(cluster.Config{
+		Nodes: fleet.Nodes(), Steps: steps,
+		Heartbeat: 20 * time.Millisecond, MaxAttempts: 3,
+	})
+	if err != nil {
+		t.Fatalf("router: %v", err)
+	}
+	defer rt.Close()
+	hs := httptest.NewServer(fleetHandler(rt, fleet))
+	defer hs.Close()
+
+	resp, err := http.Get(hs.URL + "/fleet/nodes")
+	if err != nil {
+		t.Fatalf("GET /fleet/nodes: %v", err)
+	}
+	var rows []struct {
+		Name    string `json:"name"`
+		BaseURL string `json:"base_url"`
+		Killed  bool   `json:"killed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if len(rows) != 3 || rows[0].BaseURL == "" || rows[0].Killed {
+		t.Fatalf("rows = %+v, want 3 live members with URLs", rows)
+	}
+
+	resp, err = http.Post(hs.URL+"/fleet/kill?node=1", "", nil)
+	if err != nil {
+		t.Fatalf("POST /fleet/kill: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("kill: HTTP %d", resp.StatusCode)
+	}
+	if !fleet.Killed(1) {
+		t.Fatal("node 1 not killed")
+	}
+
+	// Pricing still works through the two survivors.
+	body := strings.NewReader(`{"right":"put","style":"american","spot":100,"strike":105,"rate":0.03,"sigma":0.2,"t":0.5}`)
+	resp, err = http.Post(hs.URL+"/v1/price", "application/json", body)
+	if err != nil {
+		t.Fatalf("price after kill: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("price after kill: HTTP %d", resp.StatusCode)
+	}
+
+	// Out-of-range and join-mode kills are client errors.
+	resp, _ = http.Post(hs.URL+"/fleet/kill?node=9", "", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("kill node=9: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBuildMembersJoin: join mode parses external URLs and never boots
+// a local fleet.
+func TestBuildMembersJoin(t *testing.T) {
+	members, fleet, err := buildMembers(fleetConfig{join: "http://a:1, http://b:2,"})
+	if err != nil {
+		t.Fatalf("buildMembers: %v", err)
+	}
+	if fleet != nil {
+		t.Fatal("join mode booted a local fleet")
+	}
+	if len(members) != 2 || members[0].BaseURL != "http://a:1" || members[1].Name != "node-1" {
+		t.Fatalf("members = %+v", members)
+	}
+	if _, _, err := buildMembers(fleetConfig{join: " , "}); err == nil {
+		t.Error("blank join list accepted")
+	}
+}

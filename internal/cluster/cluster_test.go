@@ -1,0 +1,414 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"binopt/internal/lattice"
+	"binopt/internal/option"
+	"binopt/internal/serve"
+	"binopt/internal/workload"
+)
+
+// newTestFleet boots an n-node local fleet plus a router over it, both
+// torn down with the test.
+func newTestFleet(t *testing.T, n int, nodeCfg serve.Config, rcfg Config) (*LocalFleet, *Router, *httptest.Server) {
+	t.Helper()
+	f, err := NewLocalFleet(n, nodeCfg)
+	if err != nil {
+		t.Fatalf("NewLocalFleet(%d): %v", n, err)
+	}
+	rcfg.Nodes = f.Nodes()
+	rt, err := NewRouter(rcfg)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	hs := httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		rt.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		f.Close(ctx)
+	})
+	return f, rt, hs
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	out.ReadFrom(resp.Body)
+	return resp, out.Bytes()
+}
+
+func toContracts(opts []option.Option) []serve.Contract {
+	out := make([]serve.Contract, len(opts))
+	for i, o := range opts {
+		out[i] = serve.FromOption(o)
+	}
+	return out
+}
+
+// TestFleetBitIdentical is the fabric's foundational claim: the paper's
+// full 2000-put chain priced through a 4-node fleet equals the direct
+// reference-lattice pricing bit for bit. Distribution — hashing,
+// sub-batching, per-node caches, merge order — must be numerically
+// invisible, which is also what makes failover and hedging legal.
+func TestFleetBitIdentical(t *testing.T) {
+	const steps = 128
+	chain, err := workload.Chain(workload.DefaultVolCurveSpec(7))
+	if err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	eng, err := lattice.NewEngine(steps)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	want, err := eng.PriceBatch(chain, 0)
+	if err != nil {
+		t.Fatalf("reference batch: %v", err)
+	}
+
+	_, rt, hs := newTestFleet(t, 4, serve.Config{Steps: steps, CacheSize: 4096}, Config{Steps: steps})
+
+	got := make([]float64, 0, len(chain))
+	const reqBatch = 250
+	for at := 0; at < len(chain); at += reqBatch {
+		end := at + reqBatch
+		if end > len(chain) {
+			end = len(chain)
+		}
+		resp, body := postJSON(t, hs.URL+"/v1/price",
+			serve.PriceRequest{Contracts: toContracts(chain[at:end])})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("batch [%d:%d]: HTTP %d: %s", at, end, resp.StatusCode, body)
+		}
+		var pr serve.PriceResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatalf("batch [%d:%d]: %v", at, end, err)
+		}
+		if pr.Steps != steps {
+			t.Fatalf("steps = %d, want %d", pr.Steps, steps)
+		}
+		for _, r := range pr.Results {
+			got = append(got, r.Price)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("priced %d of %d options", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("option %d: fleet price %x, reference %x", i, got[i], want[i])
+		}
+	}
+
+	// Every node must have taken part — the ring actually spread the
+	// chain, it did not degenerate to one hot node.
+	for _, n := range rt.Ring().Nodes() {
+		if rt.members[n].forwards.Load() == 0 {
+			t.Errorf("node %s received no forwards", n)
+		}
+	}
+}
+
+// sleepBackend builds a one-worker backend whose pricing takes a fixed
+// wall-time per option and no meaningful CPU. Sleeping nodes do not
+// contend for cores, so node-level parallelism shows through even
+// though all fleet nodes share this process — the test machine stands
+// in for the rack, and the measured speedup is bounded by ring balance
+// alone, not by how many cores CI happens to have.
+func sleepBackend(perOption time.Duration) []serve.BackendConfig {
+	return []serve.BackendConfig{{
+		Name: "simulated-board",
+		Kind: "fpga",
+		PriceFunc: func(o option.Option) (float64, error) {
+			time.Sleep(perOption)
+			return o.Strike - o.Spot, nil // placeholder value, never asserted
+		},
+	}}
+}
+
+// TestFleetScaling holds the near-linear scaling claim: the same chain,
+// cold caches, priced through 1-, 2- and 4-node fleets of identical
+// fixed-rate nodes must speed up by >= 1.6x at 2 nodes and >= 3x at 4.
+// The ceiling on the speedup is ring balance — the slowest node is the
+// one the balance test bounds.
+func TestFleetScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling measurement in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race-detector overhead drowns the wall-clock measurement; the routing path itself is race-covered by the chaos and bit-identical tests")
+	}
+	const steps = 64
+	const perOption = 400 * time.Microsecond
+	spec := workload.DefaultVolCurveSpec(11)
+	spec.N = 800
+	chain, err := workload.Chain(spec)
+	if err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	contracts := toContracts(chain)
+
+	elapsed := make(map[int]time.Duration)
+	for _, n := range []int{1, 2, 4} {
+		nodeCfg := serve.Config{
+			Steps:     steps,
+			CacheSize: -1, // cold path only: timing must measure pricing
+			Backends:  sleepBackend(perOption),
+		}
+		f, err := NewLocalFleet(n, nodeCfg)
+		if err != nil {
+			t.Fatalf("fleet(%d): %v", n, err)
+		}
+		rt, err := NewRouter(Config{Nodes: f.Nodes(), Steps: steps})
+		if err != nil {
+			t.Fatalf("router(%d): %v", n, err)
+		}
+		hs := httptest.NewServer(rt.Handler())
+
+		start := time.Now()
+		resp, body := postJSON(t, hs.URL+"/v1/price", serve.PriceRequest{Contracts: contracts})
+		elapsed[n] = time.Since(start)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("fleet(%d): HTTP %d: %s", n, resp.StatusCode, body)
+		}
+		var pr serve.PriceResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatalf("fleet(%d): %v", n, err)
+		}
+		if len(pr.Results) != len(contracts) {
+			t.Fatalf("fleet(%d): %d results for %d contracts", n, len(pr.Results), len(contracts))
+		}
+
+		hs.Close()
+		rt.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		f.Close(ctx)
+		cancel()
+	}
+
+	speedup := func(n int) float64 { return float64(elapsed[1]) / float64(elapsed[n]) }
+	t.Logf("elapsed: 1 node %v, 2 nodes %v (%.2fx), 4 nodes %v (%.2fx)",
+		elapsed[1], elapsed[2], speedup(2), elapsed[4], speedup(4))
+	if s := speedup(2); s < 1.6 {
+		t.Errorf("2-node speedup %.2fx, want >= 1.6x", s)
+	}
+	if s := speedup(4); s < 3.0 {
+		t.Errorf("4-node speedup %.2fx, want >= 3.0x", s)
+	}
+}
+
+// TestFleetChaosKillNode is the chaos acceptance test: with clients
+// hammering a 3-node fleet, one node is killed mid-run — listener and
+// every open connection torn down, no drain — and not a single client
+// request may fail or return a wrong price. Failover re-places the dead
+// node's ring segment onto its successors inside the request.
+func TestFleetChaosKillNode(t *testing.T) {
+	const steps = 64
+	spec := workload.DefaultVolCurveSpec(13)
+	spec.N = 200
+	chain, err := workload.Chain(spec)
+	if err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	eng, err := lattice.NewEngine(steps)
+	if err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	want, err := eng.PriceBatch(chain, 0)
+	if err != nil {
+		t.Fatalf("reference batch: %v", err)
+	}
+	contracts := toContracts(chain)
+
+	f, _, hs := newTestFleet(t, 3,
+		serve.Config{Steps: steps, CacheSize: 4096},
+		Config{
+			Steps:       steps,
+			MaxAttempts: 3,
+			Heartbeat:   25 * time.Millisecond,
+			Hedge:       200 * time.Millisecond,
+		})
+
+	const (
+		clients  = 4
+		reqBatch = 20
+		duration = 900 * time.Millisecond
+	)
+	var failures atomic.Int64
+	var requests atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			for at := c * reqBatch; ; at = (at + reqBatch) % (len(contracts) - reqBatch) {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				body, _ := json.Marshal(serve.PriceRequest{Contracts: contracts[at : at+reqBatch]})
+				resp, err := client.Post(hs.URL+"/v1/price", "application/json", bytes.NewReader(body))
+				requests.Add(1)
+				if err != nil {
+					failures.Add(1)
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					t.Errorf("client %d: HTTP %d: %s", c, resp.StatusCode, raw)
+					return
+				}
+				var pr serve.PriceResponse
+				if err := json.Unmarshal(raw, &pr); err != nil {
+					failures.Add(1)
+					t.Errorf("client %d: %v", c, err)
+					return
+				}
+				for j, r := range pr.Results {
+					if r.Price != want[at+j] {
+						failures.Add(1)
+						t.Errorf("client %d: option %d: price %x, want %x", c, at+j, r.Price, want[at+j])
+						return
+					}
+				}
+			}
+		}(c)
+	}
+
+	// Let traffic establish, then pull the plug on node 1.
+	time.Sleep(duration / 3)
+	f.Kill(1)
+	time.Sleep(2 * duration / 3)
+	close(stop)
+	wg.Wait()
+
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d client-visible failures during node kill (of %d requests)", n, requests.Load())
+	}
+	if requests.Load() < 10 {
+		t.Fatalf("only %d requests issued; chaos window too quiet to mean anything", requests.Load())
+	}
+	t.Logf("%d requests, 0 failures across the kill", requests.Load())
+}
+
+// TestFleetMetricsAggregation: the router /metrics must carry the fleet
+// roll-up — node count, summed throughput, fleet joules per option, and
+// per-node ring-ownership gauges.
+func TestFleetMetricsAggregation(t *testing.T) {
+	const steps = 64
+	_, _, hs := newTestFleet(t, 2, serve.Config{Steps: steps}, Config{Steps: steps})
+
+	spec := workload.DefaultVolCurveSpec(17)
+	spec.N = 50
+	chain, err := workload.Chain(spec)
+	if err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	resp, body := postJSON(t, hs.URL+"/v1/price", serve.PriceRequest{Contracts: toContracts(chain)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("price: HTTP %d: %s", resp.StatusCode, body)
+	}
+
+	mresp, err := http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer mresp.Body.Close()
+	raw, _ := io.ReadAll(mresp.Body)
+	text := string(raw)
+	for _, want := range []string{
+		"binopt_fleet_nodes 2\n",
+		"binopt_fleet_nodes_scraped 2\n",
+		"binopt_fleet_options_per_sec ",
+		"binopt_fleet_joules_per_option ",
+		"binopt_fleet_modelled_joules_total ",
+		"binopt_router_requests_total 1\n",
+		"binopt_router_options_total 50\n",
+		fmt.Sprintf("binopt_ring_ownership{node=%q} ", "node-0"),
+		fmt.Sprintf("binopt_node_up{node=%q} 1\n", "node-1"),
+		"binopt_fleet_cache_converged 1\n",
+	} {
+		if !bytes.Contains(raw, []byte(want)) {
+			t.Errorf("metrics missing %q\n%s", want, text)
+		}
+	}
+	// The fleet priced real options on modelled hardware, so the energy
+	// roll-up must be live, not zero.
+	if bytes.Contains(raw, []byte("binopt_fleet_joules_per_option 0\n")) {
+		t.Errorf("fleet joules per option is zero after pricing:\n%s", text)
+	}
+}
+
+// TestFleetHealthz: the router health view reflects membership and
+// carries ring ownership; killing a node degrades (not downs) the
+// fleet within a heartbeat.
+func TestFleetHealthz(t *testing.T) {
+	const steps = 64
+	f, _, hs := newTestFleet(t, 3, serve.Config{Steps: steps},
+		Config{Steps: steps, Heartbeat: 20 * time.Millisecond})
+
+	get := func() (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("GET /healthz: %v", err)
+		}
+		defer resp.Body.Close()
+		var h map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatalf("decode healthz: %v", err)
+		}
+		return resp.StatusCode, h
+	}
+
+	code, h := get()
+	if code != http.StatusOK || h["status"] != "ok" {
+		t.Fatalf("healthy fleet: HTTP %d status %v", code, h["status"])
+	}
+	if n, _ := h["nodes_up"].(float64); int(n) != 3 {
+		t.Fatalf("nodes_up = %v, want 3", h["nodes_up"])
+	}
+
+	f.Kill(2)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		code, h = get()
+		if n, _ := h["nodes_up"].(float64); int(n) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("nodes_up never dropped to 2: %v", h)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code != http.StatusOK || h["status"] != "degraded" {
+		t.Fatalf("after kill: HTTP %d status %v, want 200 degraded", code, h["status"])
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether this binary carries race-detector
+// instrumentation, whose overhead makes wall-clock scaling assertions
+// meaningless.
+const raceEnabled = true

@@ -1,0 +1,777 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"binopt/internal/option"
+	"binopt/internal/serve"
+	"binopt/internal/telemetry"
+)
+
+// maxBodyBytes mirrors the node-side request bound.
+const maxBodyBytes = 8 << 20
+
+// Node names one fleet member and where to reach it.
+type Node struct {
+	// Name is the member's ring identity. Placement hashes the name,
+	// not the address, so a node that moves hosts keeps its segment.
+	Name string
+	// BaseURL is the member's serving root, e.g. "http://10.0.0.7:8080".
+	BaseURL string
+}
+
+// Config parameterises a Router. The zero value of every optional field
+// has a sensible default.
+type Config struct {
+	// Nodes is the initial membership. At least one required.
+	Nodes []Node
+	// Steps is the lattice depth the member nodes price at; it is baked
+	// into the placement keys so routing identity equals cache identity.
+	Steps int
+	// VNodes is the virtual-node count per member (default 128).
+	VNodes int
+	// Seed seeds ring placement, so tests replay exact layouts
+	// (default 1).
+	Seed uint64
+	// Hedge, when positive, re-sends a sub-batch to the owner's ring
+	// successor if the owner has not answered within this delay; the
+	// first response wins. Prices are bit-identical across nodes, so a
+	// hedged duplicate is semantically invisible — it only cuts the
+	// tail. Zero disables hedging.
+	Hedge time.Duration
+	// MaxAttempts bounds how many distinct nodes a sub-batch may be
+	// tried on before the client sees an error (default 3, clamped to
+	// the fleet size).
+	MaxAttempts int
+	// Heartbeat is the membership health-poll interval (default 250ms;
+	// negative disables polling — forward outcomes still feed the
+	// breakers).
+	Heartbeat time.Duration
+	// HeartbeatTimeout bounds one health poll (default 1s).
+	HeartbeatTimeout time.Duration
+	// Breaker parameterises the per-node circuit breakers; zero fields
+	// take the serve.BreakerConfig defaults — the same machinery that
+	// guards the in-process shards guards the remote nodes.
+	Breaker serve.BreakerConfig
+	// Tracer, when set, records route/forward/node-compute/merge spans
+	// and enables /debug/trace on the router.
+	Tracer *telemetry.Tracer
+	// Transport, when set, overrides every member's HTTP transport
+	// (tests inject failing or instrumented transports). When nil each
+	// member gets its own pooled transport.
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.Steps <= 0 {
+		c.Steps = 1024
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 128
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.MaxAttempts > len(c.Nodes) {
+		c.MaxAttempts = len(c.Nodes)
+	}
+	if c.Heartbeat == 0 {
+		c.Heartbeat = 250 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = time.Second
+	}
+	return c
+}
+
+// member is one node as the router sees it: a connection pool, a
+// circuit breaker fed by heartbeats and forward outcomes, and counters.
+type member struct {
+	name    string
+	base    string
+	client  *http.Client
+	breaker *serve.Breaker
+
+	up       atomic.Bool  // last heartbeat verdict
+	forwards atomic.Int64 // sub-batches sent here
+	errs     atomic.Int64 // sub-batches that failed here
+	hedgeWin atomic.Int64 // hedged duplicates this node won
+}
+
+// Router is the fabric front-end: it speaks the node's own /v1/price
+// API to clients, places contracts on members via the consistent-hash
+// ring, and hides member failures behind hedging and successor
+// failover. Construct with NewRouter, serve via Handler, stop with
+// Close.
+type Router struct {
+	cfg     Config
+	ring    *Ring
+	members map[string]*member
+	metrics *routerMetrics
+	tracer  *telemetry.Tracer
+
+	// gen is the router's view of the fleet cache generation, advanced
+	// by POST /v1/invalidate at the router.
+	gen atomic.Uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewRouter builds a router over the given membership and starts the
+// heartbeat loop.
+func NewRouter(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: at least one node required")
+	}
+	rt := &Router{
+		cfg:     cfg,
+		ring:    NewRing(cfg.Seed, cfg.VNodes),
+		members: make(map[string]*member, len(cfg.Nodes)),
+		metrics: newRouterMetrics(),
+		tracer:  cfg.Tracer,
+		stop:    make(chan struct{}),
+	}
+	for _, n := range cfg.Nodes {
+		if n.Name == "" || n.BaseURL == "" {
+			return nil, fmt.Errorf("cluster: node needs name and base URL, got %+v", n)
+		}
+		if _, dup := rt.members[n.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		transport := cfg.Transport
+		if transport == nil {
+			transport = &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			}
+		}
+		m := &member{
+			name:    n.Name,
+			base:    n.BaseURL,
+			client:  &http.Client{Transport: transport},
+			breaker: serve.NewBreaker(cfg.Breaker),
+		}
+		m.up.Store(true) // optimistic until the first heartbeat says otherwise
+		rt.members[n.Name] = m
+		rt.ring.Add(n.Name)
+	}
+	if cfg.Heartbeat > 0 {
+		rt.wg.Add(1)
+		go rt.heartbeatLoop()
+	}
+	return rt, nil
+}
+
+// Close stops the heartbeat loop. In-flight requests complete on their
+// own contexts.
+func (rt *Router) Close() {
+	close(rt.stop)
+	rt.wg.Wait()
+}
+
+// Ring exposes the placement ring (read-only use: ownership gauges,
+// tests).
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// heartbeatLoop polls every member's /healthz on the configured
+// interval. Outcomes feed the member's circuit breaker — the same
+// rolling-window state machine the serving pool runs per shard — so a
+// node that stops answering is routed around within one breaker window
+// even with no traffic in flight.
+func (rt *Router) heartbeatLoop() {
+	defer rt.wg.Done()
+	tick := time.NewTicker(rt.cfg.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-tick.C:
+			rt.pollOnce()
+		}
+	}
+}
+
+// pollOnce health-checks every member concurrently.
+func (rt *Router) pollOnce() {
+	var wg sync.WaitGroup
+	for _, m := range rt.members {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.HeartbeatTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.base+"/healthz", nil)
+			if err != nil {
+				return
+			}
+			resp, err := m.client.Do(req)
+			if err != nil {
+				m.up.Store(false)
+				m.breaker.OnFailure()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			// Draining (503) nodes are down for placement purposes;
+			// degraded (200) nodes still price correctly.
+			ok := resp.StatusCode == http.StatusOK
+			m.up.Store(ok)
+			if ok {
+				m.breaker.OnSuccess()
+			} else {
+				m.breaker.OnFailure()
+			}
+		}(m)
+	}
+	wg.Wait()
+}
+
+// pick returns the member that should price key given the nodes already
+// excluded this request: the first breaker-eligible, up member on the
+// key's successor chain. If every non-excluded member looks unhealthy,
+// the first non-excluded one is returned anyway — a fully dark fleet
+// should still try. Returns nil when every member is excluded.
+func (rt *Router) pick(key string, excluded map[string]bool) *member {
+	chain := rt.ring.Successors(key, rt.ring.Len())
+	var fallback *member
+	for _, name := range chain {
+		if excluded[name] {
+			continue
+		}
+		m := rt.members[name]
+		if fallback == nil {
+			fallback = m
+		}
+		if m.up.Load() && m.breaker.Eligible() {
+			return m
+		}
+	}
+	return fallback
+}
+
+// backupFor returns the first healthy member on key's successor chain
+// other than primary and the excluded set — the hedge target.
+func (rt *Router) backupFor(key string, primary *member, excluded map[string]bool) *member {
+	for _, name := range rt.ring.Successors(key, rt.ring.Len()) {
+		if name == primary.name || excluded[name] {
+			continue
+		}
+		m := rt.members[name]
+		if m.up.Load() && m.breaker.Eligible() {
+			return m
+		}
+	}
+	return nil
+}
+
+// fwdResult is one sub-batch forward outcome.
+type fwdResult struct {
+	resp    serve.PriceResponse
+	phases  serve.PhaseBreakdown
+	m       *member
+	status  int // HTTP status, 0 on transport error
+	hedged  bool
+	elapsed time.Duration
+	err     error
+}
+
+// retryable reports whether failover to another node can help: transport
+// errors, 5xx, and 429 saturation are worth a successor; other 4xx are
+// the request's own fault and would fail identically everywhere.
+func (r fwdResult) retryable() bool {
+	return r.status == 0 || r.status >= 500 || r.status == http.StatusTooManyRequests
+}
+
+// forwardOnce posts one sub-batch to one member and decodes the reply.
+// Outcomes feed the member's breaker: transport errors and 5xx are
+// failures, 200 is a success, 429 is neither (saturation is load, not
+// ill-health).
+func (rt *Router) forwardOnce(ctx context.Context, m *member, body []byte, want int) fwdResult {
+	t0 := time.Now()
+	m.forwards.Add(1)
+	out := fwdResult{m: m}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, m.base+"/v1/price", bytes.NewReader(body))
+	if err != nil {
+		out.err = err
+		return out
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := m.client.Do(req)
+	out.elapsed = time.Since(t0)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Our own cancellation (a hedge rival won, or the client
+			// left) — not node ill-health; the breaker stays unfed.
+			out.err = ctx.Err()
+			return out
+		}
+		m.errs.Add(1)
+		m.breaker.OnFailure()
+		out.err = fmt.Errorf("node %s: %w", m.name, err)
+		return out
+	}
+	defer resp.Body.Close()
+	out.status = resp.StatusCode
+	if resp.StatusCode != http.StatusOK {
+		m.errs.Add(1)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			m.breaker.OnFailure()
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		out.err = fmt.Errorf("node %s: HTTP %d: %s", m.name, resp.StatusCode, bytes.TrimSpace(msg))
+		return out
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out.resp); err != nil {
+		m.errs.Add(1)
+		m.breaker.OnFailure()
+		out.err = fmt.Errorf("node %s: decoding response: %w", m.name, err)
+		return out
+	}
+	if len(out.resp.Results) != want {
+		m.errs.Add(1)
+		m.breaker.OnFailure()
+		out.err = fmt.Errorf("node %s: %d results for %d contracts", m.name, len(out.resp.Results), want)
+		return out
+	}
+	out.elapsed = time.Since(t0)
+	if st := resp.Header.Get("Server-Timing"); st != "" {
+		out.phases = serve.ParseServerTiming(st)
+	}
+	m.breaker.OnSuccess()
+	return out
+}
+
+// forwardGroup forwards one sub-batch with optional hedging: the
+// primary gets the request immediately; if it has neither answered nor
+// failed within the hedge delay, the backup gets a duplicate and the
+// first success wins. A primary that fails fast promotes the backup
+// immediately — no point waiting out a delay the failure already paid.
+func (rt *Router) forwardGroup(ctx context.Context, primary, backup *member, body []byte, want int) fwdResult {
+	if rt.cfg.Hedge <= 0 || backup == nil {
+		return rt.forwardOnce(ctx, primary, body, want)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel() // the loser's request is torn down with the call
+	ch := make(chan fwdResult, 2)
+	launch := func(m *member, hedged bool) {
+		go func() {
+			r := rt.forwardOnce(cctx, m, body, want)
+			r.hedged = hedged
+			ch <- r
+		}()
+	}
+	launch(primary, false)
+	timer := time.NewTimer(rt.cfg.Hedge)
+	defer timer.Stop()
+	launched, done := 1, 0
+	var lastErr fwdResult
+	for {
+		select {
+		case r := <-ch:
+			done++
+			if r.err == nil {
+				if r.hedged {
+					rt.metrics.hedgeWins.Add(1)
+					r.m.hedgeWin.Add(1)
+				}
+				return r
+			}
+			lastErr = r
+			if launched < 2 {
+				// Fast failure: promote the hedge now.
+				rt.metrics.hedges.Add(1)
+				launch(backup, true)
+				launched++
+			} else if done == launched {
+				return lastErr
+			}
+		case <-timer.C:
+			if launched < 2 {
+				rt.metrics.hedges.Add(1)
+				launch(backup, true)
+				launched++
+			}
+		}
+	}
+}
+
+// routeBatch prices one client batch across the fleet: contracts are
+// grouped by ring owner, groups forward concurrently (with hedging),
+// failed groups re-place onto successors with the failed node excluded,
+// and results merge back in input order. Prices are bit-identical on
+// every node, so failover and hedging never change an answer — only
+// who computed it.
+func (rt *Router) routeBatch(ctx context.Context, reqID uint64, contracts []serve.Contract) ([]serve.Result, serve.PhaseBreakdown, int, error) {
+	var phases serve.PhaseBreakdown
+	opts := make([]option.Option, len(contracts))
+	keys := make([]string, len(contracts))
+	for i, c := range contracts {
+		o, err := c.ToOption()
+		if err != nil {
+			return nil, phases, http.StatusBadRequest, fmt.Errorf("contract %d: %v", i, err)
+		}
+		opts[i] = o
+		keys[i] = serve.KeyFor(o, rt.cfg.Steps).String()
+	}
+
+	results := make([]serve.Result, len(contracts))
+	remaining := make([]int, len(contracts))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	excluded := make(map[string]bool)
+	var lastErr error
+	lastStatus := http.StatusBadGateway
+
+	for attempt := 0; attempt < rt.cfg.MaxAttempts && len(remaining) > 0; attempt++ {
+		if attempt > 0 {
+			rt.metrics.failovers.Add(int64(len(remaining)))
+		}
+		// Place the remaining contracts. Backups are chosen here, while
+		// placement is still single-threaded — the excluded set mutates
+		// under the forward goroutines' mutex and must not be read
+		// concurrently.
+		groups := make(map[*member][]int)
+		for _, i := range remaining {
+			m := rt.pick(keys[i], excluded)
+			if m == nil {
+				return nil, phases, http.StatusBadGateway,
+					fmt.Errorf("no nodes left for contract %d after %d exclusions", i, len(excluded))
+			}
+			groups[m] = append(groups[m], i)
+		}
+		backups := make(map[*member]*member, len(groups))
+		for m, idx := range groups {
+			backups[m] = rt.backupFor(keys[idx[0]], m, excluded)
+		}
+
+		// Forward every group concurrently.
+		var (
+			mu     sync.Mutex
+			wg     sync.WaitGroup
+			failed []int
+		)
+		for m, idx := range groups {
+			wg.Add(1)
+			go func(m *member, idx []int, backup *member) {
+				defer wg.Done()
+				sub := serve.PriceRequest{Contracts: make([]serve.Contract, len(idx))}
+				for j, i := range idx {
+					sub.Contracts[j] = contracts[i]
+				}
+				body, err := json.Marshal(sub)
+				if err != nil {
+					mu.Lock()
+					failed = append(failed, idx...)
+					lastErr = err
+					mu.Unlock()
+					return
+				}
+				t0 := time.Now()
+				r := rt.forwardGroup(ctx, m, backup, body, len(idx))
+				rt.emitForwardSpans(reqID, m, r, t0, len(idx), attempt)
+				mu.Lock()
+				defer mu.Unlock()
+				if r.err != nil {
+					lastErr = r.err
+					if r.status == http.StatusTooManyRequests {
+						lastStatus = http.StatusTooManyRequests
+					}
+					excluded[r.m.name] = true
+					if !r.retryable() {
+						// Permanent: surface the node's verdict as ours.
+						lastStatus = r.status
+					}
+					failed = append(failed, idx...)
+					return
+				}
+				for j, i := range idx {
+					results[i] = r.resp.Results[j]
+				}
+				phases.Add(r.phases)
+			}(m, idx, backups[m])
+		}
+		wg.Wait()
+		remaining = failed
+	}
+
+	if len(remaining) > 0 {
+		rt.metrics.routeErrors.Add(1)
+		if lastErr == nil {
+			lastErr = fmt.Errorf("cluster: %d contracts unplaced", len(remaining))
+		}
+		return nil, phases, lastStatus, lastErr
+	}
+	return results, phases, http.StatusOK, nil
+}
+
+// emitForwardSpans records one group forward and, when the node
+// reported phase timing, a node-compute span re-anchored on the router
+// clock — so a Chrome trace of the router shows
+// route → forward → node-compute → merge without merging node rings.
+func (rt *Router) emitForwardSpans(reqID uint64, m *member, r fwdResult, start time.Time, n, attempt int) {
+	if !rt.tracer.Enabled() {
+		return
+	}
+	name := "forward"
+	if r.err != nil {
+		name = "forward-error"
+	}
+	rt.tracer.Emit(telemetry.Span{
+		Req: reqID, Name: name, Proc: "router", Thread: "node " + m.name,
+		Start: start, Dur: r.elapsed, Clock: telemetry.Wall,
+		Attrs: map[string]any{
+			"node":      m.name,
+			"contracts": n,
+			"attempt":   attempt + 1,
+			"hedged":    r.hedged,
+			"status":    r.status,
+		},
+	})
+	if r.err == nil && r.phases.Compute > 0 {
+		rt.tracer.Emit(telemetry.Span{
+			Req: reqID, Name: "node-compute", Proc: "router", Thread: "node " + m.name,
+			Start: start.Add(r.elapsed - r.phases.Compute - r.phases.Readback),
+			Dur:   r.phases.Compute, Clock: telemetry.Wall,
+			Attrs: map[string]any{"node": m.name, "priced": r.phases.Priced},
+		})
+	}
+}
+
+// Handler returns the router's HTTP API — a superset of the node API,
+// so clients (and loadgen) cannot tell a router from a node:
+//
+//	POST /v1/price       route a batch across the fleet
+//	POST /v1/invalidate  bump the fleet cache generation (broadcast)
+//	GET  /healthz        fleet membership, ring and breaker view
+//	GET  /metrics        fleet + per-node + router metrics
+//	GET  /debug/trace    router span ring as Chrome trace JSON
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/price", rt.handlePrice)
+	mux.HandleFunc("/v1/invalidate", rt.handleInvalidate)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	if rt.tracer.Enabled() {
+		mux.HandleFunc("/debug/trace", rt.handleTrace)
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (rt *Router) handlePrice(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rt.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	rt.metrics.requests.Add(1)
+	span := rt.tracer.Begin("POST /v1/price", "router", "requests")
+	span.SetReq(span.ID())
+	defer span.End()
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	req, err := serve.ParsePriceRequest(body)
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	span.SetAttr("contracts", len(req.Contracts))
+
+	results, phases, status, err := rt.routeBatch(r.Context(), span.ID(), req.Contracts)
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		rt.writeError(w, status, "%v", err)
+		return
+	}
+
+	mergeStart := time.Now()
+	rt.metrics.options.Add(int64(len(results)))
+	w.Header().Set("Server-Timing", phases.ServerTiming())
+	writeJSON(w, http.StatusOK, serve.PriceResponse{Steps: rt.cfg.Steps, Results: results})
+	if rt.tracer.Enabled() {
+		rt.tracer.Emit(telemetry.Span{
+			Req: span.ID(), Name: "merge", Proc: "router", Thread: "requests",
+			Start: mergeStart, Dur: time.Since(mergeStart), Clock: telemetry.Wall,
+			Attrs: map[string]any{"contracts": len(results)},
+		})
+	}
+}
+
+// handleInvalidate bumps the fleet cache generation and broadcasts the
+// bump to every member concurrently. Member nodes running under a
+// gossiper re-forward it, so even members the router could not reach
+// directly converge via their peers.
+func (rt *Router) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rt.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req serve.InvalidateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil && err != io.EOF {
+		rt.writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	gen := req.Generation
+	for {
+		cur := rt.gen.Load()
+		if gen == 0 {
+			gen = cur + 1
+		}
+		if gen <= cur {
+			writeJSON(w, http.StatusOK, serve.InvalidateResponse{Applied: false, Generation: cur})
+			return
+		}
+		if rt.gen.CompareAndSwap(cur, gen) {
+			break
+		}
+	}
+	rt.metrics.invalidations.Add(1)
+	origin := req.Origin
+	if origin == "" {
+		origin = "router"
+	}
+	reached := rt.broadcastInvalidate(r.Context(), gen, origin)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"applied": true, "generation": gen, "nodes_reached": reached,
+	})
+}
+
+// broadcastInvalidate pushes a generation bump to every member,
+// returning how many acknowledged.
+func (rt *Router) broadcastInvalidate(ctx context.Context, gen uint64, origin string) int {
+	body, _ := json.Marshal(serve.InvalidateRequest{Generation: gen, Origin: origin})
+	var wg sync.WaitGroup
+	var reached atomic.Int64
+	for _, m := range rt.members {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			defer cancel()
+			req, err := http.NewRequestWithContext(cctx, http.MethodPost, m.base+"/v1/invalidate", bytes.NewReader(body))
+			if err != nil {
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := m.client.Do(req)
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				reached.Add(1)
+			}
+		}(m)
+	}
+	wg.Wait()
+	return int(reached.Load())
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type nodeHealth struct {
+		Name         string  `json:"name"`
+		BaseURL      string  `json:"base_url"`
+		Up           bool    `json:"up"`
+		Breaker      string  `json:"breaker"`
+		BreakerOpens int64   `json:"breaker_opens,omitempty"`
+		Forwards     int64   `json:"forwards"`
+		Errors       int64   `json:"errors,omitempty"`
+		Ownership    float64 `json:"ring_ownership"`
+	}
+	own := rt.ring.Ownership()
+	status := "ok"
+	upCount := 0
+	nodes := make([]nodeHealth, 0, len(rt.members))
+	for _, name := range rt.ring.Nodes() {
+		m := rt.members[name]
+		st, _ := m.breaker.State()
+		up := m.up.Load()
+		if up {
+			upCount++
+		} else if status == "ok" {
+			status = "degraded"
+		}
+		nodes = append(nodes, nodeHealth{
+			Name: name, BaseURL: m.base, Up: up,
+			Breaker: st, BreakerOpens: m.breaker.Opens(),
+			Forwards: m.forwards.Load(), Errors: m.errs.Load(),
+			Ownership: own[name],
+		})
+	}
+	code := http.StatusOK
+	if upCount == 0 {
+		status = "down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":           status,
+		"steps":            rt.cfg.Steps,
+		"nodes":            nodes,
+		"nodes_up":         upCount,
+		"cache_generation": rt.gen.Load(),
+	})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	io.WriteString(w, rt.renderMetrics(r.Context()))
+}
+
+func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
+	spans := rt.tracer.Snapshot()
+	out, err := telemetry.Chrome(spans)
+	if err != nil {
+		rt.writeError(w, http.StatusInternalServerError, "rendering trace: %v", err)
+		return
+	}
+	if r.URL.Query().Get("reset") == "1" {
+		rt.tracer.Reset()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+}
+
+// Steps reports the lattice depth the fleet prices at.
+func (rt *Router) Steps() int { return rt.cfg.Steps }
+
+// NodesUp reports how many members passed their last heartbeat.
+func (rt *Router) NodesUp() int {
+	n := 0
+	for _, m := range rt.members {
+		if m.up.Load() {
+			n++
+		}
+	}
+	return n
+}

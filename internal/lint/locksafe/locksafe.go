@@ -29,6 +29,7 @@ var Analyzer = &lint.Analyzer{
 		"a sync.Mutex or sync.RWMutex is held",
 	Match: lint.MatchSuffix(
 		"internal/serve", "internal/telemetry", "internal/faults",
+		"internal/cluster",
 	),
 	Run: run,
 }

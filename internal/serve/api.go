@@ -111,18 +111,41 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// ParsePriceRequest decodes a POST /v1/price body, accepting both the
+// batch form and the bare single-contract shorthand. It is the one
+// definition of the endpoint's wire grammar, shared by the node handler
+// and the cluster router so the two layers cannot drift.
+func ParsePriceRequest(body []byte) (PriceRequest, error) {
+	var req PriceRequest
+	if err := json.Unmarshal(body, &req); err != nil || len(req.Contracts) == 0 {
+		// Single-contract shorthand: the body is one bare Contract.
+		var single Contract
+		if err2 := json.Unmarshal(body, &single); err2 == nil && single.Right != "" {
+			req.Contracts = []Contract{single}
+		} else if err != nil {
+			return req, fmt.Errorf("bad JSON: %v", err)
+		}
+	}
+	if len(req.Contracts) == 0 {
+		return req, fmt.Errorf("no contracts in request")
+	}
+	return req, nil
+}
+
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/price     price one contract or a batch
-//	POST /v1/volcurve  recover an implied-volatility curve
-//	GET  /healthz      liveness and pool summary
-//	GET  /metrics      counters, histograms, energy model
-//	GET  /debug/trace  Chrome trace-event JSON of the span ring
-//	                   (only when the server has a tracer)
+//	POST /v1/price       price one contract or a batch
+//	POST /v1/volcurve    recover an implied-volatility curve
+//	POST /v1/invalidate  apply a cache-generation bump (market-data update)
+//	GET  /healthz        liveness and pool summary
+//	GET  /metrics        counters, histograms, energy model
+//	GET  /debug/trace    Chrome trace-event JSON of the span ring
+//	                     (only when the server has a tracer)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/price", s.handlePrice)
 	mux.HandleFunc("/v1/volcurve", s.handleVolCurve)
+	mux.HandleFunc("/v1/invalidate", s.handleInvalidate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	if s.tracer.Enabled() {
@@ -176,19 +199,9 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var req PriceRequest
-	if err := json.Unmarshal(body, &req); err != nil || len(req.Contracts) == 0 {
-		// Single-contract shorthand: the body is one bare Contract.
-		var single Contract
-		if err2 := json.Unmarshal(body, &single); err2 == nil && single.Right != "" {
-			req.Contracts = []Contract{single}
-		} else if err != nil {
-			s.writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
-			return
-		}
-	}
-	if len(req.Contracts) == 0 {
-		s.writeError(w, http.StatusBadRequest, "no contracts in request")
+	req, err := ParsePriceRequest(body)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
@@ -297,6 +310,44 @@ func (s *Server) handleVolCurve(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, VolCurveResponse{Steps: s.cfg.Steps, Points: out, Skipped: skipped})
 }
 
+// InvalidateRequest is the body of POST /v1/invalidate: a market-data
+// generation bump, typically a vol-surface update. Generation 0 (or an
+// absent field) means "one past whatever you have" — the convenient
+// spelling for a human curl; gossip always carries the explicit
+// generation so re-deliveries stay idempotent.
+type InvalidateRequest struct {
+	Generation uint64 `json:"generation,omitempty"`
+	// Origin names the node or client where the update entered the
+	// fleet; echoed into logs/metrics labels only.
+	Origin string `json:"origin,omitempty"`
+}
+
+// InvalidateResponse reports the outcome of a generation bump.
+type InvalidateResponse struct {
+	// Applied is true when the bump was fresh and the cache flushed.
+	Applied bool `json:"applied"`
+	// Generation is the server's generation after the request.
+	Generation uint64 `json:"generation"`
+}
+
+func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req InvalidateRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		s.writeError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	gen := req.Generation
+	if gen == 0 {
+		gen = s.cacheGen.Load() + 1
+	}
+	applied := s.Invalidate(gen)
+	writeJSON(w, http.StatusOK, InvalidateResponse{Applied: applied, Generation: s.cacheGen.Load()})
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	code := http.StatusOK
@@ -339,14 +390,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, code, map[string]any{
-		"status":      status,
-		"steps":       s.cfg.Steps,
-		"queue_depth": s.queued.Load(),
-		"backends":    bs,
+		"status":           status,
+		"steps":            s.cfg.Steps,
+		"queue_depth":      s.queued.Load(),
+		"cache_generation": s.cacheGen.Load(),
+		"backends":         bs,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	io.WriteString(w, s.metrics.render(s.queued.Load(), s.cache.len()))
+	io.WriteString(w, s.metrics.render(s.queued.Load(), s.cache.len(), s.cacheGen.Load()))
 }

@@ -33,7 +33,7 @@ var ErrBatchTooLarge = errors.New("serve: batch exceeds queue capacity")
 // requester reads them race-free after the receive.
 type job struct {
 	opt      option.Option
-	key      cacheKey
+	key      Key
 	req      uint64 // telemetry request group (0 when tracing is off)
 	seq      int    // index within the originating request
 	enqueued time.Time

@@ -185,3 +185,38 @@ func (b *breaker) snapshot() (breakerState, int64) {
 	defer b.mu.Unlock()
 	return b.state, b.opens
 }
+
+// Breaker is the exported handle on the shard circuit-breaker machinery,
+// for layers above the worker pool that track health per remote — the
+// cluster router runs one per member node, fed by heartbeats and forward
+// outcomes, exactly as the pool runs one per shard. Same state machine,
+// same defaults, one implementation.
+type Breaker struct{ b *breaker }
+
+// NewBreaker builds a breaker; zero-valued config fields take the
+// BreakerConfig defaults.
+func NewBreaker(cfg BreakerConfig) *Breaker { return &Breaker{b: newBreaker(cfg)} }
+
+// Eligible reports whether the guarded target may be offered new work.
+// An open breaker whose cooldown has elapsed transitions to half-open
+// here — the next request is the probe.
+func (b *Breaker) Eligible() bool { return b.b.eligible() }
+
+// OnSuccess books one successful outcome.
+func (b *Breaker) OnSuccess() { b.b.onSuccess() }
+
+// OnFailure books one failed outcome.
+func (b *Breaker) OnFailure() { b.b.onFailure() }
+
+// State reports the breaker's current state ("closed", "open",
+// "half-open") and its numeric /metrics encoding (0, 1, 2).
+func (b *Breaker) State() (string, int) {
+	st, _ := b.b.snapshot()
+	return st.String(), int(st)
+}
+
+// Opens reports the cumulative number of open transitions.
+func (b *Breaker) Opens() int64 {
+	_, opens := b.b.snapshot()
+	return opens
+}

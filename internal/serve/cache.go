@@ -3,18 +3,26 @@ package serve
 import (
 	"container/list"
 	"math"
+	"strconv"
+	"strings"
 	"sync"
 
 	"binopt/internal/option"
 )
 
-// cacheKey is the canonical identity of a priced contract. Two requests
-// that describe the same economics must map to the same key, so every
-// float is normalised (negative zero folds onto zero; validation upstream
+// Key is the canonical identity of a priced contract. Two requests that
+// describe the same economics must map to the same key, so every float
+// is normalised (negative zero folds onto zero; validation upstream
 // guarantees no NaNs reach the cache). The lattice depth is part of the
 // key so a server reconfigured to a different tree depth never serves
 // stale prices.
-type cacheKey struct {
+//
+// Key is the single definition of contract identity for every caching
+// and placement layer: the node-local result cache keys its LRU on it,
+// and the cluster router hashes Key.String() onto the consistent-hash
+// ring. One definition means the two layers cannot drift — a contract
+// routed to a node is the same contract that node caches.
+type Key struct {
 	right  option.Right
 	style  option.Style
 	spot   float64
@@ -34,9 +42,9 @@ func canon(x float64) float64 {
 	return x
 }
 
-// keyFor canonicalises a contract for the given lattice depth.
-func keyFor(o option.Option, steps int) cacheKey {
-	return cacheKey{
+// KeyFor canonicalises a contract for the given lattice depth.
+func KeyFor(o option.Option, steps int) Key {
+	return Key{
 		right:  o.Right,
 		style:  o.Style,
 		spot:   canon(o.Spot),
@@ -49,6 +57,32 @@ func keyFor(o option.Option, steps int) cacheKey {
 	}
 }
 
+// Steps reports the lattice depth baked into the key.
+func (k Key) Steps() int { return k.steps }
+
+// String renders the key's canonical textual form, the byte string the
+// cluster tier hashes for contract placement. Floats render as exact
+// hexadecimal ('x') so two economically identical contracts produce the
+// same bytes and two different ones never collide textually.
+func (k Key) String() string {
+	hexf := func(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+	var b strings.Builder
+	b.WriteString(k.right.String())
+	b.WriteByte('|')
+	b.WriteString(k.style.String())
+	for _, v := range []float64{k.spot, k.strike, k.rate, k.div, k.sigma, k.t} {
+		b.WriteByte('|')
+		b.WriteString(hexf(v))
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(k.steps))
+	return b.String()
+}
+
+// keyFor is the internal spelling; the exported KeyFor is the one
+// definition shared with the cluster router.
+func keyFor(o option.Option, steps int) Key { return KeyFor(o, steps) }
+
 // resultCache is a fixed-capacity LRU of priced contracts. A pricing
 // service sees the same quote tape repeatedly — the same chain is
 // re-priced every time the curve refreshes — so a warm cache converts the
@@ -59,11 +93,11 @@ type resultCache struct {
 	mu  sync.Mutex
 	cap int
 	ll  *list.List // front = most recently used
-	m   map[cacheKey]*list.Element
+	m   map[Key]*list.Element
 }
 
 type cacheEntry struct {
-	key   cacheKey
+	key   Key
 	price float64
 }
 
@@ -76,13 +110,13 @@ func newResultCache(capacity int) *resultCache {
 	return &resultCache{
 		cap: capacity,
 		ll:  list.New(),
-		m:   make(map[cacheKey]*list.Element, capacity),
+		m:   make(map[Key]*list.Element, capacity),
 	}
 }
 
 // get returns the cached price and whether it was present, promoting the
 // entry to most recently used.
-func (c *resultCache) get(k cacheKey) (float64, bool) {
+func (c *resultCache) get(k Key) (float64, bool) {
 	if c == nil {
 		return 0, false
 	}
@@ -99,7 +133,7 @@ func (c *resultCache) get(k cacheKey) (float64, bool) {
 // put stores a price, evicting the least recently used entry when full.
 // Non-finite prices are never cached: they indicate an engine fault that
 // should not be pinned into the serving path.
-func (c *resultCache) put(k cacheKey, price float64) {
+func (c *resultCache) put(k Key, price float64) {
 	if c == nil || math.IsNaN(price) || math.IsInf(price, 0) {
 		return
 	}
@@ -117,6 +151,22 @@ func (c *resultCache) put(k cacheKey, price float64) {
 		c.ll.Remove(oldest)
 		delete(c.m, oldest.Value.(*cacheEntry).key)
 	}
+}
+
+// flush drops every cached entry, returning how many were evicted. The
+// invalidation path calls it when a generation bump lands — a
+// vol-surface update makes every cached price of the old generation
+// suspect, and re-pricing is cheap next to serving a stale quote.
+func (c *resultCache) flush() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.ll.Len()
+	c.ll.Init()
+	clear(c.m)
+	return n
 }
 
 // len reports the number of cached entries.

@@ -71,6 +71,85 @@ func TestCacheKeyCanonicalisation(t *testing.T) {
 	}
 }
 
+// TestKeyForTable pins the exported canonical-key contract the cluster
+// router shares with the node caches: same economics → same key and
+// same String() bytes, any differing field or depth → different key and
+// different bytes. If the two layers ever disagree on identity, routing
+// and caching drift apart — this table is the fence.
+func TestKeyForTable(t *testing.T) {
+	base := cacheOption(95)
+	mut := func(f func(*option.Option)) option.Option {
+		o := base
+		f(&o)
+		return o
+	}
+	cases := []struct {
+		name  string
+		a, b  option.Option
+		as    int // steps for a
+		bs    int // steps for b
+		equal bool
+	}{
+		{"identical", base, base, 128, 128, true},
+		{"negative zero rate folds", mut(func(o *option.Option) { o.Rate = 0 }),
+			mut(func(o *option.Option) { o.Rate = math.Copysign(0, -1) }), 128, 128, true},
+		{"negative zero div folds", mut(func(o *option.Option) { o.Div = 0 }),
+			mut(func(o *option.Option) { o.Div = math.Copysign(0, -1) }), 128, 128, true},
+		{"different steps", base, base, 128, 256, false},
+		{"different spot", base, mut(func(o *option.Option) { o.Spot = 101 }), 128, 128, false},
+		{"different strike", base, mut(func(o *option.Option) { o.Strike = 96 }), 128, 128, false},
+		{"different rate", base, mut(func(o *option.Option) { o.Rate = 0.031 }), 128, 128, false},
+		{"different sigma", base, mut(func(o *option.Option) { o.Sigma = 0.21 }), 128, 128, false},
+		{"different expiry", base, mut(func(o *option.Option) { o.T = 0.75 }), 128, 128, false},
+		{"different right", base, mut(func(o *option.Option) { o.Right = option.Call }), 128, 128, false},
+		{"different style", base, mut(func(o *option.Option) { o.Style = option.European }), 128, 128, false},
+		{"one ulp of sigma", base,
+			mut(func(o *option.Option) { o.Sigma = math.Nextafter(o.Sigma, 1) }), 128, 128, false},
+	}
+	for _, tc := range cases {
+		ka, kb := KeyFor(tc.a, tc.as), KeyFor(tc.b, tc.bs)
+		if (ka == kb) != tc.equal {
+			t.Errorf("%s: key equality = %v, want %v", tc.name, ka == kb, tc.equal)
+		}
+		if (ka.String() == kb.String()) != tc.equal {
+			t.Errorf("%s: String equality = %v, want %v (%q vs %q)",
+				tc.name, ka.String() == kb.String(), tc.equal, ka, kb)
+		}
+	}
+	if got := KeyFor(base, 128).Steps(); got != 128 {
+		t.Errorf("Steps() = %d, want 128", got)
+	}
+	// The internal spelling must stay the exported definition.
+	if keyFor(base, 64) != KeyFor(base, 64) {
+		t.Error("keyFor and KeyFor diverge")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := newResultCache(8)
+	for i := 0; i < 5; i++ {
+		c.put(keyFor(cacheOption(90+float64(i)), 64), float64(i))
+	}
+	if n := c.flush(); n != 5 {
+		t.Fatalf("flush evicted %d, want 5", n)
+	}
+	if c.len() != 0 {
+		t.Fatalf("len after flush = %d, want 0", c.len())
+	}
+	if _, ok := c.get(keyFor(cacheOption(90), 64)); ok {
+		t.Fatal("entry survived flush")
+	}
+	// Flushed cache must keep working.
+	c.put(keyFor(cacheOption(90), 64), 1.5)
+	if v, ok := c.get(keyFor(cacheOption(90), 64)); !ok || v != 1.5 {
+		t.Fatalf("post-flush put/get = %v,%v", v, ok)
+	}
+	var nilCache *resultCache
+	if nilCache.flush() != 0 {
+		t.Fatal("nil cache flush != 0")
+	}
+}
+
 func TestCacheDisabledAndNonFinite(t *testing.T) {
 	var c *resultCache // capacity <= 0 yields nil
 	if c = newResultCache(0); c != nil {

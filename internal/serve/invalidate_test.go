@@ -1,0 +1,75 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"binopt/internal/option"
+)
+
+// TestInvalidateEndpoint drives the market-data invalidation path over
+// HTTP: a priced contract is served from cache until a generation bump
+// lands, after which it is re-priced; stale bumps are idempotent no-ops.
+func TestInvalidateEndpoint(t *testing.T) {
+	s, hs := newTestServer(t, Config{Steps: 64, CacheSize: 128})
+
+	o := option.Option{
+		Right: option.Put, Style: option.American,
+		Spot: 100, Strike: 105, Rate: 0.03, Sigma: 0.2, T: 0.5,
+	}
+	price := func() Result {
+		resp, body := postJSON(t, hs.URL+"/v1/price", PriceRequest{Contracts: []Contract{FromOption(o)}})
+		if resp.StatusCode != 200 {
+			t.Fatalf("price: %d %s", resp.StatusCode, body)
+		}
+		var pr PriceResponse
+		if err := json.Unmarshal(body, &pr); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		return pr.Results[0]
+	}
+
+	if r := price(); r.Cached {
+		t.Fatal("first pricing reported cached")
+	}
+	if r := price(); !r.Cached {
+		t.Fatal("second pricing missed the cache")
+	}
+
+	// Explicit bump to generation 3: applied, cache flushed.
+	resp, body := postJSON(t, hs.URL+"/v1/invalidate", InvalidateRequest{Generation: 3, Origin: "test"})
+	var ir InvalidateResponse
+	if err := json.Unmarshal(body, &ir); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("invalidate: %d %s (%v)", resp.StatusCode, body, err)
+	}
+	if !ir.Applied || ir.Generation != 3 {
+		t.Fatalf("invalidate = %+v, want applied gen 3", ir)
+	}
+	if r := price(); r.Cached {
+		t.Fatal("cache served across a generation bump")
+	}
+
+	// Stale re-delivery (gossip duplicate): no-op, warm cache survives.
+	_, body = postJSON(t, hs.URL+"/v1/invalidate", InvalidateRequest{Generation: 2})
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if ir.Applied || ir.Generation != 3 {
+		t.Fatalf("stale bump = %+v, want not applied at gen 3", ir)
+	}
+	if r := price(); !r.Cached {
+		t.Fatal("stale bump dumped the warm cache")
+	}
+
+	// Generation 0 means "bump past current" — the curl spelling.
+	_, body = postJSON(t, hs.URL+"/v1/invalidate", InvalidateRequest{})
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !ir.Applied || ir.Generation != 4 {
+		t.Fatalf("auto bump = %+v, want applied gen 4", ir)
+	}
+	if s.CacheGeneration() != 4 {
+		t.Fatalf("CacheGeneration = %d, want 4", s.CacheGeneration())
+	}
+}

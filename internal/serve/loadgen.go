@@ -25,6 +25,12 @@ import (
 type LoadConfig struct {
 	// BaseURL of the target server, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Targets, when set, overrides BaseURL with several servers:
+	// requests round-robin across them and the report carries a
+	// per-target breakdown. This is client-side spreading for comparing
+	// raw nodes; point BaseURL at a cluster router instead to measure
+	// the fabric's own placement (ring-aware, cache-aligned).
+	Targets []string
 	// Options is the workload, typically the paper's 2000-put chain.
 	Options []option.Option
 	// Concurrency is the number of in-flight requests (default 4).
@@ -72,6 +78,23 @@ type LoadReport struct {
 	PhaseBatch, PhaseQueue  time.Duration
 	PhaseCompute, PhaseRead time.Duration
 	PhasePriced             int64
+
+	// Targets is the measured-phase per-target breakdown, in the order
+	// the targets were configured. Single-target runs get one row.
+	Targets []TargetReport
+}
+
+// TargetReport is the measured-phase slice of one target in a
+// multi-target run: its share of the traffic and its own latency
+// quantiles, so a slow node shows up as itself instead of smearing the
+// fleet-wide tail.
+type TargetReport struct {
+	BaseURL       string
+	Requests      int64
+	Errors        int64
+	Options       int64
+	OptionsPerSec float64
+	P50, P95, P99 time.Duration
 }
 
 // Text renders the report as the operator-facing summary.
@@ -95,6 +118,12 @@ func (r LoadReport) Text() string {
 		fmt.Fprintf(&b, "retries:  %d failover re-dispatches absorbed server-side\n", r.Retries)
 	}
 	fmt.Fprintf(&b, "errors:   %d\n", r.Errors)
+	if len(r.Targets) > 1 {
+		for _, tr := range r.Targets {
+			fmt.Fprintf(&b, "target:   %s  %d reqs  %d options  %.0f options/s  p50 %s  p95 %s  p99 %s  errors %d\n",
+				tr.BaseURL, tr.Requests, tr.Options, tr.OptionsPerSec, tr.P50, tr.P95, tr.P99, tr.Errors)
+		}
+	}
 	return b.String()
 }
 
@@ -119,6 +148,12 @@ type loadRequest struct {
 func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	if len(cfg.Options) == 0 {
 		return LoadReport{}, fmt.Errorf("loadgen: empty workload")
+	}
+	if len(cfg.Targets) == 0 {
+		if cfg.BaseURL == "" {
+			return LoadReport{}, fmt.Errorf("loadgen: no target: set BaseURL or Targets")
+		}
+		cfg.Targets = []string{cfg.BaseURL}
 	}
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 4
@@ -187,6 +222,20 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (LoadReport, error) {
 	rep.P50 = quantileDur(stats.latencies, 0.50)
 	rep.P95 = quantileDur(stats.latencies, 0.95)
 	rep.P99 = quantileDur(stats.latencies, 0.99)
+	for i, ts := range stats.perTarget {
+		tr := TargetReport{
+			BaseURL: cfg.Targets[i], Requests: ts.requests,
+			Errors: ts.errors, Options: ts.options,
+		}
+		if rep.Elapsed > 0 {
+			tr.OptionsPerSec = float64(ts.options) / rep.Elapsed.Seconds()
+		}
+		sort.Slice(ts.latencies, func(a, b int) bool { return ts.latencies[a] < ts.latencies[b] })
+		tr.P50 = quantileDur(ts.latencies, 0.50)
+		tr.P95 = quantileDur(ts.latencies, 0.95)
+		tr.P99 = quantileDur(ts.latencies, 0.99)
+		rep.Targets = append(rep.Targets, tr)
+	}
 	total := rep.WarmupOptions + rep.Options
 	if total > 0 {
 		rep.JoulesPerOption = rep.ModelledJoules / float64(total)
@@ -200,6 +249,12 @@ type sweepStats struct {
 	joules                               float64
 	latencies                            []time.Duration
 	phases                               phaseSums
+	perTarget                            []targetStats // parallel to cfg.Targets
+}
+
+type targetStats struct {
+	requests, errors, options int64
+	latencies                 []time.Duration
 }
 
 // phaseSums accumulates Server-Timing phase durations and the priced
@@ -251,15 +306,18 @@ func sweep(ctx context.Context, client *http.Client, cfg LoadConfig, pass []load
 		mu    sync.Mutex
 		stats sweepStats
 		wg    sync.WaitGroup
-		fail  atomic.Value // first transport-level error
+		fail  atomic.Value  // first transport-level error
+		rr    atomic.Uint64 // round-robin cursor over cfg.Targets
 	)
+	stats.perTarget = make([]targetStats, len(cfg.Targets))
 	for w := 0; w < cfg.Concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for lr := range work {
+				ti := int((rr.Add(1) - 1) % uint64(len(cfg.Targets)))
 				t0 := time.Now()
-				obs, err := doPriceRequest(ctx, client, cfg.BaseURL, lr)
+				obs, err := doPriceRequest(ctx, client, cfg.Targets[ti], lr)
 				lat := time.Since(t0)
 				if err != nil {
 					fail.CompareAndSwap(nil, err)
@@ -268,10 +326,15 @@ func sweep(ctx context.Context, client *http.Client, cfg LoadConfig, pass []load
 				mu.Lock()
 				stats.requests++
 				stats.latencies = append(stats.latencies, lat)
+				ts := &stats.perTarget[ti]
+				ts.requests++
+				ts.latencies = append(ts.latencies, lat)
 				if obs.httpErr {
 					stats.errors++
+					ts.errors++
 				} else {
 					stats.options += int64(lr.options)
+					ts.options += int64(lr.options)
 					stats.cacheHits += obs.cacheHits
 					stats.retries += obs.retries
 					stats.joules += obs.joules
@@ -316,6 +379,28 @@ type requestObs struct {
 	retries   int64
 	joules    float64
 	phases    phaseSums
+}
+
+// ParseServerTiming reads a Server-Timing header back into the phase
+// breakdown the server rendered it from — the inverse of
+// PhaseBreakdown.ServerTiming. The cluster router uses it to merge the
+// phase accounting of sub-batches fanned out across nodes into one
+// fleet-level header.
+func ParseServerTiming(header string) PhaseBreakdown {
+	p := parseServerTiming(header)
+	return PhaseBreakdown{
+		Batch: p.batch, Queue: p.queue, Compute: p.compute, Readback: p.readback,
+		Priced: int(p.priced),
+	}
+}
+
+// Add accumulates another breakdown into p.
+func (p *PhaseBreakdown) Add(o PhaseBreakdown) {
+	p.Batch += o.Batch
+	p.Queue += o.Queue
+	p.Compute += o.Compute
+	p.Readback += o.Readback
+	p.Priced += o.Priced
 }
 
 // parseServerTiming reads the serving tier's Server-Timing header:

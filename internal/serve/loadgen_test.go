@@ -55,6 +55,54 @@ func TestRunLoadSmall(t *testing.T) {
 	}
 }
 
+// TestRunLoadMultiTarget: with Targets set, requests round-robin across
+// the servers and the report carries a per-target breakdown whose rows
+// sum to the fleet totals.
+func TestRunLoadMultiTarget(t *testing.T) {
+	_, hsA := newTestServer(t, Config{Steps: 32})
+	_, hsB := newTestServer(t, Config{Steps: 32})
+	spec := workload.DefaultVolCurveSpec(9)
+	spec.N = 12
+	chain, err := workload.Chain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := RunLoad(context.Background(), LoadConfig{
+		Targets: []string{hsA.URL, hsB.URL}, Options: chain,
+		Concurrency: 2, BatchSize: 3, Passes: 2,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if len(rep.Targets) != 2 {
+		t.Fatalf("per-target rows = %d, want 2", len(rep.Targets))
+	}
+	var sumReqs, sumOpts int64
+	for _, tr := range rep.Targets {
+		if tr.Requests == 0 {
+			t.Errorf("target %s got no traffic — round-robin stuck", tr.BaseURL)
+		}
+		if tr.P50 <= 0 {
+			t.Errorf("target %s has no latency quantiles", tr.BaseURL)
+		}
+		sumReqs += tr.Requests
+		sumOpts += tr.Options
+	}
+	if sumReqs != rep.Requests || sumOpts != rep.Options {
+		t.Errorf("per-target rows sum to %d reqs / %d options, fleet totals %d / %d",
+			sumReqs, sumOpts, rep.Requests, rep.Options)
+	}
+	if !strings.Contains(rep.Text(), "target:") {
+		t.Errorf("report text missing per-target rows:\n%s", rep.Text())
+	}
+
+	// No target configured at all is a configuration error.
+	if _, err := RunLoad(context.Background(), LoadConfig{Options: chain}); err == nil {
+		t.Error("RunLoad accepted a config with no target")
+	}
+}
+
 // TestRunLoadRPSThrottle bounds the measured request rate.
 func TestRunLoadRPSThrottle(t *testing.T) {
 	_, hs := newTestServer(t, Config{Steps: 16})

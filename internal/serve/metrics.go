@@ -164,6 +164,9 @@ type metrics struct {
 	priceErrors    atomic.Int64 // failed pricing attempts across all shards
 	retries        atomic.Int64 // failover re-dispatches after failed attempts
 
+	invalidations      atomic.Int64 // applied cache-generation bumps
+	invalidatedEntries atomic.Int64 // cache entries dropped by those bumps
+
 	modelledJoules atomicFloat // sum of per-option modelled energy
 
 	latency   *histogram // per-option enqueue-to-result latency, seconds
@@ -299,7 +302,7 @@ func (m *metrics) optionsPerSec() float64 {
 
 // render writes the exposition text: Prometheus-style name/value lines,
 // one metric per line, deterministic ordering.
-func (m *metrics) render(queueDepth int64, cacheLen int) string {
+func (m *metrics) render(queueDepth int64, cacheLen int, cacheGen uint64) string {
 	var b strings.Builder
 	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
 
@@ -312,6 +315,9 @@ func (m *metrics) render(queueDepth int64, cacheLen int) string {
 	w("binopt_options_priced_total %d\n", m.optionsPriced.Load())
 	w("binopt_cache_hits_total %d\n", m.cacheHits.Load())
 	w("binopt_cache_entries %d\n", cacheLen)
+	w("binopt_cache_generation %d\n", cacheGen)
+	w("binopt_cache_invalidations_total %d\n", m.invalidations.Load())
+	w("binopt_cache_invalidated_entries_total %d\n", m.invalidatedEntries.Load())
 	w("binopt_solver_pricings_total %d\n", m.solverPricings.Load())
 	w("binopt_price_errors_total %d\n", m.priceErrors.Load())
 	w("binopt_retries_total %d\n", m.retries.Load())

@@ -83,13 +83,15 @@ func TestMetricsRenderAndEnergy(t *testing.T) {
 		t.Fatalf("joules/option = %v, want 0.0025", jpo)
 	}
 
-	text := m.render(3, 17)
+	text := m.render(3, 17, 5)
 	for _, want := range []string{
 		"binopt_options_served_total 4",
 		"binopt_options_priced_total 2",
 		"binopt_cache_hits_total 2",
 		"binopt_queue_depth 3",
 		"binopt_cache_entries 17",
+		"binopt_cache_generation 5",
+		"binopt_cache_invalidations_total 0",
 		`binopt_backend_options_priced_total{backend="fpga-ivb"} 2`,
 	} {
 		if !strings.Contains(text, want) {

@@ -130,6 +130,13 @@ type Server struct {
 	closed  atomic.Bool
 	aborted chan struct{} // closed when a drain deadline abandons shutdown
 	wg      sync.WaitGroup
+
+	// cacheGen is the result cache's market-data generation. A bump —
+	// local via Invalidate, or remote via POST /v1/invalidate from a
+	// cluster gossip peer — flushes the cache, so a vol-surface update
+	// on any node of a fleet stops every node from serving prices
+	// computed against the old surface. Monotonic; stale bumps no-op.
+	cacheGen atomic.Uint64
 }
 
 // New builds and starts a Server (backend workers launch immediately).
@@ -237,6 +244,31 @@ func (s *Server) substrateStats() []substrateStat {
 
 // Steps reports the lattice depth the server prices at.
 func (s *Server) Steps() int { return s.cfg.Steps }
+
+// CacheGeneration reports the result cache's current market-data
+// generation.
+func (s *Server) CacheGeneration() uint64 { return s.cacheGen.Load() }
+
+// Invalidate applies a market-data generation bump: when gen exceeds the
+// current generation the result cache is flushed and gen becomes
+// current, returning true. A stale or duplicate bump (gen <= current) is
+// a no-op returning false — that idempotence is what lets cluster
+// gossip re-deliver the same invalidation along many paths without
+// repeatedly dumping warm caches.
+func (s *Server) Invalidate(gen uint64) bool {
+	for {
+		cur := s.cacheGen.Load()
+		if gen <= cur {
+			return false
+		}
+		if s.cacheGen.CompareAndSwap(cur, gen) {
+			evicted := s.cache.flush()
+			s.metrics.invalidations.Add(1)
+			s.metrics.invalidatedEntries.Add(int64(evicted))
+			return true
+		}
+	}
+}
 
 // Tracer returns the server's span tracer (nil when tracing is off),
 // for mounting /debug/trace on auxiliary listeners.

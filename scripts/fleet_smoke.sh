@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# fleet_smoke.sh — boot pricefleet with a 3-node in-process fleet, prove
+# the fabric's two load-bearing claims on the real binaries:
+#
+#   1. Bit-identical distribution: the same chain priced through the
+#      router and through a single pricesrvd yields byte-identical
+#      price vectors — hashing, sub-batching and merging are
+#      numerically invisible.
+#   2. Chaos: kill one node mid-run (listener and connections torn
+#      down, no drain) and loadgen's chaos verdict must stay at zero
+#      client-visible errors, with the fleet /metrics showing the node
+#      down and its ring segment failed over.
+#
+# Run from the repository root:  ./scripts/fleet_smoke.sh
+set -euo pipefail
+
+FLEET_ADDR=127.0.0.1:19090
+FLEET=http://$FLEET_ADDR
+SOLO_ADDR=127.0.0.1:19091
+SOLO=http://$SOLO_ADDR
+STEPS=256
+FLEET_LOG=$(mktemp)
+SOLO_LOG=$(mktemp)
+FLEET_PID=
+SOLO_PID=
+
+cleanup() {
+    for pid in "$FLEET_PID" "$SOLO_PID"; do
+        if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -f "$FLEET_LOG" "$SOLO_LOG" /tmp/fleet_prices.json /tmp/solo_prices.json
+}
+trap cleanup EXIT
+
+fail() {
+    echo "fleet_smoke: FAIL: $*" >&2
+    echo "--- fleet log ---" >&2
+    cat "$FLEET_LOG" >&2
+    exit 1
+}
+
+wait_healthy() {
+    for i in $(seq 1 50); do
+        if curl -sf "$1/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    fail "$1 did not become healthy"
+}
+
+echo "fleet_smoke: building"
+go build -o /tmp/pricefleet-smoke ./cmd/pricefleet
+go build -o /tmp/pricesrvd-smoke ./cmd/pricesrvd
+go build -o /tmp/loadgen-smoke ./cmd/loadgen
+
+echo "fleet_smoke: starting 3-node fleet on $FLEET_ADDR and a solo node on $SOLO_ADDR"
+/tmp/pricefleet-smoke -addr "$FLEET_ADDR" -nodes 3 -steps "$STEPS" \
+    -heartbeat 50ms >"$FLEET_LOG" 2>&1 &
+FLEET_PID=$!
+/tmp/pricesrvd-smoke -addr "$SOLO_ADDR" -steps "$STEPS" >"$SOLO_LOG" 2>&1 &
+SOLO_PID=$!
+wait_healthy "$FLEET"
+wait_healthy "$SOLO"
+
+echo "fleet_smoke: bit-identical check (fleet vs solo, one batch)"
+BODY='{"contracts":[
+ {"right":"put","style":"american","spot":100,"strike":80,"rate":0.03,"sigma":0.25,"t":0.5},
+ {"right":"put","style":"american","spot":100,"strike":90,"rate":0.03,"sigma":0.22,"t":0.5},
+ {"right":"put","style":"american","spot":100,"strike":100,"rate":0.03,"sigma":0.20,"t":0.5},
+ {"right":"put","style":"american","spot":100,"strike":110,"rate":0.03,"sigma":0.21,"t":0.5},
+ {"right":"call","style":"european","spot":100,"strike":105,"rate":0.03,"sigma":0.2,"t":1.0},
+ {"right":"call","style":"american","spot":100,"strike":95,"rate":0.03,"sigma":0.3,"t":0.25}
+]}'
+curl -sf "$FLEET/v1/price" -d "$BODY" -o /tmp/fleet_prices.json || fail "fleet price request"
+curl -sf "$SOLO/v1/price" -d "$BODY" -o /tmp/solo_prices.json || fail "solo price request"
+python3 - /tmp/fleet_prices.json /tmp/solo_prices.json <<'EOF' || fail "fleet and solo prices differ"
+import json, sys
+fleet = json.load(open(sys.argv[1]))
+solo = json.load(open(sys.argv[2]))
+fp = [r["price"] for r in fleet["results"]]
+sp = [r["price"] for r in solo["results"]]
+assert len(fp) == len(sp) > 0, f"result counts differ: {len(fp)} vs {len(sp)}"
+for i, (a, b) in enumerate(zip(fp, sp)):
+    assert a == b, f"option {i}: fleet {a!r} != solo {b!r}"
+print(f"fleet_smoke: {len(fp)} prices bit-identical across the fabric")
+EOF
+
+echo "fleet_smoke: fleet metrics sanity"
+curl -sf "$FLEET/metrics" | grep -q 'binopt_fleet_nodes 3' \
+    || fail "fleet metrics missing binopt_fleet_nodes 3"
+curl -sf "$FLEET/metrics" | grep -q 'binopt_fleet_joules_per_option' \
+    || fail "fleet metrics missing joules per option"
+
+echo "fleet_smoke: chaos — loadgen through the router, killing node 1 mid-run"
+# Start the measured run in the background, yank a node while it is in
+# flight, then collect loadgen's chaos verdict: it exits nonzero if any
+# request failed. The -rps throttle stretches the measured phase to
+# ~4s so the kill at t=1s provably lands mid-run, not after the fact.
+/tmp/loadgen-smoke -via-router "$FLEET" -n 500 -warmup 1 -passes 40 -rps 20 \
+    -concurrency 4 -target 0 -chaos >/tmp/fleet_loadgen.out 2>&1 &
+LG_PID=$!
+sleep 1
+curl -sf -X POST "$FLEET/fleet/kill?node=1" >/dev/null || fail "kill endpoint"
+if ! wait "$LG_PID"; then
+    cat /tmp/fleet_loadgen.out >&2
+    fail "loadgen chaos verdict: client-visible errors while a node died"
+fi
+cat /tmp/fleet_loadgen.out
+
+echo "fleet_smoke: validating the outage is observable on the fleet"
+sleep 0.3  # one heartbeat round so the router books the corpse
+curl -sf "$FLEET/metrics" | grep -q 'binopt_node_up{node="node-1"} 0' \
+    || fail "metrics: killed node still marked up"
+curl -sf "$FLEET/metrics" | grep -q 'binopt_fleet_nodes_scraped 2' \
+    || fail "metrics: scrape count did not drop to 2"
+curl -sf "$FLEET/healthz" | grep -q '"status":"degraded"' \
+    || fail "healthz not degraded after node kill"
+
+kill "$FLEET_PID"
+wait "$FLEET_PID" 2>/dev/null || true
+FLEET_PID=
+grep -q "drained cleanly" "$FLEET_LOG" || fail "fleet did not drain cleanly"
+
+echo "fleet_smoke: PASS"
