@@ -41,8 +41,12 @@ type Engine struct {
 	jpo        float64 // modelled joules per option
 
 	// perOption is the modelled substrate activity of pricing one option
-	// at serving depth, calibrated from the construction probe.
+	// at serving depth, calibrated from the construction probe. perQuad
+	// is the activity of one interleaved quad group (four options through
+	// one shared sweep): control costs are paid once, data costs four
+	// times — see quadGroupCounters.
 	perOption opencl.Counters
+	perQuad   opencl.Counters
 
 	// spo and devPlan model the device clock: seconds per option from
 	// the estimate, decomposed into the option's command schedule.
@@ -154,6 +158,9 @@ func newKernelEngine(desc Description, est perf.Estimate, steps int) (*Engine, e
 				desc.Name, probe, i, got, math.Float64bits(got), want, math.Float64bits(want))
 		}
 	}
+	if err := verifyQuadParity(desc.Name, steps); err != nil {
+		return nil, err
+	}
 	perOpt := scaleProbeCounters(res.Counters, len(chain), probe, steps)
 	return &Engine{
 		desc:       desc,
@@ -163,6 +170,7 @@ func newKernelEngine(desc Description, est perf.Estimate, steps int) (*Engine, e
 		host:       host,
 		jpo:        joulesPerOption(est),
 		perOption:  perOpt,
+		perQuad:    quadGroupCounters(perOpt),
 		spo:        secondsPerOption(est),
 		devPlan:    newDevCommandPlan(perOpt),
 	}, nil
@@ -176,6 +184,9 @@ func newHostEngine(desc Description, est perf.Estimate, steps int) (*Engine, err
 	if err != nil {
 		return nil, fmt.Errorf("accel: %s: %w", desc.Name, err)
 	}
+	if err := verifyQuadParity(desc.Name, steps); err != nil {
+		return nil, err
+	}
 	const flopsPerNode = 6
 	perOpt := opencl.Counters{Flops: nodesFor(steps) * flopsPerNode}
 	return &Engine{
@@ -185,9 +196,79 @@ func newHostEngine(desc Description, est perf.Estimate, steps int) (*Engine, err
 		host:      host,
 		jpo:       joulesPerOption(est),
 		perOption: perOpt,
+		perQuad:   quadGroupCounters(perOpt),
 		spo:       secondsPerOption(est),
 		devPlan:   newDevCommandPlan(perOpt),
 	}, nil
+}
+
+// verifyQuadParity extends the construction-time parity guarantee to
+// the interleaved batch path: the quad sweep — straight and cache-tiled
+// — must reproduce the scalar host lattice bit for bit on the probe
+// chain before the engine is allowed to serve batches through it. Depth
+// is capped like the kernel probe; the quad kernels have no
+// depth-dependent branches, so a few hundred steps exercise every path.
+func verifyQuadParity(name string, steps int) error {
+	depth := steps
+	if depth > maxProbeSteps {
+		depth = maxProbeSteps
+	}
+	ref, err := lattice.NewEngine(depth)
+	if err != nil {
+		return fmt.Errorf("accel: %s: quad probe: %w", name, err)
+	}
+	chain := probeChain()
+	want := make([]float64, len(chain))
+	for i, o := range chain {
+		if want[i], err = ref.Price(o); err != nil {
+			return fmt.Errorf("accel: %s: quad probe reference: %w", name, err)
+		}
+	}
+	qp := ref.NewQuadPlan()
+	for _, tiled := range []bool{false, true} {
+		if err := qp.Load(chain); err != nil {
+			return fmt.Errorf("accel: %s: quad probe: %w", name, err)
+		}
+		var got [4]float64
+		mode := "straight"
+		if tiled {
+			mode = "tiled"
+			got = qp.ExecTiled()
+		} else {
+			got = qp.Exec()
+		}
+		for i := range chain {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				return fmt.Errorf("accel: %s: quad/scalar parity violation (%s sweep, probe depth %d, option %d): quad %v (%#x) vs scalar %v (%#x)",
+					name, mode, depth, i, got[i], math.Float64bits(got[i]), want[i], math.Float64bits(want[i]))
+			}
+		}
+	}
+	return nil
+}
+
+// quadGroupCounters models one interleaved quad group from the
+// per-option activity: the shared sweep launches one kernel over one
+// set of work-items and crosses each barrier once for all four lanes
+// (control costs ×1), while every node touches four lane values and
+// performs four lanes of arithmetic (data costs ×4). The result
+// readback is one transfer carrying four prices.
+func quadGroupCounters(per opencl.Counters) opencl.Counters {
+	return opencl.Counters{
+		Kernels:        per.Kernels,
+		KernelLaunches: per.KernelLaunches,
+		WorkGroups:     per.WorkGroups,
+		WorkItems:      per.WorkItems,
+		Barriers:       per.Barriers,
+		HostReads:      per.HostReads,
+		HostTransfers:  per.HostTransfers,
+		GlobalReads:    4 * per.GlobalReads,
+		GlobalWrites:   4 * per.GlobalWrites,
+		LocalReads:     4 * per.LocalReads,
+		LocalWrites:    4 * per.LocalWrites,
+		Flops:          4 * per.Flops,
+		HostWrites:     4 * per.HostWrites,
+	}
 }
 
 func joulesPerOption(est perf.Estimate) float64 {
@@ -279,7 +360,10 @@ func (e *Engine) PriceTraced(o option.Option) (float64, DeviceTrace, error) {
 
 // PriceBatch prices a batch (workers <= 0 uses GOMAXPROCS) and accounts
 // its modelled substrate activity. The fault hook is consulted once per
-// batch — the batch is one modelled device submission.
+// batch — the batch is one modelled device submission. The host lattice
+// routes the batch through quad-interleaved sweeps, so the accounting
+// mirrors the dispatch: full groups of four book one shared-sweep quad
+// group, the remainder books scalar per-option activity.
 func (e *Engine) PriceBatch(opts []option.Option, workers int) ([]float64, error) {
 	if err := e.faultCheck(); err != nil {
 		return nil, err
@@ -288,17 +372,40 @@ func (e *Engine) PriceBatch(opts []option.Option, workers int) ([]float64, error
 	if err != nil {
 		return nil, err
 	}
-	e.account(len(opts))
+	e.accountBatch(len(opts))
 	return prices, nil
 }
 
-// account books n priced options and advances the modelled device
-// clock, returning the device-clock position the work started at.
+// account books n scalar-priced options and advances the modelled
+// device clock, returning the device-clock position the work started
+// at.
 func (e *Engine) account(n int) float64 {
 	var add opencl.Counters
 	for i := 0; i < n; i++ {
 		add.Add(e.perOption)
 	}
+	return e.book(add, n)
+}
+
+// accountBatch books n options priced through the quad-interleaved
+// batch path: full groups of four accumulate perQuad, the scalar
+// remainder perOption. The device clock and modelled energy remain
+// per-option — they model the paper's measured device, which the
+// interleaving does not change.
+func (e *Engine) accountBatch(n int) {
+	var add opencl.Counters
+	for i := 0; i < n/4; i++ {
+		add.Add(e.perQuad)
+	}
+	for i := 0; i < n%4; i++ {
+		add.Add(e.perOption)
+	}
+	e.book(add, n)
+}
+
+// book commits accumulated counters plus n options of device-clock
+// advance, returning the clock position the work started at.
+func (e *Engine) book(add opencl.Counters, n int) float64 {
 	e.mu.Lock()
 	e.totals.Add(add)
 	e.priced += int64(n)

@@ -86,6 +86,48 @@ func TestEngineAccounting(t *testing.T) {
 	}
 }
 
+// TestQuadBatchAccounting: a batch routes through quad-interleaved
+// sweeps, so its modelled activity must book one shared-sweep group per
+// four options plus scalar remainder — control costs paid once per
+// group, data costs per lane.
+func TestQuadBatchAccounting(t *testing.T) {
+	for _, p := range Platforms() {
+		d := p.Describe()
+		eng, err := p.NewEngine(32)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		chain := probeChain()
+		batch := make([]option.Option, 5) // one quad group + one scalar
+		for i := range batch {
+			batch[i] = chain[i%len(chain)]
+			batch[i].Strike += float64(i)
+		}
+		if _, err := eng.PriceBatch(batch, 1); err != nil {
+			t.Fatalf("%s: PriceBatch: %v", d.Name, err)
+		}
+		var want opencl.Counters
+		want.Add(eng.perQuad)
+		want.Add(eng.perOption)
+		if got := eng.Counters(); got != want {
+			t.Errorf("%s: batch of 5 booked %+v, want quad group + scalar %+v", d.Name, got, want)
+		}
+		// Data-side activity is per lane: 4 in the group + 1 scalar.
+		if got := eng.Counters().Flops; got != 5*eng.perOption.Flops {
+			t.Errorf("%s: batch flops %d, want 5x per-option %d", d.Name, got, 5*eng.perOption.Flops)
+		}
+		// Control-side activity is shared across the group's four lanes:
+		// the group crosses each barrier once, so 5 options cost 2
+		// options' worth of barriers, not 5.
+		if d.Kind != "cpu" {
+			if per := eng.perOption.Barriers; per <= 0 || eng.Counters().Barriers != 2*per {
+				t.Errorf("%s: batch barriers %d, want 2x per-option %d",
+					d.Name, eng.Counters().Barriers, per)
+			}
+		}
+	}
+}
+
 // TestEngineCountersScaleWithDepth: the modelled per-option arithmetic
 // must grow roughly quadratically with the serving depth even though the
 // probe depth is capped.

@@ -4,58 +4,124 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"binopt/internal/option"
 )
 
 // PriceBatch prices every option in opts and returns the values in the
 // same order. workers limits the number of goroutines; workers <= 0 uses
-// GOMAXPROCS. A single worker reproduces the paper's single-core software
-// reference exactly (the engines are deterministic, so parallelism never
-// changes the results, only the wall clock).
+// GOMAXPROCS.
+//
+// Work is dispatched in quad groups: four consecutive options share one
+// interleaved backward sweep (the QuadPlan), and a trailing group of
+// fewer than four falls back to the scalar plan. Each worker owns one
+// reusable QuadPlan and one reusable scalar Plan, so a steady batch
+// allocates nothing per group. Results are bit-identical to pricing each
+// option alone — the quad lanes run the scalar reference's exact
+// operation sequence — so parallelism and grouping never change the
+// numbers, only the wall clock.
+//
+// On the first error the dispatcher stops handing out new groups and the
+// workers drain the remainder without pricing it: a doomed batch fails
+// fast instead of burning cores on work whose results will be discarded.
 func (e *Engine) PriceBatch(opts []option.Option, workers int) ([]float64, error) {
+	out, _, err := e.priceBatch(opts, workers)
+	return out, err
+}
+
+// priceBatch additionally reports how many groups were actually priced
+// (attempted), which the early-stop regression test pins.
+func (e *Engine) priceBatch(opts []option.Option, workers int) ([]float64, int64, error) {
+	out := make([]float64, len(opts))
+	if len(opts) == 0 {
+		return out, 0, nil
+	}
+	groups := (len(opts) + 3) / 4
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(opts) {
-		workers = len(opts)
-	}
-	out := make([]float64, len(opts))
-	if len(opts) == 0 {
-		return out, nil
+	if workers > groups {
+		workers = groups
 	}
 
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		failed   atomic.Bool
+		priced   atomic.Int64
 	)
+	stop := make(chan struct{})
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			failed.Store(true)
+			close(stop)
+		}
+		mu.Unlock()
+	}
+
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				v, err := e.Price(opts[i])
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("lattice: option %d: %w", i, err)
+			var qp *QuadPlan
+			var sp *Plan
+			for g := range next {
+				if failed.Load() {
+					continue // drain doomed work without pricing it
+				}
+				priced.Add(1)
+				lo := g * 4
+				hi := lo + 4
+				if hi > len(opts) {
+					hi = len(opts)
+				}
+				if hi-lo == 4 {
+					if qp == nil {
+						qp = e.NewQuadPlan()
 					}
-					mu.Unlock()
+					lane, err := qp.load(opts[lo:hi])
+					if err != nil {
+						fail(fmt.Errorf("lattice: option %d: %w", lo+lane, err))
+						continue
+					}
+					res := qp.Exec()
+					copy(out[lo:hi], res[:])
 					continue
 				}
-				out[i] = v
+				for i := lo; i < hi; i++ {
+					var err error
+					if sp == nil {
+						sp, err = e.NewPlan(opts[i])
+					} else {
+						err = sp.Reset(opts[i])
+					}
+					if err != nil {
+						fail(fmt.Errorf("lattice: option %d: %w", i, err))
+						break
+					}
+					out[i] = sp.Exec()
+				}
 			}
 		}()
 	}
-	for i := range opts {
-		next <- i
+
+feed:
+	for g := 0; g < groups; g++ {
+		select {
+		case next <- g:
+		case <-stop:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, priced.Load(), firstErr
 	}
-	return out, nil
+	return out, priced.Load(), nil
 }

@@ -22,18 +22,22 @@ type Greeks struct {
 // from the tree requires the CRR parameterisation (it relies on the level-2
 // middle node recombining to the spot); other parameterisations get theta
 // via repricing.
+//
+// All bump evaluations share one Plan: the base contract is planned
+// once, and each bump re-derives only what its perturbation touches into
+// the same buffers (a rho bump under CRR keeps the leaf ladder and
+// payoff table — see Plan.Reset). No lattice buffer is allocated per
+// bump.
 func (e *Engine) PriceAndGreeks(o option.Option) (float64, Greeks, error) {
 	if e.steps < 2 {
 		return 0, Greeks{}, fmt.Errorf("lattice: greeks need at least 2 steps, got %d", e.steps)
 	}
-	lp, err := option.NewLatticeParams(o, e.steps, e.param)
+	p, err := e.NewPlan(o)
 	if err != nil {
 		return 0, Greeks{}, err
 	}
-	price, kept, err := e.priceRetain(o, 3)
-	if err != nil {
-		return 0, Greeks{}, err
-	}
+	lp := p.Params()
+	price, kept := p.ExecRetain(3)
 	v0, v1, v2 := kept[0], kept[1], kept[2]
 
 	s10 := o.Spot * lp.D
@@ -55,37 +59,38 @@ func (e *Engine) PriceAndGreeks(o option.Option) (float64, Greeks, error) {
 	} else {
 		bumped := o
 		bumped.T -= 2 * lp.Dt
-		vb, berr := e.Price(bumped)
-		if berr != nil {
-			return 0, Greeks{}, berr
+		if err := p.Reset(bumped); err != nil {
+			return 0, Greeks{}, err
 		}
-		g.Theta = (vb - price) / (2 * lp.Dt)
+		g.Theta = (p.Exec() - price) / (2 * lp.Dt)
 	}
 
-	// Vega and rho by central bump-and-reprice.
+	// Vega and rho by central bump-and-reprice on the shared plan.
 	const hSigma, hRate = 1e-3, 1e-4
-	g.Vega, err = e.centralDiff(o, hSigma, func(x *option.Option, d float64) { x.Sigma += d })
+	g.Vega, err = centralDiff(p, o, hSigma, func(x *option.Option, d float64) { x.Sigma += d })
 	if err != nil {
 		return 0, Greeks{}, err
 	}
-	g.Rho, err = e.centralDiff(o, hRate, func(x *option.Option, d float64) { x.Rate += d })
+	g.Rho, err = centralDiff(p, o, hRate, func(x *option.Option, d float64) { x.Rate += d })
 	if err != nil {
 		return 0, Greeks{}, err
 	}
 	return price, g, nil
 }
 
-func (e *Engine) centralDiff(o option.Option, h float64, mutate func(*option.Option, float64)) (float64, error) {
+// centralDiff evaluates (V(o+h) - V(o-h)) / 2h on the shared plan; each
+// bump is a Reset, not a fresh lattice.
+func centralDiff(p *Plan, o option.Option, h float64, mutate func(*option.Option, float64)) (float64, error) {
 	up, dn := o, o
 	mutate(&up, h)
 	mutate(&dn, -h)
-	vu, err := e.Price(up)
-	if err != nil {
+	if err := p.Reset(up); err != nil {
 		return 0, err
 	}
-	vd, err := e.Price(dn)
-	if err != nil {
+	vu := p.Exec()
+	if err := p.Reset(dn); err != nil {
 		return 0, err
 	}
+	vd := p.Exec()
 	return (vu - vd) / (2 * h), nil
 }

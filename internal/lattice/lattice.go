@@ -83,76 +83,15 @@ func (e *Engine) WithDeviceLeaves(pow hwmath.PowCore) *Engine {
 // Steps returns the number of time discretisation steps N.
 func (e *Engine) Steps() int { return e.steps }
 
-// Price returns the lattice value of the option.
+// Price returns the lattice value of the option. One-shot callers pay a
+// plan allocation per call; batch and Greeks paths hold a Plan and reuse
+// it.
 func (e *Engine) Price(o option.Option) (float64, error) {
-	v, _, err := e.priceRetain(o, 0)
-	return v, err
-}
-
-// priceRetain runs backward induction and additionally returns the node
-// values of the first `retain` time levels (levels 0..retain-1, each level
-// t holding t+1 values). The Greeks computation needs levels 0..2.
-func (e *Engine) priceRetain(o option.Option, retain int) (float64, [][]float64, error) {
-	lp, err := option.NewLatticeParams(o, e.steps, e.param)
+	p, err := e.NewPlan(o)
 	if err != nil {
-		return 0, nil, err
+		return 0, err
 	}
-	n := lp.Steps
-
-	rnd := func(x float64) float64 { return x }
-	if e.single {
-		rnd = func(x float64) float64 { return float64(float32(x)) }
-	}
-
-	d := rnd(lp.D)
-	pu, pd := rnd(lp.Pu), rnd(lp.Pd)
-	strike := rnd(o.Strike)
-
-	// Leaf asset prices.
-	var s []float64
-	switch e.leaf {
-	case LeafDevicePow:
-		// One Power-core evaluation per leaf, like kernel IV.B's
-		// per-work-item initialisation.
-		s = DeviceLeafPrices(o.Spot, lp, e.pow, e.single)
-	default:
-		// Host-side leaves, like kernel IV.A.
-		s = HostLeafPrices(o.Spot, lp, e.param, e.single)
-	}
-
-	// Leaf option values.
-	v := make([]float64, n+1)
-	for k := 0; k <= n; k++ {
-		v[k] = rnd(payoff(o.Right, s[k], strike))
-	}
-
-	var kept [][]float64
-	if retain > 0 {
-		kept = make([][]float64, retain)
-	}
-
-	american := o.Style == option.American
-	invD := rnd(1 / d)
-	for t := n - 1; t >= 0; t-- {
-		// Asset prices at level t from level t+1: S(t,k) = S(t+1,k)/d.
-		// Continuation and early exercise per node.
-		for k := 0; k <= t; k++ {
-			s[k] = rnd(s[k] * invD)
-			cont := rnd(rnd(pu*v[k+1]) + rnd(pd*v[k]))
-			if american {
-				if ex := rnd(payoff(o.Right, s[k], strike)); ex > cont {
-					cont = ex
-				}
-			}
-			v[k] = cont
-		}
-		if t < retain {
-			level := make([]float64, t+1)
-			copy(level, v[:t+1])
-			kept[t] = level
-		}
-	}
-	return v[0], kept, nil
+	return p.Exec(), nil
 }
 
 // payoff is the exercise value in the engine's working precision; the

@@ -322,10 +322,11 @@ func TestDeviceLeavesFlawedPowRMSE(t *testing.T) {
 
 func TestRetainLevels(t *testing.T) {
 	e := mustEngine(t, 8)
-	_, kept, err := e.priceRetain(amPut(), 3)
+	p, err := e.NewPlan(amPut())
 	if err != nil {
 		t.Fatal(err)
 	}
+	_, kept := p.ExecRetain(3)
 	if len(kept) != 3 {
 		t.Fatalf("kept %d levels", len(kept))
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package lattice
+
+// raceEnabled reports whether the race detector is compiled in; the
+// quad-vs-scalar parity sweep thins its deepest trees under race, where
+// the instrumented sweeps run an order of magnitude slower.
+const raceEnabled = false

@@ -14,26 +14,37 @@
 //     operations round twice — exactly the class of per-platform
 //     contraction difference the parity probe exists to catch.
 //
-// The analysis is reachability-based within the package: kernel
-// literals are the roots, and statically-resolved calls to same-package
-// functions extend the checked set.
+// The analysis is reachability-based within the package. Roots are the
+// function literals handed to opencl.NewKernel plus any function whose
+// doc comment carries a //binopt:kernel directive — the host-side
+// kernel realisations (the lattice engine's scalar, quad and tiled
+// sweeps) that implement the same arithmetic without flowing through
+// the simulated runtime. Statically-resolved calls to same-package
+// functions extend the checked set from either kind of root.
 package kerneldet
 
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 
 	"binopt/internal/lint"
 )
 
-// Analyzer flags nondeterminism reachable from opencl.NewKernel bodies.
+// Analyzer flags nondeterminism reachable from opencl.NewKernel bodies
+// or from functions marked //binopt:kernel.
 var Analyzer = &lint.Analyzer{
 	Name: "kerneldet",
-	Doc: "kernel bodies and the package functions they call must be " +
+	Doc: "kernel bodies (opencl.NewKernel literals and //binopt:kernel " +
+		"functions) and the package functions they call must be " +
 		"deterministic: no map iteration, no time.Now or unseeded math/rand, " +
 		"no mutable package-level state, no math.FMA",
 	Run: run,
 }
+
+// kernelMark is the doc-comment directive declaring a function a
+// host-side kernel realisation and therefore a determinism root.
+const kernelMark = "//binopt:kernel"
 
 func run(pass *lint.Pass) error {
 	// Index this package's function declarations by their object so
@@ -53,9 +64,14 @@ func run(pass *lint.Pass) error {
 
 	// Roots: function literals passed as the kernel body argument of
 	// opencl.NewKernel (recognised by name so testdata can stub the
-	// runtime package).
+	// runtime package), plus declarations marked //binopt:kernel.
 	var roots []ast.Node
 	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil && hasKernelMark(fd.Doc) {
+				roots = append(roots, fd.Body)
+			}
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -107,6 +123,24 @@ func run(pass *lint.Pass) error {
 		})
 	}
 	return nil
+}
+
+// hasKernelMark reports whether a doc comment carries the
+// //binopt:kernel directive (a line comment starting with the marker;
+// trailing free text describes the kernel).
+func hasKernelMark(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, kernelMark) {
+			rest := c.Text[len(kernelMark):]
+			if rest == "" || rest[0] == ' ' || rest[0] == '\t' {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // check walks one reachable body and reports determinism violations.

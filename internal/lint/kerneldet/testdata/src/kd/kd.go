@@ -85,3 +85,29 @@ func suppressedKernel() *opencl.Kernel {
 		_ = scaleBias
 	})
 }
+
+// markedSweep is a host-side kernel realisation: the //binopt:kernel
+// directive makes it a determinism root without an opencl.NewKernel
+// call.
+//
+//binopt:kernel miniature backward sweep (testdata)
+func markedSweep(v []float64, pu, pd float64) {
+	_ = time.Now() // want `calls time\.Now`
+	for k := range v[:len(v)-1] {
+		v[k] = pu*v[k+1] + pd*v[k]
+	}
+	markedHelper(v)
+}
+
+// markedHelper is reachable from the marked root, so its violations
+// count.
+func markedHelper(v []float64) {
+	v[0] *= scaleBias // want `touches package-level variable scaleBias`
+}
+
+// markedSkew has kernel-looking text in its doc prose but no directive
+// line; it must NOT become a root. (A "binopt:kernel sweep" mention in
+// running text is not a marker.)
+func markedSkew() float64 {
+	return rand.Float64() * scaleBias
+}

@@ -220,18 +220,61 @@ func (s *Server) shardKernel(be *backend) (func(option.Option) (float64, error),
 	}
 }
 
-// worker drains batches from one shard until its queue closes. Results
-// are cached, metered, and delivered on each job's buffered channel;
-// failed pricings are metered against the shard's breaker and handed to
+// worker drains batches from one shard until its queue closes. A whole
+// cache-miss micro-batch is submitted to the shard engine's
+// quad-interleaved batch pricer in one call; batches the fast path
+// cannot take (no engine, device-timeline tracing, single job, or a
+// failed submission) fall back to the per-job loop. Results are cached,
+// metered, and delivered on each job's buffered channel; failed
+// pricings are metered against the shard's breaker and handed to
 // failover.
 func (s *Server) worker(be *backend) {
 	defer s.wg.Done()
 	priceFn, engine := s.shardKernel(be)
 	for batch := range be.jobs {
+		if s.runBatch(be, batch, engine) {
+			continue
+		}
 		for _, j := range batch {
 			s.runJob(be, j, priceFn, engine)
 		}
 	}
+}
+
+// runBatch prices one micro-batch through the shard engine's batch
+// path, which routes groups of four options into one shared
+// quad-interleaved sweep. It reports false when the batch must take the
+// per-job path instead: no platform engine, the tracer wants per-option
+// device timelines (PriceTraced is per-option), a single job (nothing
+// to interleave), or the batch submission failed — re-running the jobs
+// individually lets the breaker and failover see exactly which option
+// failed, instead of failing the whole batch over.
+func (s *Server) runBatch(be *backend, batch []*job, engine *accel.Engine) bool {
+	if engine == nil || s.tracer.Enabled() || len(batch) < 2 {
+		return false
+	}
+	picked := time.Now()
+	opts := make([]option.Option, len(batch))
+	for i, j := range batch {
+		j.picked = picked
+		opts[i] = j.opt
+	}
+	prices, err := engine.PriceBatch(opts, 1)
+	if err != nil {
+		return false
+	}
+	computed := time.Now()
+	s.metrics.batchPriced.Add(int64(len(batch)))
+	for i, j := range batch {
+		j.computed = computed
+		be.breaker.onSuccess()
+		s.cache.put(j.key, prices[i])
+		s.metrics.observeOption(computed.Sub(j.enqueued), computed.Unix(), be.joules, be.priced)
+		be.pending.Add(-1)
+		s.queued.Add(-1)
+		j.done <- jobResult{price: prices[i], backend: be.cfg.Name, joules: be.joules, retries: j.retries, err: nil}
+	}
+	return true
 }
 
 // runJob prices one job on one shard and settles its outcome: success

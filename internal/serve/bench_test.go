@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -122,4 +124,41 @@ func BenchmarkPriceAmericanPut1024(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(b.Elapsed().Seconds()/float64(b.N)*1e3, "ms/option")
+}
+
+// BenchmarkPriceBatchQuad1024 is the cold path through the
+// quad-interleaved batch pricer at the paper's evaluation depth: 64
+// distinct contracts per call. The one-worker case isolates the
+// interleave itself — its options/s over BenchmarkPriceAmericanPut1024
+// is the single-core speedup of sharing one backward sweep across four
+// lanes; the GOMAXPROCS case adds worker parallelism on top (omitted
+// when GOMAXPROCS is 1).
+func BenchmarkPriceBatchQuad1024(b *testing.B) {
+	eng, err := lattice.NewEngine(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]option.Option, 64)
+	for i := range batch {
+		batch[i] = option.Option{
+			Right: option.Put, Style: option.American,
+			Spot: 100, Strike: 85 + 0.5*float64(i),
+			Rate: 0.03, Sigma: 0.2 + 0.002*float64(i%8), T: 0.5,
+		}
+	}
+	counts := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		counts = append(counts, p)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.PriceBatch(batch, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "options/s")
+		})
+	}
 }

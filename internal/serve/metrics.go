@@ -160,6 +160,7 @@ type metrics struct {
 	optionsServed  atomic.Int64 // priced + cache hits returned to clients
 	optionsPriced  atomic.Int64 // actually ran the lattice
 	cacheHits      atomic.Int64
+	batchPriced    atomic.Int64 // options priced through the quad-interleaved batch path
 	solverPricings atomic.Int64 // lattice evaluations spent inside implied-vol solves
 	priceErrors    atomic.Int64 // failed pricing attempts across all shards
 	retries        atomic.Int64 // failover re-dispatches after failed attempts
@@ -330,6 +331,7 @@ func (m *metrics) render(queueDepth int64, cacheLen int, cacheGen uint64) string
 
 	w("binopt_batch_size_count %d\n", m.batchSize.n.Load())
 	w("binopt_batch_size_mean %.3f\n", m.batchSize.mean())
+	w("binopt_batch_priced_options_total %d\n", m.batchPriced.Load())
 	for _, q := range []float64{0.5, 0.95, 0.99} {
 		w("binopt_option_latency_seconds{quantile=\"%g\"} %.6g\n", q, m.latency.quantile(q))
 	}

@@ -339,3 +339,47 @@ func TestDefaultBackendsValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestShardBatchMissPath: a request of distinct cache misses must reach
+// its shard as one micro-batch and be priced through the engine's
+// quad-interleaved batch path — bit-identical to the reference lattice,
+// with the options visible in the batch-priced metric.
+func TestShardBatchMissPath(t *testing.T) {
+	const steps = 64
+	s, _ := newTestServer(t, Config{Steps: steps, CacheSize: 256})
+
+	base := option.Option{
+		Right: option.Put, Style: option.American,
+		Spot: 100, Strike: 90, Rate: 0.03, Div: 0.01, Sigma: 0.2, T: 0.5,
+	}
+	opts := make([]option.Option, 8)
+	for i := range opts {
+		o := base
+		o.Strike = 90 + float64(i)
+		opts[i] = o
+	}
+	eng, err := lattice.NewEngine(steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.PriceBatch(opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := s.PriceOptions(context.Background(), opts)
+	if err != nil {
+		t.Fatalf("PriceOptions: %v", err)
+	}
+	for i := range opts {
+		if res[i].Cached {
+			t.Errorf("option %d served from cache on first pass", i)
+		}
+		if res[i].Price != want[i] {
+			t.Errorf("option %d: served %v, reference %v (must match bit-for-bit)", i, res[i].Price, want[i])
+		}
+	}
+	if got := s.metrics.batchPriced.Load(); got != int64(len(opts)) {
+		t.Errorf("batch-priced metric = %d, want %d (whole miss batch through the quad path)", got, len(opts))
+	}
+}

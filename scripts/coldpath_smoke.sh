@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# coldpath_smoke.sh — guard the lattice cold path against silent
+# regression: run BenchmarkPriceAmericanPut1024 (the scalar per-miss
+# cost every cache miss pays at the paper's 1024-step depth) a few
+# times and fail if the best run is more than 25% slower than the
+# committed BENCH_serve.json baseline. Benchmark noise on shared CI
+# boxes is real, hence best-of-N against a generous threshold: this
+# gate catches an accidentally quadratic sweep or a lost optimisation,
+# not single-digit drift. PRs that intentionally move the cold path
+# must append a fresh BENCH_serve.json entry (which rebases this gate).
+#
+# Run from the repository root:  ./scripts/coldpath_smoke.sh
+set -euo pipefail
+
+BENCH=BenchmarkPriceAmericanPut1024
+COUNT=3
+MAX_REGRESSION_PCT=25
+
+fail() {
+    echo "coldpath_smoke: FAIL: $*" >&2
+    exit 1
+}
+
+# Baseline: the ns_per_op of the LATEST entry naming the benchmark in
+# BENCH_serve.json (entries are append-only, so last wins).
+baseline=$(awk '
+    /"name": "'"$BENCH"'"/ { armed = 1; next }
+    armed && /"ns_per_op"/ { gsub(/[^0-9]/, ""); latest = $0; armed = 0 }
+    END { print latest }
+' BENCH_serve.json)
+[ -n "$baseline" ] || fail "no $BENCH baseline found in BENCH_serve.json"
+
+echo "coldpath_smoke: baseline $BENCH = ${baseline} ns/op"
+echo "coldpath_smoke: running $BENCH (count=$COUNT)"
+out=$(go test ./internal/serve/ -run '^$' -bench "^${BENCH}\$" -benchtime 1s -count "$COUNT")
+echo "$out"
+
+best=$(echo "$out" | awk -v bench="$BENCH" '
+    $1 == bench { gsub(/[^0-9]/, "", $3); if (best == "" || $3 + 0 < best + 0) best = $3 }
+    END { print best }
+')
+[ -n "$best" ] || fail "benchmark produced no samples"
+
+limit=$((baseline + baseline * MAX_REGRESSION_PCT / 100))
+echo "coldpath_smoke: best ${best} ns/op, limit ${limit} ns/op (baseline + ${MAX_REGRESSION_PCT}%)"
+if [ "$best" -gt "$limit" ]; then
+    fail "cold path regressed: best ${best} ns/op > ${limit} ns/op (baseline ${baseline} + ${MAX_REGRESSION_PCT}%)"
+fi
+echo "coldpath_smoke: PASS"
