@@ -21,18 +21,29 @@
 // gains client-visible error and server-side retry rates, and the exit
 // code is nonzero if any error reached a client — pair it with a
 // pricesrvd started under -faults.
+//
+// With -slo the run becomes an SLO verdict too: after the measured
+// passes loadgen fetches the target's /debug/slo burn-rate report and
+// exits nonzero if either objective (latency, availability) is burning
+// its error budget on both alert windows. The report also reconciles
+// the per-request Server-Timing joules ledger against the server's
+// modelled energy total.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
 	"binopt/internal/serve"
+	"binopt/internal/slo"
 	"binopt/internal/workload"
 )
 
@@ -50,6 +61,7 @@ func main() {
 		rps         = flag.Float64("rps", 0, "request-rate limit during measurement (0 = unlimited)")
 		target      = flag.Float64("target", 2000, "options/s target to check the run against (0 = skip)")
 		chaos       = flag.Bool("chaos", false, "chaos verdict: report error/retry rates and exit nonzero on any client-visible error (pair with pricesrvd -faults)")
+		sloVerdict  = flag.Bool("slo", false, "SLO verdict: fetch the target's /debug/slo after the run and exit nonzero if any objective is burning its error budget")
 	)
 	flag.Parse()
 
@@ -68,13 +80,13 @@ func main() {
 		}
 	}
 
-	if err := run(base, targetList, *n, *seed, *concurrency, *batch, *warmup, *passes, *rps, *target, *chaos); err != nil {
+	if err := run(base, targetList, *n, *seed, *concurrency, *batch, *warmup, *passes, *rps, *target, *chaos, *sloVerdict); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, targets []string, n int, seed int64, concurrency, batch, warmup, passes int, rps, target float64, chaos bool) error {
+func run(addr string, targets []string, n int, seed int64, concurrency, batch, warmup, passes int, rps, target float64, chaos, sloVerdict bool) error {
 	spec := workload.DefaultVolCurveSpec(seed)
 	spec.N = n
 	chain, err := workload.Chain(spec)
@@ -130,6 +142,50 @@ func run(addr string, targets []string, n int, seed int64, concurrency, batch, w
 			fmt.Printf("target missed: %.0f options/s sustained < %.0f\n", rep.OptionsPerSec, target)
 		}
 	}
+	if sloVerdict {
+		if err := checkSLO(addr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkSLO turns the run into an SLO verdict: fetch the target's
+// burn-rate report after the measured passes and fail if any objective
+// is burning on both windows. The report reflects everything the server
+// observed during the run — the loadgen's own traffic is the load that
+// either burned the budget or didn't.
+func checkSLO(base string) error {
+	resp, err := http.Get(base + "/debug/slo")
+	if err != nil {
+		return fmt.Errorf("slo verdict: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("slo verdict: GET /debug/slo: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var rep slo.Report
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rep); err != nil {
+		return fmt.Errorf("slo verdict: decode /debug/slo: %w", err)
+	}
+	fmt.Printf("slo:      %d requests observed, burn threshold %.0f, windows %gs/%gs\n",
+		rep.Requests, rep.BurnThreshold, rep.FastWindowSec, rep.SlowWindowSec)
+	for _, o := range rep.Objectives {
+		state := "ok"
+		if o.Burning {
+			state = "BURNING"
+		}
+		fmt.Printf("slo:      %-12s target %.4g  burn fast %.3g / slow %.3g  %s\n",
+			o.Name, o.Target, o.FastBurn, o.SlowBurn, state)
+	}
+	if len(rep.Objectives) == 0 {
+		fmt.Println("slo:      monitor disabled on the server (no objectives reported)")
+	}
+	if !rep.Healthy {
+		return fmt.Errorf("slo verdict: error budget burning — the server's burn-rate monitor alerted during the run")
+	}
+	fmt.Println("slo verdict: pass — no objective burning")
 	return nil
 }
 

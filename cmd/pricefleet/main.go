@@ -20,6 +20,13 @@
 // GET /metrics carries the fleet roll-up (summed options/s, fleet
 // joules per option, ring-ownership and per-node liveness gauges);
 // POST /v1/invalidate broadcasts a cache-generation bump to every node.
+// GET /debug/trace serves the fleet-merged Chrome trace: the router's
+// route/forward/merge spans plus every member's host and modelled
+// device spans, pulled incrementally over /debug/spans, clock-aligned
+// via the heartbeat and stitched by W3C traceparent into one
+// distributed trace per request. GET /debug/slo reports the router's
+// multi-window burn-rate monitor, which also folds into /healthz as
+// status "burning".
 // In-process mode also mounts chaos controls for scripted kill tests:
 // GET /fleet/nodes lists the members, POST /fleet/kill?node=N yanks
 // one node's listener and connections mid-flight — the smoke test's
@@ -33,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -42,7 +50,9 @@ import (
 	"time"
 
 	"binopt/internal/cluster"
+	"binopt/internal/obslog"
 	"binopt/internal/serve"
+	"binopt/internal/slo"
 	"binopt/internal/telemetry"
 )
 
@@ -58,8 +68,11 @@ func main() {
 		hedge       = flag.Duration("hedge", 0, "hedge delay: re-send a straggling sub-batch to the ring successor after this long (0 disables)")
 		maxAttempts = flag.Int("max-attempts", 3, "distinct nodes a sub-batch may be tried on before the client sees an error")
 		heartbeat   = flag.Duration("heartbeat", 250*time.Millisecond, "membership health-poll interval")
-		trace       = flag.Bool("trace", true, "router span tracing and the /debug/trace endpoint")
-		traceBuf    = flag.Int("trace-buf", 65536, "router span ring capacity")
+		trace       = flag.Bool("trace", true, "distributed tracing: router spans, traceparent propagation to nodes, and the merged /debug/trace endpoint")
+		traceBuf    = flag.Int("trace-buf", 65536, "span ring capacity (router ring; in-process nodes each get a ring of the same size)")
+		sloOn       = flag.Bool("slo", true, "multi-window burn-rate SLO monitor on the router (and in-process nodes) with the /debug/slo endpoint")
+		sloLatency  = flag.Duration("slo-latency", 0, "per-request latency threshold for the SLO latency objective (0 = default 250ms)")
+		logLevel    = flag.String("log-level", "info", "structured log level: debug, info, warn, error, or off")
 		drain       = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
 	)
 	flag.Parse()
@@ -69,6 +82,7 @@ func main() {
 		cacheSize: *cacheSize, vnodes: *vnodes, seed: *seed,
 		hedge: *hedge, maxAttempts: *maxAttempts, heartbeat: *heartbeat,
 		trace: *trace, traceBuf: *traceBuf, drain: *drain,
+		sloOn: *sloOn, sloLatency: *sloLatency, logLevel: *logLevel,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "pricefleet:", err)
@@ -89,13 +103,38 @@ type fleetConfig struct {
 	heartbeat   time.Duration
 	trace       bool
 	traceBuf    int
+	sloOn       bool
+	sloLatency  time.Duration
+	logLevel    string
 	drain       time.Duration
+}
+
+// parseLogLevel maps the -log-level flag onto slog's scale. The second
+// return is false for "off": structured logging disabled outright, not
+// merely filtered.
+func parseLogLevel(s string) (slog.Level, bool, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, true, nil
+	case "info", "":
+		return slog.LevelInfo, true, nil
+	case "warn":
+		return slog.LevelWarn, true, nil
+	case "error":
+		return slog.LevelError, true, nil
+	case "off":
+		return 0, false, nil
+	}
+	return 0, false, fmt.Errorf("-log-level must be debug, info, warn, error or off, got %q", s)
 }
 
 // buildMembers resolves the membership: external URLs under -join, or a
 // freshly booted in-process fleet otherwise (returned for chaos control
-// and shutdown; nil in join mode).
-func buildMembers(cfg fleetConfig) ([]cluster.Node, *cluster.LocalFleet, error) {
+// and shutdown; nil in join mode). sloOpts and nodeLog ride into each
+// in-process node's serve config; the Tracer passed there is a capacity
+// template — LocalFleet gives every node its own fresh span ring, which
+// is what lets the router's trace aggregator pull per-node cursors.
+func buildMembers(cfg fleetConfig, sloOpts *slo.Options, nodeLog *slog.Logger) ([]cluster.Node, *cluster.LocalFleet, error) {
 	if cfg.join != "" {
 		var members []cluster.Node
 		for i, raw := range strings.Split(cfg.join, ",") {
@@ -110,9 +149,16 @@ func buildMembers(cfg fleetConfig) ([]cluster.Node, *cluster.LocalFleet, error) 
 		}
 		return members, nil, nil
 	}
+	var nodeTracer *telemetry.Tracer
+	if cfg.trace {
+		nodeTracer = telemetry.New(cfg.traceBuf)
+	}
 	fleet, err := cluster.NewLocalFleet(cfg.nodes, serve.Config{
 		Steps:     cfg.steps,
 		CacheSize: cfg.cacheSize,
+		Tracer:    nodeTracer,
+		SLO:       sloOpts,
+		Logger:    nodeLog,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -167,7 +213,21 @@ func fleetHandler(rt *cluster.Router, fleet *cluster.LocalFleet) http.Handler {
 }
 
 func run(cfg fleetConfig) error {
-	members, fleet, err := buildMembers(cfg)
+	level, logOn, err := parseLogLevel(cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	var routerLog, nodeLog *slog.Logger
+	if logOn {
+		routerLog = obslog.New(os.Stderr, "router", level)
+		nodeLog = obslog.New(os.Stderr, "serve", level)
+	}
+	var sloOpts *slo.Options
+	if cfg.sloOn {
+		sloOpts = &slo.Options{LatencyThreshold: cfg.sloLatency}
+	}
+
+	members, fleet, err := buildMembers(cfg, sloOpts, nodeLog)
 	if err != nil {
 		return err
 	}
@@ -185,6 +245,8 @@ func run(cfg fleetConfig) error {
 		MaxAttempts: cfg.maxAttempts,
 		Heartbeat:   cfg.heartbeat,
 		Tracer:      tracer,
+		SLO:         sloOpts,
+		Logger:      routerLog,
 	})
 	if err != nil {
 		if fleet != nil {

@@ -89,7 +89,7 @@ func TestFleetHandlerChaosControls(t *testing.T) {
 // TestBuildMembersJoin: join mode parses external URLs and never boots
 // a local fleet.
 func TestBuildMembersJoin(t *testing.T) {
-	members, fleet, err := buildMembers(fleetConfig{join: "http://a:1, http://b:2,"})
+	members, fleet, err := buildMembers(fleetConfig{join: "http://a:1, http://b:2,"}, nil, nil)
 	if err != nil {
 		t.Fatalf("buildMembers: %v", err)
 	}
@@ -99,7 +99,7 @@ func TestBuildMembersJoin(t *testing.T) {
 	if len(members) != 2 || members[0].BaseURL != "http://a:1" || members[1].Name != "node-1" {
 		t.Fatalf("members = %+v", members)
 	}
-	if _, _, err := buildMembers(fleetConfig{join: " , "}); err == nil {
+	if _, _, err := buildMembers(fleetConfig{join: " , "}, nil, nil); err == nil {
 		t.Error("blank join list accepted")
 	}
 }

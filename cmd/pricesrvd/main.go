@@ -15,7 +15,12 @@
 // option into batch/queue/compute/readback host phases and the modelled
 // device commands of the shard that priced it. -debug-addr starts a
 // second listener with net/http/pprof (plus the same /debug/trace), so
-// profiling never shares a port with production traffic.
+// profiling never shares a port with production traffic. GET /debug/slo
+// reports the multi-window burn-rate monitor over the latency and
+// availability objectives (-slo=false disables; /healthz folds the same
+// state in as "burning"), and -log-level selects the structured
+// (log/slog) request-log verbosity, trace-ID-tagged so a slow request's
+// log lines grep straight into its /debug/trace timeline.
 //
 // Chaos: -faults arms a deterministic fault injector on the backend
 // engines (spec grammar in internal/faults), exercising the pool's
@@ -36,16 +41,20 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"binopt/internal/accel"
 	"binopt/internal/faults"
+	"binopt/internal/obslog"
 	"binopt/internal/serve"
+	"binopt/internal/slo"
 	"binopt/internal/telemetry"
 )
 
@@ -62,6 +71,11 @@ func main() {
 		trace     = flag.Bool("trace", true, "span tracing and the /debug/trace Chrome-trace endpoint")
 		traceBuf  = flag.Int("trace-buf", 65536, "span ring capacity (older spans are dropped)")
 		debugAddr = flag.String("debug-addr", "", "separate listener for net/http/pprof and /debug/trace (empty disables)")
+		node      = flag.String("node", "", "node name tagged onto spans and log lines (useful when several pricesrvd form a fleet)")
+
+		sloOn      = flag.Bool("slo", true, "multi-window burn-rate SLO monitor and the /debug/slo endpoint")
+		sloLatency = flag.Duration("slo-latency", 0, "per-request latency threshold for the SLO latency objective (0 = default 250ms)")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, error, or off")
 
 		faultSpec = flag.String("faults", "", "chaos: fault spec armed on the backend engines, e.g. 'gpu-ivb:err=0.2' or '*:lat=5ms@0.1' (empty disables)")
 		faultSeed = flag.Int64("fault-seed", 1, "chaos: fault schedule PRNG seed (same seed, same schedule)")
@@ -83,7 +97,8 @@ func main() {
 	cfg := serverConfig{
 		addr: *addr, steps: *steps, maxBatch: *maxBatch, flush: *flushMs,
 		queue: *queue, cacheSize: *cacheSize, drain: *drain,
-		trace: *trace, traceBuf: *traceBuf, debugAddr: *debugAddr,
+		trace: *trace, traceBuf: *traceBuf, debugAddr: *debugAddr, node: *node,
+		sloOn: *sloOn, sloLatency: *sloLatency, logLevel: *logLevel,
 		faultSpec: *faultSpec, faultSeed: *faultSeed,
 		maxAttempts: *maxAttempts, brThreshold: *brThreshold, brCooldown: *brCooldown,
 	}
@@ -119,12 +134,36 @@ type serverConfig struct {
 	trace     bool
 	traceBuf  int
 	debugAddr string
+	node      string
+
+	sloOn      bool
+	sloLatency time.Duration
+	logLevel   string
 
 	faultSpec   string
 	faultSeed   int64
 	maxAttempts int
 	brThreshold float64
 	brCooldown  time.Duration
+}
+
+// parseLogLevel maps the -log-level flag onto slog's scale. The second
+// return is false for "off": structured logging disabled outright, not
+// merely filtered.
+func parseLogLevel(s string) (slog.Level, bool, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, true, nil
+	case "info", "":
+		return slog.LevelInfo, true, nil
+	case "warn":
+		return slog.LevelWarn, true, nil
+	case "error":
+		return slog.LevelError, true, nil
+	case "off":
+		return 0, false, nil
+	}
+	return 0, false, fmt.Errorf("-log-level must be debug, info, warn, error or off, got %q", s)
 }
 
 // debugHandler builds the auxiliary listener's mux: the pprof family
@@ -177,6 +216,18 @@ func run(cfg serverConfig) error {
 	if cfg.trace {
 		tracer = telemetry.New(cfg.traceBuf)
 	}
+	level, logOn, err := parseLogLevel(cfg.logLevel)
+	if err != nil {
+		return err
+	}
+	var logger *slog.Logger
+	if logOn {
+		logger = obslog.New(os.Stderr, "serve", level)
+	}
+	var sloOpts *slo.Options
+	if cfg.sloOn {
+		sloOpts = &slo.Options{LatencyThreshold: cfg.sloLatency}
+	}
 	inj, err := faults.Parse(cfg.faultSpec, cfg.faultSeed)
 	if err != nil {
 		return err
@@ -203,6 +254,9 @@ func run(cfg serverConfig) error {
 			Cooldown:  cfg.brCooldown,
 		},
 		Tracer: tracer,
+		Node:   cfg.node,
+		SLO:    sloOpts,
+		Logger: logger,
 	})
 	if err != nil {
 		return err

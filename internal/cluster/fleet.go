@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"binopt/internal/serve"
+	"binopt/internal/telemetry"
 )
 
 // LocalFleet boots M member nodes in one process, each a full
@@ -35,6 +36,12 @@ type fleetNode struct {
 // per-node serve config; zero-value fields take the serve defaults).
 // Node i is named "node-i" and listens on a kernel-assigned localhost
 // port. Gossip peers are fully meshed.
+//
+// cfg is a per-node template, not shared state: each node gets its own
+// Node name, and when cfg.Tracer is set it serves only as a capacity
+// template — every node gets a fresh ring of the same size, because a
+// shared ring would interleave the fleet's spans into one process lane
+// and defeat the per-node cursors the trace aggregator pulls on.
 func NewLocalFleet(n int, cfg serve.Config) (*LocalFleet, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: fleet size must be positive, got %d", n)
@@ -48,14 +55,19 @@ func NewLocalFleet(n int, cfg serve.Config) (*LocalFleet, error) {
 			f.close()
 			return nil, fmt.Errorf("cluster: node %d listen: %w", i, err)
 		}
-		s, err := serve.New(cfg)
+		nodeCfg := cfg
+		nodeCfg.Node = fmt.Sprintf("node-%d", i)
+		if cfg.Tracer.Enabled() {
+			nodeCfg.Tracer = telemetry.New(cfg.Tracer.Capacity())
+		}
+		s, err := serve.New(nodeCfg)
 		if err != nil {
 			ln.Close()
 			f.close()
 			return nil, fmt.Errorf("cluster: node %d: %w", i, err)
 		}
 		f.nodes = append(f.nodes, &fleetNode{
-			name:   fmt.Sprintf("node-%d", i),
+			name:   nodeCfg.Node,
 			server: s,
 			ln:     ln,
 			url:    "http://" + ln.Addr().String(),

@@ -15,7 +15,8 @@ import (
 )
 
 // routerMetrics are the router's own counters; fleet-level figures are
-// scraped live from the member nodes at render time.
+// scraped live from the member nodes at render time, falling back to
+// each member's last good scrape when it is unreachable.
 type routerMetrics struct {
 	requests      atomic.Int64 // POST /v1/price at the router
 	options       atomic.Int64 // contracts answered to clients
@@ -24,9 +25,19 @@ type routerMetrics struct {
 	failovers     atomic.Int64 // contracts re-placed after a node failure
 	routeErrors   atomic.Int64 // batches that exhausted every attempt
 	invalidations atomic.Int64 // generation bumps broadcast
+
+	// lastScrape caches each member's most recent successful scrape. A
+	// node that stops answering keeps contributing its last known
+	// figures (marked stale) instead of zeroing the fleet gauges — a
+	// rack does not lose half its served-options history because one
+	// board rebooted during a scrape.
+	scrapeMu   sync.Mutex
+	lastScrape map[string]nodeScrape
 }
 
-func newRouterMetrics() *routerMetrics { return &routerMetrics{} }
+func newRouterMetrics() *routerMetrics {
+	return &routerMetrics{lastScrape: make(map[string]nodeScrape)}
+}
 
 // nodeScrape is the slice of one member's /metrics the fleet roll-up
 // needs.
@@ -133,8 +144,10 @@ func (rt *Router) renderMetrics(ctx context.Context) string {
 		w("binopt_node_hedge_wins_total{node=%q} %d\n", name, m.hedgeWin.Load())
 	}
 
-	// Fleet roll-up: scrape every member concurrently. Nodes that do
-	// not answer contribute nothing and are counted absent.
+	// Fleet roll-up: scrape every member concurrently. A node that does
+	// not answer falls back to its last good scrape, marked stale — the
+	// fleet totals must not collapse because one member is mid-reboot.
+	// Only a node that has never been scraped contributes nothing.
 	scrapes := make([]nodeScrape, len(names))
 	var wg sync.WaitGroup
 	for i, name := range names {
@@ -146,6 +159,20 @@ func (rt *Router) renderMetrics(ctx context.Context) string {
 	}
 	wg.Wait()
 
+	stale := make([]bool, len(scrapes))
+	rt.metrics.scrapeMu.Lock()
+	for i, s := range scrapes {
+		if s.ok {
+			rt.metrics.lastScrape[s.name] = s
+			continue
+		}
+		if prev, cached := rt.metrics.lastScrape[s.name]; cached {
+			scrapes[i] = prev // last good figures, reported as stale
+			stale[i] = true
+		}
+	}
+	rt.metrics.scrapeMu.Unlock()
+
 	var (
 		reached              int
 		sumRate, sumJoules   float64
@@ -153,17 +180,26 @@ func (rt *Router) renderMetrics(ctx context.Context) string {
 		sumHits              float64
 		generations          []float64
 	)
-	for _, s := range scrapes {
+	for i, s := range scrapes {
 		if !s.ok {
+			// Down and never successfully scraped: nothing to fall back
+			// on, so nothing to contribute.
+			w("binopt_fleet_node_stale{node=%q} 1\n", s.name)
 			continue
 		}
-		reached++
+		staleVal := 0
+		if stale[i] {
+			staleVal = 1
+		} else {
+			reached++
+		}
 		sumRate += s.windowRate
 		sumJoules += s.joules
 		sumPriced += s.optionsPriced
 		sumServed += s.optionsServed
 		sumHits += s.cacheHits
 		generations = append(generations, s.cacheGen)
+		w("binopt_fleet_node_stale{node=%q} %d\n", s.name, staleVal)
 		w("binopt_fleet_node_options_per_sec{node=%q} %.3f\n", s.name, s.windowRate)
 		w("binopt_fleet_node_joules_total{node=%q} %.6g\n", s.name, s.joules)
 		w("binopt_fleet_node_cache_generation{node=%q} %g\n", s.name, s.cacheGen)
@@ -188,5 +224,18 @@ func (rt *Router) renderMetrics(ctx context.Context) string {
 		converged = 0
 	}
 	w("binopt_fleet_cache_converged %d\n", converged)
+	// Trace-aggregation honesty: spans a node emitted but lost to its
+	// ring before the router pulled them. Nonzero means the merged
+	// /debug/trace has gaps — poll it more often or enlarge node rings.
+	if missed := rt.fleetTr.missedTotal(); len(missed) > 0 {
+		nodes := make([]string, 0, len(missed))
+		for name := range missed {
+			nodes = append(nodes, name)
+		}
+		sort.Strings(nodes)
+		for _, name := range nodes {
+			w("binopt_fleet_trace_missed_total{node=%q} %d\n", name, missed[name])
+		}
+	}
 	return b.String()
 }

@@ -1,0 +1,286 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"binopt/internal/serve"
+	"binopt/internal/slo"
+	"binopt/internal/telemetry"
+	"binopt/internal/workload"
+)
+
+// fleetTraceDoc is the subset of the Chrome trace-event schema the
+// fleet tests assert on.
+type fleetTraceDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func getFleetTrace(t *testing.T, url string) fleetTraceDoc {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var doc fleetTraceDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	return doc
+}
+
+// TestFleetMergedTrace is the tentpole's acceptance check: one request
+// through a 2-node fleet yields one merged Chrome trace on the router
+// whose router spans AND both nodes' spans share a single distributed
+// trace ID, with each node's spans in its own process lanes.
+func TestFleetMergedTrace(t *testing.T) {
+	const steps = 64
+	_, _, hs := newTestFleet(t, 2,
+		serve.Config{Steps: steps, Tracer: telemetry.New(4096)},
+		Config{Steps: steps, Tracer: telemetry.New(4096), Heartbeat: 20 * time.Millisecond})
+
+	spec := workload.DefaultVolCurveSpec(23)
+	spec.N = 50
+	chain, err := workload.Chain(spec)
+	if err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	resp, body := postJSON(t, hs.URL+"/v1/price", serve.PriceRequest{Contracts: toContracts(chain)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("price: HTTP %d: %s", resp.StatusCode, body)
+	}
+	wantTrace, _, ok := telemetry.ParseTraceParent(resp.Header.Get("traceparent"))
+	if !ok {
+		t.Fatalf("router echoed no traceparent, got %q", resp.Header.Get("traceparent"))
+	}
+
+	// The node-side request span is emitted a hair after the response is
+	// written; give the fleet a moment to have everything in its rings.
+	var doc fleetTraceDoc
+	var procs map[int]string
+	var lanes map[string]bool
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		doc = getFleetTrace(t, hs.URL+"/debug/trace")
+		procs = map[int]string{}
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "M" && ev.Name == "process_name" {
+				procs[ev.Pid], _ = ev.Args["name"].(string)
+			}
+		}
+		lanes = map[string]bool{}
+		for _, p := range procs {
+			lanes[p] = true
+		}
+		if lanes["router"] && lanes["node-0:host"] && lanes["node-1:host"] {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("merged trace never grew all lanes, have %v", lanes)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Every traced span — router and node alike — carries the one trace
+	// ID the client saw.
+	names := map[string]int{}
+	nodeSpanProcs := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		names[ev.Name]++
+		if tid, ok := ev.Args["trace_id"].(string); ok && tid != wantTrace {
+			t.Errorf("span %q on %q has trace %q, want %s", ev.Name, procs[ev.Pid], tid, wantTrace)
+		}
+		if strings.HasPrefix(procs[ev.Pid], "node-") {
+			nodeSpanProcs[procs[ev.Pid]] = true
+			if tid, ok := ev.Args["trace_id"].(string); !ok || tid == "" {
+				// Node spans of this request must be stitched; idle-time
+				// node spans don't exist in this test.
+				t.Errorf("node span %q on %q has no trace_id", ev.Name, procs[ev.Pid])
+			}
+		}
+	}
+	for _, want := range []string{"POST /v1/price", "forward", "merge", "batch", "compute", "readback"} {
+		if names[want] == 0 {
+			t.Errorf("merged trace has no %q span (have %v)", want, names)
+		}
+	}
+	if !nodeSpanProcs["node-0:host"] || !nodeSpanProcs["node-1:host"] {
+		t.Errorf("spans from both nodes expected, have %v", nodeSpanProcs)
+	}
+	// The modelled device lanes came along too, under the node prefix.
+	deviceLane := false
+	for p := range lanes {
+		if strings.HasPrefix(p, "node-") && strings.Contains(p, ":device:") {
+			deviceLane = true
+		}
+	}
+	if !deviceLane {
+		t.Errorf("no per-node device lane in %v", lanes)
+	}
+
+	// reset clears both the router ring and the collected node spans;
+	// member cursors survive, so nothing is re-pulled.
+	getFleetTrace(t, hs.URL+"/debug/trace?reset=1")
+	doc = getFleetTrace(t, hs.URL+"/debug/trace")
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name != "POST /v1/price" {
+			t.Fatalf("span %q survived reset", ev.Name)
+		}
+	}
+}
+
+// TestFleetScrapeFailureStale: a node dying between scrapes keeps its
+// last known figures in the fleet roll-up, marked stale — the fleet
+// totals must not collapse to half because one board is rebooting.
+func TestFleetScrapeFailureStale(t *testing.T) {
+	const steps = 64
+	f, _, hs := newTestFleet(t, 2, serve.Config{Steps: steps},
+		Config{Steps: steps, Heartbeat: -1})
+
+	spec := workload.DefaultVolCurveSpec(31)
+	spec.N = 40
+	chain, err := workload.Chain(spec)
+	if err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	resp, body := postJSON(t, hs.URL+"/v1/price", serve.PriceRequest{Contracts: toContracts(chain)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("price: HTTP %d: %s", resp.StatusCode, body)
+	}
+
+	scrape := func() string {
+		t.Helper()
+		mresp, err := http.Get(hs.URL + "/metrics")
+		if err != nil {
+			t.Fatalf("GET /metrics: %v", err)
+		}
+		defer mresp.Body.Close()
+		raw, _ := io.ReadAll(mresp.Body)
+		return string(raw)
+	}
+
+	before := scrape()
+	for _, want := range []string{
+		`binopt_fleet_node_stale{node="node-0"} 0`,
+		`binopt_fleet_node_stale{node="node-1"} 0`,
+		"binopt_fleet_nodes_scraped 2\n",
+		"binopt_fleet_options_served_total 40\n",
+	} {
+		if !strings.Contains(before, want) {
+			t.Errorf("live scrape missing %q:\n%s", want, before)
+		}
+	}
+
+	f.Kill(1)
+	after := scrape()
+	for _, want := range []string{
+		`binopt_fleet_node_stale{node="node-0"} 0`,
+		`binopt_fleet_node_stale{node="node-1"} 1`,
+		"binopt_fleet_nodes_scraped 1\n",
+		// The dead node's last-good joules figure is still on the page…
+		`binopt_fleet_node_joules_total{node="node-1"} `,
+		// …and the fleet totals still count everything it served.
+		"binopt_fleet_options_served_total 40\n",
+	} {
+		if !strings.Contains(after, want) {
+			t.Errorf("stale scrape missing %q:\n%s", want, after)
+		}
+	}
+	if strings.Contains(after, "binopt_fleet_modelled_joules_total 0\n") {
+		t.Errorf("fleet joules zeroed by a dead node:\n%s", after)
+	}
+}
+
+// TestHeartbeatClockOffset: the heartbeat reads a member's healthz
+// now_unix_nano against the poll RTT and lands within tolerance of the
+// node's actual (here deliberately skewed) clock offset.
+func TestHeartbeatClockOffset(t *testing.T) {
+	const skew = 5 * time.Second
+	fake := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":        "ok",
+			"now_unix_nano": time.Now().Add(skew).UnixNano(),
+		})
+	}))
+	defer fake.Close()
+
+	rt, err := NewRouter(Config{
+		Nodes:     []Node{{Name: "skewed", BaseURL: fake.URL}},
+		Steps:     64,
+		Heartbeat: -1, // poll manually
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer rt.Close()
+
+	rt.pollOnce()
+	got := time.Duration(rt.members["skewed"].clockOffset.Load())
+	if got < skew-time.Second || got > skew+time.Second {
+		t.Errorf("measured offset %v, want ~%v", got, skew)
+	}
+}
+
+// TestRouterSLOAndBurningHealthz: the router's own burn-rate monitor is
+// served on /debug/slo and folds into /healthz as "burning" while the
+// HTTP code stays 200 (a burning router still answers).
+func TestRouterSLOAndBurningHealthz(t *testing.T) {
+	const steps = 64
+	clock := time.Unix(1700000000, 0)
+	_, rt, hs := newTestFleet(t, 1, serve.Config{Steps: steps},
+		Config{Steps: steps, SLO: &slo.Options{
+			LatencyThreshold: time.Nanosecond, // everything is slow
+			FastWindow:       2 * time.Second,
+			SlowWindow:       10 * time.Second,
+			Now:              func() time.Time { return clock },
+		}})
+
+	resp, err := http.Get(hs.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep slo.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !rep.Healthy || len(rep.Objectives) != 2 {
+		t.Errorf("idle router slo = %+v", rep)
+	}
+
+	for i := 0; i < 20; i++ {
+		rt.slomon.Observe(time.Second, false)
+	}
+	hresp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("burning router healthz code = %d, want 200", hresp.StatusCode)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["status"] != "burning" {
+		t.Errorf("status = %v, want burning", health["status"])
+	}
+	if now, _ := health["now_unix_nano"].(float64); now == 0 {
+		t.Error("router healthz has no now_unix_nano")
+	}
+}

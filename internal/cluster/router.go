@@ -6,13 +6,17 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"binopt/internal/obslog"
 	"binopt/internal/option"
 	"binopt/internal/serve"
+	"binopt/internal/slo"
 	"binopt/internal/telemetry"
 )
 
@@ -62,8 +66,18 @@ type Config struct {
 	// guards the in-process shards guards the remote nodes.
 	Breaker serve.BreakerConfig
 	// Tracer, when set, records route/forward/node-compute/merge spans
-	// and enables /debug/trace on the router.
+	// and enables /debug/trace on the router — which also pulls every
+	// member's span ring and serves the merged, clock-aligned fleet
+	// trace.
 	Tracer *telemetry.Tracer
+	// SLO, when set, runs a burn-rate monitor over the router's own
+	// request outcomes (served on /debug/slo, folded into /healthz) —
+	// the fleet-level view of what clients actually experienced,
+	// failovers and hedges included.
+	SLO *slo.Options
+	// Logger receives structured request and routing logs; nil logs
+	// nothing.
+	Logger *slog.Logger
 	// Transport, when set, overrides every member's HTTP transport
 	// (tests inject failing or instrumented transports). When nil each
 	// member gets its own pooled transport.
@@ -107,6 +121,13 @@ type member struct {
 	forwards atomic.Int64 // sub-batches sent here
 	errs     atomic.Int64 // sub-batches that failed here
 	hedgeWin atomic.Int64 // hedged duplicates this node won
+
+	// clockOffset is the node's wall clock minus the router's, in
+	// nanoseconds: the heartbeat reads the node's healthz now_unix_nano
+	// against the poll's RTT midpoint. The fleet trace aggregator
+	// subtracts it so spans from skewed machines land on the router's
+	// timeline. Zero until the first successful measurement.
+	clockOffset atomic.Int64
 }
 
 // Router is the fabric front-end: it speaks the node's own /v1/price
@@ -120,6 +141,9 @@ type Router struct {
 	members map[string]*member
 	metrics *routerMetrics
 	tracer  *telemetry.Tracer
+	fleetTr *fleetTrace
+	slomon  *slo.Monitor
+	logger  *slog.Logger
 
 	// gen is the router's view of the fleet cache generation, advanced
 	// by POST /v1/invalidate at the router.
@@ -142,7 +166,14 @@ func NewRouter(cfg Config) (*Router, error) {
 		members: make(map[string]*member, len(cfg.Nodes)),
 		metrics: newRouterMetrics(),
 		tracer:  cfg.Tracer,
+		logger:  obslog.Or(cfg.Logger),
 		stop:    make(chan struct{}),
+	}
+	if cfg.Tracer.Enabled() {
+		rt.fleetTr = newFleetTrace(cfg.Tracer.Capacity())
+	}
+	if cfg.SLO != nil {
+		rt.slomon = slo.New(*cfg.SLO)
 	}
 	for _, n := range cfg.Nodes {
 		if n.Name == "" || n.BaseURL == "" {
@@ -219,14 +250,27 @@ func (rt *Router) pollOnce() {
 			if err != nil {
 				return
 			}
+			t0 := time.Now()
 			resp, err := m.client.Do(req)
 			if err != nil {
 				m.up.Store(false)
 				m.breaker.OnFailure()
 				return
 			}
+			var health struct {
+				NowUnixNano int64 `json:"now_unix_nano"`
+			}
+			decErr := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&health)
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
+			if decErr == nil && health.NowUnixNano != 0 {
+				// NTP-style midpoint estimate: the node stamped its clock
+				// somewhere inside our RTT window; assume the middle.
+				// offset = node clock − router clock, subtracted later
+				// when merging the node's spans onto our timeline.
+				rtt := time.Since(t0)
+				m.clockOffset.Store(health.NowUnixNano - t0.Add(rtt/2).UnixNano())
+			}
 			// Draining (503) nodes are down for placement purposes;
 			// degraded (200) nodes still price correctly.
 			ok := resp.StatusCode == http.StatusOK
@@ -298,10 +342,11 @@ func (r fwdResult) retryable() bool {
 }
 
 // forwardOnce posts one sub-batch to one member and decodes the reply.
-// Outcomes feed the member's breaker: transport errors and 5xx are
-// failures, 200 is a success, 429 is neither (saturation is load, not
-// ill-health).
-func (rt *Router) forwardOnce(ctx context.Context, m *member, body []byte, want int) fwdResult {
+// traceparent, when non-empty, rides the request so the node parents
+// its spans under the routed request's distributed trace. Outcomes feed
+// the member's breaker: transport errors and 5xx are failures, 200 is a
+// success, 429 is neither (saturation is load, not ill-health).
+func (rt *Router) forwardOnce(ctx context.Context, m *member, body []byte, want int, traceparent string) fwdResult {
 	t0 := time.Now()
 	m.forwards.Add(1)
 	out := fwdResult{m: m}
@@ -311,6 +356,9 @@ func (rt *Router) forwardOnce(ctx context.Context, m *member, body []byte, want 
 		return out
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
 	resp, err := m.client.Do(req)
 	out.elapsed = time.Since(t0)
 	if err != nil {
@@ -350,7 +398,9 @@ func (rt *Router) forwardOnce(ctx context.Context, m *member, body []byte, want 
 	}
 	out.elapsed = time.Since(t0)
 	if st := resp.Header.Get("Server-Timing"); st != "" {
-		out.phases = serve.ParseServerTiming(st)
+		if bd, err := serve.ParseServerTiming(st); err == nil {
+			out.phases = bd
+		}
 	}
 	m.breaker.OnSuccess()
 	return out
@@ -361,16 +411,16 @@ func (rt *Router) forwardOnce(ctx context.Context, m *member, body []byte, want 
 // failed within the hedge delay, the backup gets a duplicate and the
 // first success wins. A primary that fails fast promotes the backup
 // immediately — no point waiting out a delay the failure already paid.
-func (rt *Router) forwardGroup(ctx context.Context, primary, backup *member, body []byte, want int) fwdResult {
+func (rt *Router) forwardGroup(ctx context.Context, primary, backup *member, body []byte, want int, traceparent string) fwdResult {
 	if rt.cfg.Hedge <= 0 || backup == nil {
-		return rt.forwardOnce(ctx, primary, body, want)
+		return rt.forwardOnce(ctx, primary, body, want, traceparent)
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel() // the loser's request is torn down with the call
 	ch := make(chan fwdResult, 2)
 	launch := func(m *member, hedged bool) {
 		go func() {
-			r := rt.forwardOnce(cctx, m, body, want)
+			r := rt.forwardOnce(cctx, m, body, want, traceparent)
 			r.hedged = hedged
 			ch <- r
 		}()
@@ -416,7 +466,13 @@ func (rt *Router) forwardGroup(ctx context.Context, primary, backup *member, bod
 // and results merge back in input order. Prices are bit-identical on
 // every node, so failover and hedging never change an answer — only
 // who computed it.
-func (rt *Router) routeBatch(ctx context.Context, reqID uint64, contracts []serve.Contract) ([]serve.Result, serve.PhaseBreakdown, int, error) {
+//
+// trace is the request's distributed trace ID ("" untraced); each
+// forward injects a traceparent naming its own pre-allocated forward
+// span as the parent, so node spans nest under the exact forward that
+// carried them. fallbackTP is the header to forward verbatim when the
+// router has no span IDs of its own (tracer disabled, pure proxy).
+func (rt *Router) routeBatch(ctx context.Context, reqID uint64, trace, fallbackTP string, contracts []serve.Contract) ([]serve.Result, serve.PhaseBreakdown, int, error) {
 	var phases serve.PhaseBreakdown
 	opts := make([]option.Option, len(contracts))
 	keys := make([]string, len(contracts))
@@ -482,9 +538,16 @@ func (rt *Router) routeBatch(ctx context.Context, reqID uint64, contracts []serv
 					mu.Unlock()
 					return
 				}
+				var fwdID uint64
+				tp := fallbackTP
+				if trace != "" {
+					if fwdID = rt.tracer.NextID(); fwdID != 0 {
+						tp = telemetry.FormatTraceParent(trace, fwdID)
+					}
+				}
 				t0 := time.Now()
-				r := rt.forwardGroup(ctx, m, backup, body, len(idx))
-				rt.emitForwardSpans(reqID, m, r, t0, len(idx), attempt)
+				r := rt.forwardGroup(ctx, m, backup, body, len(idx), tp)
+				rt.emitForwardSpans(reqID, trace, fwdID, m, r, t0, len(idx), attempt)
 				mu.Lock()
 				defer mu.Unlock()
 				if r.err != nil {
@@ -523,8 +586,11 @@ func (rt *Router) routeBatch(ctx context.Context, reqID uint64, contracts []serv
 // emitForwardSpans records one group forward and, when the node
 // reported phase timing, a node-compute span re-anchored on the router
 // clock — so a Chrome trace of the router shows
-// route → forward → node-compute → merge without merging node rings.
-func (rt *Router) emitForwardSpans(reqID uint64, m *member, r fwdResult, start time.Time, n, attempt int) {
+// route → forward → node-compute → merge. The forward span reuses the
+// pre-allocated ID the traceparent named, so the node's spans really do
+// hang off the span that carried them; the fleet aggregator then pulls
+// the node's own rings in under the same trace ID.
+func (rt *Router) emitForwardSpans(reqID uint64, trace string, fwdID uint64, m *member, r fwdResult, start time.Time, n, attempt int) {
 	if !rt.tracer.Enabled() {
 		return
 	}
@@ -533,7 +599,8 @@ func (rt *Router) emitForwardSpans(reqID uint64, m *member, r fwdResult, start t
 		name = "forward-error"
 	}
 	rt.tracer.Emit(telemetry.Span{
-		Req: reqID, Name: name, Proc: "router", Thread: "node " + m.name,
+		ID: fwdID, Req: reqID, Trace: trace,
+		Name: name, Proc: "router", Thread: "node " + m.name,
 		Start: start, Dur: r.elapsed, Clock: telemetry.Wall,
 		Attrs: map[string]any{
 			"node":      m.name,
@@ -545,7 +612,8 @@ func (rt *Router) emitForwardSpans(reqID uint64, m *member, r fwdResult, start t
 	})
 	if r.err == nil && r.phases.Compute > 0 {
 		rt.tracer.Emit(telemetry.Span{
-			Req: reqID, Name: "node-compute", Proc: "router", Thread: "node " + m.name,
+			Req: reqID, Trace: trace,
+			Name: "node-compute", Proc: "router", Thread: "node " + m.name,
 			Start: start.Add(r.elapsed - r.phases.Compute - r.phases.Readback),
 			Dur:   r.phases.Compute, Clock: telemetry.Wall,
 			Attrs: map[string]any{"node": m.name, "priced": r.phases.Priced},
@@ -560,17 +628,45 @@ func (rt *Router) emitForwardSpans(reqID uint64, m *member, r fwdResult, start t
 //	POST /v1/invalidate  bump the fleet cache generation (broadcast)
 //	GET  /healthz        fleet membership, ring and breaker view
 //	GET  /metrics        fleet + per-node + router metrics
-//	GET  /debug/trace    router span ring as Chrome trace JSON
+//	GET  /debug/slo      router burn-rate monitor state (JSON)
+//	GET  /debug/trace    merged fleet trace: router spans plus every
+//	                     member's span ring, clock-aligned, as Chrome
+//	                     trace JSON
+//	GET  /debug/spans    the router's own incremental span export
+//	                     (?cursor=N), for a router-of-routers
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/price", rt.handlePrice)
 	mux.HandleFunc("/v1/invalidate", rt.handleInvalidate)
 	mux.HandleFunc("/healthz", rt.handleHealthz)
 	mux.HandleFunc("/metrics", rt.handleMetrics)
+	mux.HandleFunc("/debug/slo", rt.handleSLO)
 	if rt.tracer.Enabled() {
 		mux.HandleFunc("/debug/trace", rt.handleTrace)
+		mux.HandleFunc("/debug/spans", rt.handleSpans)
 	}
 	return mux
+}
+
+// handleSLO serves the router's burn-rate monitor state; a router with
+// no monitor serves the healthy zero report.
+func (rt *Router) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.slomon.Report())
+}
+
+// handleSpans serves the router's own span ring in incremental wire
+// form, the same page the member nodes serve — so a router can itself
+// be a member of a larger fabric.
+func (rt *Router) handleSpans(w http.ResponseWriter, r *http.Request) {
+	var cursor uint64
+	if q := r.URL.Query().Get("cursor"); q != "" {
+		var err error
+		if cursor, err = strconv.ParseUint(q, 10, 64); err != nil {
+			rt.writeError(w, http.StatusBadRequest, "bad cursor %q: %v", q, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, rt.tracer.ExportSince(cursor, "router"))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -589,9 +685,36 @@ func (rt *Router) handlePrice(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.metrics.requests.Add(1)
+	started := time.Now()
+
+	// Distributed trace identity, mirroring the node handler: adopt an
+	// upstream traceparent when one arrives, mint otherwise. The
+	// original header is kept as the pure-proxy fallback — a router
+	// without its own tracer still propagates the caller's identity
+	// verbatim to the nodes.
+	trace, parent, fromRemote := telemetry.ParseTraceParent(r.Header.Get("traceparent"))
+	if !fromRemote && rt.tracer.Enabled() {
+		trace = telemetry.NewTraceID()
+	}
+	fallbackTP := ""
+	if fromRemote {
+		fallbackTP = r.Header.Get("traceparent")
+	}
+
 	span := rt.tracer.Begin("POST /v1/price", "router", "requests")
 	span.SetReq(span.ID())
+	span.SetTrace(trace)
+	if fromRemote {
+		span.SetAttr("parent_span", fmt.Sprintf("%016x", parent))
+	}
 	defer span.End()
+	log := obslog.WithTrace(rt.logger, trace, span.ID())
+
+	// The SLO monitor books what clients experienced at the fleet edge:
+	// routed successes (hedges and failovers already absorbed) and the
+	// failures that survived every attempt. Client faults (4xx) and
+	// backpressure (429) spend no error budget.
+	observe := func(failed bool) { rt.slomon.Observe(time.Since(started), failed) }
 
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
@@ -605,26 +728,38 @@ func (rt *Router) handlePrice(w http.ResponseWriter, r *http.Request) {
 	}
 	span.SetAttr("contracts", len(req.Contracts))
 
-	results, phases, status, err := rt.routeBatch(r.Context(), span.ID(), req.Contracts)
+	results, phases, status, err := rt.routeBatch(r.Context(), span.ID(), trace, fallbackTP, req.Contracts)
 	if err != nil {
 		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
 		}
+		if status >= 500 {
+			observe(true)
+			log.Warn("route failed", "contracts", len(req.Contracts), "status", status, "error", err.Error())
+		}
 		rt.writeError(w, status, "%v", err)
 		return
 	}
+	observe(false)
 
 	mergeStart := time.Now()
 	rt.metrics.options.Add(int64(len(results)))
+	span.SetAttr("joules", phases.Joules)
+	if trace != "" && span.ID() != 0 {
+		w.Header().Set("traceparent", telemetry.FormatTraceParent(trace, span.ID()))
+	}
 	w.Header().Set("Server-Timing", phases.ServerTiming())
 	writeJSON(w, http.StatusOK, serve.PriceResponse{Steps: rt.cfg.Steps, Results: results})
 	if rt.tracer.Enabled() {
 		rt.tracer.Emit(telemetry.Span{
-			Req: span.ID(), Name: "merge", Proc: "router", Thread: "requests",
+			Req: span.ID(), Trace: trace, Name: "merge", Proc: "router", Thread: "requests",
 			Start: mergeStart, Dur: time.Since(mergeStart), Clock: telemetry.Wall,
 			Attrs: map[string]any{"contracts": len(results)},
 		})
 	}
+	log.Debug("batch routed",
+		"contracts", len(req.Contracts), "priced", phases.Priced,
+		"joules", phases.Joules, "latency", time.Since(started).Seconds())
 }
 
 // handleInvalidate bumps the fleet cache generation and broadcasts the
@@ -729,18 +864,31 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			Ownership: own[name],
 		})
 	}
+	sloReport := rt.slomon.Report()
+	if !sloReport.Healthy && status == "ok" {
+		// Burning is degradation, not death: the code stays 200 so
+		// upstream probes don't pull a router that is still answering.
+		status = "burning"
+	}
 	code := http.StatusOK
 	if upCount == 0 {
 		status = "down"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	out := map[string]any{
 		"status":           status,
 		"steps":            rt.cfg.Steps,
 		"nodes":            nodes,
 		"nodes_up":         upCount,
 		"cache_generation": rt.gen.Load(),
-	})
+		// now_unix_nano mirrors the node healthz: a router fronted by
+		// another router gets its clock offset measured the same way.
+		"now_unix_nano": time.Now().UnixNano(),
+	}
+	if rt.slomon.Enabled() {
+		out["slo"] = sloReport
+	}
+	writeJSON(w, code, out)
 }
 
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -748,8 +896,17 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	io.WriteString(w, rt.renderMetrics(r.Context()))
 }
 
+// handleTrace serves the merged fleet trace: the aggregator pulls every
+// member's span ring incrementally (each node only ever re-sends what
+// the router has not seen), aligns wall timestamps using the
+// heartbeat-measured clock offsets, prefixes each node's process lanes
+// with its name, and renders everything — router spans included — as
+// one Chrome trace. ?reset=1 clears both the router ring and the
+// collected node spans after the snapshot; member cursors survive, so
+// no node span is ever double-pulled.
 func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
-	spans := rt.tracer.Snapshot()
+	rt.fleetTr.collect(r.Context(), rt)
+	spans := append(rt.tracer.Snapshot(), rt.fleetTr.snapshot()...)
 	out, err := telemetry.Chrome(spans)
 	if err != nil {
 		rt.writeError(w, http.StatusInternalServerError, "rendering trace: %v", err)
@@ -757,6 +914,7 @@ func (rt *Router) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Query().Get("reset") == "1" {
 		rt.tracer.Reset()
+		rt.fleetTr.reset()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(out)

@@ -1,0 +1,169 @@
+// Fleet trace aggregation: the router pulls every member's span ring
+// through the incremental /debug/spans export, aligns wall timestamps
+// using the heartbeat-measured per-node clock offsets, and files the
+// spans under per-node process lanes — so /debug/trace on the router
+// shows one request's timeline across the whole fabric: the router's
+// route/forward/merge spans on top, each node's host phases and
+// modelled device commands below, all stitched by one trace ID.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"binopt/internal/telemetry"
+)
+
+// fleetTrace is the router-side collector. Each member gets its own
+// Since cursor, so a collect only transfers spans the router has not
+// seen; the merged buffer is bounded the same way the tracer ring is —
+// old spans fall off, and the missed counters stay honest about it.
+type fleetTrace struct {
+	mu      sync.Mutex
+	cursors map[string]uint64 // member name → next Since cursor
+	missed  map[string]uint64 // spans lost to node ring wraparound
+	spans   []telemetry.Span  // collected node spans, oldest first
+	cap     int
+}
+
+// newFleetTrace sizes the collected-span buffer from the router's own
+// ring capacity: nodes together get 4× the router's retention, enough
+// to hold the fan-out of everything the router ring still remembers.
+func newFleetTrace(routerCap int) *fleetTrace {
+	if routerCap < 1 {
+		routerCap = 1
+	}
+	return &fleetTrace{
+		cursors: make(map[string]uint64),
+		missed:  make(map[string]uint64),
+		cap:     4 * routerCap,
+	}
+}
+
+// collect pulls fresh spans from every member concurrently. A member
+// that does not answer (down, or running without a tracer) contributes
+// nothing this round and its cursor stays put — the next collect picks
+// up exactly where this one left off, modulo ring wraparound, which the
+// missed counter records. Nil-safe: a router without a tracer has no
+// collector.
+func (ft *fleetTrace) collect(ctx context.Context, rt *Router) {
+	if ft == nil {
+		return
+	}
+	type pull struct {
+		name   string
+		ex     telemetry.Export
+		offset time.Duration
+		ok     bool
+	}
+	names := rt.ring.Nodes()
+	pulls := make([]pull, len(names))
+	ft.mu.Lock()
+	cursors := make(map[string]uint64, len(names))
+	for _, n := range names {
+		cursors[n] = ft.cursors[n]
+	}
+	ft.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			p := pull{name: m.name, offset: time.Duration(m.clockOffset.Load())}
+			p.ex, p.ok = fetchSpans(ctx, m, cursors[m.name])
+			pulls[i] = p
+		}(i, rt.members[name])
+	}
+	wg.Wait()
+
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	for _, p := range pulls {
+		if !p.ok {
+			continue
+		}
+		ft.cursors[p.name] = p.ex.Next
+		ft.missed[p.name] += p.ex.Missed
+		for _, sj := range p.ex.Spans {
+			sp := telemetry.FromJSON(sj, p.offset)
+			// Per-node process lanes: "node-0:host", "node-0:device:…".
+			sp.Proc = p.name + ":" + sp.Proc
+			ft.spans = append(ft.spans, sp)
+		}
+	}
+	if over := len(ft.spans) - ft.cap; over > 0 {
+		ft.spans = append(ft.spans[:0], ft.spans[over:]...)
+	}
+}
+
+// fetchSpans pulls one page of a member's span export.
+func fetchSpans(ctx context.Context, m *member, cursor uint64) (telemetry.Export, bool) {
+	var ex telemetry.Export
+	cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	url := fmt.Sprintf("%s/debug/spans?cursor=%d", m.base, cursor)
+	req, err := http.NewRequestWithContext(cctx, http.MethodGet, url, nil)
+	if err != nil {
+		return ex, false
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return ex, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return ex, false
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&ex); err != nil {
+		return ex, false
+	}
+	return ex, true
+}
+
+// snapshot copies the collected node spans out.
+func (ft *fleetTrace) snapshot() []telemetry.Span {
+	if ft == nil {
+		return nil
+	}
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	out := make([]telemetry.Span, len(ft.spans))
+	copy(out, ft.spans)
+	return out
+}
+
+// reset discards the collected spans. Cursors survive — the nodes'
+// rings still advance monotonically, so the next collect resumes
+// without re-pulling anything.
+func (ft *fleetTrace) reset() {
+	if ft == nil {
+		return
+	}
+	ft.mu.Lock()
+	ft.spans = nil
+	ft.mu.Unlock()
+}
+
+// missedTotal reports, per node, how many spans were emitted on the
+// node but lost to its ring before the router pulled them — rendered
+// into /metrics so a truncated trace is visible as a number, not a
+// silent gap.
+func (ft *fleetTrace) missedTotal() map[string]uint64 {
+	if ft == nil {
+		return nil
+	}
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	out := make(map[string]uint64, len(ft.missed))
+	for k, v := range ft.missed {
+		out[k] = v
+	}
+	return out
+}

@@ -29,7 +29,8 @@ var Analyzer = &lint.Analyzer{
 		"a sync.Mutex or sync.RWMutex is held",
 	Match: lint.MatchSuffix(
 		"internal/serve", "internal/telemetry", "internal/faults",
-		"internal/cluster",
+		"internal/cluster", "internal/slo", "internal/omhist",
+		"internal/obslog",
 	),
 	Run: run,
 }

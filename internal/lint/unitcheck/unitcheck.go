@@ -29,6 +29,7 @@ var Analyzer = &lint.Analyzer{
 		"Bytes, Watts) without an explicit conversion",
 	Match: lint.MatchSuffix(
 		"internal/hls", "internal/perf", "internal/gpumodel", "internal/accel",
+		"internal/slo", "internal/omhist",
 	),
 	Run: run,
 }

@@ -1,0 +1,163 @@
+package omhist
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestObserveAndRender: cumulative bucket lines, count, sum, and an
+// exemplar pinned to the bucket its observation landed in.
+func TestObserveAndRender(t *testing.T) {
+	h := New([]float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.ObserveExemplar(0.05, "4bf92f3577b34da6a3ce929d0e0e4736")
+	h.Observe(5) // +Inf bucket
+
+	var b strings.Builder
+	h.Render(&b, "binopt_option_latency_seconds", "")
+	out := b.String()
+
+	for _, want := range []string{
+		`binopt_option_latency_seconds_bucket{le="0.001"} 1`,
+		`binopt_option_latency_seconds_bucket{le="0.01"} 2`,
+		`binopt_option_latency_seconds_bucket{le="+Inf"} 4`,
+		`binopt_option_latency_seconds_count 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// The 0.1 bucket line carries the exemplar.
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, `le="0.1"`) {
+			found = true
+			if !strings.Contains(line, `# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.05`) {
+				t.Errorf("0.1 bucket missing exemplar: %s", line)
+			}
+		} else if strings.Contains(line, "# {") {
+			t.Errorf("exemplar leaked onto another line: %s", line)
+		}
+	}
+	if !found {
+		t.Fatalf("no 0.1 bucket line in:\n%s", out)
+	}
+	if h.Count() != 4 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5.0555) > 1e-9 {
+		t.Errorf("sum = %v", h.Sum())
+	}
+}
+
+// TestRenderLabels: extra labels precede le and wrap _count/_sum.
+func TestRenderLabels(t *testing.T) {
+	h := New([]float64{1})
+	h.Observe(0.5)
+	var b strings.Builder
+	h.Render(&b, "binopt_phase_seconds", `phase="batch"`)
+	out := b.String()
+	for _, want := range []string{
+		`binopt_phase_seconds_bucket{phase="batch",le="1"} 1`,
+		`binopt_phase_seconds_bucket{phase="batch",le="+Inf"} 1`,
+		`binopt_phase_seconds_count{phase="batch"} 1`,
+		`binopt_phase_seconds_sum{phase="batch"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestExemplarReplacement: the newest trace-tagged observation wins;
+// untagged observations leave the pinned exemplar alone.
+func TestExemplarReplacement(t *testing.T) {
+	h := New([]float64{1})
+	h.ObserveExemplar(0.3, "aaaa")
+	h.ObserveExemplar(0.4, "bbbb")
+	h.Observe(0.5)
+	var b strings.Builder
+	h.Render(&b, "m", "")
+	out := b.String()
+	if !strings.Contains(out, `# {trace_id="bbbb"} 0.4`) {
+		t.Errorf("newest exemplar not pinned:\n%s", out)
+	}
+	if strings.Contains(out, "aaaa") {
+		t.Errorf("stale exemplar survived:\n%s", out)
+	}
+}
+
+// TestQuantileAndMean: interpolation matches the old serve histogram's
+// behaviour the health page still relies on.
+func TestQuantileAndMean(t *testing.T) {
+	h := New([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	q := h.Quantile(0.5)
+	if q < 1 || q > 2 {
+		t.Errorf("p50 = %v, want within (1,2]", q)
+	}
+	if math.Abs(h.Mean()-1.5) > 1e-9 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	if New([]float64{1}).Quantile(0.99) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+}
+
+// TestNilHistogram: every method on nil is a no-op.
+func TestNilHistogram(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveExemplar(1, "x")
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram has state")
+	}
+	var b strings.Builder
+	h.Render(&b, "m", "")
+	if b.Len() != 0 {
+		t.Error("nil histogram rendered output")
+	}
+}
+
+// TestConcurrent hammers observe+render under the race detector.
+func TestConcurrent(t *testing.T) {
+	h := New(ExpBuckets(0.001, 10, 2))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h.ObserveExemplar(float64(i%7)*0.01, "t")
+				if i%50 == 0 {
+					var b strings.Builder
+					h.Render(&b, "m", "")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != 8*200 {
+		t.Errorf("count = %d", h.Count())
+	}
+}
+
+// TestExpBuckets pins the generator's shape.
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 16, 2)
+	want := []float64{1, 2, 4, 8}
+	if len(b) != len(want) {
+		t.Fatalf("bounds = %v", b)
+	}
+	for i := range want {
+		//binopt:ignore floateq generated bounds are exact powers of two
+		if b[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", b, want)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"binopt/internal/obslog"
 	"binopt/internal/option"
 	"binopt/internal/telemetry"
 	"binopt/internal/volatility"
@@ -139,8 +140,12 @@ func ParsePriceRequest(body []byte) (PriceRequest, error) {
 //	POST /v1/invalidate  apply a cache-generation bump (market-data update)
 //	GET  /healthz        liveness and pool summary
 //	GET  /metrics        counters, histograms, energy model
+//	GET  /debug/slo      burn-rate monitor state (JSON)
 //	GET  /debug/trace    Chrome trace-event JSON of the span ring
-//	                     (only when the server has a tracer)
+//	GET  /debug/spans    incremental span export (?cursor=N), the page
+//	                     the fleet aggregator polls
+//	                     (debug trace endpoints only when the server has
+//	                     a tracer)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/price", s.handlePrice)
@@ -148,8 +153,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/invalidate", s.handleInvalidate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/slo", s.handleSLO)
 	if s.tracer.Enabled() {
 		mux.HandleFunc("/debug/trace", s.handleTrace)
+		mux.HandleFunc("/debug/spans", s.handleSpans)
 	}
 	return mux
 }
@@ -171,6 +178,31 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	w.Write(out)
 }
 
+// handleSpans serves the incremental span export the fleet trace
+// aggregator polls: everything emitted after ?cursor=N (0 for a fresh
+// consumer), the next cursor, and an honest missed count when the ring
+// wrapped past an unread span. Unlike /debug/trace?reset=1 this is
+// race-free across multiple consumers — each holds its own cursor and
+// no one clears the ring.
+func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
+	var cursor uint64
+	if q := r.URL.Query().Get("cursor"); q != "" {
+		var err error
+		if cursor, err = strconv.ParseUint(q, 10, 64); err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad cursor %q: %v", q, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.tracer.ExportSince(cursor, s.cfg.Node))
+}
+
+// handleSLO serves the burn-rate monitor's state. With no monitor
+// configured the report is the healthy zero value — probes need no
+// special-casing.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.slomon.Report())
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -190,9 +222,31 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.requests.Add(1)
+	started := time.Now()
+
+	// Distributed trace identity: adopt the router's traceparent when
+	// one arrives (parenting this node's spans under the remote
+	// request), mint a fresh trace ID otherwise. A malformed header is
+	// served untraced-parented, not rejected.
+	trace, parent, fromRemote := telemetry.ParseTraceParent(r.Header.Get("traceparent"))
+	if !fromRemote && s.tracer.Enabled() {
+		trace = telemetry.NewTraceID()
+	}
+
 	span := s.tracer.Begin("POST /v1/price", "host", "requests")
 	span.SetReq(span.ID())
+	span.SetTrace(trace)
+	if fromRemote {
+		span.SetAttr("parent_span", fmt.Sprintf("%016x", parent))
+	}
 	defer span.End()
+	log := obslog.WithTrace(s.logger, trace, span.ID())
+
+	// The SLO monitor books every terminal outcome exactly once. Client
+	// mistakes (4xx) and backpressure (429) spend no error budget — the
+	// objectives cover what the server owes well-formed traffic.
+	observe := func(failed bool) { s.slomon.Observe(time.Since(started), failed) }
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "reading body: %v", err)
@@ -216,10 +270,7 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 	}
 
 	span.SetAttr("contracts", len(opts))
-	ctx := r.Context()
-	if id := span.ID(); id != 0 {
-		ctx = telemetry.ContextWithReq(ctx, id)
-	}
+	ctx := telemetry.ContextWithTrace(r.Context(), telemetry.TraceContext{Trace: trace, Req: span.ID()})
 	results, phases, err := s.PriceOptionsTimed(ctx, opts)
 	switch {
 	case errors.Is(err, ErrSaturated):
@@ -230,15 +281,29 @@ func (s *Server) handlePrice(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
 		return
 	case errors.Is(err, ErrClosed):
+		observe(true)
 		s.writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
+		observe(true)
+		log.Warn("price request failed", "contracts", len(opts), "error", err.Error())
 		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	observe(false)
+	s.metrics.requestJoules.ObserveExemplar(phases.Joules, trace)
 	span.SetAttr("priced", phases.Priced)
+	span.SetAttr("joules", phases.Joules)
+	if trace != "" && span.ID() != 0 {
+		// Echo the trace identity so the client (loadgen, curl) can
+		// jump from a response straight to the merged trace.
+		w.Header().Set("traceparent", telemetry.FormatTraceParent(trace, span.ID()))
+	}
 	w.Header().Set("Server-Timing", phases.ServerTiming())
 	writeJSON(w, http.StatusOK, PriceResponse{Steps: s.cfg.Steps, Results: results})
+	log.Debug("price request served",
+		"contracts", len(opts), "priced", phases.Priced,
+		"joules", phases.Joules, "latency", time.Since(started).Seconds())
 }
 
 func (s *Server) handleVolCurve(w http.ResponseWriter, r *http.Request) {
@@ -389,13 +454,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			status = "degraded"
 		}
 	}
-	writeJSON(w, code, map[string]any{
+	sloReport := s.slomon.Report()
+	// An SLO burn is degradation the same way an open breaker is:
+	// clients are being served, badly. Status carries the signal, the
+	// code stays 200 so liveness probes don't amplify the incident by
+	// pulling the node.
+	if !sloReport.Healthy && status == "ok" {
+		status = "burning"
+	}
+	out := map[string]any{
 		"status":           status,
 		"steps":            s.cfg.Steps,
 		"queue_depth":      s.queued.Load(),
 		"cache_generation": s.cacheGen.Load(),
-		"backends":         bs,
-	})
+		// now_unix_nano is this node's wall clock at render time; the
+		// cluster heartbeat reads it (against the poll's RTT) to
+		// estimate per-node clock offsets for trace merging.
+		"now_unix_nano": time.Now().UnixNano(),
+		"backends":      bs,
+	}
+	if s.cfg.Node != "" {
+		out["node"] = s.cfg.Node
+	}
+	if s.slomon.Enabled() {
+		out["slo"] = sloReport
+	}
+	writeJSON(w, code, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

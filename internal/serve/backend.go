@@ -132,7 +132,7 @@ func (s *Server) dispatchBatch(batch []*job) {
 	if len(batch) == 0 {
 		return
 	}
-	s.metrics.batchSize.observe(float64(len(batch)))
+	s.metrics.batchSize.Observe(float64(len(batch)))
 	now := time.Now()
 	for _, j := range batch {
 		j.flushed = now
@@ -269,7 +269,7 @@ func (s *Server) runBatch(be *backend, batch []*job, engine *accel.Engine) bool 
 		j.computed = computed
 		be.breaker.onSuccess()
 		s.cache.put(j.key, prices[i])
-		s.metrics.observeOption(computed.Sub(j.enqueued), computed.Unix(), be.joules, be.priced)
+		s.metrics.observeOption(computed.Sub(j.enqueued), computed.Unix(), be.joules, be.priced, j.trace)
 		be.pending.Add(-1)
 		s.queued.Add(-1)
 		j.done <- jobResult{price: prices[i], backend: be.cfg.Name, joules: be.joules, retries: j.retries, err: nil}
@@ -304,7 +304,7 @@ func (s *Server) runJob(be *backend, j *job, priceFn func(option.Option) (float6
 	}
 	be.breaker.onSuccess()
 	s.cache.put(j.key, price)
-	s.metrics.observeOption(j.computed.Sub(j.enqueued), j.computed.Unix(), be.joules, be.priced)
+	s.metrics.observeOption(j.computed.Sub(j.enqueued), j.computed.Unix(), be.joules, be.priced, j.trace)
 	s.emitComputeSpan(j, be)
 	be.pending.Add(-1)
 	s.queued.Add(-1)
@@ -354,7 +354,7 @@ func (s *Server) emitComputeSpan(j *job, be *backend) {
 		return
 	}
 	s.tracer.Emit(telemetry.Span{
-		Req: j.req, Name: "compute", Proc: "host", Thread: "backend " + be.cfg.Name,
+		Req: j.req, Trace: j.trace, Name: "compute", Proc: "host", Thread: "backend " + be.cfg.Name,
 		Start: j.picked, Dur: j.computed.Sub(j.picked), Clock: telemetry.Wall,
 		Attrs: map[string]any{
 			"backend": be.cfg.Name,
@@ -373,7 +373,7 @@ func (s *Server) emitErrorSpan(j *job, be *backend, err error) {
 		return
 	}
 	s.tracer.Emit(telemetry.Span{
-		Req: j.req, Name: "error", Proc: "host", Thread: "backend " + be.cfg.Name,
+		Req: j.req, Trace: j.trace, Name: "error", Proc: "host", Thread: "backend " + be.cfg.Name,
 		Start: j.picked, Dur: j.computed.Sub(j.picked), Clock: telemetry.Wall,
 		Attrs: map[string]any{
 			"backend": be.cfg.Name,
@@ -391,7 +391,7 @@ func (s *Server) emitRetrySpan(j *job, be *backend, backoff time.Duration, err e
 		return
 	}
 	s.tracer.Emit(telemetry.Span{
-		Req: j.req, Name: "retry", Proc: "host", Thread: "requests",
+		Req: j.req, Trace: j.trace, Name: "retry", Proc: "host", Thread: "requests",
 		Start: j.computed, Dur: backoff, Clock: telemetry.Wall,
 		Attrs: map[string]any{
 			"failed_backend": be.cfg.Name,
@@ -409,13 +409,13 @@ func (s *Server) emitRetrySpan(j *job, be *backend, backoff time.Duration, err e
 func (s *Server) emitDeviceSpans(j *job, dtr accel.DeviceTrace) {
 	proc := "device:" + dtr.Backend
 	s.tracer.Emit(telemetry.Span{
-		Req: j.req, Name: "option", Proc: proc, Thread: "device clock",
+		Req: j.req, Trace: j.trace, Name: "option", Proc: proc, Thread: "device clock",
 		DevStart: dtr.Start, DevDur: dtr.End - dtr.Start, Clock: telemetry.Device,
 		Attrs: map[string]any{"backend": dtr.Backend, "opt": j.seq, "steps": s.cfg.Steps},
 	})
 	for _, c := range dtr.Commands {
 		s.tracer.Emit(telemetry.Span{
-			Req: j.req, Name: c.Name, Proc: proc, Thread: "cl queue",
+			Req: j.req, Trace: j.trace, Name: c.Name, Proc: proc, Thread: "cl queue",
 			DevStart: c.Start, DevDur: c.End - c.Start, Clock: telemetry.Device,
 			Attrs: map[string]any{
 				"backend":  dtr.Backend,

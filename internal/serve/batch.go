@@ -35,6 +35,7 @@ type job struct {
 	opt      option.Option
 	key      Key
 	req      uint64 // telemetry request group (0 when tracing is off)
+	trace    string // distributed trace ID ("" when untraced)
 	seq      int    // index within the originating request
 	enqueued time.Time
 	flushed  time.Time

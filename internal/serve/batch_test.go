@@ -64,10 +64,10 @@ func TestFlushOnSize(t *testing.T) {
 	}
 	wg.Wait()
 
-	if n := s.metrics.batchSize.n.Load(); n != 2 {
+	if n := s.metrics.batchSize.Count(); n != 2 {
 		t.Fatalf("flushed %d batches, want 2 (size-triggered)", n)
 	}
-	if mean := s.metrics.batchSize.mean(); mean != 4 {
+	if mean := s.metrics.batchSize.Mean(); mean != 4 {
 		t.Fatalf("mean batch size %v, want 4", mean)
 	}
 }
@@ -95,10 +95,10 @@ func TestFlushOnDeadline(t *testing.T) {
 	if res[0].Backend != "stub" {
 		t.Fatalf("backend = %q", res[0].Backend)
 	}
-	if n := s.metrics.batchSize.n.Load(); n != 1 {
+	if n := s.metrics.batchSize.Count(); n != 1 {
 		t.Fatalf("flushed %d batches, want 1 (deadline-triggered)", n)
 	}
-	if mean := s.metrics.batchSize.mean(); mean != 1 {
+	if mean := s.metrics.batchSize.Mean(); mean != 1 {
 		t.Fatalf("batch size %v, want 1", mean)
 	}
 }

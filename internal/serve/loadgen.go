@@ -74,10 +74,14 @@ type LoadReport struct {
 	// Per-phase mean latencies of the priced (non-cached) options across
 	// the whole run, aggregated from the server's Server-Timing response
 	// headers. PhasePriced is the number of options contributing; all
-	// zero against a server without phase timing.
+	// zero against a server without phase timing. HeaderJoules is the
+	// sum of the headers' per-request joules entries — on a consistent
+	// server it reconciles with ModelledJoules, so a divergence flags a
+	// node double-booking or dropping energy.
 	PhaseBatch, PhaseQueue  time.Duration
 	PhaseCompute, PhaseRead time.Duration
 	PhasePriced             int64
+	HeaderJoules            float64
 
 	// Targets is the measured-phase per-target breakdown, in the order
 	// the targets were configured. Single-target runs get one row.
@@ -114,6 +118,9 @@ func (r LoadReport) Text() string {
 			r.PhaseBatch, r.PhaseQueue, r.PhaseCompute, r.PhaseRead, r.PhasePriced)
 	}
 	fmt.Fprintf(&b, "energy:   %.4g J modelled total, %.4g J/option amortised\n", r.ModelledJoules, r.JoulesPerOption)
+	if r.HeaderJoules > 0 {
+		fmt.Fprintf(&b, "ledger:   %.4g J attributed via Server-Timing headers\n", r.HeaderJoules)
+	}
 	if r.Retries > 0 {
 		fmt.Fprintf(&b, "retries:  %d failover re-dispatches absorbed server-side\n", r.Retries)
 	}
@@ -257,10 +264,12 @@ type targetStats struct {
 	latencies                 []time.Duration
 }
 
-// phaseSums accumulates Server-Timing phase durations and the priced
-// option counts they cover.
+// phaseSums accumulates Server-Timing phase durations, the priced
+// option counts they cover, and the per-request modelled joules the
+// server attached to each header.
 type phaseSums struct {
 	batch, queue, compute, readback time.Duration
+	joules                          float64
 	priced                          int64
 }
 
@@ -269,6 +278,7 @@ func (p *phaseSums) add(o phaseSums) {
 	p.queue += o.queue
 	p.compute += o.compute
 	p.readback += o.readback
+	p.joules += o.joules
 	p.priced += o.priced
 }
 
@@ -276,6 +286,7 @@ func (p *phaseSums) add(o phaseSums) {
 // per-option means.
 func (r *LoadReport) addPhases(stats sweepStats) {
 	p := stats.phases
+	r.HeaderJoules += p.joules
 	if p.priced == 0 {
 		return
 	}
@@ -385,13 +396,20 @@ type requestObs struct {
 // breakdown the server rendered it from — the inverse of
 // PhaseBreakdown.ServerTiming. The cluster router uses it to merge the
 // phase accounting of sub-batches fanned out across nodes into one
-// fleet-level header.
-func ParseServerTiming(header string) PhaseBreakdown {
-	p := parseServerTiming(header)
+// fleet-level header. Unknown metric names and parameters are skipped
+// (proxies append their own entries; newer servers add metrics older
+// clients haven't heard of); the error fires only when a non-empty
+// header yields no recognised metric at all, which means the peer is
+// not speaking this protocol.
+func ParseServerTiming(header string) (PhaseBreakdown, error) {
+	p, recognised := parseServerTiming(header)
+	if recognised == 0 {
+		return PhaseBreakdown{}, fmt.Errorf("serve: no recognised metrics in Server-Timing %q", header)
+	}
 	return PhaseBreakdown{
 		Batch: p.batch, Queue: p.queue, Compute: p.compute, Readback: p.readback,
-		Priced: int(p.priced),
-	}
+		Priced: int(p.priced), Joules: p.joules,
+	}, nil
 }
 
 // Add accumulates another breakdown into p.
@@ -401,21 +419,37 @@ func (p *PhaseBreakdown) Add(o PhaseBreakdown) {
 	p.Compute += o.Compute
 	p.Readback += o.Readback
 	p.Priced += o.Priced
+	p.Joules += o.Joules
 }
 
 // parseServerTiming reads the serving tier's Server-Timing header:
-// per-phase summed milliseconds plus the priced option count
-// ("batch;dur=1.2, queue;dur=0.3, ..., priced;dur=250"). Unknown or
-// malformed entries are skipped, so the generator works against older
-// servers too.
-func parseServerTiming(header string) phaseSums {
+// per-phase summed milliseconds, the priced option count, and the
+// request's modelled joules ("batch;dur=1.2, ..., priced;dur=250,
+// joules;dur=0.004"). It follows the header's grammar rather than the
+// exact string the server emits: entries split on ",", parameters on
+// ";", and the dur parameter may sit anywhere among other parameters
+// ("compute;desc=fpga;dur=10"). Unknown metrics, unknown parameters and
+// malformed values are skipped — the generator must survive
+// proxy-mangled headers and older or newer servers. Returns the sums
+// plus how many entries were recognised.
+func parseServerTiming(header string) (phaseSums, int) {
 	var p phaseSums
-	for _, part := range strings.Split(header, ",") {
-		name, dur, ok := strings.Cut(strings.TrimSpace(part), ";dur=")
-		if !ok {
+	recognised := 0
+	for _, entry := range strings.Split(header, ",") {
+		params := strings.Split(entry, ";")
+		name := strings.TrimSpace(params[0])
+		var dur string
+		found := false
+		for _, param := range params[1:] {
+			if k, v, ok := strings.Cut(param, "="); ok && strings.TrimSpace(k) == "dur" {
+				dur, found = strings.TrimSpace(v), true
+				break
+			}
+		}
+		if !found {
 			continue
 		}
-		v, err := strconv.ParseFloat(strings.TrimSpace(dur), 64)
+		v, err := strconv.ParseFloat(dur, 64)
 		if err != nil {
 			continue
 		}
@@ -431,9 +465,16 @@ func parseServerTiming(header string) phaseSums {
 			p.readback = d
 		case "priced":
 			p.priced = int64(v)
+		case "joules":
+			// The dur= slot carries joules directly; the metric name,
+			// not the slot, fixes the unit (see ServerTiming).
+			p.joules = v
+		default:
+			continue
 		}
+		recognised++
 	}
-	return p
+	return p, recognised
 }
 
 // doPriceRequest posts one batch and parses the response. Non-2xx
@@ -460,7 +501,7 @@ func doPriceRequest(ctx context.Context, client *http.Client, baseURL string, lr
 	}
 	obs := requestObs{}
 	if st := resp.Header.Get("Server-Timing"); st != "" {
-		obs.phases = parseServerTiming(st)
+		obs.phases, _ = parseServerTiming(st)
 	}
 	for _, res := range pr.Results {
 		if res.Cached {

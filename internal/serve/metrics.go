@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"binopt/internal/omhist"
 	"binopt/internal/opencl"
 )
 
@@ -16,70 +17,12 @@ import (
 // from 50 microseconds to ~100 s, which spans a cache hit on loopback up
 // to a saturated queue draining a deep tree. The final implicit bucket is
 // +Inf.
-var latencyBuckets = func() []float64 {
-	b := make([]float64, 0, 22)
-	for v := 50e-6; v < 120; v *= 2 {
-		b = append(b, v)
-	}
-	return b
-}()
+var latencyBuckets = omhist.ExpBuckets(50e-6, 120, 2)
 
-// histogram is a fixed-bucket concurrent histogram.
-type histogram struct {
-	bounds []float64      // upper bounds, ascending
-	counts []atomic.Int64 // len(bounds)+1, last is overflow
-	sum    atomicFloat
-	n      atomic.Int64
-}
-
-func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
-}
-
-// observe records one sample.
-func (h *histogram) observe(v float64) {
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i].Add(1)
-	h.sum.add(v)
-	h.n.Add(1)
-}
-
-// quantile estimates the q-quantile (0 < q < 1) by linear interpolation
-// inside the containing bucket. It returns 0 when the histogram is empty.
-func (h *histogram) quantile(q float64) float64 {
-	total := h.n.Load()
-	if total == 0 {
-		return 0
-	}
-	target := q * float64(total)
-	var cum float64
-	for i := range h.counts {
-		c := float64(h.counts[i].Load())
-		if cum+c >= target && c > 0 {
-			lo := 0.0
-			if i > 0 {
-				lo = h.bounds[i-1]
-			}
-			hi := lo * 2
-			if i < len(h.bounds) {
-				hi = h.bounds[i]
-			}
-			frac := (target - cum) / c
-			return lo + frac*(hi-lo)
-		}
-		cum += c
-	}
-	return h.bounds[len(h.bounds)-1]
-}
-
-// mean returns the average observed value, or 0 when empty.
-func (h *histogram) mean() float64 {
-	n := h.n.Load()
-	if n == 0 {
-		return 0
-	}
-	return h.sum.load() / float64(n)
-}
+// joulesBuckets span a request's modelled energy: from a fraction of a
+// millijoule (one option on the most efficient device) up past a
+// 2000-option chain on the hungriest one.
+var joulesBuckets = omhist.ExpBuckets(1e-5, 1e3, 10)
 
 // atomicFloat is a float64 accumulator built on a bits CAS loop, good
 // enough for the additive counters the metrics page needs.
@@ -170,11 +113,19 @@ type metrics struct {
 
 	modelledJoules atomicFloat // sum of per-option modelled energy
 
-	latency   *histogram // per-option enqueue-to-result latency, seconds
-	batchSize *histogram // options per flushed batch
+	latency   *omhist.Histogram // per-option enqueue-to-result latency, seconds
+	batchSize *omhist.Histogram // options per flushed batch
+	// requestJoules is the per-request energy ledger: one observation
+	// per /v1/price request of its summed modelled joules, exemplared
+	// with the request's trace ID.
+	requestJoules *omhist.Histogram
 	// phases decomposes the per-option latency: one histogram per
 	// pipeline phase, keyed in phaseNames order.
-	phases map[string]*histogram
+	phases map[string]*omhist.Histogram
+	// phaseJoules attributes the booked energy across the same four
+	// phases (duration-proportional, telescoping exactly to
+	// modelledJoules for priced options).
+	phaseJoules map[string]*atomicFloat
 	// window tracks options served over the last 10 seconds, the decay-
 	// aware companion of the cumulative optionsPerSec.
 	window rateWindow
@@ -214,24 +165,27 @@ func newMetrics() *metrics {
 	batchBounds := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 	m := &metrics{
 		start:         time.Now(),
-		latency:       newHistogram(latencyBuckets),
-		batchSize:     newHistogram(batchBounds),
-		phases:        make(map[string]*histogram, len(phaseNames)),
+		latency:       omhist.New(latencyBuckets),
+		batchSize:     omhist.New(batchBounds),
+		requestJoules: omhist.New(joulesBuckets),
+		phases:        make(map[string]*omhist.Histogram, len(phaseNames)),
+		phaseJoules:   make(map[string]*atomicFloat, len(phaseNames)),
 		perBackend:    make(map[string]*atomic.Int64),
 		perBackendErr: make(map[string]*atomic.Int64),
 	}
 	for _, p := range phaseNames {
-		m.phases[p] = newHistogram(latencyBuckets)
+		m.phases[p] = omhist.New(latencyBuckets)
+		m.phaseJoules[p] = new(atomicFloat)
 	}
 	return m
 }
 
 // observePhases records one priced option's per-phase wall durations.
 func (m *metrics) observePhases(batch, queue, compute, readback time.Duration) {
-	m.phases["batch"].observe(batch.Seconds())
-	m.phases["queue"].observe(queue.Seconds())
-	m.phases["compute"].observe(compute.Seconds())
-	m.phases["readback"].observe(readback.Seconds())
+	m.phases["batch"].Observe(batch.Seconds())
+	m.phases["queue"].Observe(queue.Seconds())
+	m.phases["compute"].Observe(compute.Seconds())
+	m.phases["readback"].Observe(readback.Seconds())
 }
 
 // backendCounter returns the per-shard priced counter, creating it on
@@ -263,13 +217,15 @@ func (m *metrics) backendErrCounter(name string) *atomic.Int64 {
 // observeOption records one completed pricing: its queue+compute latency
 // and the modelled energy of the shard that priced it. nowSec is the
 // caller's already-stamped completion time — the worker holds a fresh
-// time.Time, so the hot path is spared another clock read.
-func (m *metrics) observeOption(lat time.Duration, nowSec int64, joules float64, backend *atomic.Int64) {
+// time.Time, so the hot path is spared another clock read. trace, when
+// non-empty, pins the option's latency bucket exemplar to its
+// distributed trace.
+func (m *metrics) observeOption(lat time.Duration, nowSec int64, joules float64, backend *atomic.Int64, trace string) {
 	m.optionsPriced.Add(1)
 	m.optionsServed.Add(1)
 	m.window.add(nowSec, 1)
 	m.modelledJoules.add(joules)
-	m.latency.observe(lat.Seconds())
+	m.latency.ObserveExemplar(lat.Seconds(), trace)
 	if backend != nil {
 		backend.Add(1)
 	}
@@ -329,22 +285,17 @@ func (m *metrics) render(queueDepth int64, cacheLen int, cacheGen uint64) string
 	w("binopt_modelled_joules_total %.6g\n", m.modelledJoules.load())
 	w("binopt_modelled_joules_per_option %.6g\n", m.joulesPerOption())
 
-	w("binopt_batch_size_count %d\n", m.batchSize.n.Load())
-	w("binopt_batch_size_mean %.3f\n", m.batchSize.mean())
+	w("binopt_batch_size_mean %.3f\n", m.batchSize.Mean())
+	m.batchSize.Render(&b, "binopt_batch_size", "")
 	w("binopt_batch_priced_options_total %d\n", m.batchPriced.Load())
-	for _, q := range []float64{0.5, 0.95, 0.99} {
-		w("binopt_option_latency_seconds{quantile=\"%g\"} %.6g\n", q, m.latency.quantile(q))
-	}
-	w("binopt_option_latency_seconds_count %d\n", m.latency.n.Load())
-	w("binopt_option_latency_seconds_mean %.6g\n", m.latency.mean())
+	w("binopt_option_latency_seconds_mean %.6g\n", m.latency.Mean())
+	m.latency.Render(&b, "binopt_option_latency_seconds", "")
+	m.requestJoules.Render(&b, "binopt_request_joules", "")
 
 	for _, p := range phaseNames {
-		h := m.phases[p]
-		for _, q := range []float64{0.5, 0.95, 0.99} {
-			w("binopt_phase_seconds{phase=%q,quantile=\"%g\"} %.6g\n", p, q, h.quantile(q))
-		}
-		w("binopt_phase_seconds_count{phase=%q} %d\n", p, h.n.Load())
-		w("binopt_phase_seconds_mean{phase=%q} %.6g\n", p, h.mean())
+		w("binopt_phase_seconds_mean{phase=%q} %.6g\n", p, m.phases[p].Mean())
+		m.phases[p].Render(&b, "binopt_phase_seconds", fmt.Sprintf("phase=%q", p))
+		w("binopt_phase_joules_total{phase=%q} %.6g\n", p, m.phaseJoules[p].load())
 	}
 
 	m.mu.Lock()

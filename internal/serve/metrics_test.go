@@ -5,13 +5,15 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"binopt/internal/omhist"
 )
 
 func TestHistogramQuantiles(t *testing.T) {
-	h := newHistogram(latencyBuckets)
+	h := omhist.New(latencyBuckets)
 	// 1000 samples spread uniformly over (0, 100ms].
 	for i := 1; i <= 1000; i++ {
-		h.observe(float64(i) * 100e-6)
+		h.Observe(float64(i) * 100e-6)
 	}
 	checks := []struct {
 		q        float64
@@ -23,29 +25,29 @@ func TestHistogramQuantiles(t *testing.T) {
 		{0.99, 0.090, 0.110, "p99"}, // true 99ms
 	}
 	for _, c := range checks {
-		got := h.quantile(c.q)
+		got := h.Quantile(c.q)
 		if got < c.lo || got > c.hi {
 			t.Errorf("%s = %v, want within [%v, %v]", c.quantile, got, c.lo, c.hi)
 		}
 	}
-	if mean := h.mean(); mean < 0.045 || mean > 0.055 {
+	if mean := h.Mean(); mean < 0.045 || mean > 0.055 {
 		t.Errorf("mean = %v, want ~0.05005", mean)
 	}
-	if h.quantile(0.5) >= h.quantile(0.99) {
+	if h.Quantile(0.5) >= h.Quantile(0.99) {
 		t.Error("quantiles not monotone")
 	}
 }
 
 func TestHistogramEmptyAndOverflow(t *testing.T) {
-	h := newHistogram(latencyBuckets)
-	if q := h.quantile(0.5); q != 0 {
+	h := omhist.New(latencyBuckets)
+	if q := h.Quantile(0.5); q != 0 {
 		t.Fatalf("empty quantile = %v, want 0", q)
 	}
-	if m := h.mean(); m != 0 {
+	if m := h.Mean(); m != 0 {
 		t.Fatalf("empty mean = %v, want 0", m)
 	}
-	h.observe(1e6) // beyond the last bound: overflow bucket
-	if q := h.quantile(0.99); q <= 0 {
+	h.Observe(1e6) // beyond the last bound: overflow bucket
+	if q := h.Quantile(0.99); q <= 0 {
 		t.Fatalf("overflow quantile = %v, want positive", q)
 	}
 }
@@ -72,8 +74,8 @@ func TestAtomicFloatConcurrentAdd(t *testing.T) {
 func TestMetricsRenderAndEnergy(t *testing.T) {
 	m := newMetrics()
 	be := m.backendCounter("fpga-ivb")
-	m.observeOption(2*time.Millisecond, time.Now().Unix(), 0.005, be)
-	m.observeOption(3*time.Millisecond, time.Now().Unix(), 0.005, be)
+	m.observeOption(2*time.Millisecond, time.Now().Unix(), 0.005, be, "4bf92f3577b34da6a3ce929d0e0e4736")
+	m.observeOption(3*time.Millisecond, time.Now().Unix(), 0.005, be, "")
 	m.observeHit()
 	m.observeHit()
 
@@ -93,9 +95,17 @@ func TestMetricsRenderAndEnergy(t *testing.T) {
 		"binopt_cache_generation 5",
 		"binopt_cache_invalidations_total 0",
 		`binopt_backend_options_priced_total{backend="fpga-ivb"} 2`,
+		// The latency surface is now an OpenMetrics bucket histogram,
+		// with the trace-tagged observation pinned as an exemplar.
+		`binopt_option_latency_seconds_bucket{le="+Inf"} 2`,
+		"binopt_option_latency_seconds_count 2",
+		`# {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.002`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("render missing %q:\n%s", want, text)
 		}
+	}
+	if strings.Contains(text, `quantile=`) {
+		t.Error("quantile gauges survived the histogram migration")
 	}
 }

@@ -14,13 +14,16 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"binopt/internal/lattice"
+	"binopt/internal/obslog"
 	"binopt/internal/option"
+	"binopt/internal/slo"
 	"binopt/internal/telemetry"
 )
 
@@ -69,6 +72,17 @@ type Config struct {
 	// the /debug/trace Chrome-trace endpoint. nil disables tracing (the
 	// emit paths become no-ops).
 	Tracer *telemetry.Tracer
+	// Node names this process in fleet observability surfaces: span
+	// export pages, log lines, the aggregator's per-node trace lanes.
+	// Empty is fine for a solo server.
+	Node string
+	// SLO, when set, enables the burn-rate monitor over the /v1/price
+	// path with these objectives; its state surfaces on /healthz and
+	// /debug/slo. Options (not a Monitor) so every node of a fleet
+	// constructs its own window state from one shared config.
+	SLO *slo.Options
+	// Logger receives structured request/fault logs. nil logs nothing.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -125,6 +139,8 @@ type Server struct {
 	batcher  *batcher
 	backends []*backend
 	tracer   *telemetry.Tracer // nil-safe: nil is the disabled tracer
+	slomon   *slo.Monitor      // nil-safe: nil is the disabled monitor
+	logger   *slog.Logger      // never nil: obslog.Or substitutes Nop
 
 	queued  atomic.Int64 // admitted, not yet completed
 	closed  atomic.Bool
@@ -162,7 +178,14 @@ func New(cfg Config) (*Server, error) {
 		metrics: newMetrics(),
 		cache:   newResultCache(cfg.CacheSize),
 		tracer:  cfg.Tracer,
+		logger:  obslog.Or(cfg.Logger),
 		aborted: make(chan struct{}),
+	}
+	if cfg.Node != "" {
+		s.logger = s.logger.With(obslog.KeyNode, cfg.Node)
+	}
+	if cfg.SLO != nil {
+		s.slomon = slo.New(*cfg.SLO)
 	}
 	s.priceFn = cfg.PriceFunc
 	if s.priceFn == nil {
@@ -297,15 +320,24 @@ type PhaseBreakdown struct {
 	// Priced counts the options contributing (cache hits skip every
 	// phase and contribute nothing).
 	Priced int
+	// Joules is the request's modelled energy: the sum of the priced
+	// options' per-option modelled joules on the shards that priced
+	// them. Cache hits contribute zero — exactly as they contribute
+	// zero to the engines' booked totals, which is what makes this
+	// ledger sum (across requests) to the binopt_modelled_joules_total
+	// delta.
+	Joules float64
 }
 
 // ServerTiming renders the breakdown as a Server-Timing header value:
-// per-phase summed milliseconds plus the contributing option count, the
-// form loadgen aggregates across requests.
+// per-phase summed milliseconds, the contributing option count, and the
+// request's modelled joules — the form loadgen aggregates across
+// requests. joules abuses the dur= slot like priced does; the metric
+// name, not the slot, carries the unit.
 func (p PhaseBreakdown) ServerTiming() string {
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-	return fmt.Sprintf("batch;dur=%.3f, queue;dur=%.3f, compute;dur=%.3f, readback;dur=%.3f, priced;dur=%d",
-		ms(p.Batch), ms(p.Queue), ms(p.Compute), ms(p.Readback), p.Priced)
+	return fmt.Sprintf("batch;dur=%.3f, queue;dur=%.3f, compute;dur=%.3f, readback;dur=%.3f, priced;dur=%d, joules;dur=%.9g",
+		ms(p.Batch), ms(p.Queue), ms(p.Compute), ms(p.Readback), p.Priced, p.Joules)
 }
 
 // PriceOptions prices a slice of contracts through the full serving path:
@@ -335,11 +367,10 @@ func (s *Server) PriceOptionsTimed(ctx context.Context, opts []option.Option) ([
 		}
 	}
 
-	var reqID uint64
-	if s.tracer.Enabled() {
-		if reqID = telemetry.ReqFromContext(ctx); reqID == 0 {
-			reqID = s.tracer.NextID()
-		}
+	tc := telemetry.TraceFromContext(ctx)
+	reqID := tc.Req
+	if s.tracer.Enabled() && reqID == 0 {
+		reqID = s.tracer.NextID()
 	}
 	results := make([]Result, len(opts))
 	var jobs []*job
@@ -352,7 +383,7 @@ func (s *Server) PriceOptionsTimed(ctx context.Context, opts []option.Option) ([
 			results[i] = Result{Price: price, Cached: true, Backend: "cache"}
 			continue
 		}
-		jobs = append(jobs, &job{opt: o, key: key, req: reqID, seq: i, enqueued: now, done: make(chan jobResult, 1)})
+		jobs = append(jobs, &job{opt: o, key: key, req: reqID, trace: tc.Trace, seq: i, enqueued: now, done: make(chan jobResult, 1)})
 		jobIdx = append(jobIdx, i)
 	}
 	if len(jobs) == 0 {
@@ -400,7 +431,7 @@ func (s *Server) PriceOptionsTimed(ctx context.Context, opts []option.Option) ([
 				continue
 			}
 			results[jobIdx[k]] = Result{Price: res.price, Backend: res.backend, ModelledJoules: res.joules, Retries: res.retries}
-			s.observeDelivery(j, res.backend, &phases)
+			s.observeDelivery(j, res, &phases)
 		case <-ctx.Done():
 			return nil, phases, ctx.Err()
 		}
@@ -414,10 +445,11 @@ func (s *Server) PriceOptionsTimed(ctx context.Context, opts []option.Option) ([
 // observeDelivery closes out one priced option on the requester side:
 // it computes the four phase durations from the job's timestamps (the
 // worker wrote them before sending on done), feeds the phase
-// histograms, accumulates the request breakdown, and emits the batch/
+// histograms, books the option's modelled joules into the request
+// ledger and the per-phase energy attribution, and emits the batch/
 // queue/readback host spans. The compute span was emitted by the
 // worker, on the shard's own track.
-func (s *Server) observeDelivery(j *job, backend string, phases *PhaseBreakdown) {
+func (s *Server) observeDelivery(j *job, res jobResult, phases *PhaseBreakdown) {
 	recv := time.Now()
 	batchD := j.flushed.Sub(j.enqueued)
 	queueD := j.picked.Sub(j.flushed)
@@ -428,25 +460,48 @@ func (s *Server) observeDelivery(j *job, backend string, phases *PhaseBreakdown)
 	phases.Compute += computeD
 	phases.Readback += readbackD
 	phases.Priced++
+	phases.Joules += res.joules
 	s.metrics.observePhases(batchD, queueD, computeD, readbackD)
+	s.attributeJoules(res.joules, batchD, queueD, computeD, readbackD)
 	if !s.tracer.Enabled() {
 		return
 	}
 	attrs := func() map[string]any {
-		return map[string]any{"backend": backend, "opt": j.seq}
+		return map[string]any{"backend": res.backend, "opt": j.seq}
 	}
 	s.tracer.Emit(telemetry.Span{
-		Req: j.req, Name: "batch", Proc: "host", Thread: "requests",
+		Req: j.req, Trace: j.trace, Name: "batch", Proc: "host", Thread: "requests",
 		Start: j.enqueued, Dur: batchD, Clock: telemetry.Wall, Attrs: attrs(),
 	})
 	s.tracer.Emit(telemetry.Span{
-		Req: j.req, Name: "queue", Proc: "host", Thread: "requests",
+		Req: j.req, Trace: j.trace, Name: "queue", Proc: "host", Thread: "requests",
 		Start: j.flushed, Dur: queueD, Clock: telemetry.Wall, Attrs: attrs(),
 	})
 	s.tracer.Emit(telemetry.Span{
-		Req: j.req, Name: "readback", Proc: "host", Thread: "requests",
+		Req: j.req, Trace: j.trace, Name: "readback", Proc: "host", Thread: "requests",
 		Start: j.computed, Dur: readbackD, Clock: telemetry.Wall, Attrs: attrs(),
 	})
+}
+
+// attributeJoules splits one option's modelled energy across the four
+// pipeline phases proportionally to their wall durations, with the last
+// share computed by subtraction so the four phase counters telescope
+// exactly — not approximately — to the booked per-option total. The
+// split answers "where did these joules go" in pipeline terms: energy
+// spent while the option sat in batch assembly is the cost of batching,
+// not of compute.
+func (s *Server) attributeJoules(joules float64, batchD, queueD, computeD, readbackD time.Duration) {
+	total := batchD + queueD + computeD + readbackD
+	var jb, jq, jc float64
+	if total > 0 {
+		jb = joules * float64(batchD) / float64(total)
+		jq = joules * float64(queueD) / float64(total)
+		jc = joules * float64(computeD) / float64(total)
+	}
+	s.metrics.phaseJoules["batch"].add(jb)
+	s.metrics.phaseJoules["queue"].add(jq)
+	s.metrics.phaseJoules["compute"].add(jc)
+	s.metrics.phaseJoules["readback"].add(joules - jb - jq - jc)
 }
 
 // Close drains the service: no new work is admitted, the batcher flushes

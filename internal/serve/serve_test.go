@@ -270,7 +270,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"binopt_options_served_total 3",
 		"binopt_options_priced_total 2",
 		"binopt_cache_hits_total 1",
-		"binopt_option_latency_seconds{quantile=\"0.5\"}",
+		"binopt_option_latency_seconds_bucket{le=\"+Inf\"} 2",
 		"binopt_modelled_joules_per_option",
 		"binopt_queue_depth 0",
 		"binopt_batch_size_count",

@@ -191,37 +191,92 @@ func TestServerTimingHeader(t *testing.T) {
 	if header == "" {
 		t.Fatal("no Server-Timing header")
 	}
-	for _, metric := range []string{"batch;dur=", "queue;dur=", "compute;dur=", "readback;dur=", "priced;dur="} {
+	for _, metric := range []string{"batch;dur=", "queue;dur=", "compute;dur=", "readback;dur=", "priced;dur=", "joules;dur="} {
 		if !strings.Contains(header, metric) {
 			t.Errorf("Server-Timing %q missing %q", header, metric)
 		}
 	}
-	got := parseServerTiming(header)
+	got, _ := parseServerTiming(header)
 	if got.priced != 1 {
 		t.Errorf("parsed priced = %d from %q", got.priced, header)
 	}
 	if got.batch+got.queue+got.compute+got.readback <= 0 {
 		t.Errorf("parsed empty phase sums from %q", header)
 	}
+	if got.joules <= 0 {
+		t.Errorf("parsed no joules from %q", header)
+	}
 }
 
-// TestParseServerTiming covers the parser against hand-built and
-// malformed headers — loadgen must never crash on a proxy-mangled one.
+// TestParseServerTiming covers the parser against hand-built, foreign
+// and malformed headers — loadgen must never crash on a proxy-mangled
+// one, and must keep working against servers that add metrics it
+// doesn't know (or lack ones it does).
 func TestParseServerTiming(t *testing.T) {
-	got := parseServerTiming("batch;dur=1.500, queue;dur=0.250, compute;dur=10.000, readback;dur=0.125, priced;dur=4")
-	if got.batch != 1500*time.Microsecond || got.queue != 250*time.Microsecond {
-		t.Errorf("batch/queue = %v/%v", got.batch, got.queue)
+	cases := []struct {
+		name   string
+		header string
+		want   phaseSums
+		wantN  int
+	}{
+		{
+			name:   "full header",
+			header: "batch;dur=1.500, queue;dur=0.250, compute;dur=10.000, readback;dur=0.125, priced;dur=4, joules;dur=0.0625",
+			want: phaseSums{
+				batch: 1500 * time.Microsecond, queue: 250 * time.Microsecond,
+				compute: 10 * time.Millisecond, readback: 125 * time.Microsecond,
+				priced: 4, joules: 0.0625,
+			},
+			wantN: 6,
+		},
+		{
+			name:   "pre-joules server",
+			header: "batch;dur=1, queue;dur=1, compute;dur=1, readback;dur=1, priced;dur=2",
+			want: phaseSums{
+				batch: time.Millisecond, queue: time.Millisecond,
+				compute: time.Millisecond, readback: time.Millisecond, priced: 2,
+			},
+			wantN: 5,
+		},
+		{
+			name:   "unknown metrics and extra params tolerated",
+			header: `cdn;desc="edge cache";dur=3, compute;desc=fpga;dur=10, gc;dur=0.1, joules;dur=0.5`,
+			want:   phaseSums{compute: 10 * time.Millisecond, joules: 0.5},
+			wantN:  2,
+		},
+		{
+			name:   "whitespace and reordered dur param",
+			header: "  batch ; desc=x ; dur= 2.0 ,joules;dur=1e-3",
+			want:   phaseSums{batch: 2 * time.Millisecond, joules: 1e-3},
+			wantN:  2,
+		},
+		{name: "empty", header: "", wantN: 0},
+		{name: "garbage", header: "garbage", wantN: 0},
+		{name: "no dur params", header: "a=b;c=d, batch;desc=x", wantN: 0},
+		{name: "malformed dur value skipped", header: "batch;dur=abc, queue;dur=0.5", want: phaseSums{queue: 500 * time.Microsecond}, wantN: 1},
+		{name: "truncated entry", header: "batch;dur=1.5, compute;du", want: phaseSums{batch: 1500 * time.Microsecond}, wantN: 1},
+		{name: "dangling separators", header: ",,;;dur=,batch;dur=1", want: phaseSums{batch: time.Millisecond}, wantN: 1},
 	}
-	if got.compute != 10*time.Millisecond || got.readback != 125*time.Microsecond {
-		t.Errorf("compute/readback = %v/%v", got.compute, got.readback)
-	}
-	if got.priced != 4 {
-		t.Errorf("priced = %d", got.priced)
-	}
-	for _, junk := range []string{"", "garbage", "batch;dur=abc, priced;dur=-1", "a=b;c=d"} {
-		if got := parseServerTiming(junk); got.priced != 0 && junk != "batch;dur=abc, priced;dur=-1" {
-			t.Errorf("junk %q parsed to %+v", junk, got)
-		}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, n := parseServerTiming(c.header)
+			if got != c.want {
+				t.Errorf("parseServerTiming(%q) = %+v, want %+v", c.header, got, c.want)
+			}
+			if n != c.wantN {
+				t.Errorf("recognised %d entries in %q, want %d", n, c.header, c.wantN)
+			}
+			bd, err := ParseServerTiming(c.header)
+			if c.wantN == 0 {
+				if err == nil {
+					t.Errorf("ParseServerTiming(%q) accepted a header with no recognised metrics", c.header)
+				}
+			} else if err != nil {
+				t.Errorf("ParseServerTiming(%q) rejected a parseable header: %v", c.header, err)
+			} else if bd.Joules != c.want.joules || bd.Priced != int(c.want.priced) {
+				t.Errorf("ParseServerTiming(%q) = %+v, want joules %v priced %d", c.header, bd, c.want.joules, c.want.priced)
+			}
+		})
 	}
 }
 
@@ -286,10 +341,14 @@ func TestMetricsExposeObservability(t *testing.T) {
 	}
 	body := string(raw)
 	for _, line := range []string{
-		`binopt_phase_seconds{phase="batch",quantile="0.5"}`,
-		`binopt_phase_seconds{phase="queue",quantile="0.95"}`,
-		`binopt_phase_seconds{phase="compute",quantile="0.99"}`,
+		`binopt_phase_seconds_bucket{phase="batch",le="+Inf"}`,
+		`binopt_phase_seconds_bucket{phase="queue",le="5e-05"}`,
+		`binopt_phase_seconds_sum{phase="compute"}`,
 		`binopt_phase_seconds_count{phase="readback"}`,
+		`binopt_phase_joules_total{phase="compute"}`,
+		`binopt_option_latency_seconds_bucket{le="+Inf"} 1`,
+		`binopt_request_joules_count 1`,
+		`# {trace_id="`,
 		"binopt_options_per_sec_window",
 		"binopt_backend_modelled_device_seconds_total",
 		"binopt_trace_spans_total",

@@ -1,0 +1,222 @@
+// Package slo is a multi-window burn-rate monitor over the serving
+// tier's two user-facing objectives: request latency (fraction of
+// requests faster than a threshold) and availability (fraction of
+// requests that succeed). Burn rate is budget consumption speed —
+// bad-event rate divided by the error budget (1 − target) — so burn 1.0
+// spends exactly the budget over the SLO period and burn 14 torches it
+// 14× too fast. An objective alerts only when BOTH a fast and a slow
+// window exceed the threshold: the slow window proves the problem is
+// real (not one hiccup), the fast window proves it is still happening
+// (the alert clears quickly once the cause is fixed). This is the
+// standard multi-window multi-burn-rate construction from the SRE
+// workbook, scaled down to the windows a load test can exercise.
+//
+// A nil *Monitor is a valid disabled monitor: every method no-ops, so
+// call sites need no branching — the same discipline as
+// telemetry.Tracer.
+package slo
+
+import (
+	"sync"
+	"time"
+)
+
+// Options configures a Monitor. Zero fields take defaults.
+type Options struct {
+	// LatencyThreshold is the per-request latency above which a request
+	// counts against the latency objective. Default 250ms.
+	LatencyThreshold time.Duration
+	// LatencyTarget is the fraction of requests that must be faster
+	// than the threshold. Default 0.99.
+	LatencyTarget float64
+	// ErrorTarget is the fraction of requests that must succeed.
+	// Default 0.999.
+	ErrorTarget float64
+	// FastWindow and SlowWindow are the two burn-rate windows. Defaults
+	// 10s and 60s — scaled to load-test horizons; production deployments
+	// pass 5m/1h.
+	FastWindow time.Duration
+	SlowWindow time.Duration
+	// BurnThreshold is the burn rate both windows must exceed to alert.
+	// Default 10 (spending budget an order of magnitude too fast).
+	BurnThreshold float64
+	// Now injects the clock for tests. Default time.Now.
+	Now func() time.Time
+}
+
+// withDefaults fills zero fields.
+func (o Options) withDefaults() Options {
+	if o.LatencyThreshold <= 0 {
+		o.LatencyThreshold = 250 * time.Millisecond
+	}
+	if o.LatencyTarget <= 0 || o.LatencyTarget >= 1 {
+		o.LatencyTarget = 0.99
+	}
+	if o.ErrorTarget <= 0 || o.ErrorTarget >= 1 {
+		o.ErrorTarget = 0.999
+	}
+	if o.FastWindow <= 0 {
+		o.FastWindow = 10 * time.Second
+	}
+	if o.SlowWindow < o.FastWindow {
+		o.SlowWindow = 60 * time.Second
+		if o.SlowWindow < o.FastWindow {
+			o.SlowWindow = 6 * o.FastWindow
+		}
+	}
+	if o.BurnThreshold <= 0 {
+		o.BurnThreshold = 10
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// bucket accumulates one second of observations.
+type bucket struct {
+	sec   int64
+	total int64
+	slow  int64
+	errs  int64
+}
+
+// Monitor ingests per-request outcomes and reports burn rates. It keeps
+// a ring of one-second buckets covering the slow window, so memory is
+// O(window seconds) and an idle monitor decays to zero burn.
+type Monitor struct {
+	opts Options
+
+	mu    sync.Mutex
+	ring  []bucket
+	total int64 // lifetime requests, for the report
+}
+
+// New builds a monitor; nil Options semantics come from withDefaults.
+func New(opts Options) *Monitor {
+	opts = opts.withDefaults()
+	n := int(opts.SlowWindow/time.Second) + 1
+	if n < 2 {
+		n = 2
+	}
+	return &Monitor{opts: opts, ring: make([]bucket, n)}
+}
+
+// Enabled reports whether observations are being recorded.
+func (m *Monitor) Enabled() bool { return m != nil }
+
+// Observe books one completed request: its end-to-end latency and
+// whether it failed. Failed requests also count as slow — a 500 in 1ms
+// is not a latency win.
+func (m *Monitor) Observe(latency time.Duration, failed bool) {
+	if m == nil {
+		return
+	}
+	sec := m.opts.Now().Unix()
+	slow := failed || latency > m.opts.LatencyThreshold
+	m.mu.Lock()
+	b := &m.ring[sec%int64(len(m.ring))]
+	if b.sec != sec {
+		*b = bucket{sec: sec}
+	}
+	b.total++
+	if slow {
+		b.slow++
+	}
+	if failed {
+		b.errs++
+	}
+	m.total++
+	m.mu.Unlock()
+}
+
+// windowSums totals the buckets inside the last d before now.
+func (m *Monitor) windowSums(nowSec int64, d time.Duration) (total, slow, errs int64) {
+	cutoff := nowSec - int64(d/time.Second)
+	for _, b := range m.ring {
+		if b.sec > cutoff && b.sec <= nowSec {
+			total += b.total
+			slow += b.slow
+			errs += b.errs
+		}
+	}
+	return total, slow, errs
+}
+
+// Objective is one SLO's burn-rate state at report time.
+type Objective struct {
+	// Name is "latency" or "availability".
+	Name string `json:"name"`
+	// Target is the objective (fraction of good requests).
+	Target float64 `json:"target"`
+	// FastBurn and SlowBurn are budget-consumption speeds over the two
+	// windows; 1.0 spends exactly the budget.
+	FastBurn float64 `json:"fast_burn"`
+	SlowBurn float64 `json:"slow_burn"`
+	// Burning is true when both windows exceed the burn threshold.
+	Burning bool `json:"burning"`
+}
+
+// Report is the full monitor state, JSON-shaped for /debug/slo.
+type Report struct {
+	Healthy bool `json:"healthy"`
+	// BurnThreshold is the alert threshold both windows must cross.
+	BurnThreshold float64 `json:"burn_threshold"`
+	// FastWindowSec and SlowWindowSec name the windows.
+	FastWindowSec float64 `json:"fast_window_sec"`
+	SlowWindowSec float64 `json:"slow_window_sec"`
+	// LatencyThresholdSec is the slow-request cutoff.
+	LatencyThresholdSec float64 `json:"latency_threshold_sec"`
+	// Requests is the lifetime observation count.
+	Requests   int64       `json:"requests"`
+	Objectives []Objective `json:"objectives"`
+}
+
+// burn converts a bad-event count over a window into a burn rate
+// against the objective's budget. An empty window burns nothing.
+func burn(bad, total int64, target float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return (float64(bad) / float64(total)) / (1 - target)
+}
+
+// Report snapshots both objectives' burn state. A nil monitor reports
+// healthy with no objectives — the disabled state is indistinguishable
+// from a perfect one, which is what nil-safety means here.
+func (m *Monitor) Report() Report {
+	if m == nil {
+		return Report{Healthy: true}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nowSec := m.opts.Now().Unix()
+	fTotal, fSlow, fErrs := m.windowSums(nowSec, m.opts.FastWindow)
+	sTotal, sSlow, sErrs := m.windowSums(nowSec, m.opts.SlowWindow)
+
+	latency := Objective{
+		Name:     "latency",
+		Target:   m.opts.LatencyTarget,
+		FastBurn: burn(fSlow, fTotal, m.opts.LatencyTarget),
+		SlowBurn: burn(sSlow, sTotal, m.opts.LatencyTarget),
+	}
+	latency.Burning = latency.FastBurn > m.opts.BurnThreshold && latency.SlowBurn > m.opts.BurnThreshold
+
+	avail := Objective{
+		Name:     "availability",
+		Target:   m.opts.ErrorTarget,
+		FastBurn: burn(fErrs, fTotal, m.opts.ErrorTarget),
+		SlowBurn: burn(sErrs, sTotal, m.opts.ErrorTarget),
+	}
+	avail.Burning = avail.FastBurn > m.opts.BurnThreshold && avail.SlowBurn > m.opts.BurnThreshold
+
+	return Report{
+		Healthy:             !latency.Burning && !avail.Burning,
+		BurnThreshold:       m.opts.BurnThreshold,
+		FastWindowSec:       m.opts.FastWindow.Seconds(),
+		SlowWindowSec:       m.opts.SlowWindow.Seconds(),
+		LatencyThresholdSec: m.opts.LatencyThreshold.Seconds(),
+		Requests:            m.total,
+		Objectives:          []Objective{latency, avail},
+	}
+}

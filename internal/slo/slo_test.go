@@ -1,0 +1,194 @@
+package slo
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the monitor deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1700000000, 0)} }
+func opts(c *fakeClock, extra Options) Options {
+	extra.Now = c.now
+	if extra.FastWindow == 0 {
+		extra.FastWindow = 5 * time.Second
+	}
+	if extra.SlowWindow == 0 {
+		extra.SlowWindow = 30 * time.Second
+	}
+	return extra
+}
+
+// TestHealthyUnderGoodTraffic: fast requests, no errors → no burn.
+func TestHealthyUnderGoodTraffic(t *testing.T) {
+	c := newFakeClock()
+	m := New(opts(c, Options{LatencyThreshold: 100 * time.Millisecond}))
+	for i := 0; i < 50; i++ {
+		m.Observe(10*time.Millisecond, false)
+		c.advance(200 * time.Millisecond)
+	}
+	r := m.Report()
+	if !r.Healthy {
+		t.Fatalf("healthy traffic reported burning: %+v", r)
+	}
+	if r.Requests != 50 {
+		t.Errorf("requests = %d", r.Requests)
+	}
+	for _, o := range r.Objectives {
+		if o.FastBurn != 0 || o.SlowBurn != 0 || o.Burning {
+			t.Errorf("objective %s burning on clean traffic: %+v", o.Name, o)
+		}
+	}
+}
+
+// TestLatencyBurn: sustained slow requests light both windows.
+func TestLatencyBurn(t *testing.T) {
+	c := newFakeClock()
+	m := New(opts(c, Options{
+		LatencyThreshold: 50 * time.Millisecond,
+		LatencyTarget:    0.99, // 1% budget
+		BurnThreshold:    10,
+	}))
+	// 50% slow = burn 50 over every window.
+	for i := 0; i < 60; i++ {
+		m.Observe(10*time.Millisecond, false)
+		m.Observe(200*time.Millisecond, false)
+		c.advance(time.Second)
+	}
+	r := m.Report()
+	if r.Healthy {
+		t.Fatalf("sustained slowness reported healthy: %+v", r)
+	}
+	lat := r.Objectives[0]
+	if lat.Name != "latency" || !lat.Burning {
+		t.Errorf("latency objective = %+v", lat)
+	}
+	if lat.FastBurn < 40 || lat.SlowBurn < 40 {
+		t.Errorf("burns = %v/%v, want ~50", lat.FastBurn, lat.SlowBurn)
+	}
+	// Availability untouched: no failures.
+	if r.Objectives[1].Burning {
+		t.Errorf("availability burning without errors: %+v", r.Objectives[1])
+	}
+}
+
+// TestErrorBurnClearsWhenFixed: the fast window clears the alert soon
+// after errors stop, even while the slow window still remembers them —
+// the whole point of the two-window construction.
+func TestErrorBurnClearsWhenFixed(t *testing.T) {
+	c := newFakeClock()
+	m := New(opts(c, Options{
+		ErrorTarget:   0.999,
+		BurnThreshold: 10,
+		FastWindow:    5 * time.Second,
+		SlowWindow:    30 * time.Second,
+	}))
+	// 20 seconds of 50% errors.
+	for i := 0; i < 20; i++ {
+		m.Observe(time.Millisecond, true)
+		m.Observe(time.Millisecond, false)
+		c.advance(time.Second)
+	}
+	if r := m.Report(); r.Healthy {
+		t.Fatalf("error storm reported healthy: %+v", r)
+	}
+	// 10 seconds of clean traffic: fast window clears, slow still hot.
+	for i := 0; i < 10; i++ {
+		m.Observe(time.Millisecond, false)
+		c.advance(time.Second)
+	}
+	r := m.Report()
+	avail := r.Objectives[1]
+	if avail.FastBurn != 0 {
+		t.Errorf("fast burn = %v after recovery", avail.FastBurn)
+	}
+	if avail.SlowBurn < 10 {
+		t.Errorf("slow burn = %v, should still remember the storm", avail.SlowBurn)
+	}
+	if !r.Healthy {
+		t.Errorf("alert did not clear once fast window recovered: %+v", r)
+	}
+}
+
+// TestBriefSpikeDoesNotAlert: one slow second inside a long clean
+// window lights the fast burn but fails the slow-burn condition, so no
+// alert fires — the slow window is what filters transients.
+func TestBriefSpikeDoesNotAlert(t *testing.T) {
+	c := newFakeClock()
+	m := New(opts(c, Options{LatencyThreshold: 50 * time.Millisecond, BurnThreshold: 10}))
+	// 25 seconds of clean traffic, then one second of pure slowness.
+	for i := 0; i < 25; i++ {
+		for j := 0; j < 4; j++ {
+			m.Observe(time.Millisecond, false)
+		}
+		c.advance(time.Second)
+	}
+	for j := 0; j < 4; j++ {
+		m.Observe(time.Second, false)
+	}
+	r := m.Report()
+	if !r.Healthy {
+		t.Fatalf("single-second spike alerted: %+v", r)
+	}
+	lat := r.Objectives[0]
+	if lat.FastBurn <= 10 {
+		t.Errorf("fast window missed the spike: %+v", lat)
+	}
+	if lat.SlowBurn > 10 {
+		t.Errorf("slow burn %v above threshold — test premise broken", lat.SlowBurn)
+	}
+}
+
+// TestFailedRequestsCountAsSlow: a fast 500 still burns latency budget.
+func TestFailedRequestsCountAsSlow(t *testing.T) {
+	c := newFakeClock()
+	m := New(opts(c, Options{LatencyThreshold: time.Second}))
+	m.Observe(time.Millisecond, true)
+	r := m.Report()
+	if r.Objectives[0].FastBurn == 0 {
+		t.Error("fast failure did not count against latency objective")
+	}
+}
+
+// TestIdleDecay: burn decays to zero once the windows roll past the
+// last observation.
+func TestIdleDecay(t *testing.T) {
+	c := newFakeClock()
+	m := New(opts(c, Options{}))
+	m.Observe(time.Second, true)
+	c.advance(31 * time.Second)
+	r := m.Report()
+	for _, o := range r.Objectives {
+		if o.FastBurn != 0 || o.SlowBurn != 0 {
+			t.Errorf("burn survived past the slow window: %+v", o)
+		}
+	}
+}
+
+// TestNilMonitor: disabled mode is healthy and inert.
+func TestNilMonitor(t *testing.T) {
+	var m *Monitor
+	if m.Enabled() {
+		t.Error("nil monitor enabled")
+	}
+	m.Observe(time.Second, true)
+	r := m.Report()
+	if !r.Healthy || len(r.Objectives) != 0 {
+		t.Errorf("nil monitor report = %+v", r)
+	}
+}
+
+// TestDefaults: zero options come back filled and self-consistent.
+func TestDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.LatencyThreshold <= 0 || o.LatencyTarget <= 0 || o.LatencyTarget >= 1 ||
+		o.ErrorTarget <= 0 || o.ErrorTarget >= 1 || o.BurnThreshold <= 0 || o.Now == nil {
+		t.Errorf("defaults incomplete: %+v", o)
+	}
+	if o.SlowWindow < o.FastWindow {
+		t.Errorf("slow window %v shorter than fast %v", o.SlowWindow, o.FastWindow)
+	}
+}

@@ -113,6 +113,9 @@ func Chrome(spans []Span) ([]byte, error) {
 		if sp.Req != 0 {
 			ev.Args["req"] = sp.Req
 		}
+		if sp.Trace != "" {
+			ev.Args["trace_id"] = sp.Trace
+		}
 		events = append(events, ev)
 	}
 

@@ -1,0 +1,104 @@
+// Cross-process span export: the JSON wire form a node serves from
+// /debug/spans and the fleet aggregator pulls. Spans travel with
+// explicit unix-nano wall timestamps (a time.Time's monotonic reading
+// is meaningless on another machine), and each page carries the Since
+// cursor to resume from plus how many spans the poller already lost to
+// ring wraparound — so the aggregator can report trace gaps honestly
+// instead of silently rendering a partial timeline.
+package telemetry
+
+import "time"
+
+// SpanJSON is one span in wire form. Wall times are unix nanoseconds;
+// device times stay modelled seconds (they are already process-local
+// relative values).
+type SpanJSON struct {
+	ID       uint64         `json:"id"`
+	Req      uint64         `json:"req,omitempty"`
+	Trace    string         `json:"trace,omitempty"`
+	Name     string         `json:"name"`
+	Proc     string         `json:"proc"`
+	Thread   string         `json:"thread"`
+	Start    int64          `json:"start_unix_nano,omitempty"`
+	DurNS    int64          `json:"dur_ns,omitempty"`
+	DevStart float64        `json:"dev_start,omitempty"`
+	DevDur   float64        `json:"dev_dur,omitempty"`
+	Clock    string         `json:"clock"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+// Export is one page of spans from a node's ring: everything emitted
+// after the request's cursor, the next cursor to poll from, and the
+// node's own clock reading at export time (an extra alignment datum on
+// top of the heartbeat-measured offset).
+type Export struct {
+	Node        string     `json:"node,omitempty"`
+	NowUnixNano int64      `json:"now_unix_nano"`
+	Next        uint64     `json:"next"`
+	Missed      uint64     `json:"missed"`
+	Spans       []SpanJSON `json:"spans"`
+}
+
+// ToJSON converts a span to wire form.
+func ToJSON(sp Span) SpanJSON {
+	out := SpanJSON{
+		ID:       sp.ID,
+		Req:      sp.Req,
+		Trace:    sp.Trace,
+		Name:     sp.Name,
+		Proc:     sp.Proc,
+		Thread:   sp.Thread,
+		DevStart: sp.DevStart,
+		DevDur:   sp.DevDur,
+		Clock:    sp.Clock.String(),
+		Attrs:    sp.Attrs,
+	}
+	if sp.Clock == Wall {
+		out.Start = sp.Start.UnixNano()
+		out.DurNS = int64(sp.Dur)
+	}
+	return out
+}
+
+// FromJSON converts a wire span back, applying skew to wall timestamps:
+// the receiver passes the node's measured clock offset (node minus
+// aggregator) and gets spans on its own timeline. Device spans pass
+// through unshifted — a modelled device clock has no skew to correct.
+func FromJSON(sj SpanJSON, skew time.Duration) Span {
+	sp := Span{
+		ID:       sj.ID,
+		Req:      sj.Req,
+		Trace:    sj.Trace,
+		Name:     sj.Name,
+		Proc:     sj.Proc,
+		Thread:   sj.Thread,
+		DevStart: sj.DevStart,
+		DevDur:   sj.DevDur,
+		Attrs:    sj.Attrs,
+	}
+	if sj.Clock == Device.String() {
+		sp.Clock = Device
+		return sp
+	}
+	sp.Clock = Wall
+	sp.Start = time.Unix(0, sj.Start-int64(skew))
+	sp.Dur = time.Duration(sj.DurNS)
+	return sp
+}
+
+// ExportSince packages everything emitted after cursor as one wire
+// page. Node names the exporting process for the aggregator's lanes.
+func (t *Tracer) ExportSince(cursor uint64, node string) Export {
+	spans, next, missed := t.Since(cursor)
+	out := Export{
+		Node:        node,
+		NowUnixNano: time.Now().UnixNano(),
+		Next:        next,
+		Missed:      missed,
+		Spans:       make([]SpanJSON, len(spans)),
+	}
+	for i, sp := range spans {
+		out.Spans[i] = ToJSON(sp)
+	}
+	return out
+}

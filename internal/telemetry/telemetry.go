@@ -71,6 +71,10 @@ type Span struct {
 	// request (zero when the span is not request-scoped).
 	ID  uint64
 	Req uint64
+	// Trace is the 32-hex distributed trace ID stitching this span to
+	// the same client request on other processes (empty when the span
+	// is purely local). See traceid.go.
+	Trace string
 	// Name is the span label, e.g. "batch", "queue", "compute",
 	// "ndrange IV.B".
 	Name string
@@ -103,6 +107,12 @@ type Tracer struct {
 
 	mu   sync.Mutex
 	ring []Span
+	// seqs[i] is the emission sequence number of ring[i]: a dense,
+	// monotone counter assigned under mu, the cursor Since paginates
+	// on. Span IDs cannot serve here — Begin assigns them before the
+	// region runs, so emission order and ID order diverge.
+	seqs []uint64
+	seq  uint64
 	next int
 	full bool
 }
@@ -112,7 +122,7 @@ func New(capacity int) *Tracer {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Tracer{capacity: capacity, ring: make([]Span, capacity)}
+	return &Tracer{capacity: capacity, ring: make([]Span, capacity), seqs: make([]uint64, capacity)}
 }
 
 // Enabled reports whether spans emitted here are retained. A nil tracer
@@ -151,6 +161,8 @@ func (t *Tracer) Emit(sp Span) {
 	if t.full {
 		t.dropped.Add(1)
 	}
+	t.seq++
+	t.seqs[t.next] = t.seq
 	t.ring[t.next] = sp
 	t.next++
 	if t.next == t.capacity {
@@ -208,6 +220,40 @@ func (t *Tracer) Snapshot() []Span {
 	return out
 }
 
+// Since returns the retained spans emitted after the cursor, in
+// emission order, plus the new cursor to poll from and the number of
+// spans that were emitted after the cursor but already overwritten
+// (ring wraparound) or discarded (Reset) before this call. A fresh
+// consumer starts at cursor 0. Unlike Snapshot+Reset polling, two
+// pollers with their own cursors never race each other, and a poll
+// never destroys data another consumer still wants.
+func (t *Tracer) Since(cursor uint64) (spans []Span, next uint64, missed uint64) {
+	if t == nil {
+		return nil, cursor, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	next = t.seq
+	if cursor >= t.seq {
+		return nil, next, 0
+	}
+	collect := func(i int) {
+		if t.seqs[i] > cursor {
+			spans = append(spans, t.ring[i])
+		}
+	}
+	if t.full {
+		for i := t.next; i < t.capacity; i++ {
+			collect(i)
+		}
+	}
+	for i := 0; i < t.next; i++ {
+		collect(i)
+	}
+	missed = (t.seq - cursor) - uint64(len(spans))
+	return spans, next, missed
+}
+
 // Reset discards the retained spans (counters keep accumulating).
 func (t *Tracer) Reset() {
 	if t == nil {
@@ -254,6 +300,13 @@ func (a *Active) SetAttr(key string, value any) {
 
 // SetReq assigns the span to a request group.
 func (a *Active) SetReq(req uint64) { a.sp.Req = req }
+
+// SetTrace stitches the span to a distributed trace ID.
+func (a *Active) SetTrace(trace string) { a.sp.Trace = trace }
+
+// Trace returns the span's distributed trace ID ("" when inert or
+// unstitched).
+func (a *Active) Trace() string { return a.sp.Trace }
 
 // End closes and emits the span.
 func (a *Active) End() {

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — the fleet observability contract on the real binaries.
+# Boot pricefleet's 2-node in-process fabric with tracing and the SLO
+# monitor on, push load through the router with loadgen, then hold:
+#
+#   1. Distributed tracing: the router's merged /debug/trace carries
+#      router spans AND both nodes' spans stitched under one W3C trace
+#      ID, each node in its own process lane.
+#   2. Energy ledger: loadgen's report reconciles the per-request
+#      Server-Timing joules ledger ("ledger:" line), and the nodes
+#      expose the per-request joules histogram.
+#   3. Exemplars: a node's /metrics histogram buckets carry
+#      `# {trace_id="..."}` exemplars linking metrics to traces.
+#   4. SLO: /debug/slo on the router reports healthy after a clean run,
+#      and loadgen's -slo verdict passes.
+#
+# Run from the repository root:  ./scripts/obs_smoke.sh
+set -euo pipefail
+
+FLEET_ADDR=127.0.0.1:19190
+FLEET=http://$FLEET_ADDR
+STEPS=256
+FLEET_LOG=$(mktemp)
+LG_OUT=$(mktemp)
+TRACE=$(mktemp)
+FLEET_PID=
+
+cleanup() {
+    if [ -n "$FLEET_PID" ] && kill -0 "$FLEET_PID" 2>/dev/null; then
+        kill "$FLEET_PID" 2>/dev/null || true
+        wait "$FLEET_PID" 2>/dev/null || true
+    fi
+    rm -f "$FLEET_LOG" "$LG_OUT" "$TRACE"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "obs_smoke: FAIL: $*" >&2
+    echo "--- fleet log ---" >&2
+    cat "$FLEET_LOG" >&2
+    exit 1
+}
+
+echo "obs_smoke: building"
+go build -o /tmp/pricefleet-obs ./cmd/pricefleet
+go build -o /tmp/loadgen-obs ./cmd/loadgen
+
+echo "obs_smoke: starting 2-node fleet on $FLEET_ADDR (trace + slo on)"
+# -slo-latency sizes the latency objective to this rig: 250-contract
+# batches cost ~300ms of modelled device time, which is the expected
+# shape here, not an SLO violation.
+/tmp/pricefleet-obs -addr "$FLEET_ADDR" -nodes 2 -steps "$STEPS" \
+    -heartbeat 50ms -slo-latency 2s -log-level warn >"$FLEET_LOG" 2>&1 &
+FLEET_PID=$!
+for i in $(seq 1 50); do
+    if curl -sf "$FLEET/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    [ "$i" = 50 ] && fail "fleet did not become healthy"
+    sleep 0.2
+done
+
+echo "obs_smoke: loadgen through the router with the SLO verdict armed"
+if ! /tmp/loadgen-obs -via-router "$FLEET" -n 400 -warmup 0 -passes 3 \
+    -target 0 -slo >"$LG_OUT" 2>&1; then
+    cat "$LG_OUT" >&2
+    fail "loadgen -slo verdict failed on a clean run"
+fi
+cat "$LG_OUT"
+grep -q "ledger:" "$LG_OUT" \
+    || fail "loadgen report has no Server-Timing joules ledger line"
+grep -q "slo verdict: pass" "$LG_OUT" \
+    || fail "loadgen did not print a passing slo verdict"
+
+echo "obs_smoke: validating the merged fleet trace"
+# The trace aggregator pulls node rings on each /debug/trace render;
+# node request spans land a hair after responses, so allow a few polls.
+for i in $(seq 1 25); do
+    curl -sf "$FLEET/debug/trace" -o "$TRACE" || fail "GET /debug/trace"
+    if python3 - "$TRACE" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+procs, spans = {}, []
+for ev in doc.get("traceEvents", []):
+    if ev.get("ph") == "M" and ev.get("name") == "process_name":
+        procs[ev["pid"]] = ev["args"]["name"]
+    elif ev.get("ph") == "X":
+        spans.append(ev)
+lanes = set(procs.values())
+need = {"router", "node-0:host", "node-1:host"}
+if not need <= lanes:
+    sys.exit(1)
+# One request's trace ID must stitch spans on the router AND both nodes.
+by_lane = {}
+for ev in spans:
+    tid = ev.get("args", {}).get("trace_id")
+    if tid:
+        by_lane.setdefault(procs.get(ev["pid"], "?"), set()).add(tid)
+shared = (by_lane.get("router", set())
+          & by_lane.get("node-0:host", set())
+          & by_lane.get("node-1:host", set()))
+if not shared:
+    sys.exit(1)
+print(f"obs_smoke: {len(shared)} trace IDs span router and both nodes "
+      f"({len(spans)} spans, lanes: {sorted(lanes)})")
+EOF
+    then
+        MERGED_OK=1
+        break
+    fi
+    MERGED_OK=0
+    sleep 0.2
+done
+[ "${MERGED_OK:-0}" = 1 ] || fail "merged trace never stitched router + both nodes under one trace ID"
+
+echo "obs_smoke: validating exemplars on a node's /metrics"
+NODE0=$(curl -sf "$FLEET/fleet/nodes" | python3 -c \
+    'import json,sys; print(json.load(sys.stdin)[0]["base_url"])') \
+    || fail "GET /fleet/nodes"
+curl -sf "$NODE0/metrics" -o "$TRACE" || fail "GET node-0 /metrics"
+grep -q 'binopt_request_joules_bucket' "$TRACE" \
+    || fail "node metrics missing the per-request joules histogram"
+grep -q '# {trace_id="' "$TRACE" \
+    || fail "node histograms carry no trace-ID exemplars"
+
+echo "obs_smoke: validating the router SLO endpoint"
+curl -sf "$FLEET/debug/slo" | grep -q '"healthy":true' \
+    || fail "/debug/slo not healthy after a clean run"
+curl -sf "$FLEET/healthz" | grep -q '"now_unix_nano"' \
+    || fail "/healthz has no now_unix_nano (clock-offset contract)"
+
+kill "$FLEET_PID"
+wait "$FLEET_PID" 2>/dev/null || true
+FLEET_PID=
+grep -q "drained cleanly" "$FLEET_LOG" || fail "fleet did not drain cleanly"
+
+echo "obs_smoke: PASS"

@@ -3,7 +3,8 @@
 # through loadgen, then assert the observability surface is intact:
 # /debug/trace must serve well-formed Chrome trace-event JSON containing
 # all four host phases plus modelled device events, and /metrics must
-# expose the phase quantiles and the windowed throughput gauge.
+# expose the per-phase histograms, the per-request joules histogram and
+# the windowed throughput gauge.
 #
 # Run from the repository root:  ./scripts/trace_smoke.sh
 set -euo pipefail
@@ -62,10 +63,13 @@ for span in '"batch"' '"queue"' '"compute"' '"readback"' 'POST /v1/price' \
 done
 
 echo "trace_smoke: validating metrics"
-for metric in 'binopt_phase_seconds{phase="batch"' \
-    'binopt_phase_seconds{phase="queue"' \
-    'binopt_phase_seconds{phase="compute"' \
-    'binopt_phase_seconds{phase="readback"' \
+for metric in 'binopt_phase_seconds_bucket{phase="batch"' \
+    'binopt_phase_seconds_bucket{phase="queue"' \
+    'binopt_phase_seconds_bucket{phase="compute"' \
+    'binopt_phase_seconds_bucket{phase="readback"' \
+    'binopt_phase_seconds_count{phase="compute"' \
+    binopt_request_joules_bucket \
+    binopt_option_latency_seconds_bucket \
     binopt_options_per_sec_window \
     binopt_backend_modelled_device_seconds_total \
     binopt_trace_spans_total; do
