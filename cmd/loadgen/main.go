@@ -28,6 +28,15 @@
 // its error budget on both alert windows. The report also reconciles
 // the per-request Server-Timing joules ledger against the server's
 // modelled energy total.
+//
+// With -scenarios N the tool switches to the stress-testing endpoint:
+// a deterministic book (default 24 positions, -book) is revalued under
+// a spot×vol×rate grid of at least N shocks via POST /v1/scenarios,
+// and the run passes only if every endpoint answers bit-identically
+// with a nonzero VaR. Giving a solo node and a fleet router as two
+// -targets turns it into the fabric's numerical-equivalence verdict:
+//
+//	loadgen -scenarios 1000 -targets http://solo:8080,http://router:9090
 package main
 
 import (
@@ -62,6 +71,8 @@ func main() {
 		target      = flag.Float64("target", 2000, "options/s target to check the run against (0 = skip)")
 		chaos       = flag.Bool("chaos", false, "chaos verdict: report error/retry rates and exit nonzero on any client-visible error (pair with pricesrvd -faults)")
 		sloVerdict  = flag.Bool("slo", false, "SLO verdict: fetch the target's /debug/slo after the run and exit nonzero if any objective is burning its error budget")
+		scenarios   = flag.Int("scenarios", 0, "scenario verdict: skip the load run; revalue a deterministic book under at least this many shocks via /v1/scenarios on every endpoint and require bit-identical answers and nonzero VaR")
+		book        = flag.Int("book", 24, "positions in the scenario-mode book (with -scenarios)")
 	)
 	flag.Parse()
 
@@ -78,6 +89,25 @@ func main() {
 				targetList = append(targetList, t)
 			}
 		}
+	}
+
+	if *scenarios > 0 {
+		// Scenario mode replaces the load run. Every endpoint — the
+		// single -addr/-via-router base, or each -targets member — gets
+		// the identical request and must answer it bit-identically;
+		// point it at a solo node plus a fleet router to prove the
+		// sharded revaluation is numerically invisible.
+		endpoints := targetList
+		if len(endpoints) == 0 {
+			endpoints = []string{base}
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		if err := runScenarios(ctx, endpoints, *scenarios, *book, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if err := run(base, targetList, *n, *seed, *concurrency, *batch, *warmup, *passes, *rps, *target, *chaos, *sloVerdict); err != nil {

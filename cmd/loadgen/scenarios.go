@@ -1,0 +1,187 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"binopt/internal/scenario"
+	"binopt/internal/serve"
+	"binopt/internal/workload"
+)
+
+// runScenarios is loadgen's stress-testing mode: build a deterministic
+// book from the head of the paper's volatility-curve chain, expand a
+// spot×vol×rate grid to at least nScen shocks, and POST the identical
+// /v1/scenarios request to every endpoint. The run is a verdict, not a
+// benchmark: all endpoints must answer bit-identically (a fleet router
+// and a solo node given as two targets prove the sharded fabric is
+// numerically invisible), the book must show a nonzero VaR, and the
+// evaluation count must cover the whole grid. Any miss exits nonzero.
+func runScenarios(ctx context.Context, endpoints []string, nScen, positions int, seed int64) error {
+	if positions < 2 {
+		return fmt.Errorf("scenario book needs at least 2 positions, got %d", positions)
+	}
+	req, total, err := scenarioRequest(nScen, positions, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("scenarios: %d-position book (seed %d), %d-scenario grid, steps per server config\n",
+		positions, seed, total)
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+
+	var baseline *serve.ScenarioResponse
+	for _, ep := range endpoints {
+		resp, elapsed, err := postScenarioRequest(ctx, ep, body)
+		if err != nil {
+			return fmt.Errorf("%s: %w", ep, err)
+		}
+		fmt.Printf("scenarios: %-40s base %.6f  evals %d  joules %.4g  %.1fms  backend=%s\n",
+			ep, resp.BaseValue, resp.Evaluations, resp.ModelledJoules,
+			float64(elapsed.Microseconds())/1000, resp.Backend)
+		if len(resp.Scenarios) != total {
+			return fmt.Errorf("%s: %d scenarios answered, want %d", ep, len(resp.Scenarios), total)
+		}
+		if baseline == nil {
+			r := resp
+			baseline = &r
+			continue
+		}
+		if err := scenarioDiff(*baseline, resp); err != nil {
+			return fmt.Errorf("bit-equality verdict: %s vs %s: %w", endpoints[0], ep, err)
+		}
+	}
+
+	// The distribution verdict: a shocked book that reports zero VaR at
+	// every quantile means the grid never moved the book — a broken
+	// revaluation path, not a calm market.
+	var nonzeroVaR bool
+	for _, rm := range baseline.Risk {
+		fmt.Printf("scenarios: VaR(%.2f) %.6f  ES %.6f\n", rm.Confidence, rm.VaR, rm.ES)
+		if rm.VaR != 0 {
+			nonzeroVaR = true
+		}
+	}
+	if !nonzeroVaR {
+		return fmt.Errorf("scenario verdict: VaR is zero at every quantile — shocks did not move the book")
+	}
+	// Every scenario revalues the whole book at least once; anything
+	// less means positions were silently dropped.
+	if min := int64(total) * int64(positions); baseline.Evaluations < min {
+		return fmt.Errorf("scenario verdict: %d evaluations < %d scenario×position floor", baseline.Evaluations, min)
+	}
+	if len(endpoints) > 1 {
+		fmt.Printf("scenario verdict: pass — %d endpoints bit-identical over %d scenarios, VaR nonzero\n",
+			len(endpoints), total)
+	} else {
+		fmt.Printf("scenario verdict: pass — %d scenarios revalued, VaR nonzero\n", total)
+	}
+	return nil
+}
+
+// scenarioRequest builds the deterministic request every endpoint
+// receives: the first `positions` options of the seeded chain with a
+// fixed quantity cycle (longs and shorts), under a grid sized to reach
+// at least nScen shocks — rate and vol axes are fixed small, the spot
+// axis stretches to cover the request.
+func scenarioRequest(nScen, positions int, seed int64) (serve.ScenarioRequest, int, error) {
+	spec := workload.DefaultVolCurveSpec(seed)
+	spec.N = positions
+	chain, err := workload.Chain(spec)
+	if err != nil {
+		return serve.ScenarioRequest{}, 0, err
+	}
+	book := make([]serve.ScenarioPosition, len(chain))
+	for i, o := range chain {
+		qty := float64(1 + i%5)
+		if i%3 == 2 {
+			qty = -qty
+		}
+		book[i] = serve.ScenarioPosition{Contract: serve.FromOption(o), Quantity: qty}
+	}
+
+	const volN, rateN = 10, 5
+	spotN := (nScen + volN*rateN - 1) / (volN * rateN)
+	if spotN < 2 {
+		spotN = 2
+	}
+	grid := &scenario.GridSpec{
+		Spot: scenario.Axis{From: 0.7, To: 1.3, N: spotN},
+		Vol:  scenario.Axis{From: 0.8, To: 1.5, N: volN},
+		Rate: scenario.Axis{From: -0.02, To: 0.02, N: rateN},
+	}
+	return serve.ScenarioRequest{
+		Portfolio: book,
+		Grid:      grid,
+		Quantiles: []float64{0.9, 0.95, 0.99},
+	}, spotN * volN * rateN, nil
+}
+
+func postScenarioRequest(ctx context.Context, base string, body []byte) (serve.ScenarioResponse, time.Duration, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/scenarios", bytes.NewReader(body))
+	if err != nil {
+		return serve.ScenarioResponse{}, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return serve.ScenarioResponse{}, 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	elapsed := time.Since(start)
+	if err != nil {
+		return serve.ScenarioResponse{}, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return serve.ScenarioResponse{}, 0, fmt.Errorf("POST /v1/scenarios: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var out serve.ScenarioResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return serve.ScenarioResponse{}, 0, err
+	}
+	return out, elapsed, nil
+}
+
+// scenarioDiff compares two endpoints' answers bit for bit on every
+// field the distribution owns. Evaluations, joules, cache and backend
+// labels legitimately differ between a solo node and a fleet (each
+// shard reprices the base book) and are excluded.
+func scenarioDiff(a, b serve.ScenarioResponse) error {
+	if math.Float64bits(a.BaseValue) != math.Float64bits(b.BaseValue) {
+		return fmt.Errorf("base value differs: %x vs %x", a.BaseValue, b.BaseValue)
+	}
+	if a.HasGreeks != b.HasGreeks {
+		return fmt.Errorf("has_greeks differs: %t vs %t", a.HasGreeks, b.HasGreeks)
+	}
+	if a.HasGreeks && *a.Greeks != *b.Greeks {
+		return fmt.Errorf("greeks differ: %+v vs %+v", *a.Greeks, *b.Greeks)
+	}
+	if len(a.Scenarios) != len(b.Scenarios) {
+		return fmt.Errorf("scenario count differs: %d vs %d", len(a.Scenarios), len(b.Scenarios))
+	}
+	for i := range a.Scenarios {
+		if a.Scenarios[i] != b.Scenarios[i] {
+			return fmt.Errorf("scenario %d differs: %+v vs %+v", i, a.Scenarios[i], b.Scenarios[i])
+		}
+	}
+	if len(a.Risk) != len(b.Risk) {
+		return fmt.Errorf("risk count differs: %d vs %d", len(a.Risk), len(b.Risk))
+	}
+	for i := range a.Risk {
+		if a.Risk[i] != b.Risk[i] {
+			return fmt.Errorf("risk %d differs: %+v vs %+v", i, a.Risk[i], b.Risk[i])
+		}
+	}
+	return nil
+}

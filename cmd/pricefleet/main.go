@@ -16,6 +16,14 @@
 //	pricesrvd -addr :8081 & pricesrvd -addr :8082 &
 //	pricefleet -addr :9090 -join http://127.0.0.1:8081,http://127.0.0.1:8082
 //
+// POST /v1/scenarios routes portfolio stress grids across the fleet:
+// the scenario axis is sharded over the ring members by shock key,
+// each node revalues its slice (exactly one computes the Greeks pass),
+// and the router merges the answers in scenario order and recomputes
+// the VaR/ES quantiles over the merged P&L — bit-identical to the same
+// request answered by a solo node, which `loadgen -scenarios` with two
+// -targets verifies end to end.
+//
 // The router adds fleet endpoints on top of the node API:
 // GET /metrics carries the fleet roll-up (summed options/s, fleet
 // joules per option, ring-ownership and per-node liveness gauges);

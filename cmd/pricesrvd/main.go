@@ -9,6 +9,16 @@
 //	pricesrvd -backends
 //	curl -s localhost:8080/v1/price -d '{"right":"put","style":"american","spot":100,"strike":105,"rate":0.03,"sigma":0.2,"t":0.5}'
 //
+// POST /v1/scenarios revalues a whole portfolio under a set of market
+// shocks (explicit list or a spot×vol×rate grid) in one request,
+// answering per-scenario P&L, net Greeks and VaR/ES quantiles — the
+// stress-testing workload `loadgen -scenarios` drives:
+//
+//	curl -s localhost:8080/v1/scenarios -d '{
+//	  "portfolio":[{"contract":{"right":"put","style":"american","spot":100,"strike":105,"rate":0.03,"sigma":0.2,"t":0.5},"quantity":10}],
+//	  "grid":{"spot":{"from":0.8,"to":1.2,"n":9},"vol":{"from":0.9,"to":1.3,"n":5}},
+//	  "quantiles":[0.95,0.99]}'
+//
 // Observability: span tracing is on by default (-trace=false disables);
 // GET /debug/trace returns the recent span window as Chrome trace-event
 // JSON for chrome://tracing or Perfetto, decomposing every priced

@@ -376,6 +376,36 @@ func (e *Engine) PriceBatch(opts []option.Option, workers int) ([]float64, error
 	return prices, nil
 }
 
+// PriceAndGreeksBatch prices a batch with full sensitivities through
+// the host's quad-batched Greeks path and accounts the modelled
+// substrate activity of the five contract evaluations each position
+// costs: one scalar retained sweep plus one interleaved quad group
+// carrying the four vega/rho bump contracts. The fault hook is
+// consulted once per batch, like PriceBatch.
+func (e *Engine) PriceAndGreeksBatch(opts []option.Option, workers int) ([]float64, []lattice.Greeks, error) {
+	if err := e.faultCheck(); err != nil {
+		return nil, nil, err
+	}
+	prices, greeks, err := e.host.PriceAndGreeksBatch(opts, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	e.accountGreeksBatch(len(opts))
+	return prices, greeks, nil
+}
+
+// accountGreeksBatch books n positions evaluated with sensitivities:
+// per position one scalar sweep plus one quad group, five contract
+// evaluations on the modelled device clock and energy ledger.
+func (e *Engine) accountGreeksBatch(n int) {
+	var add opencl.Counters
+	for i := 0; i < n; i++ {
+		add.Add(e.perOption)
+		add.Add(e.perQuad)
+	}
+	e.book(add, 5*n)
+}
+
 // account books n scalar-priced options and advances the modelled
 // device clock, returning the device-clock position the work started
 // at.

@@ -26,6 +26,10 @@ type routerMetrics struct {
 	routeErrors   atomic.Int64 // batches that exhausted every attempt
 	invalidations atomic.Int64 // generation bumps broadcast
 
+	scenarioReqs      atomic.Int64 // POST /v1/scenarios at the router
+	scenarioShards    atomic.Int64 // scenario sub-requests forwarded
+	scenarioFailovers atomic.Int64 // scenarios re-placed after a node failure
+
 	// lastScrape caches each member's most recent successful scrape. A
 	// node that stops answering keeps contributing its last known
 	// figures (marked stale) instead of zeroing the fleet gauges — a
@@ -122,6 +126,9 @@ func (rt *Router) renderMetrics(ctx context.Context) string {
 	w("binopt_router_failovers_total %d\n", rt.metrics.failovers.Load())
 	w("binopt_router_route_errors_total %d\n", rt.metrics.routeErrors.Load())
 	w("binopt_router_invalidations_total %d\n", rt.metrics.invalidations.Load())
+	w("binopt_router_scenario_requests_total %d\n", rt.metrics.scenarioReqs.Load())
+	w("binopt_router_scenario_shards_total %d\n", rt.metrics.scenarioShards.Load())
+	w("binopt_router_scenario_failovers_total %d\n", rt.metrics.scenarioFailovers.Load())
 	w("binopt_fleet_cache_generation %d\n", rt.gen.Load())
 
 	// Per-node router view: placement share, liveness, breaker state,

@@ -625,6 +625,8 @@ func (rt *Router) emitForwardSpans(reqID uint64, trace string, fwdID uint64, m *
 // so clients (and loadgen) cannot tell a router from a node:
 //
 //	POST /v1/price       route a batch across the fleet
+//	POST /v1/scenarios   shard a revaluation's scenario axis across
+//	                     the fleet and merge in order
 //	POST /v1/invalidate  bump the fleet cache generation (broadcast)
 //	GET  /healthz        fleet membership, ring and breaker view
 //	GET  /metrics        fleet + per-node + router metrics
@@ -637,6 +639,7 @@ func (rt *Router) emitForwardSpans(reqID uint64, trace string, fwdID uint64, m *
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/price", rt.handlePrice)
+	mux.HandleFunc("/v1/scenarios", rt.handleScenarios)
 	mux.HandleFunc("/v1/invalidate", rt.handleInvalidate)
 	mux.HandleFunc("/healthz", rt.handleHealthz)
 	mux.HandleFunc("/metrics", rt.handleMetrics)

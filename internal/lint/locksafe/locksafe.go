@@ -30,7 +30,7 @@ var Analyzer = &lint.Analyzer{
 	Match: lint.MatchSuffix(
 		"internal/serve", "internal/telemetry", "internal/faults",
 		"internal/cluster", "internal/slo", "internal/omhist",
-		"internal/obslog",
+		"internal/obslog", "internal/scenario",
 	),
 	Run: run,
 }

@@ -29,7 +29,7 @@ var Analyzer = &lint.Analyzer{
 		"Bytes, Watts) without an explicit conversion",
 	Match: lint.MatchSuffix(
 		"internal/hls", "internal/perf", "internal/gpumodel", "internal/accel",
-		"internal/slo", "internal/omhist",
+		"internal/slo", "internal/omhist", "internal/scenario",
 	),
 	Run: run,
 }

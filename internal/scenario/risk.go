@@ -1,0 +1,53 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RiskMeasure is one confidence level's tail summary of the scenario
+// P&L distribution. VaR is the loss at the (1-confidence) empirical
+// quantile (positive = loss); ES is the mean loss of the scenarios at
+// or beyond that quantile.
+type RiskMeasure struct {
+	Confidence float64 `json:"confidence"`
+	VaR        float64 `json:"var"`
+	ES         float64 `json:"es"`
+}
+
+// RiskMeasures computes VaR and expected shortfall at each confidence
+// level from the per-scenario P&L. The computation is deterministic —
+// one ascending sort, fixed-order tail summation — so a fleet router
+// recomputing it over bit-identical merged P&L reproduces a solo
+// node's numbers exactly. An empty P&L slice yields zero measures.
+func RiskMeasures(pnl []float64, confidences []float64) ([]RiskMeasure, error) {
+	out := make([]RiskMeasure, len(confidences))
+	sorted := make([]float64, len(pnl))
+	copy(sorted, pnl)
+	sort.Float64s(sorted)
+	for i, c := range confidences {
+		if math.IsNaN(c) || c <= 0 || c >= 1 {
+			return nil, fmt.Errorf("scenario: confidence level must be in (0,1), got %v", c)
+		}
+		out[i] = RiskMeasure{Confidence: c}
+		if len(sorted) == 0 {
+			continue
+		}
+		// k tail scenarios: the worst ceil((1-c)·S), at least one.
+		k := int(math.Ceil((1 - c) * float64(len(sorted))))
+		if k < 1 {
+			k = 1
+		}
+		if k > len(sorted) {
+			k = len(sorted)
+		}
+		out[i].VaR = -sorted[k-1]
+		var tail float64
+		for _, v := range sorted[:k] {
+			tail += v
+		}
+		out[i].ES = -(tail / float64(k))
+	}
+	return out, nil
+}

@@ -136,6 +136,7 @@ func ParsePriceRequest(body []byte) (PriceRequest, error) {
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/price       price one contract or a batch
+//	POST /v1/scenarios   revalue a portfolio under a scenario set
 //	POST /v1/volcurve    recover an implied-volatility curve
 //	POST /v1/invalidate  apply a cache-generation bump (market-data update)
 //	GET  /healthz        liveness and pool summary
@@ -149,6 +150,7 @@ func ParsePriceRequest(body []byte) (PriceRequest, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/price", s.handlePrice)
+	mux.HandleFunc("/v1/scenarios", s.handleScenarios)
 	mux.HandleFunc("/v1/volcurve", s.handleVolCurve)
 	mux.HandleFunc("/v1/invalidate", s.handleInvalidate)
 	mux.HandleFunc("/healthz", s.handleHealthz)

@@ -111,14 +111,23 @@ type metrics struct {
 	invalidations      atomic.Int64 // applied cache-generation bumps
 	invalidatedEntries atomic.Int64 // cache entries dropped by those bumps
 
+	scenarioReqs      atomic.Int64 // HTTP requests to /v1/scenarios
+	scenarioCacheHits atomic.Int64 // revaluations served from the scenario cache
+	scenarioShocks    atomic.Int64 // scenarios evaluated (shocked market states)
+	scenarioEvals     atomic.Int64 // contract evaluations spent in revaluations
+	scenarioJoules    atomicFloat  // modelled energy of those evaluations
+
 	modelledJoules atomicFloat // sum of per-option modelled energy
 
 	latency   *omhist.Histogram // per-option enqueue-to-result latency, seconds
 	batchSize *omhist.Histogram // options per flushed batch
 	// requestJoules is the per-request energy ledger: one observation
-	// per /v1/price request of its summed modelled joules, exemplared
-	// with the request's trace ID.
+	// per /v1/price or /v1/scenarios request of its summed modelled
+	// joules, exemplared with the request's trace ID.
 	requestJoules *omhist.Histogram
+	// scenarioLatency is the end-to-end latency of non-cached
+	// /v1/scenarios revaluations, seconds.
+	scenarioLatency *omhist.Histogram
 	// phases decomposes the per-option latency: one histogram per
 	// pipeline phase, keyed in phaseNames order.
 	phases map[string]*omhist.Histogram
@@ -164,14 +173,15 @@ type substrateStat struct {
 func newMetrics() *metrics {
 	batchBounds := []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 	m := &metrics{
-		start:         time.Now(),
-		latency:       omhist.New(latencyBuckets),
-		batchSize:     omhist.New(batchBounds),
-		requestJoules: omhist.New(joulesBuckets),
-		phases:        make(map[string]*omhist.Histogram, len(phaseNames)),
-		phaseJoules:   make(map[string]*atomicFloat, len(phaseNames)),
-		perBackend:    make(map[string]*atomic.Int64),
-		perBackendErr: make(map[string]*atomic.Int64),
+		start:           time.Now(),
+		latency:         omhist.New(latencyBuckets),
+		batchSize:       omhist.New(batchBounds),
+		requestJoules:   omhist.New(joulesBuckets),
+		scenarioLatency: omhist.New(latencyBuckets),
+		phases:          make(map[string]*omhist.Histogram, len(phaseNames)),
+		phaseJoules:     make(map[string]*atomicFloat, len(phaseNames)),
+		perBackend:      make(map[string]*atomic.Int64),
+		perBackendErr:   make(map[string]*atomic.Int64),
 	}
 	for _, p := range phaseNames {
 		m.phases[p] = omhist.New(latencyBuckets)
@@ -266,6 +276,7 @@ func (m *metrics) render(queueDepth int64, cacheLen int, cacheGen uint64) string
 	w("binopt_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
 	w("binopt_requests_total{endpoint=\"price\"} %d\n", m.requests.Load())
 	w("binopt_requests_total{endpoint=\"volcurve\"} %d\n", m.volcurveReqs.Load())
+	w("binopt_requests_total{endpoint=\"scenarios\"} %d\n", m.scenarioReqs.Load())
 	w("binopt_bad_requests_total %d\n", m.badRequests.Load())
 	w("binopt_rejected_total %d\n", m.rejected.Load())
 	w("binopt_options_served_total %d\n", m.optionsServed.Load())
@@ -291,6 +302,14 @@ func (m *metrics) render(queueDepth int64, cacheLen int, cacheGen uint64) string
 	w("binopt_option_latency_seconds_mean %.6g\n", m.latency.Mean())
 	m.latency.Render(&b, "binopt_option_latency_seconds", "")
 	m.requestJoules.Render(&b, "binopt_request_joules", "")
+
+	w("binopt_scenario_requests_total %d\n", m.scenarioReqs.Load())
+	w("binopt_scenario_cache_hits_total %d\n", m.scenarioCacheHits.Load())
+	w("binopt_scenario_shocks_total %d\n", m.scenarioShocks.Load())
+	w("binopt_scenario_evaluations_total %d\n", m.scenarioEvals.Load())
+	w("binopt_scenario_modelled_joules_total %.6g\n", m.scenarioJoules.load())
+	w("binopt_scenario_latency_seconds_mean %.6g\n", m.scenarioLatency.Mean())
+	m.scenarioLatency.Render(&b, "binopt_scenario_latency_seconds", "")
 
 	for _, p := range phaseNames {
 		w("binopt_phase_seconds_mean{phase=%q} %.6g\n", p, m.phases[p].Mean())

@@ -51,6 +51,11 @@ type Config struct {
 	// SolverWorkers bounds concurrency inside /v1/volcurve implied-vol
 	// solves (default GOMAXPROCS).
 	SolverWorkers int
+	// ScenarioConcurrency bounds concurrent /v1/scenarios revaluations;
+	// beyond it requests get 429 (default 2). Each revaluation already
+	// saturates an engine's batch workers, so the bound is a count of
+	// engines worth of standing load, not a request rate.
+	ScenarioConcurrency int
 	// PriceFunc overrides the pricing kernel, for tests that need a slow
 	// or failing engine. The default prices on the double-precision
 	// reference lattice at Steps depth.
@@ -104,6 +109,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 3
 	}
+	if c.ScenarioConcurrency <= 0 {
+		c.ScenarioConcurrency = 2
+	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = time.Millisecond
 	}
@@ -134,13 +142,17 @@ type Server struct {
 	engine  *lattice.Engine
 	priceFn func(option.Option) (float64, error)
 
-	cache    *resultCache
-	metrics  *metrics
-	batcher  *batcher
-	backends []*backend
-	tracer   *telemetry.Tracer // nil-safe: nil is the disabled tracer
-	slomon   *slo.Monitor      // nil-safe: nil is the disabled monitor
-	logger   *slog.Logger      // never nil: obslog.Or substitutes Nop
+	cache     *resultCache
+	scenarios *scenarioCache
+	// scenarioSem bounds concurrent scenario revaluations; acquisition
+	// is non-blocking (a full semaphore is a 429, not a queue).
+	scenarioSem chan struct{}
+	metrics     *metrics
+	batcher     *batcher
+	backends    []*backend
+	tracer      *telemetry.Tracer // nil-safe: nil is the disabled tracer
+	slomon      *slo.Monitor      // nil-safe: nil is the disabled monitor
+	logger      *slog.Logger      // never nil: obslog.Or substitutes Nop
 
 	queued  atomic.Int64 // admitted, not yet completed
 	closed  atomic.Bool
@@ -177,9 +189,14 @@ func New(cfg Config) (*Server, error) {
 		engine:  eng,
 		metrics: newMetrics(),
 		cache:   newResultCache(cfg.CacheSize),
-		tracer:  cfg.Tracer,
-		logger:  obslog.Or(cfg.Logger),
-		aborted: make(chan struct{}),
+		// The scenario cache shares the contract cache's on/off switch:
+		// a server that must not serve memoised prices must not serve
+		// memoised revaluations either.
+		scenarios:   newScenarioCache(scenarioCacheCapFor(cfg.CacheSize)),
+		scenarioSem: make(chan struct{}, cfg.ScenarioConcurrency),
+		tracer:      cfg.Tracer,
+		logger:      obslog.Or(cfg.Logger),
+		aborted:     make(chan struct{}),
 	}
 	if cfg.Node != "" {
 		s.logger = s.logger.With(obslog.KeyNode, cfg.Node)
@@ -285,7 +302,9 @@ func (s *Server) Invalidate(gen uint64) bool {
 			return false
 		}
 		if s.cacheGen.CompareAndSwap(cur, gen) {
-			evicted := s.cache.flush()
+			// A generation bump outdates memoised revaluations exactly as
+			// it outdates memoised prices, so both caches flush together.
+			evicted := s.cache.flush() + s.scenarios.flush()
 			s.metrics.invalidations.Add(1)
 			s.metrics.invalidatedEntries.Add(int64(evicted))
 			return true

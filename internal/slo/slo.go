@@ -130,6 +130,16 @@ func (m *Monitor) Observe(latency time.Duration, failed bool) {
 	m.mu.Unlock()
 }
 
+// ObserveBatch books one completed batch-class request — a stress-grid
+// revaluation, a bulk job — that counts toward the availability
+// objective but is exempt from the interactive latency threshold: a
+// 1000-scenario grid legitimately outlives a 250ms budget sized for
+// single-chain pricing, and must not read as a burn. A failure still
+// counts against both objectives.
+func (m *Monitor) ObserveBatch(failed bool) {
+	m.Observe(0, failed)
+}
+
 // windowSums totals the buckets inside the last d before now.
 func (m *Monitor) windowSums(nowSec int64, d time.Duration) (total, slow, errs int64) {
 	cutoff := nowSec - int64(d/time.Second)

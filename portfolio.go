@@ -2,10 +2,9 @@ package binopt
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"binopt/internal/lattice"
+	"binopt/internal/option"
 )
 
 // Position is a signed holding of one contract (negative quantity =
@@ -34,68 +33,49 @@ type PortfolioReport struct {
 }
 
 // ValuePortfolio prices every position on lattices of the given depth
-// (concurrently) and aggregates value and Greeks, quantity-weighted.
-// This is the desk-side loop the accelerator's throughput target exists
-// to serve: a book revaluation is just a batch of tree pricings.
+// and aggregates value and Greeks, quantity-weighted. This is the
+// desk-side loop the accelerator's throughput target exists to serve: a
+// book revaluation is just a batch of tree pricings, so it routes
+// through the quad-interleaved batch path — each position costs one
+// retained scalar sweep plus a single quad sweep carrying all four
+// vega/rho bump contracts, instead of the five scalar sweeps of the
+// per-position loop. Results are bit-identical to pricing each position
+// alone through Engine.PriceAndGreeks (the scalar bit-parity
+// reference); portfolio_test.go pins the parity and benchmarks the
+// speedup.
+//
+// An empty book values to the zero report with no error, matching the
+// scenario engine's convention: revaluing nothing is worth exactly
+// nothing. On the first failing position the dispatcher stops handing
+// out work and the error names the contract, not just its index.
 func ValuePortfolio(book Portfolio, steps, workers int) (PortfolioReport, error) {
 	if len(book) == 0 {
-		return PortfolioReport{}, fmt.Errorf("binopt: empty portfolio")
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(book) {
-		workers = len(book)
+		return PortfolioReport{}, nil
 	}
 	eng, err := lattice.NewEngine(steps)
 	if err != nil {
 		return PortfolioReport{}, err
 	}
-
-	reports := make([]PositionReport, len(book))
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				price, greeks, err := eng.PriceAndGreeks(book[i].Option)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("binopt: position %d: %w", i, err)
-					}
-					mu.Unlock()
-					continue
-				}
-				reports[i] = PositionReport{Position: book[i], Price: price, Greeks: greeks}
-			}
-		}()
+	opts := make([]option.Option, len(book))
+	for i, pos := range book {
+		opts[i] = pos.Option
 	}
-	for i := range book {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	if firstErr != nil {
-		return PortfolioReport{}, firstErr
+	prices, greeks, err := eng.PriceAndGreeksBatch(opts, workers)
+	if err != nil {
+		return PortfolioReport{}, fmt.Errorf("binopt: portfolio: %w", err)
 	}
 
 	var out PortfolioReport
-	out.Positions = reports
-	for _, r := range reports {
-		q := r.Position.Quantity
-		out.Value += q * r.Price
-		out.Greeks.Delta += q * r.Greeks.Delta
-		out.Greeks.Gamma += q * r.Greeks.Gamma
-		out.Greeks.Theta += q * r.Greeks.Theta
-		out.Greeks.Vega += q * r.Greeks.Vega
-		out.Greeks.Rho += q * r.Greeks.Rho
+	out.Positions = make([]PositionReport, len(book))
+	for i, pos := range book {
+		out.Positions[i] = PositionReport{Position: pos, Price: prices[i], Greeks: greeks[i]}
+		q := pos.Quantity
+		out.Value += q * prices[i]
+		out.Greeks.Delta += q * greeks[i].Delta
+		out.Greeks.Gamma += q * greeks[i].Gamma
+		out.Greeks.Theta += q * greeks[i].Theta
+		out.Greeks.Vega += q * greeks[i].Vega
+		out.Greeks.Rho += q * greeks[i].Rho
 	}
 	return out, nil
 }

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# scenario_smoke.sh — boot pricefleet's 2-node in-process fabric plus a
+# solo pricesrvd and prove the stress-testing tier's claims on the real
+# binaries:
+#
+#   1. A 24-position book revalued under a 1000-scenario spot×vol×rate
+#      grid answers bit-identically through the sharded fleet router
+#      and the solo node (loadgen -scenarios is the verdict: it exits
+#      nonzero on any bit mismatch or an all-zero VaR).
+#   2. The work shows up on the ledgers: both servers book scenario
+#      requests, shocks, evaluations and modelled joules on /metrics,
+#      and the router's scenario sharding counters move.
+#   3. The burn-rate monitor stays healthy under the stress run and
+#      both processes still drain cleanly on SIGTERM.
+#
+# Run from the repository root:  ./scripts/scenario_smoke.sh
+set -euo pipefail
+
+FLEET_ADDR=127.0.0.1:19290
+FLEET=http://$FLEET_ADDR
+SOLO_ADDR=127.0.0.1:19291
+SOLO=http://$SOLO_ADDR
+STEPS=128
+SCENARIOS=1000
+FLEET_LOG=$(mktemp)
+SOLO_LOG=$(mktemp)
+FLEET_PID=
+SOLO_PID=
+
+cleanup() {
+    for pid in "$FLEET_PID" "$SOLO_PID"; do
+        if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -f "$FLEET_LOG" "$SOLO_LOG" /tmp/scenario_loadgen.out
+}
+trap cleanup EXIT
+
+fail() {
+    echo "scenario_smoke: FAIL: $*" >&2
+    echo "--- fleet log ---" >&2
+    cat "$FLEET_LOG" >&2
+    echo "--- solo log ---" >&2
+    cat "$SOLO_LOG" >&2
+    exit 1
+}
+
+wait_healthy() {
+    for i in $(seq 1 50); do
+        if curl -sf "$1/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.2
+    done
+    fail "$1 did not become healthy"
+}
+
+echo "scenario_smoke: building"
+go build -o /tmp/pricefleet-scen ./cmd/pricefleet
+go build -o /tmp/pricesrvd-scen ./cmd/pricesrvd
+go build -o /tmp/loadgen-scen ./cmd/loadgen
+
+echo "scenario_smoke: starting 2-node fleet on $FLEET_ADDR and a solo node on $SOLO_ADDR"
+/tmp/pricefleet-scen -addr "$FLEET_ADDR" -nodes 2 -steps "$STEPS" \
+    -heartbeat 50ms >"$FLEET_LOG" 2>&1 &
+FLEET_PID=$!
+/tmp/pricesrvd-scen -addr "$SOLO_ADDR" -steps "$STEPS" >"$SOLO_LOG" 2>&1 &
+SOLO_PID=$!
+wait_healthy "$FLEET"
+wait_healthy "$SOLO"
+
+echo "scenario_smoke: $SCENARIOS-scenario revaluation, solo vs fleet bit-equality verdict"
+# loadgen posts the identical request to both endpoints and exits
+# nonzero unless every per-scenario value, the base value, the Greeks
+# and the VaR/ES quantiles are bit-identical — and unless VaR is
+# nonzero somewhere (a zero VaR under a ±30% spot grid means the
+# revaluation path is broken, not that the market is calm).
+if ! /tmp/loadgen-scen -scenarios "$SCENARIOS" -book 24 \
+    -targets "$SOLO,$FLEET" >/tmp/scenario_loadgen.out 2>&1; then
+    cat /tmp/scenario_loadgen.out >&2
+    fail "loadgen scenario verdict"
+fi
+cat /tmp/scenario_loadgen.out
+
+echo "scenario_smoke: scenario ledgers on /metrics"
+curl -sf "$SOLO/metrics" | grep -q 'binopt_scenario_requests_total 1' \
+    || fail "solo metrics missing scenario request count"
+SOLO_EVALS=$(curl -sf "$SOLO/metrics" | awk '/^binopt_scenario_evaluations_total /{print $2}')
+[ -n "$SOLO_EVALS" ] && [ "$SOLO_EVALS" -ge $((SCENARIOS * 24)) ] \
+    || fail "solo scenario evaluations $SOLO_EVALS below the ${SCENARIOS}x24 floor"
+curl -sf "$SOLO/metrics" | grep -q 'binopt_scenario_modelled_joules_total' \
+    || fail "solo metrics missing scenario joules ledger"
+curl -sf "$FLEET/metrics" | grep -q 'binopt_router_scenario_requests_total 1' \
+    || fail "router metrics missing scenario request count"
+SHARDS=$(curl -sf "$FLEET/metrics" | awk '/^binopt_router_scenario_shards_total /{print $2}')
+[ -n "$SHARDS" ] && [ "$SHARDS" -ge 2 ] \
+    || fail "router forwarded $SHARDS scenario shards — the axis did not shard across 2 nodes"
+
+echo "scenario_smoke: burn-rate monitor healthy under the stress run"
+curl -sf "$SOLO/debug/slo" | grep -q '"healthy":true' \
+    || fail "solo /debug/slo unhealthy after the run"
+curl -sf "$FLEET/debug/slo" | grep -q '"healthy":true' \
+    || fail "fleet /debug/slo unhealthy after the run"
+
+echo "scenario_smoke: drain check"
+kill "$FLEET_PID"
+wait "$FLEET_PID" 2>/dev/null || true
+FLEET_PID=
+grep -q "drained cleanly" "$FLEET_LOG" || fail "fleet did not drain cleanly"
+kill "$SOLO_PID"
+wait "$SOLO_PID" 2>/dev/null || true
+SOLO_PID=
+grep -q "drained cleanly" "$SOLO_LOG" || fail "solo did not drain cleanly"
+
+echo "scenario_smoke: PASS"
