@@ -1,6 +1,9 @@
 // Command binoptvet runs the repo's domain-specific static checks: the
-// five analyzers in internal/lint/suite (kernel determinism, barrier
-// discipline, unit-suffix safety, float equality, lock hygiene).
+// nine analyzers in internal/lint/suite — five guarding the numeric
+// core (kernel determinism, barrier discipline, unit-suffix safety,
+// float equality, lock hygiene) and four guarding the fabric's
+// concurrency and lifecycle invariants (context threading, goroutine
+// shutdown ties, atomic access discipline, error flow).
 //
 // Standalone:
 //
@@ -22,7 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"binopt/internal/lint"
 	"binopt/internal/lint/suite"
@@ -36,6 +41,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("binoptvet", flag.ExitOnError)
 	fs.Usage = usage
 	listOnly := fs.Bool("list", false, "list the registered analyzers and exit")
+	timed := fs.Bool("time", false, "print per-analyzer wall time to stderr (standalone mode)")
 	version := fs.String("V", "", "internal: go command version handshake")
 	printFlags := fs.Bool("flags", false, "internal: print the tool's flag schema as JSON")
 	fs.Parse(args)
@@ -81,10 +87,13 @@ func run(args []string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := lint.Run(suite.Analyzers, ".", patterns)
+	diags, timings, err := lint.RunTimed(suite.Analyzers, ".", patterns)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "binoptvet: %v\n", err)
 		return 1
+	}
+	if *timed {
+		printTimings(timings)
 	}
 	for _, d := range diags {
 		fmt.Println(d)
@@ -121,6 +130,28 @@ func printVersion(mode string) int {
 	return 0
 }
 
+// printTimings reports per-analyzer wall time, slowest first, so CI
+// logs show where the lint budget goes.
+func printTimings(timings map[string]time.Duration) {
+	type row struct {
+		name string
+		d    time.Duration
+	}
+	rows := make([]row, 0, len(timings))
+	for name, d := range timings {
+		rows = append(rows, row{name, d})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].d != rows[j].d {
+			return rows[i].d > rows[j].d
+		}
+		return rows[i].name < rows[j].name
+	})
+	for _, r := range rows {
+		fmt.Fprintf(os.Stderr, "binoptvet: %-12s %v\n", r.name, r.d.Round(time.Microsecond))
+	}
+}
+
 func usage() {
 	fmt.Fprintf(os.Stderr, `binoptvet checks binomial-pricer invariants the compiler cannot:
 
@@ -129,10 +160,15 @@ func usage() {
   unitcheck   Joules/Seconds/Hz/Bytes/Watts suffixes are not mixed (Table I)
   floateq     float ==/!= outside tolerance helpers
   locksafe    no mutex held across channel ops or Engine calls
+  ctxflow     request paths thread the incoming context, no Background()
+  spawncheck  every goroutine in serving code is tied to a shutdown path
+  atomicmix   atomically-accessed cells are never read or written plainly
+  errdrop     kernel-reachable and joules-accounting errors are not dropped
 
 usage:
   binoptvet [packages]        analyze packages (default ./...)
   binoptvet -list             list analyzers
+  binoptvet -time [packages]  also print per-analyzer wall time
   go vet -vettool=binoptvet   run under the go command with caching
 
 suppress a finding with an adjacent comment:

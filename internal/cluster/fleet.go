@@ -154,6 +154,7 @@ func (f *LocalFleet) Close(ctx context.Context) error {
 func (f *LocalFleet) close() {
 	for _, nd := range f.nodes {
 		nd.ln.Close()
+		//binopt:ignore ctxflow constructor error path: no caller ctx exists yet, nothing is serving
 		nd.server.Close(context.Background())
 	}
 }

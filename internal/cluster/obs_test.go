@@ -284,3 +284,48 @@ func TestRouterSLOAndBurningHealthz(t *testing.T) {
 		t.Error("router healthz has no now_unix_nano")
 	}
 }
+
+// TestRouterCloseCancelsInflightHeartbeat: Close must not wait out
+// HeartbeatTimeout behind a wedged member. The probe context derives
+// from the router's lifetime context, so cancelling it unblocks the
+// in-flight /healthz request immediately. (Regression: probes used to
+// derive from context.Background(), and Close blocked on wg.Wait until
+// the full probe timeout expired — found by the ctxflow analyzer.)
+func TestRouterCloseCancelsInflightHeartbeat(t *testing.T) {
+	probing := make(chan struct{}, 1)
+	wedged := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case probing <- struct{}{}:
+		default:
+		}
+		<-r.Context().Done() // hang until the probe is cancelled
+	}))
+	defer wedged.Close()
+
+	rt, err := NewRouter(Config{
+		Nodes:            []Node{{Name: "wedged", BaseURL: wedged.URL}},
+		Steps:            64,
+		Heartbeat:        5 * time.Millisecond,
+		HeartbeatTimeout: 30 * time.Second, // the bug made Close wait this long
+	})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+
+	select {
+	case <-probing:
+	case <-time.After(5 * time.Second):
+		t.Fatal("heartbeat never reached the wedged member")
+	}
+
+	done := make(chan struct{})
+	go func() {
+		rt.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked behind a wedged heartbeat probe")
+	}
+}

@@ -149,6 +149,12 @@ type Router struct {
 	// by POST /v1/invalidate at the router.
 	gen atomic.Uint64
 
+	// lifetime is cancelled by Close; background work (heartbeats) that
+	// cannot inherit a request context derives from it, so Close never
+	// waits out a probe timeout.
+	lifetime context.Context
+	cancel   context.CancelFunc
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -169,6 +175,8 @@ func NewRouter(cfg Config) (*Router, error) {
 		logger:  obslog.Or(cfg.Logger),
 		stop:    make(chan struct{}),
 	}
+	//binopt:ignore ctxflow router lifetime root, cancelled in Close
+	rt.lifetime, rt.cancel = context.WithCancel(context.Background())
 	if cfg.Tracer.Enabled() {
 		rt.fleetTr = newFleetTrace(cfg.Tracer.Capacity())
 	}
@@ -207,9 +215,12 @@ func NewRouter(cfg Config) (*Router, error) {
 	return rt, nil
 }
 
-// Close stops the heartbeat loop. In-flight requests complete on their
-// own contexts.
+// Close stops the heartbeat loop, cancelling any probe already in
+// flight — without the lifetime cancel, Close blocks for up to
+// HeartbeatTimeout behind one wedged member. In-flight requests
+// complete on their own contexts.
 func (rt *Router) Close() {
+	rt.cancel()
 	close(rt.stop)
 	rt.wg.Wait()
 }
@@ -244,7 +255,7 @@ func (rt *Router) pollOnce() {
 		wg.Add(1)
 		go func(m *member) {
 			defer wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.HeartbeatTimeout)
+			ctx, cancel := context.WithTimeout(rt.lifetime, rt.cfg.HeartbeatTimeout)
 			defer cancel()
 			req, err := http.NewRequestWithContext(ctx, http.MethodGet, m.base+"/healthz", nil)
 			if err != nil {

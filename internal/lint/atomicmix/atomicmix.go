@@ -1,0 +1,164 @@
+// Package atomicmix flags variables and fields that are accessed both
+// through the function-style sync/atomic API and by plain reads or
+// writes. Mixing the two is the classic torn-counter bug: the atomic
+// half establishes that the cell is shared across goroutines, at which
+// point every plain access is a data race that -race only catches if
+// the schedule cooperates. The fabric's own counters use the typed
+// atomics (atomic.Int64 and friends), which make this mistake
+// unrepresentable; this analyzer covers the remaining function-style
+// sites so a plain `x.n++` next to an `atomic.AddInt64(&x.n, 1)` fails
+// CI instead of a soak test.
+//
+// Composite-literal fields are exempt: initialisation before the value
+// is published is the one place a plain write to an atomic cell is
+// conventional (the zero value or a seeded counter).
+//
+// The analyzer runs on every package, test files included — tests are
+// exactly where ad-hoc plain reads of atomic counters sneak in.
+package atomicmix
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"binopt/internal/lint"
+)
+
+// Analyzer flags plain access to atomically-accessed cells.
+var Analyzer = &lint.Analyzer{
+	Name: "atomicmix",
+	Doc: "flag plain reads/writes of a variable or field that is elsewhere " +
+		"accessed through sync/atomic",
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	// Pass 1: find every cell touched through the function-style
+	// sync/atomic API, and remember the argument subtrees of those calls
+	// so pass 2 does not flag the atomic accesses themselves.
+	cells := make(map[types.Object]token.Pos)
+	inAtomic := make(map[ast.Expr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := lint.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true // typed atomics (atomic.Int64) cannot be mixed
+			}
+			for _, arg := range call.Args {
+				inAtomic[arg] = true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			if obj := cellObj(pass.TypesInfo, call.Args[0]); obj != nil {
+				if _, seen := cells[obj]; !seen {
+					cells[obj] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(cells) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to those cells must also be atomic.
+	for _, f := range pass.Files {
+		skipComposite := make(map[ast.Node]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok && inAtomic[e] {
+				return false // the sanctioned access
+			}
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				// Keys of a composite literal initialise the cell before
+				// publication; skip the whole literal's key/value pairs'
+				// keys but still walk values.
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						skipComposite[kv.Key] = true
+					}
+				}
+			case *ast.Field:
+				return false // the declaration itself is not an access
+			case *ast.SelectorExpr:
+				if skipComposite[n] {
+					return false
+				}
+				if sel, ok := pass.TypesInfo.Selections[n]; ok {
+					report(pass, cells, n.Sel.Pos(), sel.Obj(), n)
+				}
+				return true
+			case *ast.Ident:
+				if skipComposite[n] {
+					return false
+				}
+				if pass.TypesInfo.Defs[n] != nil {
+					return true // defining occurrence, not an access
+				}
+				// Field accesses are reported once, at their selector;
+				// here only plain variables count.
+				if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok && !v.IsField() {
+					report(pass, cells, n.Pos(), v, n)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// report flags one plain access to a known atomic cell.
+func report(pass *lint.Pass, cells map[types.Object]token.Pos, pos token.Pos, obj types.Object, e ast.Expr) {
+	if obj == nil {
+		return
+	}
+	first, ok := cells[obj]
+	if !ok {
+		return
+	}
+	pass.Reportf(pos,
+		"plain access to %s, which is accessed atomically at %s; every access to an "+
+			"atomic cell must go through sync/atomic",
+		exprLabel(pass, e, obj), pass.Fset.Position(first))
+}
+
+// exprLabel names the access compactly for the message.
+func exprLabel(pass *lint.Pass, e ast.Expr, obj types.Object) string {
+	s := lint.ExprString(pass.Fset, e)
+	if s == "<expr>" || strings.Contains(s, "\n") {
+		return obj.Name()
+	}
+	return s
+}
+
+// cellObj resolves the canonical object behind an atomic call's address
+// argument: the field object for &s.f, the variable for &x.
+func cellObj(info *types.Info, arg ast.Expr) types.Object {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil
+	}
+	switch target := ast.Unparen(un.X).(type) {
+	case *ast.Ident:
+		return info.Uses[target]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[target]; ok {
+			return sel.Obj()
+		}
+	case *ast.IndexExpr:
+		// &arr[i]: identity by the array/slice variable is too coarse to
+		// be sound; skip element cells.
+		return nil
+	}
+	return nil
+}

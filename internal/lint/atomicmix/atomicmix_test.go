@@ -1,0 +1,11 @@
+package atomicmix
+
+import (
+	"testing"
+
+	"binopt/internal/lint/linttest"
+)
+
+func TestAtomicmix(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "a")
+}

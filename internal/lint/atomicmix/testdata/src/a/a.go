@@ -1,0 +1,59 @@
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits   int64
+	misses int64
+	cold   int64
+}
+
+// hits is accessed atomically here, so every other access must be too.
+func (c *counters) record() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) snapshot() int64 {
+	return c.hits // want `plain access to c\.hits`
+}
+
+func (c *counters) reset() {
+	c.hits = 0 // want `plain access to c\.hits`
+}
+
+// misses is only ever accessed atomically: clean.
+func (c *counters) miss() {
+	atomic.AddInt64(&c.misses, 1)
+}
+
+func (c *counters) missCount() int64 {
+	return atomic.LoadInt64(&c.misses)
+}
+
+// cold is never touched atomically: plain access is fine.
+func (c *counters) warm() int64 {
+	c.cold++
+	return c.cold
+}
+
+// Composite-literal initialisation happens before publication: exempt.
+func fresh() *counters {
+	return &counters{hits: 0, misses: 0}
+}
+
+// A package-level variable mixed between atomic and plain access.
+var inflight int64
+
+func begin() {
+	atomic.AddInt64(&inflight, 1)
+}
+
+func leak() int64 {
+	return inflight // want `plain access to inflight`
+}
+
+// The suppressed read documents why it is tolerable.
+func debugDump() int64 {
+	//binopt:ignore atomicmix post-shutdown dump, no concurrent writers remain
+	return inflight
+}

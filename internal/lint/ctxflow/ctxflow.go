@@ -1,0 +1,112 @@
+// Package ctxflow enforces context threading on the fabric's request
+// paths. A node that prices, routes, or scrapes on behalf of an
+// incoming request must do so under that request's context: a
+// context.Background() (or TODO()) minted mid-path detaches the work
+// from the caller's deadline and from fleet shutdown, which is exactly
+// how a closed Router ends up waiting out a full heartbeat timeout. The
+// dual failure — accepting a ctx parameter and then never consulting
+// it — is flagged too, because an ignored parameter reads as cancellable
+// at every call site while behaving like Background underneath.
+//
+// Detection of unused ctx parameters rides the dataflow layer's def-use
+// chains: the parameter's entry definition must reach at least one use,
+// or escape into a closure (closures run later; the chains cannot see
+// their reads, so capture counts as use).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"binopt/internal/lint"
+	"binopt/internal/lint/dataflow"
+)
+
+// Analyzer flags detached contexts and ignored ctx parameters on
+// request paths.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxflow",
+	Doc: "flag context.Background()/context.TODO() in request-path packages and " +
+		"context parameters that are accepted but never used",
+	Match: lint.MatchSuffix(
+		"internal/serve", "internal/cluster", "internal/scenario",
+	),
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue // tests drive handlers directly; Background is their job
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if lint.IsPkgFunc(pass.TypesInfo, n, "context", "Background", "TODO") {
+					fn := lint.CalleeFunc(pass.TypesInfo, n)
+					pass.Reportf(n.Pos(),
+						"context.%s() on a request path detaches this work from caller "+
+							"deadlines and shutdown; thread the incoming ctx or derive from a lifetime ctx",
+						fn.Name())
+				}
+			case *ast.FuncDecl:
+				checkUnusedCtxParam(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkUnusedCtxParam reports a context.Context parameter whose entry
+// definition reaches no use and does not escape into a closure.
+func checkUnusedCtxParam(pass *lint.Pass, fn *ast.FuncDecl) {
+	if fn.Body == nil || fn.Type.Params == nil {
+		return
+	}
+	var ctxObjs []*types.Var
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue // explicitly discarded, e.g. to satisfy an interface
+			}
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if ok && isContextType(obj.Type()) {
+				ctxObjs = append(ctxObjs, obj)
+			}
+		}
+	}
+	if len(ctxObjs) == 0 {
+		return
+	}
+	ch := dataflow.BuildChains(fn, pass.TypesInfo)
+	for _, obj := range ctxObjs {
+		if ch.Escaped[obj] {
+			continue // captured by a closure: used at a time we cannot see
+		}
+		used := false
+		for _, d := range ch.Defs {
+			if d.Obj == obj && len(d.Uses) > 0 {
+				used = true
+				break
+			}
+		}
+		if !used {
+			pass.Reportf(obj.Pos(),
+				"context parameter %s is never used: callers read this signature as "+
+					"cancellable, but the body behaves like context.Background(); thread it or drop it",
+				obj.Name())
+		}
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,11 @@
+package ctxflow
+
+import (
+	"testing"
+
+	"binopt/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "a")
+}

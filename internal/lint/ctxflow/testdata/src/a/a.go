@@ -1,0 +1,54 @@
+package a
+
+import "context"
+
+func doWork(ctx context.Context) error { _ = ctx; return nil }
+
+// Detached contexts minted mid-path.
+func detached() error {
+	ctx := context.Background() // want `context\.Background\(\) on a request path`
+	return doWork(ctx)
+}
+
+func todoDetached() error {
+	return doWork(context.TODO()) // want `context\.TODO\(\) on a request path`
+}
+
+// Suppressed with a written reason: stays quiet.
+func lifetimeRoot() context.Context {
+	//binopt:ignore ctxflow process lifetime root created once at startup
+	return context.Background()
+}
+
+// A ctx parameter that is never consulted.
+func ignoresCtx(ctx context.Context, n int) int { // want `context parameter ctx is never used`
+	return n * 2
+}
+
+// Threading the ctx into a downstream call counts as use.
+func threadsCtx(ctx context.Context) error {
+	return doWork(ctx)
+}
+
+// Capture by a closure counts as use: the goroutine reads it later.
+func capturesCtx(ctx context.Context, done chan struct{}) {
+	go func() {
+		<-ctx.Done()
+		close(done)
+	}()
+}
+
+// A blank parameter is an explicit discard, not a silent one.
+func blankCtx(_ context.Context, n int) int {
+	return n + 1
+}
+
+// Selecting on ctx.Done directly is also a use.
+func selectsCtx(ctx context.Context, work chan int) int {
+	select {
+	case v := <-work:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}

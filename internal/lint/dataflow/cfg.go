@@ -1,0 +1,399 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one straight-line run of statements in a CFG. Nodes holds
+// the statements (and loop/branch condition expressions) in execution
+// order; Succs the possible continuations.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body. Entry leads to
+// the first statement; every return, panic-free fallthrough and
+// function-ending path reaches Exit. Unreachable statements (after a
+// return or goto) still get blocks, just without predecessors, so
+// analyses see their defs and uses without propagating facts into them.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// Preds computes the predecessor lists (the builder only records
+// successors).
+func (g *CFG) Preds() map[*Block][]*Block {
+	preds := make(map[*Block][]*Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	return preds
+}
+
+// NewCFG builds the graph for one function body. It handles the full
+// statement grammar: if/else chains, for and range loops, switch and
+// type switch (fallthrough included), select, labeled break/continue,
+// goto (forward and backward), and defer (a defer's arguments evaluate
+// in place; the deferred call itself is re-attached before Exit, which
+// is where it runs).
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		labels: make(map[string]*labelTarget),
+	}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.exit = exit
+	cur := b.stmts(body.List, entry)
+	b.edge(cur, exit)
+	for _, pg := range b.pendingGotos {
+		if t, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, t.block)
+		}
+		// A goto to an undeclared label is a compile error upstream;
+		// nothing to connect here.
+	}
+	// Deferred calls run on the way out: give them a block of their own
+	// between every Exit predecessor and Exit. Simpler and equivalent
+	// for forward dataflow: prepend them to Exit's node list.
+	if len(b.defers) > 0 {
+		nodes := make([]ast.Node, 0, len(b.defers)+len(exit.Nodes))
+		for i := len(b.defers) - 1; i >= 0; i-- { // LIFO, like the runtime
+			nodes = append(nodes, b.defers[i])
+		}
+		exit.Nodes = append(nodes, exit.Nodes...)
+	}
+	return &CFG{Entry: entry, Exit: exit, Blocks: b.blocks}
+}
+
+type labelTarget struct {
+	block *Block // where goto LABEL lands
+	// brk/cont are the targets of labeled break/continue while the
+	// labeled loop or switch is open.
+	brk, cont *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type loopFrame struct {
+	label     string
+	brk, cont *Block
+}
+
+type cfgBuilder struct {
+	blocks       []*Block
+	exit         *Block
+	loops        []loopFrame // innermost last; switches/selects push brk-only frames
+	labels       map[string]*labelTarget
+	pendingGotos []pendingGoto
+	defers       []ast.Node
+	// nextLabel names the label to attach to the next loop/switch
+	// statement (label: for {...}).
+	nextLabel string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.blocks)}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *Block) *Block {
+	for _, s := range list {
+		cur = b.stmt(s, cur)
+	}
+	return cur
+}
+
+// stmt threads one statement through the graph and returns the block
+// where control continues.
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *Block) *Block {
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		// Start a fresh block so gotos have a landing site, then let the
+		// labeled statement register break/continue targets under the
+		// label.
+		lb := b.newBlock()
+		b.edge(cur, lb)
+		t := &labelTarget{block: lb}
+		b.labels[s.Label.Name] = t
+		b.nextLabel = s.Label.Name
+		out := b.stmt(s.Stmt, lb)
+		b.nextLabel = ""
+		return out
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.exit)
+		return b.newBlock() // unreachable continuation
+
+	case *ast.BranchStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		switch s.Tok {
+		case token.GOTO:
+			b.pendingGotos = append(b.pendingGotos, pendingGoto{cur, s.Label.Name})
+		case token.BREAK:
+			if t := b.branchTarget(s.Label, true); t != nil {
+				b.edge(cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(s.Label, false); t != nil {
+				b.edge(cur, t)
+			}
+		case token.FALLTHROUGH:
+			// Handled structurally by the switch builder (the case body
+			// flows into the next case); nothing to add here.
+			return cur
+		}
+		return b.newBlock()
+
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		thenOut := b.stmts(s.Body.List, thenB)
+		join := b.newBlock()
+		b.edge(thenOut, join)
+		if s.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			elseOut := b.stmt(s.Else, elseB)
+			b.edge(elseOut, join)
+		} else {
+			b.edge(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		join := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.pushLoop(label, join, post)
+		bodyB := b.newBlock()
+		b.edge(head, bodyB)
+		bodyOut := b.stmts(s.Body.List, bodyB)
+		b.popLoop()
+		if s.Post != nil {
+			b.edge(bodyOut, post)
+			post = b.stmt(s.Post, post)
+			b.edge(post, head)
+		} else {
+			b.edge(bodyOut, head)
+		}
+		if s.Cond != nil {
+			b.edge(head, join) // condition false
+		}
+		// `for {}` with no cond only leaves via break/return/goto.
+		return join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		cur.Nodes = append(cur.Nodes, s) // the range clause: X eval + key/value defs
+		head := b.newBlock()
+		b.edge(cur, head)
+		join := b.newBlock()
+		b.edge(head, join) // range exhausted
+		b.pushLoop(label, join, head)
+		bodyB := b.newBlock()
+		b.edge(head, bodyB)
+		bodyOut := b.stmts(s.Body.List, bodyB)
+		b.popLoop()
+		b.edge(bodyOut, head)
+		return join
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.caseBodies(label, cur, s.Body.List, switchClauses(s.Body.List))
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.caseBodies(label, cur, s.Body.List, switchClauses(s.Body.List))
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		join := b.newBlock()
+		b.pushSwitch(label, join)
+		reachesJoin := false
+		for _, cl := range s.Body.List {
+			comm, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			cb := b.newBlock()
+			b.edge(cur, cb)
+			if comm.Comm != nil {
+				cb = b.stmt(comm.Comm, cb)
+			}
+			out := b.stmts(comm.Body, cb)
+			b.edge(out, join)
+			reachesJoin = true
+		}
+		b.popLoop()
+		if !reachesJoin {
+			// select{} blocks forever; the join is unreachable.
+			return join
+		}
+		return join
+
+	case *ast.DeferStmt:
+		// Arguments evaluate here; the call itself runs before Exit.
+		cur.Nodes = append(cur.Nodes, s)
+		b.defers = append(b.defers, s)
+		return cur
+
+	default:
+		// Straight-line statement: assign, expr, send, incdec, decl, go,
+		// empty.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// switchClauses filters the *ast.CaseClause entries of a switch body.
+func switchClauses(list []ast.Stmt) []*ast.CaseClause {
+	out := make([]*ast.CaseClause, 0, len(list))
+	for _, cl := range list {
+		if cc, ok := cl.(*ast.CaseClause); ok {
+			out = append(out, cc)
+		}
+	}
+	return out
+}
+
+// caseBodies wires a (type) switch's clause bodies: every clause is
+// entered from the dispatch block, fallthrough chains a body into the
+// next clause, and a missing default adds a direct dispatch→join edge.
+func (b *cfgBuilder) caseBodies(label string, cur *Block, raw []ast.Stmt, clauses []*ast.CaseClause) *Block {
+	join := b.newBlock()
+	b.pushSwitch(label, join)
+	hasDefault := false
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+		b.edge(cur, bodies[i])
+	}
+	for i, cc := range clauses {
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			bodies[i].Nodes = append(bodies[i].Nodes, e)
+		}
+		out := b.stmts(cc.Body, bodies[i])
+		if fallsThrough(cc.Body) && i+1 < len(clauses) {
+			b.edge(out, bodies[i+1])
+		} else {
+			b.edge(out, join)
+		}
+	}
+	b.popLoop()
+	if !hasDefault {
+		b.edge(cur, join)
+	}
+	return join
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.nextLabel
+	b.nextLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.loops = append(b.loops, loopFrame{label: label, brk: brk, cont: cont})
+	if label != "" {
+		if t, ok := b.labels[label]; ok {
+			t.brk, t.cont = brk, cont
+		}
+	}
+}
+
+// pushSwitch opens a break-only frame (switch/select): continue skips it.
+func (b *cfgBuilder) pushSwitch(label string, brk *Block) {
+	b.loops = append(b.loops, loopFrame{label: label, brk: brk})
+	if label != "" {
+		if t, ok := b.labels[label]; ok {
+			t.brk = brk
+		}
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	b.loops = b.loops[:len(b.loops)-1]
+}
+
+// branchTarget resolves break (wantBreak) or continue to its block.
+func (b *cfgBuilder) branchTarget(label *ast.Ident, wantBreak bool) *Block {
+	if label != nil {
+		t, ok := b.labels[label.Name]
+		if !ok {
+			return nil
+		}
+		if wantBreak {
+			return t.brk
+		}
+		return t.cont
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if wantBreak {
+			return f.brk
+		}
+		if f.cont != nil { // continue skips switch/select frames
+			return f.cont
+		}
+	}
+	return nil
+}

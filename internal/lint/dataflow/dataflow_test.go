@@ -1,0 +1,512 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"binopt/internal/lint"
+)
+
+// typecheck parses and type-checks one synthetic file, returning the
+// named function declarations.
+func typecheck(t *testing.T, src string) (*token.FileSet, map[string]*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := lint.NewInfo()
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("x", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	fns := make(map[string]*ast.FuncDecl)
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			fns[fd.Name.Name] = fd
+		}
+	}
+	return fset, fns, info
+}
+
+// --- Walker ---
+
+// flagState is a simple gen-only abstract state: a set of string facts.
+type flagState map[string]bool
+
+func (s flagState) CloneState() State {
+	c := make(flagState, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (s flagState) MergeState(o State) State {
+	out := s.CloneState().(flagState)
+	for k := range o.(flagState) {
+		out[k] = true
+	}
+	return out
+}
+
+// markClient sets fact "armed" on calls to arm() and records, for every
+// call to probe(), whether the fact held at that point.
+type markClient struct {
+	w      *Walker
+	probes []bool
+	fresh  int
+}
+
+func (c *markClient) Fresh() State { c.fresh++; return make(flagState) }
+
+func (c *markClient) Transfer(s ast.Stmt, st State) State {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return st
+	}
+	if call, ok := es.X.(*ast.CallExpr); ok {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "arm" {
+			ns := st.CloneState().(flagState)
+			ns["armed"] = true
+			return ns
+		}
+	}
+	return st
+}
+
+func (c *markClient) Expr(e ast.Expr, st State) {
+	c.w.InspectExpr(e, st, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "probe" {
+				c.probes = append(c.probes, st.(flagState)["armed"])
+			}
+		}
+		return true
+	})
+}
+
+func runWalker(t *testing.T, body string) *markClient {
+	t.Helper()
+	src := "package x\nfunc arm() {}\nfunc probe() {}\nfunc f(cond bool, ch chan int) {\n" + body + "\n}\n"
+	_, fns, _ := typecheck(t, src)
+	c := &markClient{}
+	w := &Walker{Client: c}
+	c.w = w
+	w.Walk(fns["f"].Body, make(flagState))
+	return c
+}
+
+func TestWalkerBranchMerge(t *testing.T) {
+	// Armed on one branch only: the join conservatively keeps the fact.
+	c := runWalker(t, `
+	if cond {
+		arm()
+	}
+	probe()`)
+	if want := []bool{true}; fmt.Sprint(c.probes) != fmt.Sprint(want) {
+		t.Fatalf("probes = %v, want %v", c.probes, want)
+	}
+}
+
+func TestWalkerTerminatingBranchDropsState(t *testing.T) {
+	// The armed branch returns; only the clean branch reaches the probe.
+	c := runWalker(t, `
+	if cond {
+		arm()
+		return
+	}
+	probe()`)
+	if want := []bool{false}; fmt.Sprint(c.probes) != fmt.Sprint(want) {
+		t.Fatalf("probes = %v, want %v", c.probes, want)
+	}
+}
+
+func TestWalkerLoopBodyStateReachesExit(t *testing.T) {
+	// A fact set inside a loop body survives past the loop (the body may
+	// have run).
+	c := runWalker(t, `
+	for i := 0; i < 3; i++ {
+		arm()
+	}
+	probe()`)
+	if want := []bool{true}; fmt.Sprint(c.probes) != fmt.Sprint(want) {
+		t.Fatalf("probes = %v, want %v", c.probes, want)
+	}
+}
+
+func TestWalkerGoroutineGetsFreshState(t *testing.T) {
+	c := runWalker(t, `
+	arm()
+	go func() {
+		probe()
+	}()
+	probe()`)
+	// Goroutine body probes under a fresh state (false); the spawning
+	// path stays armed. InspectExpr walks the literal before the
+	// statement's own probe.
+	if c.fresh == 0 {
+		t.Fatalf("goroutine body did not get a fresh state")
+	}
+	if want := []bool{false, true}; fmt.Sprint(c.probes) != fmt.Sprint(want) {
+		t.Fatalf("probes = %v, want %v", c.probes, want)
+	}
+}
+
+func TestWalkerSwitchMergesCases(t *testing.T) {
+	c := runWalker(t, `
+	switch {
+	case cond:
+		arm()
+	default:
+	}
+	probe()`)
+	if want := []bool{true}; fmt.Sprint(c.probes) != fmt.Sprint(want) {
+		t.Fatalf("probes = %v, want %v", c.probes, want)
+	}
+}
+
+// --- CFG ---
+
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package x\nfunc g() int { return 0 }\nfunc f(cond bool, n int, ch chan int) {\n" + body + "\n}\n"
+	_, fns, _ := typecheck(t, src)
+	return NewCFG(fns["f"].Body)
+}
+
+// reaches reports whether to is reachable from from.
+func reaches(from, to *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g := buildCFG(t, "n = 1\nn = 2")
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable")
+	}
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry block has %d nodes, want 2", len(g.Entry.Nodes))
+	}
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	g := buildCFG(t, `
+	for i := 0; i < n; i++ {
+		n = g()
+	}
+	n = 0`)
+	// The loop body must reach back to the condition head and the exit.
+	var head *Block
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s == b || reaches(s, b) {
+				head = b
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("no back edge found in loop CFG")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable")
+	}
+}
+
+func TestCFGGotoBackward(t *testing.T) {
+	g := buildCFG(t, `
+again:
+	n = g()
+	if cond {
+		goto again
+	}`)
+	// goto creates a cycle.
+	cyclic := false
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if reaches(s, b) {
+				cyclic = true
+			}
+		}
+	}
+	if !cyclic {
+		t.Fatal("backward goto produced no cycle")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g := buildCFG(t, `
+	switch n {
+	case 1:
+		n = 10
+		fallthrough
+	case 2:
+		n = 20
+	default:
+		n = 30
+	}
+	n = 0`)
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable")
+	}
+	// The case-1 body must reach the case-2 body (fallthrough edge):
+	// find them by node counts.
+	var c1, c2 *Block
+	for _, b := range g.Blocks {
+		for _, nd := range b.Nodes {
+			if as, ok := nd.(*ast.AssignStmt); ok {
+				if lit, ok := as.Rhs[0].(*ast.BasicLit); ok {
+					switch lit.Value {
+					case "10":
+						c1 = b
+					case "20":
+						c2 = b
+					}
+				}
+			}
+		}
+	}
+	if c1 == nil || c2 == nil {
+		t.Fatal("case bodies not found")
+	}
+	if !reaches(c1, c2) {
+		t.Fatal("fallthrough edge missing")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	g := buildCFG(t, `
+outer:
+	for {
+		for {
+			if cond {
+				break outer
+			}
+		}
+	}
+	n = 0`)
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("labeled break does not reach past the outer loop")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	g := buildCFG(t, `
+	select {
+	case v := <-ch:
+		n = v
+	case ch <- n:
+	}
+	n = 0`)
+	if !reaches(g.Entry, g.Exit) {
+		t.Fatal("exit unreachable through select")
+	}
+}
+
+func TestCFGDeferRunsBeforeExit(t *testing.T) {
+	g := buildCFG(t, `
+	defer g()
+	n = 1`)
+	found := false
+	for _, nd := range g.Exit.Nodes {
+		if _, ok := nd.(*ast.DeferStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("deferred call not re-attached before exit")
+	}
+}
+
+// --- Def-use chains ---
+
+func buildChains(t *testing.T, src string, fn string) (*Chains, map[string]*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	_, fns, info := typecheck(t, src)
+	fd, ok := fns[fn]
+	if !ok {
+		t.Fatalf("function %q not found", fn)
+	}
+	return BuildChains(fd, info), fns, info
+}
+
+// defsFor selects the non-entry definitions of the named variable.
+func defsFor(ch *Chains, name string) []*Def {
+	var out []*Def
+	for _, d := range ch.Defs {
+		if d.Obj.Name() == name && d.Ident != nil {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+const chainsSrc = `package x
+
+import "errors"
+
+func fail() (int, error) { return 0, errors.New("x") }
+
+func deadStore() error {
+	err := errors.New("first") // dead: overwritten before any use
+	_, err = fail()
+	return err
+}
+
+func liveThroughBranch(cond bool) error {
+	err := errors.New("first")
+	if cond {
+		return err
+	}
+	_, err = fail()
+	return err
+}
+
+func bareReturn() (err error) {
+	_, err = fail()
+	return
+}
+
+func droppedTail() int {
+	n, err := fail()
+	_ = err
+	n2, err := fail() // this err def reaches no use
+	_ = n
+	return n2
+}
+
+func escaped() error {
+	var err error
+	f := func() { _, err = fail() }
+	f()
+	return err
+}
+`
+
+func TestChainsDeadStore(t *testing.T) {
+	ch, _, _ := buildChains(t, chainsSrc, "deadStore")
+	defs := defsFor(ch, "err")
+	if len(defs) != 2 {
+		t.Fatalf("got %d defs of err, want 2", len(defs))
+	}
+	if n := len(defs[0].Uses); n != 0 {
+		t.Errorf("first def (dead store) has %d uses, want 0", n)
+	}
+	if n := len(defs[1].Uses); n != 1 {
+		t.Errorf("second def has %d uses, want 1", n)
+	}
+	if defs[0].Rhs == nil {
+		t.Errorf("first def lost its RHS")
+	}
+}
+
+func TestChainsBranchKeepsDefLive(t *testing.T) {
+	ch, _, _ := buildChains(t, chainsSrc, "liveThroughBranch")
+	defs := defsFor(ch, "err")
+	if len(defs) != 2 {
+		t.Fatalf("got %d defs of err, want 2", len(defs))
+	}
+	// The first def reaches the `return err` inside the branch.
+	if n := len(defs[0].Uses); n != 1 {
+		t.Errorf("first def has %d uses, want 1 (the branch return)", n)
+	}
+}
+
+func TestChainsBareReturnUsesNamedResult(t *testing.T) {
+	ch, _, _ := buildChains(t, chainsSrc, "bareReturn")
+	defs := defsFor(ch, "err")
+	if len(defs) != 1 {
+		t.Fatalf("got %d defs of err, want 1", len(defs))
+	}
+	if n := len(defs[0].Uses); n != 1 {
+		t.Errorf("def has %d uses, want 1 (the bare return)", n)
+	}
+}
+
+func TestChainsTailDefUnused(t *testing.T) {
+	ch, _, _ := buildChains(t, chainsSrc, "droppedTail")
+	defs := defsFor(ch, "err")
+	if len(defs) != 2 {
+		t.Fatalf("got %d defs of err, want 2", len(defs))
+	}
+	if n := len(defs[0].Uses); n != 1 {
+		t.Errorf("first def has %d uses, want 1 (the _ = err)", n)
+	}
+	if n := len(defs[1].Uses); n != 0 {
+		t.Errorf("tail def has %d uses, want 0", n)
+	}
+}
+
+func TestChainsEscapeDisablesConclusions(t *testing.T) {
+	ch, _, _ := buildChains(t, chainsSrc, "escaped")
+	for obj := range ch.Escaped {
+		if obj.Name() == "err" {
+			return
+		}
+	}
+	t.Fatal("err captured by a closure was not marked escaped")
+}
+
+func TestChainsUseDefsLinksBack(t *testing.T) {
+	ch, _, _ := buildChains(t, chainsSrc, "deadStore")
+	linked := 0
+	for use, defs := range ch.UseDefs {
+		if use.Name == "err" && len(defs) > 0 {
+			linked++
+		}
+	}
+	if linked == 0 {
+		t.Fatal("UseDefs carries no links for err")
+	}
+}
+
+// Regression: a parameter used in straight-line code shares the entry
+// block with its own binding; the entry defs must be events at the head
+// of that block, or such uses never link (and look like dead params).
+func TestChainsParamUseInEntryBlock(t *testing.T) {
+	ch, _, _ := buildChains(t, `package x
+
+func passthrough(n int) int {
+	return n + 1
+}
+`, "passthrough")
+	defs := defsFor(ch, "n")
+	var entry *Def
+	for _, d := range ch.Defs {
+		if d.Obj.Name() == "n" && d.Ident == nil {
+			entry = d
+		}
+	}
+	if len(defs) != 0 {
+		t.Fatalf("no body defs of n expected, got %d", len(defs))
+	}
+	if entry == nil {
+		t.Fatal("no entry def recorded for parameter n")
+	}
+	if n := len(entry.Uses); n != 1 {
+		t.Fatalf("parameter entry def has %d uses, want 1 (the return)", n)
+	}
+}

@@ -1,0 +1,433 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Def is one definition (assignment, declaration, or parameter binding)
+// of a local variable, with every use it reaches.
+type Def struct {
+	Obj *types.Var
+	// Ident is the defining occurrence on the left-hand side; nil for
+	// parameters and named results, which the signature defines.
+	Ident *ast.Ident
+	// Node is the statement or spec carrying the definition.
+	Node ast.Node
+	// Rhs is the expression whose value this definition binds: the
+	// matching right-hand side of an assignment, or the shared call in
+	// a tuple assignment (a, err := f()). Nil for zero-value
+	// declarations, parameters, and range bindings.
+	Rhs ast.Expr
+	// Uses are the identifier occurrences this definition reaches.
+	Uses []*ast.Ident
+}
+
+// Chains holds the def-use analysis of one function: reaching
+// definitions computed over its CFG, linked into per-definition use
+// lists.
+type Chains struct {
+	Defs []*Def
+	// UseDefs maps every use occurrence to the definitions that may
+	// reach it.
+	UseDefs map[*ast.Ident][]*Def
+	// Escaped marks variables captured by a function literal or with
+	// their address taken: their uses happen at times the CFG cannot
+	// see, so dead-store conclusions about them are off the table.
+	Escaped map[*types.Var]bool
+}
+
+// BuildChains computes def-use chains for fn, which must be an
+// *ast.FuncDecl or *ast.FuncLit with a body. Only variables declared
+// inside the function (parameters and named results included) are
+// tracked; package-level state is out of scope by design.
+func BuildChains(fn ast.Node, info *types.Info) *Chains {
+	var body *ast.BlockStmt
+	var ftype *ast.FuncType
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body, ftype = fn.Body, fn.Type
+	case *ast.FuncLit:
+		body, ftype = fn.Body, fn.Type
+	}
+	ch := &Chains{
+		UseDefs: make(map[*ast.Ident][]*Def),
+		Escaped: make(map[*types.Var]bool),
+	}
+	if body == nil {
+		return ch
+	}
+
+	a := &chainBuilder{info: info, ch: ch, defsOf: make(map[*types.Var][]int)}
+	a.collectTracked(body, ftype)
+	a.collectEscapes(body)
+
+	g := NewCFG(body)
+
+	// Parameter and named-result bindings are definitions at entry.
+	var entryDefs []int
+	for _, fl := range []*ast.FieldList{ftype.Params, ftype.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj, ok := info.Defs[name].(*types.Var); ok && a.tracked[obj] {
+					entryDefs = append(entryDefs, a.addDef(obj, nil, f, nil))
+				}
+			}
+		}
+	}
+	if ftype.Results != nil {
+		a.namedResults(ftype.Results)
+	}
+
+	// Per-block event streams: ordered defs and uses. The signature's
+	// bindings are def events at the head of the entry block, so uses in
+	// straight-line code (which shares the entry block) see them.
+	events := make(map[*Block][]event, len(g.Blocks))
+	for _, b := range g.Blocks {
+		var evs []event
+		if b == g.Entry {
+			for _, d := range entryDefs {
+				evs = append(evs, event{def: d})
+			}
+		}
+		for _, n := range b.Nodes {
+			evs = a.nodeEvents(n, evs)
+		}
+		events[b] = evs
+	}
+
+	// gen/kill per block, then iterate IN/OUT to fixpoint.
+	type bitset map[int]bool
+	gen := make(map[*Block]bitset)
+	kill := make(map[*Block]map[*types.Var]bool) // kills every other def of the var
+	for _, b := range g.Blocks {
+		g1, k1 := bitset{}, map[*types.Var]bool{}
+		for _, ev := range events[b] {
+			if ev.def >= 0 {
+				obj := a.ch.Defs[ev.def].Obj
+				for _, d := range a.defsOf[obj] {
+					delete(g1, d)
+				}
+				g1[ev.def] = true
+				k1[obj] = true
+			}
+		}
+		gen[b], kill[b] = g1, k1
+	}
+	in := make(map[*Block]bitset)
+	out := make(map[*Block]bitset)
+	for _, b := range g.Blocks {
+		in[b], out[b] = bitset{}, bitset{}
+	}
+	preds := g.Preds()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			nin := bitset{}
+			for _, p := range preds[b] {
+				for d := range out[p] {
+					nin[d] = true
+				}
+			}
+			in[b] = nin
+			nout := bitset{}
+			for d := range nin {
+				if !kill[b][a.ch.Defs[d].Obj] {
+					nout[d] = true
+				}
+			}
+			for d := range gen[b] {
+				nout[d] = true
+			}
+			if len(nout) != len(out[b]) {
+				changed = true
+			} else {
+				for d := range nout {
+					if !out[b][d] {
+						changed = true
+						break
+					}
+				}
+			}
+			out[b] = nout
+		}
+	}
+
+	// Final pass: walk each block's events against its IN set, linking
+	// uses to the definitions reaching them.
+	for _, b := range g.Blocks {
+		reach := make(map[*types.Var][]int)
+		for d := range in[b] {
+			obj := a.ch.Defs[d].Obj
+			reach[obj] = append(reach[obj], d)
+		}
+		for _, ev := range events[b] {
+			if ev.use != nil {
+				for _, d := range reach[ev.useObj] {
+					def := a.ch.Defs[d]
+					def.Uses = append(def.Uses, ev.use)
+					ch.UseDefs[ev.use] = append(ch.UseDefs[ev.use], def)
+				}
+			}
+			if ev.def >= 0 {
+				reach[a.ch.Defs[ev.def].Obj] = []int{ev.def}
+			}
+		}
+	}
+	return ch
+}
+
+// event is one ordered def or use inside a block. Exactly one of def
+// (an index into Chains.Defs) or use is set; def is -1 when unset.
+type event struct {
+	def    int
+	use    *ast.Ident
+	useObj *types.Var
+}
+
+type chainBuilder struct {
+	info         *types.Info
+	ch           *Chains
+	tracked      map[*types.Var]bool
+	defsOf       map[*types.Var][]int
+	results      []*types.Var // named results, used implicitly by bare returns
+	resultIdents map[*types.Var]*ast.Ident
+}
+
+func (a *chainBuilder) objOf(id *ast.Ident) *types.Var {
+	if obj, ok := a.info.Defs[id].(*types.Var); ok {
+		return obj
+	}
+	obj, _ := a.info.Uses[id].(*types.Var)
+	return obj
+}
+
+// collectTracked records every variable declared within the function.
+func (a *chainBuilder) collectTracked(body *ast.BlockStmt, ftype *ast.FuncType) {
+	a.tracked = make(map[*types.Var]bool)
+	add := func(id *ast.Ident) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		if obj, ok := a.info.Defs[id].(*types.Var); ok {
+			a.tracked[obj] = true
+		}
+	}
+	for _, fl := range []*ast.FieldList{ftype.Params, ftype.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				add(n)
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			add(id)
+		}
+		return true
+	})
+}
+
+// namedResults records the result variables a bare return implicitly
+// uses.
+func (a *chainBuilder) namedResults(results *ast.FieldList) {
+	for _, f := range results.List {
+		for _, n := range f.Names {
+			if obj, ok := a.info.Defs[n].(*types.Var); ok {
+				a.results = append(a.results, obj)
+			}
+		}
+	}
+}
+
+// collectEscapes marks variables referenced inside nested function
+// literals or with their address taken.
+func (a *chainBuilder) collectEscapes(body *ast.BlockStmt) {
+	var inLit func(n ast.Node)
+	inLit = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := a.objOf(id); obj != nil && a.tracked[obj] {
+					a.ch.Escaped[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inLit(n.Body)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					if obj := a.objOf(id); obj != nil && a.tracked[obj] {
+						a.ch.Escaped[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (a *chainBuilder) addDef(obj *types.Var, id *ast.Ident, node ast.Node, rhs ast.Expr) int {
+	d := &Def{Obj: obj, Ident: id, Node: node, Rhs: rhs}
+	a.ch.Defs = append(a.ch.Defs, d)
+	idx := len(a.ch.Defs) - 1
+	a.defsOf[obj] = append(a.defsOf[obj], idx)
+	return idx
+}
+
+// nodeEvents appends the ordered def/use events of one CFG node. Uses
+// on the right-hand side come before the left-hand side's definitions,
+// matching evaluation order.
+func (a *chainBuilder) nodeEvents(n ast.Node, evs []event) []event {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			evs = a.exprUses(rhs, evs)
+		}
+		for i, lhs := range n.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				evs = a.exprUses(lhs, evs) // *p, s.f, a[i]: index/base exprs are uses
+				continue
+			}
+			if id.Name == "_" {
+				continue
+			}
+			obj := a.objOf(id)
+			if obj == nil || !a.tracked[obj] {
+				continue
+			}
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				// Compound assignment (+=, |=): a use, then a def.
+				evs = append(evs, event{def: -1, use: id, useObj: obj})
+			}
+			var rhs ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[i]
+			} else if len(n.Rhs) == 1 {
+				rhs = n.Rhs[0] // tuple assignment from one call
+			}
+			evs = append(evs, event{def: a.addDef(obj, id, n, rhs)})
+		}
+	case *ast.ValueSpec:
+		for _, v := range n.Values {
+			evs = a.exprUses(v, evs)
+		}
+		for i, name := range n.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := a.objOf(name)
+			if obj == nil || !a.tracked[obj] {
+				continue
+			}
+			var rhs ast.Expr
+			if len(n.Values) == len(n.Names) {
+				rhs = n.Values[i]
+			} else if len(n.Values) == 1 {
+				rhs = n.Values[0]
+			}
+			evs = append(evs, event{def: a.addDef(obj, name, n, rhs)})
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					evs = a.nodeEvents(vs, evs)
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			if obj := a.objOf(id); obj != nil && a.tracked[obj] {
+				evs = append(evs, event{def: -1, use: id, useObj: obj})
+				evs = append(evs, event{def: a.addDef(obj, id, n, nil)})
+				break
+			}
+		}
+		evs = a.exprUses(n.X, evs)
+	case *ast.RangeStmt:
+		evs = a.exprUses(n.X, evs)
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if e == nil {
+				continue
+			}
+			if id, ok := ast.Unparen(e).(*ast.Ident); ok && id.Name != "_" {
+				if obj := a.objOf(id); obj != nil && a.tracked[obj] {
+					evs = append(evs, event{def: a.addDef(obj, id, n, nil)})
+					continue
+				}
+			}
+			evs = a.exprUses(e, evs)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			evs = a.exprUses(e, evs)
+		}
+		if len(n.Results) == 0 {
+			// A bare return reads every named result.
+			for _, obj := range a.results {
+				evs = append(evs, event{def: -1, use: a.resultUse(obj), useObj: obj})
+			}
+		}
+	case *ast.ExprStmt:
+		evs = a.exprUses(n.X, evs)
+	case *ast.SendStmt:
+		evs = a.exprUses(n.Chan, evs)
+		evs = a.exprUses(n.Value, evs)
+	case *ast.GoStmt:
+		evs = a.exprUses(n.Call, evs)
+	case *ast.DeferStmt:
+		evs = a.exprUses(n.Call, evs)
+	case ast.Expr:
+		evs = a.exprUses(n, evs)
+	}
+	return evs
+}
+
+// resultUse returns the per-function synthetic ident standing for a
+// bare return's implicit read of a named result.
+func (a *chainBuilder) resultUse(obj *types.Var) *ast.Ident {
+	if a.resultIdents == nil {
+		a.resultIdents = make(map[*types.Var]*ast.Ident)
+	}
+	if id, ok := a.resultIdents[obj]; ok {
+		return id
+	}
+	id := ast.NewIdent(obj.Name())
+	id.NamePos = obj.Pos()
+	a.resultIdents[obj] = id
+	return id
+}
+
+// exprUses appends a use event for every tracked-variable occurrence in
+// e, skipping nested function literal bodies (handled as escapes).
+func (a *chainBuilder) exprUses(e ast.Expr, evs []event) []event {
+	if e == nil {
+		return evs
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.Ident:
+			if obj, ok := a.info.Uses[n].(*types.Var); ok && a.tracked[obj] {
+				evs = append(evs, event{def: -1, use: n, useObj: obj})
+			}
+		}
+		return true
+	})
+	return evs
+}

@@ -1,0 +1,270 @@
+// Package dataflow is the control-flow engine under the binoptvet
+// analyzers. It provides three layers, each usable on its own:
+//
+//   - Walker: a branch-merging abstract-state interpreter over a
+//     function body in source order, generalized out of the locksafe
+//     analyzer so every stateful check (held locks, pending WaitGroup
+//     adds, tainted variables) shares one treatment of if/for/switch/
+//     select/defer/goto instead of hand-rolling its own;
+//   - CFG: an explicit per-function control-flow graph (cfg.go) for
+//     analyses that need fixpoints rather than a single pass;
+//   - Chains: reaching-definitions def-use chains over the CFG
+//     (defuse.go), linking every definition of a local variable to the
+//     uses it reaches — the machinery behind errdrop's dead-error-store
+//     detection.
+//
+// The walker is deliberately conservative in the same places locksafe
+// always was: loop bodies merge back into the loop head once (no
+// fixpoint), break/continue fall through rather than tracking their
+// targets, goto terminates the walked path, and function literals and
+// goroutine bodies start from the client's Fresh state because they run
+// at another time.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// State is one analyzer's abstract fact set (held locks, pending adds,
+// …) threaded through a Walker pass. Implementations are immutable from
+// the engine's point of view: the engine clones before exploring a
+// branch and merges at joins.
+type State interface {
+	// CloneState returns an independent copy for exploring one branch.
+	CloneState() State
+	// MergeState folds another branch's exit state into this one at a
+	// control-flow join and returns the result; the union must be
+	// conservative (a fact holding on either path holds after).
+	MergeState(State) State
+}
+
+// Client customizes a Walker pass.
+type Client interface {
+	// Fresh returns the entry state of a detached execution context — a
+	// goroutine body or a function literal, which run with none of the
+	// spawning path's facts.
+	Fresh() State
+	// Transfer folds one statement's intrinsic effect into the state
+	// (a Lock/Unlock call, a WaitGroup Add) and may report findings
+	// triggered by the statement itself (a send, a select). It runs
+	// after the statement's expressions were offered to Expr and before
+	// the engine walks the statement's sub-blocks.
+	Transfer(s ast.Stmt, st State) State
+	// Expr observes one expression evaluated under st — a condition, a
+	// right-hand side, a call. The engine hands over whole expressions;
+	// clients typically inspect within via Walker.InspectExpr so nested
+	// function literals divert through Fresh automatically.
+	Expr(e ast.Expr, st State)
+}
+
+// Walker drives the branch-merging walk. The zero value is unusable;
+// set Client.
+type Walker struct {
+	Client Client
+}
+
+// Walk interprets a function body starting from entry and returns the
+// state at fallthrough exit plus whether the block always terminates
+// (return, panic-like goto-out, every branch returning).
+func (w *Walker) Walk(b *ast.BlockStmt, entry State) (State, bool) {
+	if b == nil {
+		return entry, false
+	}
+	return w.stmts(b.List, entry)
+}
+
+// InspectExpr visits every node of e under st, diverting function
+// literal bodies through a fresh walk (their body runs later, with none
+// of the current facts) and calling visit for everything else. A nil
+// visit just performs the literal diversion. visit returning false
+// prunes that subtree.
+func (w *Walker) InspectExpr(e ast.Expr, st State, visit func(ast.Node) bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			w.Walk(lit.Body, w.Client.Fresh())
+			return false
+		}
+		if visit == nil {
+			return true
+		}
+		return visit(n)
+	})
+}
+
+func (w *Walker) stmts(list []ast.Stmt, st State) (State, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = w.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+// stmt interprets one statement: expressions are offered to the client
+// under the incoming state, Transfer folds the statement's effect, and
+// structured statements clone/merge around their branches exactly the
+// way locksafe's original hand-rolled checker did.
+func (w *Walker) stmt(s ast.Stmt, st State) (State, bool) {
+	c := w.Client
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		c.Expr(s.X, st)
+		return c.Transfer(s, st), false
+
+	case *ast.SendStmt:
+		c.Expr(s.Chan, st)
+		c.Expr(s.Value, st)
+		return c.Transfer(s, st), false
+
+	case *ast.IncDecStmt:
+		c.Expr(s.X, st)
+		return c.Transfer(s, st), false
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.Expr(e, st)
+		}
+		for _, e := range s.Lhs {
+			c.Expr(e, st)
+		}
+		return c.Transfer(s, st), false
+
+	case *ast.DeferStmt:
+		// The deferred call's arguments evaluate now; its body runs at
+		// function exit. Transfer sees the DeferStmt so clients can
+		// special-case defer mu.Unlock() (held to function end).
+		st = c.Transfer(s, st)
+		c.Expr(s.Call, st)
+		return st, false
+
+	case *ast.GoStmt:
+		// The goroutine body runs without the spawning path's facts.
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.Walk(lit.Body, c.Fresh())
+		}
+		for _, a := range s.Call.Args {
+			c.Expr(a, st)
+		}
+		return c.Transfer(s, st), false
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.Expr(e, st)
+		}
+		return c.Transfer(s, st), true
+
+	case *ast.BranchStmt:
+		// goto leaves the walked region; break/continue conservatively
+		// fall through so facts reach the statements after the loop.
+		return c.Transfer(s, st), s.Tok == token.GOTO
+
+	case *ast.BlockStmt:
+		return w.Walk(s, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		c.Expr(s.Cond, st)
+		st = c.Transfer(s, st)
+		thenSt, thenTerm := w.Walk(s.Body, st.CloneState())
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = w.stmt(s.Else, st.CloneState())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return thenSt.MergeState(elseSt), false
+		}
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.Expr(s.Cond, st)
+		}
+		st = c.Transfer(s, st)
+		bodySt, _ := w.Walk(s.Body, st.CloneState())
+		if s.Post != nil {
+			w.stmt(s.Post, bodySt)
+		}
+		return st.CloneState().MergeState(bodySt), false
+
+	case *ast.RangeStmt:
+		c.Expr(s.X, st)
+		st = c.Transfer(s, st)
+		bodySt, _ := w.Walk(s.Body, st.CloneState())
+		return st.CloneState().MergeState(bodySt), false
+
+	case *ast.SelectStmt:
+		// Transfer sees the select itself (locksafe flags it there);
+		// each clause body walks under a clone and the results are
+		// discarded — the conservative treatment the goldens pin. The
+		// clause communication ops are covered by the select finding,
+		// not revisited individually.
+		st = c.Transfer(s, st)
+		for _, cl := range s.Body.List {
+			if comm, ok := cl.(*ast.CommClause); ok {
+				w.stmts(comm.Body, st.CloneState())
+			}
+		}
+		return st, false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.Expr(s.Tag, st)
+		}
+		st = c.Transfer(s, st)
+		merged := st
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				out, term := w.stmts(cc.Body, st.CloneState())
+				if !term {
+					merged = merged.MergeState(out)
+				}
+			}
+		}
+		return merged, false
+
+	case *ast.TypeSwitchStmt:
+		st = c.Transfer(s, st)
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, st.CloneState())
+			}
+		}
+		return st, false
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.Expr(v, st)
+					}
+				}
+			}
+		}
+		return c.Transfer(s, st), false
+	}
+	return st, false
+}

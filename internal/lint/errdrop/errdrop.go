@@ -1,0 +1,180 @@
+// Package errdrop flags dropped and shadowed errors in the code whose
+// failures corrupt results rather than crash: the kernel-reachable path
+// (accel, opencl, lattice) and the joules-accounting path (telemetry,
+// scenario). A pricing kernel that silently ignores an enqueue error
+// returns stale lattice values as if they were fresh; an energy ledger
+// that drops a scrape error under-reports joules with no trace. Three
+// shapes are flagged:
+//
+//   - a call statement whose error result falls on the floor
+//     (`enqueue(k)` where enqueue returns error);
+//   - a tuple assignment that keeps the value but blanks the error
+//     (`v, _ := price(...)`);
+//   - an error assigned and then overwritten or abandoned before any
+//     read — the shadowed-err bug, found via the dataflow layer's
+//     def-use chains (a definition with no reaching use).
+//
+// An explicit lone `_ = f()` is exempt: it is the language's idiom for
+// "I considered this error and decline it", and forcing a directive on
+// top adds nothing. fmt printers and the never-failing writers
+// (strings.Builder, bytes.Buffer, hash.Hash) are exempt for the same
+// reason.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"binopt/internal/lint"
+	"binopt/internal/lint/dataflow"
+)
+
+// Analyzer flags discarded and shadowed errors in kernel-reachable and
+// joules-accounting packages.
+var Analyzer = &lint.Analyzer{
+	Name: "errdrop",
+	Doc: "flag discarded error results and error assignments that are " +
+		"overwritten or dropped before being checked",
+	Match: lint.MatchSuffix(
+		"internal/accel", "internal/opencl", "internal/lattice",
+		"internal/scenario", "internal/telemetry",
+	),
+	Run: run,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				checkBareCall(pass, n)
+			case *ast.AssignStmt:
+				checkBlankedError(pass, n)
+			case *ast.FuncDecl:
+				checkShadowedErr(pass, n)
+			case *ast.FuncLit:
+				checkShadowedErr(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBareCall flags a statement-position call whose results include
+// an error nobody receives.
+func checkBareCall(pass *lint.Pass, s *ast.ExprStmt) {
+	call, ok := ast.Unparen(s.X).(*ast.CallExpr)
+	if !ok || !returnsError(pass.TypesInfo, call) || exemptCallee(pass.TypesInfo, call) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"error result of %s is discarded; check it, or assign to _ explicitly if it truly cannot matter",
+		calleeLabel(pass, call))
+}
+
+// checkBlankedError flags `v, _ := f()` — keeping the value while
+// blanking the error that says whether the value is any good.
+func checkBlankedError(pass *lint.Pass, n *ast.AssignStmt) {
+	if len(n.Rhs) != 1 || len(n.Lhs) < 2 {
+		return
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok || exemptCallee(pass.TypesInfo, call) {
+		return
+	}
+	tuple, ok := pass.TypesInfo.TypeOf(call).(*types.Tuple)
+	if !ok || tuple.Len() != len(n.Lhs) {
+		return
+	}
+	kept := false
+	for _, lhs := range n.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); !ok || id.Name != "_" {
+			kept = true
+		}
+	}
+	if !kept {
+		return // all results blanked: an explicit full discard
+	}
+	for i, lhs := range n.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if types.Identical(tuple.At(i).Type(), errorType) {
+			pass.Reportf(id.Pos(),
+				"error result of %s is blanked while its value is kept; a kept value with a "+
+					"dropped error is a stale result wearing a fresh timestamp",
+				calleeLabel(pass, call))
+		}
+	}
+}
+
+// checkShadowedErr flags error-typed definitions that no use ever
+// reaches: assigned, then overwritten or abandoned unchecked.
+func checkShadowedErr(pass *lint.Pass, fn ast.Node) {
+	ch := dataflow.BuildChains(fn, pass.TypesInfo)
+	for _, d := range ch.Defs {
+		if d.Ident == nil || d.Rhs == nil || len(d.Uses) > 0 {
+			continue
+		}
+		if ch.Escaped[d.Obj] || !types.Identical(d.Obj.Type(), errorType) {
+			continue
+		}
+		pass.Reportf(d.Ident.Pos(),
+			"%s assigned here is never checked: the value is overwritten or dropped "+
+				"before any read",
+			d.Obj.Name())
+	}
+}
+
+// returnsError reports whether any of the call's results is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	switch t := t.(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// exemptCallee reports the never-fails callees whose errors exist only
+// to satisfy interfaces: fmt printers, and writes to in-memory sinks.
+func exemptCallee(info *types.Info, call *ast.CallExpr) bool {
+	fn := lint.CalleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	if named := lint.RecvNamed(info, call); named != nil {
+		switch named.Obj().Name() {
+		case "Builder", "Buffer", "Hash":
+			return true
+		}
+	}
+	return false
+}
+
+// calleeLabel names the callee for messages.
+func calleeLabel(pass *lint.Pass, call *ast.CallExpr) string {
+	if fn := lint.CalleeFunc(pass.TypesInfo, call); fn != nil {
+		return fn.Name()
+	}
+	return lint.ExprString(pass.Fset, call.Fun)
+}

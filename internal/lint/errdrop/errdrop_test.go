@@ -1,0 +1,11 @@
+package errdrop
+
+import (
+	"testing"
+
+	"binopt/internal/lint/linttest"
+)
+
+func TestErrdrop(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "a")
+}

@@ -1,0 +1,101 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func enqueue() error           { return nil }
+func price() (float64, error)  { return 0, nil }
+func readAll() ([]byte, error) { return nil, nil }
+
+// A statement-position call whose error falls on the floor.
+func fireAndForget() {
+	enqueue() // want "error result of enqueue is discarded"
+}
+
+// The explicit lone discard is the sanctioned idiom: exempt.
+func consideredAndDeclined() {
+	_ = enqueue()
+}
+
+// Deferred calls are out of scope: the error has nowhere to go.
+func deferredClose() {
+	defer enqueue()
+}
+
+// fmt printers and in-memory writers never fail usefully: exempt.
+func printers(b *strings.Builder) {
+	fmt.Println("tick")
+	b.WriteString("tick")
+}
+
+// Keeping the value while blanking its error.
+func keepValueDropError() float64 {
+	v, _ := price() // want "error result of price is blanked"
+	return v
+}
+
+// Blanking everything is an explicit full discard: exempt.
+func fullDiscard() {
+	_, _ = price()
+}
+
+// Handling the error properly: clean.
+func handled() (float64, error) {
+	v, err := price()
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+// The shadowed-err bug: the first assignment is never checked.
+func shadowed() error {
+	_, err := price() // want "err assigned here is never checked"
+	_, err = readAll()
+	return err
+}
+
+// An error checked on every path is clean even when reassigned.
+func checkedTwice() error {
+	_, err := price()
+	if err != nil {
+		return err
+	}
+	_, err = readAll()
+	return err
+}
+
+// A tail assignment dropped at function end.
+func droppedTail() {
+	err := enqueue()
+	if err != nil {
+		return
+	}
+	err = enqueue() // want "err assigned here is never checked"
+}
+
+// Capture by a closure suspends judgement: the read happens later.
+func escapes() func() error {
+	err := errors.New("pending")
+	return func() error { return err }
+}
+
+// Inside a goroutine literal the same chains run.
+func inGoroutine(done chan struct{}) {
+	go func() {
+		defer close(done)
+		err := enqueue() // want "err assigned here is never checked"
+		_ = done
+		err = nil
+		_ = err
+	}()
+}
+
+// The suppressed site carries its reason.
+func bestEffortFlush() {
+	//binopt:ignore errdrop best-effort flush on shutdown, node is already draining
+	enqueue()
+}

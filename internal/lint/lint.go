@@ -22,6 +22,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"time"
 )
 
 // Analyzer describes one static check, mirroring
@@ -94,6 +95,13 @@ func NewInfo() *types.Info {
 // directives are converted into findings of their own. The analyzers'
 // Match filters are NOT consulted here — that is driver policy.
 func AnalyzePackage(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	return analyzePackage(analyzers, fset, files, pkg, info, nil)
+}
+
+// analyzePackage is AnalyzePackage with optional per-analyzer wall-time
+// accounting: when timings is non-nil, each analyzer's Run duration is
+// accumulated under its name.
+func analyzePackage(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, timings map[string]time.Duration) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -104,7 +112,12 @@ func AnalyzePackage(analyzers []*Analyzer, fset *token.FileSet, files []*ast.Fil
 			TypesInfo: info,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}
-		if err := a.Run(pass); err != nil {
+		t0 := time.Now()
+		err := a.Run(pass)
+		if timings != nil {
+			timings[a.Name] += time.Since(t0)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("lint: %s: %w", a.Name, err)
 		}
 	}

@@ -165,45 +165,89 @@ var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
 // checkWants matches findings against // want annotations line by line.
 func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []lint.Diagnostic) {
 	t.Helper()
-	type lineKey struct {
-		file string
-		line int
+	wants, problems := collectWants(fset, files)
+	problems = append(problems, matchWants(wants, diags)...)
+	for _, p := range problems {
+		t.Errorf("%s", p)
 	}
-	wants := make(map[lineKey][]*regexp.Regexp)
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type wantEntry struct {
+	re  *regexp.Regexp
+	pat string
+}
+
+// collectWants parses the // want annotations of every file. A comment
+// whose first word is exactly "want" but that carries no parseable
+// quoted regexp — a missing quote, a typo like `// want foo` — is a
+// problem, not a silent no-op: an annotation the harness cannot read
+// would otherwise let the finding it was written for disappear without
+// failing the test.
+func collectWants(fset *token.FileSet, files []*ast.File) (map[lineKey][]wantEntry, []string) {
+	wants := make(map[lineKey][]wantEntry)
+	var problems []string
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				idx := strings.Index(c.Text, "// want ")
+				// The annotation may be the whole comment or embedded at
+				// its tail (a //binopt:ignore directive under test carries
+				// its own want: `//binopt:ignore typo ... // want "..."`).
+				idx := strings.Index(c.Text, "// want")
 				if idx < 0 {
 					continue
 				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text[idx:], "//"))
+				word, args, _ := strings.Cut(rest, " ")
+				if word != "want" {
+					continue // e.g. "// wants", not an annotation
+				}
 				pos := fset.Position(c.Pos())
-				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+				matches := wantRe.FindAllStringSubmatch(args, -1)
+				if len(matches) == 0 {
+					problems = append(problems, fmt.Sprintf(
+						"%s: malformed want comment %q: no quoted regexp found (use // want \"pattern\" or `pattern`)",
+						pos, c.Text))
+					continue
+				}
+				for _, m := range matches {
 					pat := m[1]
 					if m[2] != "" {
 						pat = m[2]
 					}
 					re, err := regexp.Compile(pat)
 					if err != nil {
-						t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+						problems = append(problems, fmt.Sprintf("%s: bad want regexp %q: %v", pos, pat, err))
+						continue
 					}
 					k := lineKey{pos.Filename, pos.Line}
-					wants[k] = append(wants[k], re)
+					wants[k] = append(wants[k], wantEntry{re: re, pat: pat})
 				}
 			}
 		}
 	}
+	return wants, problems
+}
+
+// matchWants pairs findings with annotations and returns every mismatch
+// in both directions: unexpected findings and unmatched expectations.
+func matchWants(wants map[lineKey][]wantEntry, diags []lint.Diagnostic) []string {
+	var problems []string
 	for _, d := range diags {
 		k := lineKey{d.Pos.Filename, d.Pos.Line}
 		matched := -1
-		for i, re := range wants[k] {
-			if re.MatchString(d.Message) {
+		for i, w := range wants[k] {
+			if w.re.MatchString(d.Message) {
 				matched = i
 				break
 			}
 		}
 		if matched < 0 {
-			t.Errorf("%s: unexpected finding: %s: %s", d.Pos, d.Analyzer, d.Message)
+			problems = append(problems, fmt.Sprintf("%s: unexpected finding: %s: %s", d.Pos, d.Analyzer, d.Message))
 			continue
 		}
 		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
@@ -221,8 +265,9 @@ func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []li
 		return keys[i].line < keys[j].line
 	})
 	for _, k := range keys {
-		for _, re := range wants[k] {
-			t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+		for _, w := range wants[k] {
+			problems = append(problems, fmt.Sprintf("%s:%d: expected finding matching %q, got none", k.file, k.line, w.pat))
 		}
 	}
+	return problems
 }

@@ -1,0 +1,135 @@
+package linttest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"binopt/internal/lint"
+)
+
+// parseOne is a test helper: parse a single annotated source file.
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "w.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestCollectWantsParsesBothQuoteForms(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	_ = 1 // want "first pattern" `+"`second [0-9]+`"+`
+}
+`)
+	wants, problems := collectWants(fset, files)
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+	k := lineKey{"w.go", 4}
+	if got := len(wants[k]); got != 2 {
+		t.Fatalf("want 2 patterns on line 4, got %d", got)
+	}
+	if wants[k][0].pat != "first pattern" || wants[k][1].pat != "second [0-9]+" {
+		t.Fatalf("patterns parsed wrong: %q, %q", wants[k][0].pat, wants[k][1].pat)
+	}
+}
+
+func TestCollectWantsFlagsMalformedComment(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	_ = 1 // want missing quotes entirely
+	_ = 2 // wants more money (not an annotation)
+	_ = 3 // want
+}
+`)
+	_, problems := collectWants(fset, files)
+	if len(problems) != 2 {
+		t.Fatalf("want 2 malformed-comment problems (lines 4 and 6), got %d: %v", len(problems), problems)
+	}
+	for _, p := range problems {
+		if !strings.Contains(p, "malformed want comment") {
+			t.Errorf("problem %q does not mention malformed want comment", p)
+		}
+	}
+	if !strings.Contains(problems[0], "w.go:4") || !strings.Contains(problems[1], "w.go:6") {
+		t.Errorf("problems point at wrong lines: %v", problems)
+	}
+}
+
+func TestCollectWantsFlagsBadRegexp(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	_ = 1 // want "unclosed [class"
+}
+`)
+	_, problems := collectWants(fset, files)
+	if len(problems) != 1 || !strings.Contains(problems[0], "bad want regexp") {
+		t.Fatalf("want one bad-regexp problem, got %v", problems)
+	}
+}
+
+func TestMatchWantsBothDirections(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	_ = 1 // want "seen finding"
+	_ = 2 // want "never produced"
+}
+`)
+	wants, problems := collectWants(fset, files)
+	if len(problems) != 0 {
+		t.Fatalf("unexpected collect problems: %v", problems)
+	}
+	diags := []lint.Diagnostic{
+		{Analyzer: "demo", Pos: token.Position{Filename: "w.go", Line: 4}, Message: "a seen finding here"},
+		{Analyzer: "demo", Pos: token.Position{Filename: "w.go", Line: 9}, Message: "surprise on line nine"},
+	}
+	got := matchWants(wants, diags)
+	if len(got) != 2 {
+		t.Fatalf("want 2 mismatch problems, got %d: %v", len(got), got)
+	}
+	if !strings.Contains(got[0], "unexpected finding") || !strings.Contains(got[0], "surprise") {
+		t.Errorf("first problem should be the unexpected finding, got %q", got[0])
+	}
+	if !strings.Contains(got[1], `expected finding matching "never produced"`) {
+		t.Errorf("second problem should be the unmatched expectation, got %q", got[1])
+	}
+}
+
+// TestLoaderMultiPackage pins the multi-package layout: package b under
+// testdata imports sibling package a by directory name, and annotations
+// in b are checked against findings produced while analyzing b. The
+// analyzer flags calls to a.Marked so the finding depends on the
+// cross-package type information resolving.
+func TestLoaderMultiPackage(t *testing.T) {
+	a := &lint.Analyzer{
+		Name: "callmark",
+		Doc:  "flags calls to a.Marked (harness self-test)",
+		Run: func(pass *lint.Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if fn := lint.CalleeFunc(pass.TypesInfo, call); fn != nil &&
+						fn.Name() == "Marked" && fn.Pkg() != nil && fn.Pkg().Path() == "a" {
+						pass.Reportf(call.Pos(), "call to a.Marked")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	Run(t, "testdata", a, "b")
+}

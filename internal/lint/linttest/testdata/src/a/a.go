@@ -1,0 +1,9 @@
+// Package a is a helper package for the harness's own multi-package
+// loader test: package b imports it by directory name.
+package a
+
+// Marked is the function the self-test analyzer flags calls to.
+func Marked() int { return 42 }
+
+// Plain is never flagged.
+func Plain() int { return 7 }

@@ -1,0 +1,14 @@
+// Package b exercises the harness's multi-package loading: it imports
+// sibling testdata package a, and the self-test analyzer needs a's type
+// information to resolve the flagged callee.
+package b
+
+import "a"
+
+func useMarked() int {
+	return a.Marked() // want "call to a\.Marked"
+}
+
+func usePlain() int {
+	return a.Plain()
+}

@@ -1,0 +1,7 @@
+// Second file of package b: annotations in every file of a multi-file
+// package are collected, not just the first.
+package b
+
+import "a"
+
+var sink = a.Marked() // want "call to a\.Marked"

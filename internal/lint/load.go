@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // listPkg is the slice of `go list -json` output the loader consumes.
@@ -195,10 +196,19 @@ func goList(dir string, args []string) ([]*listPkg, error) {
 // whose Match filter admits the package, returning findings sorted by
 // position. Suppression directives are already applied.
 func Run(analyzers []*Analyzer, dir string, patterns []string) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(analyzers, dir, patterns)
+	return diags, err
+}
+
+// RunTimed is Run plus per-analyzer wall time, accumulated across every
+// analyzed package. CI prints the timings so an analyzer that starts
+// dominating the lint step is caught by a log diff, not a bisect.
+func RunTimed(analyzers []*Analyzer, dir string, patterns []string) ([]Diagnostic, map[string]time.Duration, error) {
 	pkgs, err := Load(dir, patterns)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	timings := make(map[string]time.Duration, len(analyzers))
 	var all []Diagnostic
 	for _, p := range pkgs {
 		var active []*Analyzer
@@ -210,9 +220,9 @@ func Run(analyzers []*Analyzer, dir string, patterns []string) ([]Diagnostic, er
 		if len(active) == 0 {
 			continue
 		}
-		diags, err := AnalyzePackage(active, p.Fset, p.Files, p.Pkg, p.Info)
+		diags, err := analyzePackage(active, p.Fset, p.Files, p.Pkg, p.Info, timings)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Path, err)
+			return nil, nil, fmt.Errorf("%s: %w", p.Path, err)
 		}
 		all = append(all, diags...)
 	}
@@ -229,5 +239,5 @@ func Run(analyzers []*Analyzer, dir string, patterns []string) ([]Diagnostic, er
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return all, nil
+	return all, timings, nil
 }

@@ -6,12 +6,13 @@
 // breaker bookkeeping, metrics snapshots) deliberately unlocks before
 // touching a channel, and this analyzer keeps it that way.
 //
-// The analysis is an intra-procedural, source-order approximation:
-// Lock()/RLock() marks the receiver's lock held, Unlock()/RUnlock()
-// releases it, defer Unlock() holds it to function end, and branches
-// that terminate (return/panic) do not leak state past the branch. That
-// is exactly enough to certify the unlock-before-dispatch idiom without
-// whole-program may-alias analysis.
+// The analysis is an intra-procedural, source-order approximation
+// driven by the shared dataflow.Walker: Lock()/RLock() marks the
+// receiver's lock held, Unlock()/RUnlock() releases it, defer Unlock()
+// holds it to function end, and branches that terminate (return/panic)
+// do not leak state past the branch. That is exactly enough to certify
+// the unlock-before-dispatch idiom without whole-program may-alias
+// analysis.
 package locksafe
 
 import (
@@ -20,6 +21,7 @@ import (
 	"go/types"
 
 	"binopt/internal/lint"
+	"binopt/internal/lint/dataflow"
 )
 
 // Analyzer flags channel operations and Engine calls under a held mutex.
@@ -41,13 +43,13 @@ func run(pass *lint.Pass) error {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					newChecker(pass).block(n.Body, make(heldSet))
+					newChecker(pass).check(n.Body)
 				}
 				return false // the checker walks nested literals itself
 			case *ast.FuncLit:
 				// Only reached for literals outside any declaration
 				// (package-level var initialisers).
-				newChecker(pass).block(n.Body, make(heldSet))
+				newChecker(pass).check(n.Body)
 				return false
 			}
 			return true
@@ -57,25 +59,12 @@ func run(pass *lint.Pass) error {
 }
 
 // heldSet maps a lock expression's source text to the position where it
-// was acquired.
+// was acquired. It is the checker's dataflow.State: cloning copies the
+// map, merging unions it — a lock held on either of two joining paths
+// is conservatively held after the join.
 type heldSet map[string]token.Pos
 
-// union merges the locks held on two merging control-flow paths: a lock
-// held on either path is conservatively held after the join.
-func union(a, b heldSet) heldSet {
-	if len(b) == 0 {
-		return a
-	}
-	out := a.clone()
-	for k, v := range b {
-		if _, ok := out[k]; !ok {
-			out[k] = v
-		}
-	}
-	return out
-}
-
-func (h heldSet) clone() heldSet {
+func (h heldSet) CloneState() dataflow.State {
 	c := make(heldSet, len(h))
 	for k, v := range h {
 		c[k] = v
@@ -83,161 +72,82 @@ func (h heldSet) clone() heldSet {
 	return c
 }
 
+func (h heldSet) MergeState(o dataflow.State) dataflow.State {
+	other := o.(heldSet)
+	if len(other) == 0 {
+		return h
+	}
+	out := h.CloneState().(heldSet)
+	for k, v := range other {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// checker implements dataflow.Client: Transfer tracks lock state and
+// flags statement-level rendezvous (sends, selects, channel ranges);
+// Expr flags receives and Engine calls inside expressions.
 type checker struct {
 	pass     *lint.Pass
+	walker   *dataflow.Walker
 	reported map[token.Pos]bool
 }
 
 func newChecker(pass *lint.Pass) *checker {
-	return &checker{pass: pass, reported: make(map[token.Pos]bool)}
+	c := &checker{pass: pass, reported: make(map[token.Pos]bool)}
+	c.walker = &dataflow.Walker{Client: c}
+	return c
 }
 
-// block walks statements in order, threading the held-lock state
-// through; it returns the state at fallthrough exit and whether the
-// block always terminates (return / panic / infinite select).
-func (c *checker) block(b *ast.BlockStmt, held heldSet) (heldSet, bool) {
-	if b == nil {
-		return held, false
-	}
-	return c.stmts(b.List, held)
+func (c *checker) check(body *ast.BlockStmt) {
+	c.walker.Walk(body, make(heldSet))
 }
 
-func (c *checker) stmts(list []ast.Stmt, held heldSet) (heldSet, bool) {
-	for _, st := range list {
-		var term bool
-		held, term = c.stmt(st, held)
-		if term {
-			return held, true
-		}
-	}
-	return held, false
-}
+// Fresh starts goroutine bodies and function literals with no locks:
+// they run at another time, without the spawning path's state.
+func (c *checker) Fresh() dataflow.State { return make(heldSet) }
 
-func (c *checker) stmt(st ast.Stmt, held heldSet) (heldSet, bool) {
-	switch st := st.(type) {
+// Transfer folds lock operations into the held set and reports the
+// statement-shaped violations.
+func (c *checker) Transfer(s ast.Stmt, st dataflow.State) dataflow.State {
+	held := st.(heldSet)
+	switch s := s.(type) {
 	case *ast.ExprStmt:
-		c.expr(st.X, held)
-		held = c.applyLockOps(st.X, held)
+		return c.applyLockOps(s.X, held)
 	case *ast.SendStmt:
-		c.expr(st.Chan, held)
-		c.expr(st.Value, held)
-		c.violation(st.Arrow, "channel send", held)
-	case *ast.AssignStmt:
-		for _, e := range st.Rhs {
-			c.expr(e, held)
-		}
-		for _, e := range st.Lhs {
-			c.expr(e, held)
-		}
-	case *ast.DeferStmt:
-		if name, ok := c.lockMethod(st.Call); ok && (name == "Unlock" || name == "RUnlock") {
-			// Held until function end: nothing to release on this path.
-			break
-		}
-		c.expr(st.Call, held)
-	case *ast.GoStmt:
-		// The goroutine body runs without the caller's locks; check it
-		// with a fresh state.
-		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
-			c.block(lit.Body, make(heldSet))
-		}
-		for _, a := range st.Call.Args {
-			c.expr(a, held)
-		}
-	case *ast.ReturnStmt:
-		for _, e := range st.Results {
-			c.expr(e, held)
-		}
-		return held, true
-	case *ast.BranchStmt:
-		return held, st.Tok == token.GOTO // break/continue end this path's walk conservatively
-	case *ast.BlockStmt:
-		return c.block(st, held)
-	case *ast.IfStmt:
-		if st.Init != nil {
-			held, _ = c.stmt(st.Init, held)
-		}
-		c.expr(st.Cond, held)
-		thenHeld, thenTerm := c.block(st.Body, held.clone())
-		elseHeld, elseTerm := held, false
-		if st.Else != nil {
-			elseHeld, elseTerm = c.stmt(st.Else, held.clone())
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return held, true
-		case thenTerm:
-			return elseHeld, false
-		case elseTerm:
-			return thenHeld, false
-		default:
-			return union(thenHeld, elseHeld), false
-		}
-	case *ast.ForStmt:
-		if st.Init != nil {
-			held, _ = c.stmt(st.Init, held)
-		}
-		if st.Cond != nil {
-			c.expr(st.Cond, held)
-		}
-		bodyHeld, _ := c.block(st.Body, held.clone())
-		if st.Post != nil {
-			c.stmt(st.Post, bodyHeld)
-		}
-		return union(held, bodyHeld), false
-	case *ast.RangeStmt:
-		c.expr(st.X, held)
-		if t := c.pass.TypesInfo.TypeOf(st.X); t != nil {
-			if _, isChan := t.Underlying().(*types.Chan); isChan {
-				c.violation(st.For, "range over channel", held)
-			}
-		}
-		bodyHeld, _ := c.block(st.Body, held.clone())
-		return union(held, bodyHeld), false
+		c.violation(s.Arrow, "channel send", held)
 	case *ast.SelectStmt:
-		c.violation(st.Select, "select", held)
-		for _, cl := range st.Body.List {
-			if comm, ok := cl.(*ast.CommClause); ok {
-				c.stmts(comm.Body, held.clone())
-			}
-		}
-	case *ast.SwitchStmt:
-		if st.Init != nil {
-			held, _ = c.stmt(st.Init, held)
-		}
-		if st.Tag != nil {
-			c.expr(st.Tag, held)
-		}
-		merged := held
-		for _, cl := range st.Body.List {
-			if cc, ok := cl.(*ast.CaseClause); ok {
-				out, term := c.stmts(cc.Body, held.clone())
-				if !term {
-					merged = union(merged, out)
-				}
-			}
-		}
-		return merged, false
-	case *ast.TypeSwitchStmt:
-		for _, cl := range st.Body.List {
-			if cc, ok := cl.(*ast.CaseClause); ok {
-				c.stmts(cc.Body, held.clone())
-			}
-		}
-	case *ast.LabeledStmt:
-		return c.stmt(st.Stmt, held)
-	case *ast.DeclStmt:
-		if gd, ok := st.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						c.expr(v, held)
-					}
-				}
+		c.violation(s.Select, "select", held)
+	case *ast.RangeStmt:
+		if t := c.pass.TypesInfo.TypeOf(s.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				c.violation(s.For, "range over channel", held)
 			}
 		}
 	}
-	return held, false
+	return held
+}
+
+// Expr scans an expression for violations under the current held set:
+// receives, nested sends in literals, and Engine method calls.
+func (c *checker) Expr(e ast.Expr, st dataflow.State) {
+	held := st.(heldSet)
+	c.walker.InspectExpr(e, st, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				c.violation(n.OpPos, "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if named := lint.RecvNamed(c.pass.TypesInfo, n); named != nil && named.Obj().Name() == "Engine" {
+				fn := lint.CalleeFunc(c.pass.TypesInfo, n)
+				c.violation(n.Pos(), "call to Engine."+fn.Name(), held)
+			}
+		}
+		return true
+	})
 }
 
 // applyLockOps updates the held set for Lock/Unlock calls appearing as
@@ -258,10 +168,10 @@ func (c *checker) applyLockOps(e ast.Expr, held heldSet) heldSet {
 	key := lint.ExprString(c.pass.Fset, sel.X)
 	switch name {
 	case "Lock", "RLock":
-		held = held.clone()
+		held = held.CloneState().(heldSet)
 		held[key] = call.Pos()
 	case "Unlock", "RUnlock":
-		held = held.clone()
+		held = held.CloneState().(heldSet)
 		delete(held, key)
 	}
 	return held
@@ -283,34 +193,6 @@ func (c *checker) lockMethod(call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	return fn.Name(), true
-}
-
-// expr scans an expression for violations under the current held set:
-// receives, nested sends in literals, and Engine method calls.
-func (c *checker) expr(e ast.Expr, held heldSet) {
-	if e == nil {
-		return
-	}
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			// A literal's body executes later; check it with no locks
-			// unless it is invoked in place, which the CallExpr case
-			// still sees as an indirect call (conservatively skipped).
-			c.block(n.Body, make(heldSet))
-			return false
-		case *ast.UnaryExpr:
-			if n.Op == token.ARROW {
-				c.violation(n.OpPos, "channel receive", held)
-			}
-		case *ast.CallExpr:
-			if named := lint.RecvNamed(c.pass.TypesInfo, n); named != nil && named.Obj().Name() == "Engine" {
-				fn := lint.CalleeFunc(c.pass.TypesInfo, n)
-				c.violation(n.Pos(), "call to Engine."+fn.Name(), held)
-			}
-		}
-		return true
-	})
 }
 
 // violation reports the blocking operation against every lock currently

@@ -1,0 +1,282 @@
+// Package spawncheck ties every goroutine in the fabric's long-running
+// packages to a shutdown path. A bare `go func() { for { ... } }()` in
+// serve, cluster, or telemetry is a leak with a delay on it: the node
+// passes every test, then Close() returns while the goroutine keeps
+// scraping, heartbeating, or writing to a closed listener. The analyzer
+// accepts any of the idioms the repo actually uses as evidence of a tie:
+//
+//   - sync.WaitGroup pairing: the body calls wg.Done and a wg.Add
+//     precedes the spawn on every path (the Add-after-spawn ordering is
+//     its own finding: Wait can return before a late Add lands);
+//   - a done channel: the body receives, selects, ranges over a
+//     channel, or closes one to signal completion;
+//   - context: the body consults a context.Context (ctx.Done, request
+//     ctx threaded in);
+//   - http.Server lifecycle: the body runs srv.Serve/ListenAndServe,
+//     which srv.Close unblocks.
+//
+// The Add-before-spawn ordering check runs on the dataflow walker with
+// intersection merges: an Add on only one branch of an if does not
+// count, because the other branch really can spawn unadded.
+package spawncheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"binopt/internal/lint"
+	"binopt/internal/lint/dataflow"
+)
+
+// Analyzer flags goroutines with no tie to a shutdown path.
+var Analyzer = &lint.Analyzer{
+	Name: "spawncheck",
+	Doc: "flag go statements in long-running packages that are not tied to a " +
+		"shutdown path (WaitGroup pairing, done channel, context, or server lifecycle)",
+	Match: lint.MatchSuffix(
+		"internal/serve", "internal/cluster", "internal/telemetry",
+	),
+	Run: run,
+}
+
+func run(pass *lint.Pass) error {
+	decls := funcDecls(pass)
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue // test goroutines live and die with the test
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					newChecker(pass, decls).check(n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				newChecker(pass, decls).check(n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// funcDecls maps each function object to its declaration, for one-level
+// resolution of `go s.worker(...)` spawns.
+func funcDecls(pass *lint.Pass) map[*types.Func]*ast.FuncDecl {
+	m := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					m[fn] = fd
+				}
+			}
+		}
+	}
+	return m
+}
+
+// addSet is the dataflow state: the WaitGroup expressions (by source
+// text) that have had Add called on every path reaching this point.
+// Merging is intersection — this is a must-analysis.
+type addSet map[string]bool
+
+func (s addSet) CloneState() dataflow.State {
+	c := make(addSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (s addSet) MergeState(o dataflow.State) dataflow.State {
+	other := o.(addSet)
+	out := make(addSet)
+	for k := range s {
+		if other[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+type checker struct {
+	pass  *lint.Pass
+	decls map[*types.Func]*ast.FuncDecl
+	// allAdds holds the WaitGroup expressions Add'ed anywhere in the
+	// function under check, to tell "Add is after the spawn" (a bug
+	// here) from "Add happens in the caller" (fine).
+	allAdds map[string]bool
+	walker  *dataflow.Walker
+}
+
+func newChecker(pass *lint.Pass, decls map[*types.Func]*ast.FuncDecl) *checker {
+	c := &checker{pass: pass, decls: decls}
+	c.walker = &dataflow.Walker{Client: c}
+	return c
+}
+
+func (c *checker) check(body *ast.BlockStmt) {
+	c.allAdds = make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if recv, ok := c.wgMethod(call, "Add"); ok {
+				c.allAdds[recv] = true
+			}
+		}
+		return true
+	})
+	c.walker.Walk(body, make(addSet))
+}
+
+func (c *checker) Fresh() dataflow.State { return make(addSet) }
+
+func (c *checker) Expr(e ast.Expr, st dataflow.State) {}
+
+// Transfer records Add calls and audits go statements.
+func (c *checker) Transfer(s ast.Stmt, st dataflow.State) dataflow.State {
+	adds := st.(addSet)
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if recv, ok := c.wgMethod(call, "Add"); ok {
+				adds = adds.CloneState().(addSet)
+				adds[recv] = true
+			}
+		}
+	case *ast.GoStmt:
+		c.checkSpawn(s, adds)
+	}
+	return adds
+}
+
+// checkSpawn audits one go statement against the current Add state.
+func (c *checker) checkSpawn(s *ast.GoStmt, adds addSet) {
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(s.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		if fn := lint.CalleeFunc(c.pass.TypesInfo, s.Call); fn != nil {
+			if fd, ok := c.decls[fn]; ok {
+				body = fd.Body
+			}
+		}
+	}
+	// Spawning a server loop directly is its own lifecycle.
+	if c.isServeCall(s.Call) {
+		return
+	}
+	if body == nil {
+		c.pass.Reportf(s.Pos(),
+			"goroutine body is out of view (callee not declared in this package); "+
+				"tie it to a shutdown path where it is spawned, or suppress with a reason")
+		return
+	}
+	ev := c.evidence(body)
+	switch {
+	case len(ev.doneOn) > 0:
+		for _, recv := range ev.doneOn {
+			if !adds[recv] && c.allAdds[recv] {
+				c.pass.Reportf(s.Pos(),
+					"%s.Add is not on every path before this spawn, but the goroutine calls "+
+						"%s.Done; Wait can return before a late Add lands — Add before go",
+					recv, recv)
+			}
+		}
+	case ev.tied:
+	default:
+		c.pass.Reportf(s.Pos(),
+			"goroutine has no tie to a shutdown path: no WaitGroup Done, no done-channel "+
+				"receive/select/close, no context, no server lifecycle; it can outlive Close")
+	}
+}
+
+// spawnEvidence is what a goroutine body offers as its shutdown tie.
+type spawnEvidence struct {
+	tied   bool     // channel op, context use, or server call found
+	doneOn []string // WaitGroup expressions the body calls Done on
+}
+
+// evidence scans a goroutine body (nested literals included) for any
+// accepted shutdown tie.
+func (c *checker) evidence(body *ast.BlockStmt) spawnEvidence {
+	var ev spawnEvidence
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			ev.tied = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ev.tied = true
+			}
+		case *ast.RangeStmt:
+			if t := c.pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					ev.tied = true
+				}
+			}
+		case *ast.CallExpr:
+			if recv, ok := c.wgMethod(n, "Done"); ok {
+				ev.doneOn = append(ev.doneOn, recv)
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && id.Name == "close" {
+					ev.tied = true
+				}
+			}
+			if c.isServeCall(n) {
+				ev.tied = true
+			}
+		case ast.Expr:
+			if t := c.pass.TypesInfo.TypeOf(n); t != nil && isContextType(t) {
+				ev.tied = true
+			}
+		}
+		return true
+	})
+	return ev
+}
+
+// isServeCall reports a call to an http.Server-style accept loop, which
+// the matching Close/Shutdown unblocks.
+func (c *checker) isServeCall(call *ast.CallExpr) bool {
+	for _, m := range []string{"Serve", "ListenAndServe", "ServeTLS", "ListenAndServeTLS"} {
+		if lint.MethodCallOn(c.pass.TypesInfo, call, "Server", m) {
+			return true
+		}
+	}
+	return false
+}
+
+// wgMethod reports whether call is method `name` on a sync.WaitGroup,
+// returning the receiver's source text as the group's identity.
+func (c *checker) wgMethod(call *ast.CallExpr, name string) (string, bool) {
+	fn := lint.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	named := lint.RecvNamed(c.pass.TypesInfo, call)
+	if named == nil || named.Obj().Name() != "WaitGroup" {
+		return "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	return lint.ExprString(c.pass.Fset, sel.X), true
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,11 @@
+package spawncheck
+
+import (
+	"testing"
+
+	"binopt/internal/lint/linttest"
+)
+
+func TestSpawncheck(t *testing.T) {
+	linttest.Run(t, "testdata", Analyzer, "a", "b")
+}

@@ -1,0 +1,144 @@
+package a
+
+import (
+	"context"
+	"net/http"
+	"sync"
+)
+
+// Untied: nothing ever stops this loop.
+func untied(work chan int) {
+	go func() { // want "no tie to a shutdown path"
+		for {
+			process()
+		}
+	}()
+	_ = work
+}
+
+func process() {}
+
+// WaitGroup pairing done right: Add before go, Done in the body.
+func wgPaired(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		process()
+	}()
+}
+
+// Add after the spawn: Wait can return before the Add lands.
+func wgAddLate(wg *sync.WaitGroup) {
+	go func() { // want `wg\.Add is not on every path before this spawn`
+		defer wg.Done()
+		process()
+	}()
+	wg.Add(1)
+}
+
+// Add on only one branch: the other branch spawns unadded, so the
+// intersection merge correctly refuses the evidence.
+func wgAddOneBranch(wg *sync.WaitGroup, fast bool) {
+	if fast {
+		wg.Add(1)
+	} else {
+		process()
+	}
+	go func() { // want `wg\.Add is not on every path before this spawn`
+		defer wg.Done()
+		process()
+	}()
+}
+
+// Add on both branches satisfies the must-analysis.
+func wgAddBothBranches(wg *sync.WaitGroup, fast bool) {
+	if fast {
+		wg.Add(1)
+	} else {
+		wg.Add(1)
+	}
+	go func() {
+		defer wg.Done()
+		process()
+	}()
+}
+
+// Done with no Add anywhere in this function: the Add lives in the
+// caller, which is fine — Done alone is the tie.
+func wgDoneCallerAdds(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		process()
+	}()
+}
+
+// A done channel is a tie (receive).
+func doneChannel(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				process()
+			}
+		}
+	}()
+}
+
+// Closing a channel to signal completion is a tie.
+func closesDone(done chan struct{}) {
+	go func() {
+		defer close(done)
+		process()
+	}()
+}
+
+// Consulting a context is a tie.
+func ctxTied(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// Ranging over a channel is a tie: closing the channel ends the loop.
+func rangesChannel(work chan int) {
+	go func() {
+		for v := range work {
+			_ = v
+		}
+	}()
+}
+
+// An http.Server accept loop is its own lifecycle: Close unblocks it.
+func serveLifecycle(srv *http.Server) {
+	go func() {
+		_ = srv.ListenAndServe()
+	}()
+}
+
+// One-level callee resolution: the worker's body holds the evidence.
+type pool struct {
+	wg   sync.WaitGroup
+	work chan int
+}
+
+func (p *pool) worker() {
+	defer p.wg.Done()
+	for v := range p.work {
+		_ = v
+	}
+}
+
+func (p *pool) start() {
+	p.wg.Add(1)
+	go p.worker()
+}
+
+// A callee from another package is out of view: flagged, and the
+// intentional site carries a written reason.
+func outOfView() {
+	go http.ListenAndServe(":0", nil) // want "out of view"
+	//binopt:ignore spawncheck crash reporter is fire-and-forget by design
+	go http.ListenAndServe(":1", nil)
+}

@@ -1,0 +1,50 @@
+// Package b pins the directive scoping rules against the new
+// analyzers: a //binopt:ignore covers its own line and the line
+// directly below — never a whole enclosing function — and a directive
+// naming an analyzer that is not running is itself a finding.
+package b
+
+func spin() {}
+
+// A directive on the function declaration does not reach the go
+// statement two lines into the body.
+//
+//binopt:ignore spawncheck directive on the decl must not leak into the body
+func declLevelDirectiveDoesNotCover() {
+	x := 1
+	_ = x
+	go func() { // want "no tie to a shutdown path"
+		for {
+			spin()
+		}
+	}()
+}
+
+// On the spawning line itself, the same directive works.
+func lineLevelDirectiveCovers() {
+	go func() { //binopt:ignore spawncheck drained by process exit in the harness
+		for {
+			spin()
+		}
+	}()
+}
+
+// And on the line directly above the spawn.
+func lineAboveDirectiveCovers() {
+	//binopt:ignore spawncheck drained by process exit in the harness
+	go func() {
+		for {
+			spin()
+		}
+	}()
+}
+
+// An unknown analyzer name can never rot silently.
+func unknownAnalyzer() {
+	//binopt:ignore spawnchk typo must be caught // want `unknown analyzer "spawnchk"`
+	go func() { // want "no tie to a shutdown path"
+		for {
+			spin()
+		}
+	}()
+}

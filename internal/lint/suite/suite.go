@@ -6,18 +6,30 @@ package suite
 
 import (
 	"binopt/internal/lint"
+	"binopt/internal/lint/atomicmix"
 	"binopt/internal/lint/barrieruse"
+	"binopt/internal/lint/ctxflow"
+	"binopt/internal/lint/errdrop"
 	"binopt/internal/lint/floateq"
 	"binopt/internal/lint/kerneldet"
 	"binopt/internal/lint/locksafe"
+	"binopt/internal/lint/spawncheck"
 	"binopt/internal/lint/unitcheck"
 )
 
-// Analyzers is every check binoptvet runs, in report order.
+// Analyzers is every check binoptvet runs, in report order. The first
+// five guard the numeric core (parity, barriers, units); the four added
+// with the dataflow layer guard the fabric's concurrency and lifecycle
+// invariants (context threading, goroutine shutdown ties, atomic
+// discipline, error flow).
 var Analyzers = []*lint.Analyzer{
+	atomicmix.Analyzer,
 	barrieruse.Analyzer,
+	ctxflow.Analyzer,
+	errdrop.Analyzer,
 	floateq.Analyzer,
 	kerneldet.Analyzer,
 	locksafe.Analyzer,
+	spawncheck.Analyzer,
 	unitcheck.Analyzer,
 }

@@ -7,12 +7,14 @@ import (
 	"binopt/internal/lint"
 )
 
-// TestAnalyzerRegistry pins the suite's shape: five distinct, documented
+// TestAnalyzerRegistry pins the suite's shape: nine distinct, documented
 // analyzers under the names the suppression directives refer to.
 func TestAnalyzerRegistry(t *testing.T) {
 	want := map[string]bool{
 		"barrieruse": true, "floateq": true, "kerneldet": true,
 		"locksafe": true, "unitcheck": true,
+		"atomicmix": true, "ctxflow": true, "errdrop": true,
+		"spawncheck": true,
 	}
 	seen := map[string]bool{}
 	for _, a := range Analyzers {

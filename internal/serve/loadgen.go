@@ -305,6 +305,12 @@ func (r *LoadReport) addPhases(stats sweepStats) {
 // sweep runs `passes` copies of the request set through a worker pool and
 // aggregates per-request observations.
 func sweep(ctx context.Context, client *http.Client, cfg LoadConfig, pass []loadRequest, passes int, rps float64) (sweepStats, error) {
+	// A worker that hits a transport error exits; once every worker is
+	// gone the feeder would block forever on an unbuffered send. The
+	// sweep-local cancel turns "first worker death" into "feeder stops",
+	// independent of the caller's context.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	work := make(chan loadRequest)
 	var throttle <-chan time.Time
 	if rps > 0 {
@@ -332,6 +338,7 @@ func sweep(ctx context.Context, client *http.Client, cfg LoadConfig, pass []load
 				lat := time.Since(t0)
 				if err != nil {
 					fail.CompareAndSwap(nil, err)
+					cancel()
 					return
 				}
 				mu.Lock()

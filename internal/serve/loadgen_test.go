@@ -178,3 +178,42 @@ func TestLoadgenSmoke2000OptionsPerSec(t *testing.T) {
 		t.Fatalf("modelled joules/option missing from summary: %+v", rep)
 	}
 }
+
+// TestRunLoadDeadTargetFailsFast: when every worker dies on a transport
+// error (here: a server that is already down), the feeder must stop
+// rather than block forever on the work channel. (Regression: workers
+// exited on the first error without cancelling, and with all workers
+// gone the unbuffered send in the feed loop deadlocked under a
+// background context.)
+func TestRunLoadDeadTargetFailsFast(t *testing.T) {
+	_, hs := newTestServer(t, Config{Steps: 32})
+	dead := hs.URL
+	hs.Close() // nothing listens here any more
+
+	spec := workload.DefaultVolCurveSpec(3)
+	spec.N = 8
+	chain, err := workload.Chain(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		_, err := RunLoad(context.Background(), LoadConfig{
+			BaseURL: dead, Options: chain,
+			Concurrency: 1, BatchSize: 1, Passes: 1,
+		})
+		done <- result{err}
+	}()
+	select {
+	case r := <-done:
+		if r.err == nil {
+			t.Fatal("RunLoad against a dead target reported success")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("RunLoad deadlocked against a dead target")
+	}
+}

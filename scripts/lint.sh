@@ -32,4 +32,7 @@ trap 'rm -rf "$(dirname "$bin")"' EXIT
 go build -o "$bin" ./cmd/binoptvet
 go vet -vettool="$bin" "${pkgs[@]}"
 
+echo "== binoptvet -time"
+"$bin" -time "${pkgs[@]}"
+
 echo "lint: clean"
